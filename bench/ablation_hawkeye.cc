@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation study: which HawkEye component buys what?
+ *
+ * Starting from the full HawkEye-G configuration we disable one
+ * mechanism at a time and measure two scenarios that stress
+ * complementary parts of the design:
+ *
+ *   - "spin-up": a fault-dominated allocation burst (async
+ *     pre-zeroing and huge-at-fault should dominate);
+ *   - "hotspot": a fragmented machine with a high-VA hot region
+ *     (coverage-ordered promotion should dominate).
+ *
+ * Not a paper table — this regenerates the design-choice evidence
+ * that DESIGN.md's inventory calls out.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+core::HawkEyeConfig
+variant(const std::string &name)
+{
+    core::HawkEyeConfig c;
+    if (name == "no-prezero")
+        c.enablePrezero = false;
+    else if (name == "no-fault-huge")
+        c.faultHuge = false;
+    else if (name == "no-bloat-recovery")
+        c.enableBloatRecovery = false;
+    else if (name == "pmu")
+        c.usePmu = true;
+    return c;
+}
+
+double
+runSpinup(const core::HawkEyeConfig &hc)
+{
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(6);
+    cfg.seed = 3;
+    // Dirty boot memory so pre-zeroing actually matters.
+    cfg.bootMemoryZeroed = false;
+    sim::System sys2(cfg);
+    sys2.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
+    sys2.costs().zeroDaemonPagesPerSec = 300'000;
+    sys2.run(sec(20)); // let the daemon (if enabled) pre-zero
+    auto &proc = sys2.addProcess(
+        "spinup", workload::makeSpinUp("spinup", GiB(4),
+                                       sys2.rng().fork()));
+    sys2.runUntilAllDone(sec(600));
+    return static_cast<double>(proc.runtime()) / 1e9;
+}
+
+double
+runHotspot(const core::HawkEyeConfig &hc)
+{
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(4);
+    cfg.seed = 3;
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
+    sys.fragmentMemoryMovable(1.0, 64);
+    sys.costs().promotionsPerSec = 5.0;
+    workload::StreamConfig wc;
+    wc.footprintBytes = GiB(1);
+    wc.hotStart = 0.7;
+    wc.hotEnd = 1.0;
+    wc.hotFraction = 0.9;
+    wc.accessesPerSec = 5e6;
+    wc.workSeconds = 100.0;
+    auto &proc = sys.addProcess(
+        "hot", std::make_unique<workload::StreamWorkload>(
+                   "hot", wc, sys.rng().fork()));
+    sys.runUntilAllDone(sec(1200));
+    return static_cast<double>(proc.runtime()) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Ablation: HawkEye with one mechanism disabled at a time",
+           "HawkSim design-choice study (DESIGN.md inventory)");
+
+    printRow({"Variant", "Spinup(s)", "Hotspot(s)"}, 20);
+    for (const std::string v :
+         {"full", "no-prezero", "no-fault-huge",
+          "no-bloat-recovery", "pmu"}) {
+        const core::HawkEyeConfig hc = variant(v);
+        printRow({v, fmt(runSpinup(hc), 2), fmt(runHotspot(hc), 1)},
+                 20);
+    }
+    std::printf(
+        "\nReading: disabling pre-zeroing costs the spin-up scenario "
+        "its synchronous 2MB zeroing; disabling huge-at-fault costs "
+        "it the 512x fault reduction; neither matters much for the "
+        "hotspot scenario, whose runtime is set by promotion "
+        "ordering (and bloat recovery is neutral in both).\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: policy
+ * factory, table formatting, and run bookkeeping.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * Absolute numbers are simulated (the substrate is HawkSim, not the
+ * authors' Haswell testbed); the *shape* — who wins, by what factor,
+ * where crossovers fall — is the reproduction target. EXPERIMENTS.md
+ * records paper-vs-measured for each.
+ */
+
+#ifndef HAWKSIM_BENCH_COMMON_HH
+#define HAWKSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hawksim.hh"
+
+namespace bench {
+
+using namespace hawksim;
+
+/** Construct a policy by its experiment name. */
+inline std::unique_ptr<policy::HugePagePolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "Linux-4KB") {
+        policy::LinuxConfig c;
+        c.thp = false;
+        return std::make_unique<policy::LinuxThpPolicy>(c);
+    }
+    if (name == "Linux-2MB")
+        return std::make_unique<policy::LinuxThpPolicy>();
+    if (name == "FreeBSD")
+        return std::make_unique<policy::FreeBsdPolicy>();
+    if (name == "Ingens-90%") {
+        policy::IngensConfig c;
+        c.utilThreshold = 0.90;
+        return std::make_unique<policy::IngensPolicy>(c);
+    }
+    if (name == "Ingens-50%") {
+        policy::IngensConfig c;
+        c.utilThreshold = 0.50;
+        return std::make_unique<policy::IngensPolicy>(c);
+    }
+    if (name == "HawkEye-G")
+        return std::make_unique<core::HawkEyePolicy>();
+    if (name == "HawkEye-PMU") {
+        core::HawkEyeConfig c;
+        c.usePmu = true;
+        return std::make_unique<core::HawkEyePolicy>(c);
+    }
+    HS_FATAL("unknown policy name: ", name);
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("\n");
+    std::printf("======================================================="
+                "=================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("======================================================="
+                "=================\n");
+}
+
+/** Simple fixed-width row printing. */
+inline void
+printRow(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmtInt(std::uint64_t v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Seconds with one decimal from a TimeNs. */
+inline std::string
+fmtSec(hawksim::TimeNs t)
+{
+    return fmt(static_cast<double>(t) / 1e9, 1);
+}
+
+} // namespace bench
+
+#endif // HAWKSIM_BENCH_COMMON_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Figure 11: memory-overcommitted host (VM reservations total ~1.5x
+ * physical memory). Guest async pre-zeroing + host KSM returns
+ * guest-free memory to the host — matching balloon drivers without
+ * any para-virtual interface.
+ *
+ * The scenario staggers demand so memory must *move between VMs*:
+ * VM-redis loads a large dataset, deletes most of it and keeps
+ * serving; VM-mongo then loads its own large dataset — which only
+ * fits if the host got redis's freed memory back. A PageRank VM runs
+ * throughout.
+ *
+ *   - none:     Linux guests, no balloon -> mongo's load forces the
+ *               host to swap out redis's dead backing page by page;
+ *   - balloon:  guests return freed memory to the host immediately;
+ *   - hawkeye:  HawkEye guests pre-zero freed memory and host KSM
+ *               merges it away (the fully-virtual path).
+ */
+
+#include "bench_common.hh"
+#include "virt/vm.hh"
+
+using namespace bench;
+
+namespace {
+
+struct Out
+{
+    double redisKops;
+    double mongoKops;
+    double pagerankSec;
+    std::uint64_t hostSwapOuts;
+};
+
+Out
+run(const std::string &mode)
+{
+    sim::SystemConfig host_cfg;
+    host_cfg.memoryBytes = GiB(6);
+    host_cfg.seed = 17;
+    const bool hawkeye = mode == "hawkeye";
+    // Guest pre-zeroing must keep up with the churn rate.
+    host_cfg.costs.zeroDaemonPagesPerSec = 100'000.0;
+    virt::VirtualSystem vs(host_cfg,
+                           hawkeye ? makePolicy("HawkEye-G")
+                                   : makePolicy("Linux-2MB"));
+    vs.host().enableSwap(true);
+    if (hawkeye)
+        vs.enableHostKsm(300'000.0);
+
+    auto guestPolicy = [&]() {
+        return hawkeye ? makePolicy("HawkEye-G")
+                       : makePolicy("Linux-2MB");
+    };
+    virt::VmOptions opts;
+    opts.guestMemBytes = GiB(3); // 3 VMs x 3GB on a 6GB host
+    opts.balloon = (mode == "balloon");
+
+    // VM-1: Redis loads 2.6GB, deletes 70%, then serves.
+    opts.seed = 1;
+    auto &vm1 = vs.addVm("vm-redis", opts, guestPolicy());
+    {
+        workload::KvConfig kc;
+        kc.arenaBytes = GiB(4);
+        kc.servesForever = true;
+        workload::KvPhase load;
+        load.type = workload::KvPhase::Type::kInsert;
+        load.count = 650'000;
+        load.opsPerSec = 150'000;
+        workload::KvPhase del;
+        del.type = workload::KvPhase::Type::kDelete;
+        del.fraction = 0.7;
+        del.clusterRun = 64;
+        workload::KvPhase serve;
+        serve.type = workload::KvPhase::Type::kServe;
+        serve.durationSec = 1e6;
+        serve.opsPerSec = 50'000;
+        kc.phases = {load, del, serve};
+        vm1.addGuestProcess(
+            "redis", std::make_unique<workload::KeyValueStoreWorkload>(
+                         "redis", kc, Rng(21)));
+    }
+
+    // VM-2: MongoDB waits, then needs the memory redis freed.
+    opts.seed = 2;
+    auto &vm2 = vs.addVm("vm-mongo", opts, guestPolicy());
+    {
+        workload::KvConfig kc;
+        kc.arenaBytes = GiB(4);
+        kc.servesForever = true;
+        workload::KvPhase wait;
+        wait.type = workload::KvPhase::Type::kPause;
+        wait.durationSec = 60.0;
+        workload::KvPhase load;
+        load.type = workload::KvPhase::Type::kInsert;
+        load.count = 650'000;
+        load.opsPerSec = 120'000;
+        workload::KvPhase del;
+        del.type = workload::KvPhase::Type::kDelete;
+        del.fraction = 0.7;
+        del.clusterRun = 64;
+        workload::KvPhase serve;
+        serve.type = workload::KvPhase::Type::kServe;
+        serve.durationSec = 1e6;
+        serve.opsPerSec = 40'000;
+        kc.phases = {wait, load, del, serve};
+        vm2.addGuestProcess(
+            "mongo", std::make_unique<workload::KeyValueStoreWorkload>(
+                         "mongo", kc, Rng(22)));
+    }
+
+    // VM-3: PageRank-like HPC scan (steady RSS, runs throughout).
+    opts.seed = 3;
+    auto &vm3 = vs.addVm("vm-pagerank", opts, guestPolicy());
+    workload::StreamConfig pr;
+    pr.footprintBytes = GiB(3) / 2;
+    pr.wssBytes = GiB(1);
+    pr.zipfS = 0.4;
+    pr.accessesPerSec = 2.5e6;
+    pr.workSeconds = 150.0;
+    auto &pagerank = vm3.addGuestProcess(
+        "pagerank", std::make_unique<workload::StreamWorkload>(
+                        "pagerank", pr, Rng(23)));
+
+    vs.run(sec(200));
+
+    auto kops = [&](virt::VirtualMachine &vm, double active_secs) {
+        auto &p = *vm.guest().processes()[0];
+        return static_cast<double>(p.opsCompleted()) / active_secs /
+               1e3;
+    };
+    Out out;
+    out.redisKops = kops(vm1, 200.0);
+    out.mongoKops = kops(vm2, 140.0); // active after its 60s wait
+    out.pagerankSec =
+        pagerank.finished()
+            ? static_cast<double>(pagerank.runtime()) / 1e9
+            : 999.0;
+    out.hostSwapOuts = vs.host().swap().totalSwappedOut();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Figure 11: overcommitted host (1.5x) — HawkEye "
+           "pre-zeroing + KSM vs ballooning (scaled)",
+           "HawkEye (ASPLOS'19), Figure 11");
+
+    const Out none = run("none");
+    const Out balloon = run("balloon");
+    const Out hawkeye = run("hawkeye");
+
+    printRow({"Metric", "NoBalloon", "Balloon", "HawkEye+KSM"}, 16);
+    printRow({"Redis Kops/s", fmt(none.redisKops, 1),
+              fmt(balloon.redisKops, 1), fmt(hawkeye.redisKops, 1)},
+             16);
+    printRow({"Mongo Kops/s", fmt(none.mongoKops, 1),
+              fmt(balloon.mongoKops, 1), fmt(hawkeye.mongoKops, 1)},
+             16);
+    printRow({"PageRank (s)", fmt(none.pagerankSec, 0),
+              fmt(balloon.pagerankSec, 0),
+              fmt(hawkeye.pagerankSec, 0)},
+             16);
+    printRow({"Host swap-outs", fmtInt(none.hostSwapOuts),
+              fmtInt(balloon.hostSwapOuts),
+              fmtInt(hawkeye.hostSwapOuts)},
+             16);
+    std::printf("\nNormalized throughput vs no-balloon:\n");
+    printRow({"Redis", "1.00",
+              fmt(balloon.redisKops / none.redisKops, 2),
+              fmt(hawkeye.redisKops / none.redisKops, 2)},
+             16);
+    printRow({"Mongo", "1.00",
+              fmt(balloon.mongoKops / none.mongoKops, 2),
+              fmt(hawkeye.mongoKops / none.mongoKops, 2)},
+             16);
+    std::printf(
+        "\nExpected shape (paper): HawkEye's fully-virtual sharing "
+        "path gets ~2.3x (Redis) and ~1.42x (MongoDB) over the "
+        "no-balloon baseline, close to explicit ballooning; "
+        "PageRank degrades slightly from extra COW faults.\n");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 1: Redis resident-set size across three phases under Linux,
+ * Ingens and HawkEye (1/8 scale: 6GB machine, 5.6GB dataset).
+ *
+ *   P1: insert 1.4M x 4KB values (dataset ~5.6GB)
+ *   P2: delete 80% of keys at random (madvise frees -> sparse AS)
+ *   P3: insert 2MB values until the dataset is back at ~5.4GB
+ *
+ * Linux and Ingens re-promote the sparse P1 regions (khugepaged's
+ * max_ptes_none / aggressive-mode promotion), re-inflating them with
+ * kernel-zeroed pages: bloat. P3's fresh 2MB-value allocations then
+ * collide with the bloat and the store OOMs below full dataset size.
+ * HawkEye's bloat recovery detects the zero-filled baseline pages
+ * inside re-promoted huge pages, demotes and dedups them, and P3
+ * completes.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+constexpr std::uint64_t kScale = 8;
+
+struct RunResult
+{
+    std::string policy;
+    TimeSeries rss;
+    bool oom = false;
+    double oomTimeSec = 0.0;
+    double usefulGbAtEnd = 0.0;
+    double peakRssGb = 0.0;
+    bool completed = false;
+};
+
+RunResult
+run(const std::string &policy_name)
+{
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(48) / kScale;
+    cfg.seed = 42;
+    cfg.metricsPeriod = msec(500);
+    sim::System sys(cfg);
+    sys.setPolicy(makePolicy(policy_name));
+
+    workload::KvConfig kc;
+    kc.arenaBytes = GiB(13);
+    workload::KvPhase p1;
+    p1.type = workload::KvPhase::Type::kInsert;
+    p1.count = 11'000'000 / kScale; // ~5.4GB of 4KB values
+    p1.valueBytes = 4096;
+    p1.opsPerSec = 100'000;
+    workload::KvPhase p2;
+    p2.type = workload::KvPhase::Type::kDelete;
+    p2.fraction = 0.80;
+    workload::KvPhase gap;
+    gap.type = workload::KvPhase::Type::kServe; // "some time gap"
+    gap.durationSec = 150.0;
+    gap.opsPerSec = 10'000;
+    workload::KvPhase p3;
+    p3.type = workload::KvPhase::Type::kInsert;
+    p3.count = 17'000 / kScale * 1.05; // 2MB values back to ~5.4GB
+    p3.valueBytes = kHugePageSize;
+    p3.opsPerSec = 50;
+    kc.phases = {p1, p2, gap, p3};
+
+    auto &proc = sys.addProcess(
+        "redis", std::make_unique<workload::KeyValueStoreWorkload>(
+                     "redis", kc, sys.rng().fork()));
+    auto *kv = static_cast<workload::KeyValueStoreWorkload *>(
+        &proc.workload());
+    sys.runUntilAllDone(sec(700));
+
+    RunResult r;
+    r.policy = policy_name;
+    r.rss = sys.metrics().series("p1.rss_pages");
+    r.oom = proc.oomKilled();
+    r.oomTimeSec = static_cast<double>(proc.finishedAt()) / 1e9;
+    r.usefulGbAtEnd =
+        static_cast<double>(kv->liveBytes()) / (1ull << 30);
+    r.peakRssGb = r.rss.peak() * kPageSize / (1ull << 30);
+    r.completed = proc.finished() && !proc.oomKilled();
+    return r;
+}
+
+double
+rssAt(const RunResult &r, double t_sec)
+{
+    double v = 0.0;
+    for (const auto &p : r.rss.points()) {
+        if (static_cast<double>(p.time) / 1e9 > t_sec)
+            break;
+        v = p.value;
+    }
+    return v * kPageSize / (1ull << 30);
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Figure 1: Redis RSS across insert/delete/insert phases "
+           "(1/8 scale, 6GB machine)",
+           "HawkEye (ASPLOS'19), Figure 1 / Section 2.1");
+
+    std::vector<RunResult> results;
+    for (const std::string p :
+         {"Linux-2MB", "Ingens-50%", "HawkEye-G"}) {
+        results.push_back(run(p));
+    }
+
+    std::printf("\nRSS (GB) over time:\n");
+    printRow({"t(s)", results[0].policy, results[1].policy,
+              results[2].policy});
+    for (double t = 0; t <= 400.0; t += 20.0) {
+        printRow({fmt(t, 0), fmt(rssAt(results[0], t), 2),
+                  fmt(rssAt(results[1], t), 2),
+                  fmt(rssAt(results[2], t), 2)});
+    }
+
+    std::printf("\nOutcome:\n");
+    printRow({"Policy", "OOM?", "UsefulData(GB)", "PeakRSS(GB)"},
+             16);
+    for (const auto &r : results) {
+        printRow({r.policy,
+                  r.oom ? "OOM@" + fmt(r.oomTimeSec, 0) + "s"
+                        : (r.completed ? "completed" : "running"),
+                  fmt(r.usefulGbAtEnd, 2), fmt(r.peakRssGb, 2)},
+                 16);
+    }
+    std::printf(
+        "\nExpected shape (paper): Linux and Ingens hit the memory "
+        "limit (OOM) with substantial bloat (only 20GB / 28GB of 48GB "
+        "useful at full scale); HawkEye recovers bloat via zero-page "
+        "dedup and completes the full dataset.\n");
+    return 0;
+}

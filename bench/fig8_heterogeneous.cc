@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 8: a TLB-sensitive application co-running with a lightly
+ * loaded Redis server (40M keys, 10K req/s — large footprint, low
+ * access rate), launched in both orders, under each policy.
+ *
+ * Linux promotes FCFS: whoever starts first wins the huge pages.
+ * Ingens splits contiguity proportionally — which favours the
+ * *larger* (but TLB-insensitive) Redis. HawkEye allocates to the
+ * process with the highest (measured or estimated) MMU overhead,
+ * regardless of order or size.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+double
+run(const std::string &policy_name, const std::string &wl_name,
+    bool sensitive_first)
+{
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(8);
+    cfg.seed = 55;
+    sim::System sys(cfg);
+    sys.setPolicy(makePolicy(policy_name));
+    sys.fragmentMemoryMovable(1.0, 64);
+    sys.costs().promotionsPerSec = 8.0;
+
+    const workload::Scale s{12};
+    auto mkSensitive = [&]() -> std::unique_ptr<workload::Workload> {
+        if (wl_name == "Graph500")
+            return workload::makeGraph500(sys.rng().fork(), s, 120);
+        if (wl_name == "XSBench")
+            return workload::makeXSBench(sys.rng().fork(), s, 120);
+        return workload::makeNpb("cg", sys.rng().fork(), s, 120);
+    };
+    sim::Process *sensitive = nullptr;
+    if (sensitive_first) {
+        sensitive = &sys.addProcess(wl_name, mkSensitive());
+        sys.addProcess("redis", workload::makeRedisLight(
+                                    sys.rng().fork(), s, 1e6));
+    } else {
+        sys.addProcess("redis", workload::makeRedisLight(
+                                    sys.rng().fork(), s, 1e6));
+        sensitive = &sys.addProcess(wl_name, mkSensitive());
+    }
+    sys.runUntilAllDone(sec(1200));
+    return static_cast<double>(sensitive->runtime()) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Figure 8: TLB-sensitive apps vs a lightly loaded Redis, "
+           "both launch orders (1/12 scale)",
+           "HawkEye (ASPLOS'19), Figure 8");
+
+    for (const std::string wl : {"Graph500", "cg.D"}) {
+        const double base_b = run("Linux-4KB", wl, true);
+        const double base_a = run("Linux-4KB", wl, false);
+        std::printf("\n%s speedup over baseline pages "
+                    "(Before = %s launched first):\n",
+                    wl.c_str(), wl.c_str());
+        printRow({"Policy", "Before", "After"}, 16);
+        // HawkEye-PMU tracks HawkEye-G closely here (single sensitive
+        // process); we run the G variant to keep the sweep fast.
+        for (const std::string pol :
+             {"Linux-2MB", "Ingens-90%", "HawkEye-G"}) {
+            const double before = run(pol, wl, true);
+            const double after = run(pol, wl, false);
+            printRow({pol, fmt(base_b / before, 3),
+                      fmt(base_a / after, 3)},
+                     16);
+        }
+    }
+    std::printf(
+        "\nExpected shape (paper): Linux helps the sensitive app only "
+        "in the (Before) order — in (After) it wastes huge pages on "
+        "Redis. Ingens favours Redis in both orders (proportional "
+        "share + uniform Redis accesses). HawkEye delivers 15-60%% "
+        "regardless of order.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 9 + Table 6: virtualized performance when HawkEye runs at
+ * the host, the guest, or both layers, versus Linux at both.
+ *
+ * Table 6's structure, scaled: in every configuration a policy must
+ * arbitrate huge pages between a TLB-insensitive Redis and the
+ * TLB-sensitive application:
+ *   - host:  two VMs (VM-1 Redis, VM-2 app); the *host* policy picks
+ *     which VM's EPT backing gets huge pages (Redis's VM is created
+ *     first, so Linux's FCFS khugepaged serves it first);
+ *   - guest: one VM running Redis + app; the *guest* policy
+ *     arbitrates between the processes;
+ *   - both:  two VMs, with Redis in VM-1 and both in VM-2, HawkEye
+ *     at both layers.
+ */
+
+#include "bench_common.hh"
+#include "virt/vm.hh"
+
+using namespace bench;
+
+namespace {
+
+std::unique_ptr<workload::Workload>
+makeApp(const std::string &wl_name, std::uint64_t seed)
+{
+    // Scale 1/4 keeps the footprint above the 2MB-TLB reach (1024 x
+    // 2MB), so host-level (EPT) page sizes still matter once the
+    // guest has promoted -- as at the paper's full scale.
+    if (wl_name == "Graph500")
+        return workload::makeGraph500(Rng(seed), workload::Scale{4},
+                                      90);
+    return workload::makeNpb("cg", Rng(seed), workload::Scale{6},
+                             90);
+}
+
+double
+run(const std::string &config, const std::string &wl_name)
+{
+    const bool he_host =
+        config == "HawkEye-host" || config == "HawkEye-both";
+    const bool he_guest =
+        config == "HawkEye-guest" || config == "HawkEye-both";
+    const bool single_vm = config == "HawkEye-guest" ||
+                           config == "Linux/Linux-1VM";
+
+    sim::SystemConfig host_cfg;
+    host_cfg.memoryBytes = GiB(12);
+    host_cfg.seed = 13;
+    virt::VirtualSystem vs(host_cfg,
+                           makePolicy(he_host ? "HawkEye-G"
+                                              : "Linux-2MB"));
+    vs.host().fragmentMemoryMovable(1.0, 48);
+    vs.host().costs().promotionsPerSec = 10.0;
+
+    auto guestPol = [&]() {
+        return makePolicy(he_guest ? "HawkEye-G" : "Linux-2MB");
+    };
+    const workload::Scale s{16};
+
+    sim::Process *app = nullptr;
+    if (single_vm) {
+        // One VM runs both; the guest policy arbitrates.
+        virt::VmOptions opts;
+        opts.guestMemBytes = GiB(8);
+        opts.seed = 1;
+        auto &vm = vs.addVm("vm", opts, guestPol());
+        vm.guest().fragmentMemoryMovable(1.0, 48);
+        vm.guest().costs().promotionsPerSec = 10.0;
+        vm.addGuestProcess("redis", workload::makeRedisLight(
+                                        Rng(2), s, 1e6));
+        app = &vm.addGuestProcess(wl_name, makeApp(wl_name, 3));
+    } else {
+        // Two VMs; the host policy arbitrates (Redis VM first, so
+        // Linux's FCFS favours it).
+        virt::VmOptions ropts;
+        ropts.guestMemBytes = GiB(3);
+        ropts.seed = 1;
+        auto &vm1 = vs.addVm("vm-redis", ropts, guestPol());
+        vm1.addGuestProcess("redis", workload::makeRedisLight(
+                                         Rng(2), s, 1e6));
+        virt::VmOptions aopts;
+        aopts.guestMemBytes = GiB(4);
+        aopts.seed = 2;
+        auto &vm2 = vs.addVm("vm-app", aopts, guestPol());
+        vm2.guest().fragmentMemoryMovable(1.0, 48);
+        vm2.guest().costs().promotionsPerSec = 10.0;
+        app = &vm2.addGuestProcess(wl_name, makeApp(wl_name, 3));
+    }
+    vs.runUntilGuestsDone(sec(2000));
+    return static_cast<double>(app->runtime()) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Figure 9 / Table 6: HawkEye at host, guest and both "
+           "layers (scaled)",
+           "HawkEye (ASPLOS'19), Figure 9 and Table 6");
+
+    printRow({"Workload", "Config", "Time(s)", "SpeedupVsLinux"},
+             18);
+    for (const std::string wl : {"Graph500", "cg.D"}) {
+        const double base2 = run("Linux/Linux", wl);
+        const double base1 = run("Linux/Linux-1VM", wl);
+        printRow({wl, "Linux/Linux", fmt(base2, 0), "1.000"}, 18);
+        const struct
+        {
+            const char *label;
+            double base;
+        } configs[] = {
+            {"HawkEye-host", base2},
+            {"HawkEye-guest", base1},
+            {"HawkEye-both", base2},
+        };
+        for (const auto &c : configs) {
+            const double t = run(c.label, wl);
+            printRow({wl, c.label, fmt(t, 0), fmt(c.base / t, 3)},
+                     18);
+        }
+    }
+    std::printf(
+        "\nSpeedups compare each configuration against Linux at both "
+        "layers with the same VM topology.\n"
+        "Expected shape (paper): every HawkEye placement beats "
+        "Linux/Linux (18-90%% across workloads/configs); gains can "
+        "exceed bare-metal ones because nested walks amplify MMU "
+        "overheads.\n");
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate data structures:
+ * buddy allocation, page-table surgery, TLB simulation, zero
+ * scanning and access_map updates. These guard against performance
+ * regressions in the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    mem::BuddyAllocator buddy(1 << 20);
+    const auto order = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto blk = buddy.alloc(order, mem::ZeroPref::kAny);
+        benchmark::DoNotOptimize(blk);
+        buddy.free(blk->pfn, blk->order, blk->zeroed);
+    }
+}
+BENCHMARK(BM_BuddyAllocFree)->Arg(0)->Arg(9);
+
+void
+BM_BuddyFragmentedAlloc(benchmark::State &state)
+{
+    mem::BuddyAllocator buddy(1 << 18);
+    Rng rng(1);
+    // Dice the memory into a random mix of held blocks.
+    std::vector<mem::BuddyBlock> held;
+    for (int i = 0; i < 20000; i++) {
+        auto blk = buddy.alloc(static_cast<unsigned>(rng.below(4)),
+                               mem::ZeroPref::kAny);
+        if (blk)
+            held.push_back(*blk);
+    }
+    for (std::size_t i = 0; i < held.size(); i += 2)
+        buddy.free(held[i].pfn, held[i].order, false);
+    for (auto _ : state) {
+        auto blk = buddy.alloc(0, mem::ZeroPref::kPreferZero);
+        benchmark::DoNotOptimize(blk);
+        if (blk)
+            buddy.free(blk->pfn, 0, false);
+    }
+}
+BENCHMARK(BM_BuddyFragmentedAlloc);
+
+void
+BM_PageTableMapUnmap(benchmark::State &state)
+{
+    vm::PageTable pt;
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        pt.mapBase(vpn, vpn);
+        pt.unmapBase(vpn);
+        vpn = (vpn + 4097) & ((1ull << 30) - 1);
+    }
+}
+BENCHMARK(BM_PageTableMapUnmap);
+
+void
+BM_PageTableLookup(benchmark::State &state)
+{
+    vm::PageTable pt;
+    for (Vpn v = 0; v < (1 << 16); v++)
+        pt.mapBase(v, v);
+    Rng rng(2);
+    for (auto _ : state) {
+        auto t = pt.lookup(rng.below(1 << 16));
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_PageTableLookup);
+
+void
+BM_PromoteDemote(benchmark::State &state)
+{
+    vm::PageTable pt;
+    for (Vpn v = 0; v < 512; v++)
+        pt.mapBase(v, v);
+    for (auto _ : state) {
+        pt.promote(0, 0);
+        pt.demote(0);
+    }
+}
+BENCHMARK(BM_PromoteDemote);
+
+void
+BM_TlbSimulate(benchmark::State &state)
+{
+    vm::PageTable pt;
+    const std::uint64_t pages = 1 << 18;
+    for (Vpn v = 0; v < pages; v++)
+        pt.mapBase(v, v);
+    tlb::TlbModel model;
+    Rng rng(3);
+    std::vector<tlb::AccessSample> batch;
+    for (int i = 0; i < 512; i++)
+        batch.push_back({rng.below(pages), false});
+    for (auto _ : state) {
+        auto res = model.simulate(pt, batch, 0.0, 100.0);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_TlbSimulate);
+
+void
+BM_ZeroScan(benchmark::State &state)
+{
+    mem::ContentGenerator gen(Rng(4));
+    std::vector<mem::PageContent> pages;
+    for (int i = 0; i < 512; i++)
+        pages.push_back(i % 4 ? gen.data() : mem::PageContent::zero());
+    for (auto _ : state) {
+        std::uint64_t bytes = 0;
+        for (const auto &c : pages)
+            bytes += mem::zeroScanCostBytes(c);
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_ZeroScan);
+
+void
+BM_AccessMapUpdate(benchmark::State &state)
+{
+    core::AccessMap map;
+    Rng rng(5);
+    for (auto _ : state) {
+        map.update(rng.below(4096),
+                   static_cast<double>(rng.below(513)));
+    }
+}
+BENCHMARK(BM_AccessMapUpdate);
+
+void
+BM_SystemTick(benchmark::State &state)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(512);
+    cfg.metricsPeriod = 0;
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(128);
+    wc.workSeconds = 1e9;
+    sys.addProcess("w", std::make_unique<workload::StreamWorkload>(
+                            "w", wc, Rng(6)));
+    sys.run(sec(1)); // warm up / finish init
+    for (auto _ : state)
+        sys.tick();
+}
+BENCHMARK(BM_SystemTick);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Table 7: Redis memory consumption and throughput after populating
+ * 8M (10B,4KB) pairs and deleting 60% of keys at random (1/8 scale).
+ *
+ * Linux-2MB keeps the bloat (huge mappings re-inflated by
+ * khugepaged); Ingens-90% avoids it but pays base-page overheads;
+ * Ingens-50% behaves like Linux; HawkEye is self-tuning: full
+ * huge-page throughput with no memory pressure, and recovered memory
+ * under pressure.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+constexpr std::uint64_t kScale = 8;
+
+struct Out
+{
+    double memGb;
+    double throughputKops;
+};
+
+Out
+run(const std::string &policy_name, bool memory_pressure)
+{
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(48) / kScale;
+    cfg.seed = 9;
+    sim::System sys(cfg);
+    if (policy_name == "HawkEye") {
+        sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
+    } else if (policy_name == "Ingens-90%" ||
+               policy_name == "Ingens-50%") {
+        // Table 7 studies the utilization threshold itself, so the
+        // Ingens variants run with fixed (non-FMFI-adaptive)
+        // thresholds, as the paper's text describes.
+        policy::IngensConfig ic;
+        ic.utilThreshold =
+            policy_name == "Ingens-90%" ? 0.90 : 0.50;
+        ic.alwaysConservative = true;
+        sys.setPolicy(std::make_unique<policy::IngensPolicy>(ic));
+    } else {
+        sys.setPolicy(makePolicy(policy_name));
+    }
+
+    workload::KvConfig kc;
+    kc.arenaBytes = GiB(8);
+    workload::KvPhase load;
+    load.type = workload::KvPhase::Type::kInsert;
+    load.count = 8'000'000 / kScale;
+    load.valueBytes = 4096;
+    load.opsPerSec = 100'000;
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.60;
+    del.clusterRun = 64; // extent-style expiry (see KvPhase docs)
+    workload::KvPhase serve;
+    serve.type = workload::KvPhase::Type::kServe;
+    serve.durationSec = 1000.0; // still serving when we measure
+    serve.opsPerSec = 120'000;
+    kc.phases = {load, del, serve};
+    auto &proc = sys.addProcess(
+        "redis", std::make_unique<workload::KeyValueStoreWorkload>(
+                     "redis", kc, sys.rng().fork()));
+
+    // Let the store load, delete and khugepaged/recovery react.
+    sys.run(sec(100));
+    if (memory_pressure) {
+        // A second allocation consumes free memory, pushing the
+        // system over HawkEye's high watermark.
+        workload::StreamConfig wc;
+        wc.footprintBytes = GiB(15) / 8; // fits: pressure, not OOM
+        wc.workSeconds = 1e9;
+        wc.accessesPerSec = 1e5;
+        sys.addProcess("hog",
+                       std::make_unique<workload::StreamWorkload>(
+                           "hog", wc, sys.rng().fork()));
+    }
+    // Measure steady-state throughput over the serve window.
+    proc.windowOps();
+    const TimeNs t0 = sys.now();
+    sys.run(sec(60));
+    const double ops = static_cast<double>(proc.windowOps());
+    const double secs =
+        static_cast<double>(sys.now() - t0) / 1e9;
+
+    Out out;
+    out.memGb = static_cast<double>(proc.space().rssPages()) *
+                kPageSize / (1ull << 30);
+    out.throughputKops = ops / secs / 1e3;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Table 7: Redis memory vs throughput under bloat "
+           "(1/8 scale)",
+           "HawkEye (ASPLOS'19), Table 7");
+
+    printRow({"Kernel", "SelfTuning", "Memory(GB)", "Kops/s"}, 26);
+    struct Row
+    {
+        const char *policy;
+        const char *label;
+        bool pressure;
+        const char *selfTuning;
+    };
+    const Row rows[] = {
+        {"Linux-4KB", "Linux-4KB", false, "No"},
+        {"Linux-2MB", "Linux-2MB", false, "No"},
+        {"Ingens-90%", "Ingens-90%", false, "No"},
+        {"Ingens-50%", "Ingens-50%", false, "No"},
+        {"HawkEye", "HawkEye (no pressure)", false, "Yes"},
+        {"HawkEye", "HawkEye (mem pressure)", true, "Yes"},
+    };
+    for (const Row &row : rows) {
+        const Out o = run(row.policy, row.pressure);
+        printRow({row.label, row.selfTuning, fmt(o.memGb, 2),
+                  fmt(o.throughputKops, 1)},
+                 26);
+    }
+    std::printf(
+        "\nExpected shape (paper): Linux-2MB and Ingens-50%% keep "
+        "~2x the memory of Linux-4KB/Ingens-90%% for ~7%% more "
+        "throughput; HawkEye matches the fast configs without "
+        "pressure and sheds the bloat (memory drops to the 4KB "
+        "level) under pressure.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Table 8: performance of fault-dominated workloads — Redis bulk
+ * inserts of 2MB values, SparseHash growth, HACC-IO, JVM and KVM
+ * spin-up — with and without async pre-zeroing (1/8 scale).
+ *
+ * These workloads have high spatial locality of faults, so huge
+ * pages cut fault counts ~512x; pre-zeroing removes the remaining
+ * synchronous zeroing cost. Ingens' utilization-threshold promotion
+ * is counter-productive here (it keeps the full base-page fault
+ * count).
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+std::unique_ptr<policy::HugePagePolicy>
+policyFor(const std::string &config)
+{
+    if (config == "HawkEye-4KB") {
+        core::HawkEyeConfig c;
+        c.faultHuge = false;
+        return std::make_unique<core::HawkEyePolicy>(c);
+    }
+    if (config == "HawkEye-2MB")
+        return std::make_unique<core::HawkEyePolicy>();
+    return makePolicy(config);
+}
+
+/** Returns runtime in seconds (or ops/s for the Redis row). */
+double
+run(const std::string &config, const std::string &wl_name)
+{
+    const workload::Scale s{8};
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(96) / s.div;
+    cfg.seed = 3;
+    sim::System sys(cfg);
+    sys.setPolicy(policyFor(config));
+
+    sim::Process *proc = nullptr;
+    if (wl_name == "Redis") {
+        // 45GB of 2MB-value inserts (paper: throughput; we report
+        // inserts/s over the load).
+        workload::KvConfig kc;
+        kc.arenaBytes = GiB(7);
+        workload::KvPhase load;
+        load.type = workload::KvPhase::Type::kInsert;
+        load.count = GiB(45) / s.div / kHugePageSize;
+        load.valueBytes = kHugePageSize;
+        load.opsPerSec = 3'000;
+        kc.phases = {load};
+        proc = &sys.addProcess(
+            "redis",
+            std::make_unique<workload::KeyValueStoreWorkload>(
+                "redis", kc, sys.rng().fork()));
+    } else if (wl_name == "SparseHash") {
+        proc = &sys.addProcess(
+            "sparsehash",
+            workload::makeSparseHash(sys.rng().fork(), s));
+    } else if (wl_name == "HACC-IO") {
+        proc = &sys.addProcess(
+            "hacc-io", workload::makeHaccIo(sys.rng().fork(), s));
+    } else if (wl_name == "JVM") {
+        proc = &sys.addProcess(
+            "jvm", workload::makeSpinUp("jvm-spinup",
+                                        GiB(36) / s.div,
+                                        sys.rng().fork()));
+    } else {
+        proc = &sys.addProcess(
+            "kvm", workload::makeSpinUp("kvm-spinup",
+                                        GiB(36) / s.div,
+                                        sys.rng().fork()));
+    }
+    sys.runUntilAllDone(sec(4000));
+    const double runtime =
+        static_cast<double>(proc->runtime()) / 1e9;
+    if (wl_name == "Redis") {
+        return static_cast<double>(proc->opsCompleted()) / runtime /
+               1e3; // Kops/s
+    }
+    return runtime;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Table 8: async pre-zeroing on fault-dominated workloads "
+           "(1/8 scale)",
+           "HawkEye (ASPLOS'19), Table 8");
+
+    const std::vector<std::string> configs = {
+        "Linux-4KB", "Linux-2MB", "Ingens-90%", "HawkEye-4KB",
+        "HawkEye-2MB"};
+    printRow({"Workload", "Lx-4KB", "Lx-2MB", "Ingens90",
+              "HE-4KB", "HE-2MB"},
+             12);
+    for (const std::string wl :
+         {"Redis", "SparseHash", "HACC-IO", "JVM", "KVM"}) {
+        std::vector<std::string> row = {wl};
+        for (const auto &cfg : configs)
+            row.push_back(fmt(run(cfg, wl), 2));
+        printRow(row, 12);
+    }
+    std::printf(
+        "\nRedis row: insert throughput in Kops/s (higher is "
+        "better); all other rows: completion time in seconds (lower "
+        "is better).\n"
+        "Expected shape (paper): HawkEye-2MB wins everywhere (Redis "
+        "1.26x, SparseHash 1.62x over Linux-2MB; VM spin-up ~13-14x "
+        "over Linux-2MB at full scale); Ingens is the slowest "
+        "because utilization-threshold promotion keeps the full "
+        "base-page fault count.\n");
+    return 0;
+}

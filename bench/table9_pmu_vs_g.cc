@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 9: HawkEye-PMU vs HawkEye-G on workload pairs where access
+ * coverage and *measured* MMU overhead diverge.
+ *
+ * Each set pairs a TLB-sensitive workload (random gather) with a
+ * TLB-insensitive one (sequential streaming) that nevertheless has
+ * full access coverage. HawkEye-G's estimate treats both the same
+ * and splits huge pages between them; HawkEye-PMU reads the
+ * performance counters, sees that the sequential workload's walks
+ * are overlap-hidden, and gives everything to the workload that
+ * actually suffers.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+struct PairOut
+{
+    double t1, t2; //!< runtimes (s)
+    double mmu1, mmu2;
+};
+
+PairOut
+run(const std::string &policy_name, const std::string &set)
+{
+    sim::SystemConfig cfg;
+    // Enough headroom that contiguity can be compacted into
+    // existence while both workloads are resident.
+    cfg.memoryBytes = set == "random+sequential" ? GiB(6) : GiB(9);
+    cfg.seed = 21;
+    sim::System sys(cfg);
+    sys.setPolicy(makePolicy(policy_name));
+    sys.fragmentMemoryMovable(1.0, 48);
+    sys.costs().promotionsPerSec = 4.0;
+
+    const workload::Scale s{4};
+    sim::Process *p1 = nullptr;
+    sim::Process *p2 = nullptr;
+    if (set == "random+sequential") {
+        p1 = &sys.addProcess(
+            "random", workload::makeRandom(sys.rng().fork(), s, 120));
+        p2 = &sys.addProcess(
+            "sequential",
+            workload::makeSequential(sys.rng().fork(), s, 120));
+    } else {
+        p1 = &sys.addProcess(
+            "cg.D", workload::makeNpb("cg", sys.rng().fork(),
+                                      workload::Scale{8}, 120));
+        p2 = &sys.addProcess(
+            "mg.D", workload::makeNpb("mg", sys.rng().fork(),
+                                      workload::Scale{8}, 120));
+    }
+    sys.runUntilAllDone(sec(1200));
+    return {static_cast<double>(p1->runtime()) / 1e9,
+            static_cast<double>(p2->runtime()) / 1e9,
+            p1->mmuOverheadPct(), p2->mmuOverheadPct()};
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Table 9: HawkEye-PMU vs HawkEye-G (measured vs estimated "
+           "MMU overheads)",
+           "HawkEye (ASPLOS'19), Table 9");
+
+    for (const std::string set :
+         {"random+sequential", "cg.D+mg.D"}) {
+        const PairOut base = run("Linux-4KB", set);
+        const std::string n1 =
+            set == "random+sequential" ? "random" : "cg.D";
+        const std::string n2 =
+            set == "random+sequential" ? "sequential" : "mg.D";
+        std::printf("\nSet: %s  (4KB overheads: %s %.0f%%, %s "
+                    "%.1f%%)\n",
+                    set.c_str(), n1.c_str(), base.mmu1, n2.c_str(),
+                    base.mmu2);
+        printRow({"Config", n1 + "(s)", n2 + "(s)", "Total(s)",
+                  "TotalSpeedup"},
+                 16);
+        printRow({"Linux-4KB", fmt(base.t1, 0), fmt(base.t2, 0),
+                  fmt(base.t1 + base.t2, 0), "1.000"},
+                 16);
+        for (const std::string pol : {"HawkEye-PMU", "HawkEye-G"}) {
+            const PairOut r = run(pol, set);
+            printRow({pol, fmt(r.t1, 0), fmt(r.t2, 0),
+                      fmt(r.t1 + r.t2, 0),
+                      fmt((base.t1 + base.t2) / (r.t1 + r.t2), 3)},
+                     16);
+        }
+    }
+    std::printf(
+        "\nExpected shape (paper): both variants leave the "
+        "TLB-insensitive workload's runtime unchanged; HawkEye-PMU "
+        "speeds the sensitive one up more than HawkEye-G (1.77x vs "
+        "1.41x for random; 1.62x vs 1.35x for cg.D) because the "
+        "estimator cannot tell overlap-hidden walks from real "
+        "stalls.\n");
+    return 0;
+}

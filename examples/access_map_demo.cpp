@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Visualize HawkEye's access_map (the paper's Figure 4): three
+ * processes with different hot-region layouts, sampled by the
+ * access-bit tracker, bucketed by access coverage — then drained in
+ * HawkEye-G's promotion order.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+int
+main()
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(2);
+    cfg.seed = 4;
+    sim::System sys(cfg);
+    core::HawkEyeConfig hcfg;
+    hcfg.faultHuge = false;     // keep regions promotable
+    hcfg.samplePeriod = sec(5); // sample quickly for the demo
+    auto pol = std::make_unique<core::HawkEyePolicy>(hcfg);
+    core::HawkEyePolicy *hawkeye = pol.get();
+    sys.setPolicy(std::move(pol));
+    sys.costs().promotionsPerSec = 0.0; // only observe, don't drain
+
+    // Three processes with distinct coverage signatures (Fig. 4's
+    // A, B, C): A touches few dense regions, B several mid-coverage
+    // regions, C a spread of hot and warm regions.
+    struct Spec
+    {
+        const char *name;
+        unsigned coverage;
+        std::uint64_t footprint;
+    };
+    const std::vector<Spec> specs = {
+        {"A", 500, MiB(64)},
+        {"B", 300, MiB(96)},
+        {"C", 420, MiB(128)},
+    };
+    for (const auto &s : specs) {
+        workload::StreamConfig wc;
+        wc.footprintBytes = s.footprint;
+        wc.coveragePages = s.coverage;
+        wc.accessesPerSec = 3e6;
+        wc.workSeconds = 1e9;
+        wc.touchesPerChunk = 8192;
+        sys.addProcess(s.name,
+                       std::make_unique<workload::StreamWorkload>(
+                           s.name, wc, sys.rng().fork()));
+    }
+
+    sys.run(sec(12)); // two sampling periods
+
+    for (auto &proc : sys.processes()) {
+        const core::AccessMap *map =
+            hawkeye->accessMap(proc->pid());
+        std::printf("\naccess_map of process %s:\n",
+                    proc->name().c_str());
+        for (int b = core::AccessMap::kBuckets - 1; b >= 0; b--) {
+            std::printf("  bucket %d (coverage %3d-%3d): %zu regions\n",
+                        b, b * 512 / 10, (b + 1) * 512 / 10 - 1,
+                        map->bucketSize(static_cast<unsigned>(b)));
+        }
+    }
+
+    std::printf("\nHawkEye-G drains the globally highest bucket "
+                "round-robin across processes (cf. Fig. 4's order "
+                "A1,B1,C1,C2,...):\n  ");
+    // Reproduce the drain order without promoting: pop from copies.
+    std::vector<std::pair<std::string, core::AccessMap>> maps;
+    for (auto &proc : sys.processes())
+        maps.emplace_back(proc->name(),
+                          *hawkeye->accessMap(proc->pid()));
+    std::size_t rr = 0;
+    for (int printed = 0; printed < 12;) {
+        int top = -1;
+        for (auto &[name, map] : maps)
+            top = std::max(top, map.topBucket());
+        if (top < 0)
+            break;
+        std::vector<std::size_t> tied;
+        for (std::size_t i = 0; i < maps.size(); i++) {
+            if (maps[i].second.topBucket() == top)
+                tied.push_back(i);
+        }
+        auto &[name, map] = maps[tied[rr++ % tied.size()]];
+        map.popTop();
+        std::printf("%s ", name.c_str());
+        printed++;
+    }
+    std::printf("...\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Watch HawkEye's bloat recovery in action: a key-value store
+ * inserts, deletes most of its keys, cold regions get re-promoted
+ * into bloat, memory pressure rises, and the recovery thread dedups
+ * the zero-filled pages back to the canonical zero page.
+ */
+
+#include <cstdio>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+int
+main()
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = GiB(2);
+    cfg.seed = 11;
+    sim::System sys(cfg);
+    auto pol = std::make_unique<core::HawkEyePolicy>();
+    core::HawkEyePolicy *hawkeye = pol.get();
+    sys.setPolicy(std::move(pol));
+
+    workload::KvConfig kc;
+    kc.arenaBytes = GiB(4);
+    workload::KvPhase load;
+    load.type = workload::KvPhase::Type::kInsert;
+    load.count = 420'000; // ~1.7GB of the 2GB machine
+    load.opsPerSec = 150'000;
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.7;
+    workload::KvPhase serve;
+    serve.type = workload::KvPhase::Type::kServe;
+    serve.durationSec = 300.0;
+    serve.opsPerSec = 20'000;
+    kc.phases = {load, del, serve};
+    auto &proc = sys.addProcess(
+        "kvstore", std::make_unique<workload::KeyValueStoreWorkload>(
+                       "kvstore", kc, sys.rng().fork()));
+
+    std::printf("%6s %10s %10s %10s %12s %12s\n", "t(s)", "rss(MB)",
+                "used(%)", "huge", "demoted", "deduped");
+    for (int step = 0; step < 30; step++) {
+        sys.run(sec(10));
+        const auto &st = hawkeye->bloatRecovery().stats();
+        std::printf("%6ld %10.0f %10.1f %10llu %12llu %12llu\n",
+                    sys.now() / 1'000'000'000,
+                    static_cast<double>(proc.space().rssPages()) *
+                        kPageSize / (1 << 20),
+                    sys.phys().usedFraction() * 100.0,
+                    static_cast<unsigned long long>(
+                        proc.space().pageTable().mappedHugePages()),
+                    static_cast<unsigned long long>(st.hugeDemoted),
+                    static_cast<unsigned long long>(st.pagesDeduped));
+        if (proc.finished())
+            break;
+    }
+    std::printf(
+        "\nWatch for: RSS drops at the delete; khugepaged-style "
+        "promotion re-inflates cold sparse regions (bloat); once "
+        "used%% crosses the high watermark, demoted/deduped counters "
+        "rise and RSS falls back without the application doing "
+        "anything.\n");
+    return 0;
+}

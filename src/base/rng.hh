@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic random-number utilities.
+ *
+ * All stochastic behaviour in the simulator flows through seeded Rng
+ * instances so that every experiment is reproducible bit-for-bit.
+ * The core generator is SplitMix64 feeding xoshiro256**, both public
+ * domain algorithms, re-implemented here to avoid libstdc++
+ * distribution variance across versions.
+ */
+
+#ifndef HAWKSIM_BASE_RNG_HH
+#define HAWKSIM_BASE_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace hawksim {
+
+/** A small, fast, seedable PRNG with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to fill the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value (xoshiro256**). */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        HS_ASSERT(bound > 0, "Rng::below(0)");
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        HS_ASSERT(lo <= hi, "Rng::range lo>hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Approximately Zipfian rank draw in [0, n) with exponent s,
+     * using the inverse-CDF of a continuous power law. Good enough to
+     * model skewed hot/cold page popularity.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        HS_ASSERT(n > 0, "Rng::zipf(0)");
+        if (s <= 0.0)
+            return below(n);
+        const double u = uniform();
+        const double one_minus_s = 1.0 - s;
+        double v;
+        if (std::fabs(one_minus_s) < 1e-9) {
+            v = std::pow(static_cast<double>(n), u);
+        } else {
+            const double max_term =
+                std::pow(static_cast<double>(n), one_minus_s);
+            v = std::pow(u * (max_term - 1.0) + 1.0, 1.0 / one_minus_s);
+        }
+        auto idx = static_cast<std::uint64_t>(v) - 0;
+        if (idx >= n)
+            idx = n - 1;
+        return idx;
+    }
+
+    /** Fork a child generator with a decorrelated seed. */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd2b74407b1ce6e93ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace hawksim
+
+#endif // HAWKSIM_BASE_RNG_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental integer types and page-size constants used across HawkSim.
+ *
+ * The simulator models an x86-64-like machine with 4KB base pages and
+ * 2MB huge pages. Physical memory is addressed in 4KB frame numbers
+ * (Pfn); virtual memory in byte addresses (Addr) or 4KB page numbers
+ * (Vpn). Simulated time is kept in integer nanoseconds.
+ */
+
+#ifndef HAWKSIM_BASE_TYPES_HH
+#define HAWKSIM_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hawksim {
+
+/** A virtual byte address. */
+using Addr = std::uint64_t;
+/** A virtual page number (Addr >> 12). */
+using Vpn = std::uint64_t;
+/** A physical frame number (4KB granularity). */
+using Pfn = std::uint64_t;
+/** CPU cycles. */
+using Cycles = std::uint64_t;
+/** Simulated time in nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** Base (4KB) page geometry. */
+constexpr std::uint64_t kPageShift = 12;
+constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+/** Huge (2MB) page geometry. */
+constexpr std::uint64_t kHugePageShift = 21;
+constexpr std::uint64_t kHugePageSize = 1ull << kHugePageShift;
+/** Number of base pages per huge page. */
+constexpr std::uint64_t kPagesPerHuge = kHugePageSize / kPageSize;
+/** Buddy order of a huge page (2^9 base pages). */
+constexpr unsigned kHugePageOrder = 9;
+
+/** Time unit helpers (all return nanoseconds). */
+constexpr TimeNs nsec(std::int64_t v) { return v; }
+constexpr TimeNs usec(std::int64_t v) { return v * 1000; }
+constexpr TimeNs msec(std::int64_t v) { return v * 1000 * 1000; }
+constexpr TimeNs sec(std::int64_t v) { return v * 1000 * 1000 * 1000; }
+
+/** Size helpers. */
+constexpr std::uint64_t KiB(std::uint64_t v) { return v << 10; }
+constexpr std::uint64_t MiB(std::uint64_t v) { return v << 20; }
+constexpr std::uint64_t GiB(std::uint64_t v) { return v << 30; }
+
+/** Round an address down/up to a base-page boundary. */
+constexpr Addr pageAlignDown(Addr a) { return a & ~(kPageSize - 1); }
+constexpr Addr pageAlignUp(Addr a) { return pageAlignDown(a + kPageSize - 1); }
+/** Round an address down/up to a huge-page boundary. */
+constexpr Addr hugeAlignDown(Addr a) { return a & ~(kHugePageSize - 1); }
+constexpr Addr
+hugeAlignUp(Addr a)
+{
+    return hugeAlignDown(a + kHugePageSize - 1);
+}
+
+/** Convert between byte addresses and page numbers. */
+constexpr Vpn addrToVpn(Addr a) { return a >> kPageShift; }
+constexpr Addr vpnToAddr(Vpn v) { return v << kPageShift; }
+/** Huge-page-region index of a virtual page. */
+constexpr std::uint64_t vpnToHugeRegion(Vpn v) { return v >> 9; }
+
+/** An invalid frame number sentinel. */
+constexpr Pfn kInvalidPfn = ~0ull;
+
+} // namespace hawksim
+
+#endif // HAWKSIM_BASE_TYPES_HH

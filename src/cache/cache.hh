@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Last-level cache and memory-bandwidth model for the async
+ * pre-zeroing interference study (Fig. 10).
+ *
+ * The question §3.1 answers: does a background thread zeroing pages
+ * at ~1GB/s wreck co-running workloads? With regular (caching) stores
+ * the zeroing stream allocates lines and evicts the workload's data
+ * ("double cache miss"); with non-temporal stores it bypasses the
+ * cache and only competes for memory bandwidth. We model a shared,
+ * set-associative LLC with LRU and an interleaved two-stream access
+ * pattern, and convert extra misses plus bandwidth contention into a
+ * slowdown.
+ */
+
+#ifndef HAWKSIM_CACHE_CACHE_HH
+#define HAWKSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace hawksim::cache {
+
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 30ull << 20; //!< Haswell-EP shared L3
+    unsigned ways = 16;
+    unsigned lineBytes = 64;
+    Cycles hitCycles = 36;    //!< L3 hit
+    Cycles missCycles = 180;  //!< DRAM access
+    /** Sustained DRAM bandwidth (bytes/s) for contention modelling. */
+    double memBandwidth = 40e9;
+};
+
+/** A set-associative cache with LRU replacement. */
+class CacheSim
+{
+  public:
+    explicit CacheSim(CacheConfig cfg = CacheConfig{});
+
+    /**
+     * Access one line address; returns true on hit. Misses allocate
+     * unless @p non_temporal.
+     */
+    bool access(std::uint64_t line, bool non_temporal = false);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    void resetStats() { hits_ = misses_ = 0; }
+    const CacheConfig &config() const { return cfg_; }
+    unsigned sets() const { return sets_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    CacheConfig cfg_;
+    unsigned sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Way> ways_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** A workload profile for the interference experiment. */
+struct InterferenceWorkload
+{
+    std::string name;
+    /** Cache-resident working set. */
+    std::uint64_t wssBytes;
+    /** LLC accesses per second of execution. */
+    double accessesPerSec;
+    /** Zipf skew of line popularity (locality). */
+    double zipfS;
+};
+
+/** Result of one interference run. */
+struct InterferenceResult
+{
+    double baselineMissRate = 0.0;
+    double missRate = 0.0;
+    /** Runtime overhead vs no-zeroing baseline, percent. */
+    double overheadPct = 0.0;
+};
+
+/**
+ * Simulate @p seconds of the workload co-running with a pre-zeroing
+ * thread at @p zero_bytes_per_sec, with caching or non-temporal
+ * stores. Deterministic given the rng.
+ */
+InterferenceResult runInterference(const InterferenceWorkload &w,
+                                   double zero_bytes_per_sec,
+                                   bool non_temporal, Rng rng,
+                                   CacheConfig cfg = CacheConfig{},
+                                   double seconds = 0.05);
+
+} // namespace hawksim::cache
+
+#endif // HAWKSIM_CACHE_CACHE_HH

@@ -1,0 +1,80 @@
+#include "core/access_map.hh"
+
+namespace hawksim::core {
+
+void
+AccessMap::update(std::uint64_t region, double coverage)
+{
+    const unsigned target = bucketFor(coverage);
+    auto it = where_.find(region);
+    if (it == where_.end()) {
+        // New regions enter at the head (they were just observed).
+        buckets_[target].push_front(region);
+        where_[region] = {target, buckets_[target].begin()};
+        return;
+    }
+    const unsigned cur = it->second.bucket;
+    if (cur == target)
+        return; // bucket unchanged; keep position
+    buckets_[cur].erase(it->second.it);
+    if (target > cur) {
+        // Moving up: recently hot, insert at head.
+        buckets_[target].push_front(region);
+        it->second = {target, buckets_[target].begin()};
+    } else {
+        // Moving down: cooling off, insert at tail.
+        buckets_[target].push_back(region);
+        it->second = {target, std::prev(buckets_[target].end())};
+    }
+}
+
+void
+AccessMap::remove(std::uint64_t region)
+{
+    auto it = where_.find(region);
+    if (it == where_.end())
+        return;
+    buckets_[it->second.bucket].erase(it->second.it);
+    where_.erase(it);
+}
+
+int
+AccessMap::topBucket() const
+{
+    for (int b = kBuckets - 1; b >= 0; b--) {
+        if (!buckets_[b].empty())
+            return b;
+    }
+    return -1;
+}
+
+std::optional<std::uint64_t>
+AccessMap::peekTop() const
+{
+    const int b = topBucket();
+    if (b < 0)
+        return std::nullopt;
+    return buckets_[b].front();
+}
+
+std::optional<std::uint64_t>
+AccessMap::peekBucket(unsigned bucket) const
+{
+    if (bucket >= kBuckets || buckets_[bucket].empty())
+        return std::nullopt;
+    return buckets_[bucket].front();
+}
+
+std::optional<std::uint64_t>
+AccessMap::popTop()
+{
+    const int b = topBucket();
+    if (b < 0)
+        return std::nullopt;
+    const std::uint64_t region = buckets_[b].front();
+    buckets_[b].pop_front();
+    where_.erase(region);
+    return region;
+}
+
+} // namespace hawksim::core

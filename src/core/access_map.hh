@@ -1,0 +1,83 @@
+/**
+ * @file
+ * HawkEye's access_map (§3.3, Figure 4).
+ *
+ * A per-process array of buckets indexing huge-page regions by their
+ * EMA access coverage (0–512 base pages split across ten buckets).
+ * Regions whose coverage rises are inserted at the *head* of their new
+ * bucket; regions whose coverage falls are inserted at the *tail* —
+ * so within a bucket, promotion order (head to tail) favours recency.
+ * Promotion proceeds from the highest bucket index downward, which
+ * captures both frequency (coverage) and recency.
+ */
+
+#ifndef HAWKSIM_CORE_ACCESS_MAP_HH
+#define HAWKSIM_CORE_ACCESS_MAP_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace hawksim::core {
+
+class AccessMap
+{
+  public:
+    static constexpr unsigned kBuckets = 10;
+
+    /** Bucket index for an access-coverage value in [0, 512]. */
+    static unsigned
+    bucketFor(double coverage)
+    {
+        auto b = static_cast<unsigned>(coverage /
+                                       (512.0 / kBuckets));
+        return b >= kBuckets ? kBuckets - 1 : b;
+    }
+
+    /**
+     * Record a new coverage sample for @p region: moves it between
+     * buckets with head/tail placement by direction of change.
+     */
+    void update(std::uint64_t region, double coverage);
+
+    /** Remove a region (promoted or unmapped). */
+    void remove(std::uint64_t region);
+
+    /** Head region of the highest non-empty bucket. */
+    std::optional<std::uint64_t> peekTop() const;
+    /** Index of the highest non-empty bucket, or -1. */
+    int topBucket() const;
+    /** Head region of a specific bucket. */
+    std::optional<std::uint64_t> peekBucket(unsigned bucket) const;
+
+    /** Pop the head region of the highest non-empty bucket. */
+    std::optional<std::uint64_t> popTop();
+
+    bool contains(std::uint64_t region) const
+    {
+        return where_.count(region) != 0;
+    }
+    std::size_t size() const { return where_.size(); }
+    std::size_t bucketSize(unsigned b) const
+    {
+        return buckets_[b].size();
+    }
+    bool empty() const { return where_.empty(); }
+
+  private:
+    struct Location
+    {
+        unsigned bucket;
+        std::list<std::uint64_t>::iterator it;
+    };
+
+    std::list<std::uint64_t> buckets_[kBuckets];
+    std::unordered_map<std::uint64_t, Location> where_;
+};
+
+} // namespace hawksim::core
+
+#endif // HAWKSIM_CORE_ACCESS_MAP_HH

@@ -1,0 +1,79 @@
+#include "core/access_tracker.hh"
+
+#include "sim/process.hh"
+
+namespace hawksim::core {
+
+void
+AccessTracker::periodic(sim::Process &proc, TimeNs now)
+{
+    if (!armed_ && now >= next_clear_) {
+        clearPhase(proc);
+        armed_ = true;
+        read_at_ = now + window_;
+        next_clear_ = now + period_;
+    }
+    if (armed_ && now >= read_at_) {
+        readPhase(proc);
+        armed_ = false;
+    }
+}
+
+void
+AccessTracker::sampleNow(sim::Process &proc, TimeNs now)
+{
+    clearPhase(proc);
+    (void)now;
+    // Caller is expected to run the workload before reading; for
+    // tests that want an immediate snapshot, read right away.
+    readPhase(proc);
+}
+
+void
+AccessTracker::clearPhase(sim::Process &proc)
+{
+    auto &pt = proc.space().pageTable();
+    proc.space().forEachEligibleRegion(
+        [&](std::uint64_t region) { pt.clearAccessed(region); });
+}
+
+void
+AccessTracker::readPhase(sim::Process &proc)
+{
+    auto &pt = proc.space().pageTable();
+    proc.space().forEachEligibleRegion([&](std::uint64_t region) {
+        const unsigned pop = pt.population(region);
+        if (pop == 0) {
+            regions_.erase(region);
+            return;
+        }
+        RegionStat &st = regions_[region];
+        st.lastSample = pt.accessedCount(region);
+        st.isHuge = pt.isHuge(region);
+        st.ema.update(static_cast<double>(st.lastSample));
+        if (hook_)
+            hook_(region, st.ema.value(), st.lastSample, st.isHuge);
+    });
+}
+
+double
+AccessTracker::pendingCoverageScore() const
+{
+    double score = 0.0;
+    for (const auto &[region, st] : regions_) {
+        if (!st.isHuge)
+            score += st.ema.value();
+    }
+    return score;
+}
+
+double
+AccessTracker::totalCoverageScore() const
+{
+    double score = 0.0;
+    for (const auto &[region, st] : regions_)
+        score += st.ema.value();
+    return score;
+}
+
+} // namespace hawksim::core

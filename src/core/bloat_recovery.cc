@@ -1,0 +1,126 @@
+#include "core/bloat_recovery.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/content.hh"
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::core {
+
+namespace {
+
+/** Key mixing pid into the region id for the scanned set. */
+std::uint64_t
+scanKey(std::int32_t pid, std::uint64_t region)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+            << 40) ^
+           region;
+}
+
+} // namespace
+
+void
+BloatRecovery::periodic(sim::System &sys, TimeNs dt,
+                        const ScoreFn &score)
+{
+    const double used = sys.phys().usedFraction();
+    if (!active_) {
+        if (used < high_)
+            return;
+        active_ = true;
+        stats_.activations++;
+        scanned_.clear();
+        sys.metrics().event(sys.now(), "bloat-recovery activated");
+    }
+    if (used < low_) {
+        active_ = false;
+        sys.metrics().event(sys.now(), "bloat-recovery deactivated");
+        return;
+    }
+
+    scan_budget_ += rate_ * static_cast<double>(dt) / 1e9;
+    if (scan_budget_ < static_cast<double>(kPageSize))
+        return;
+
+    // Scan the least-TLB-hungry process first: it needs its huge
+    // pages least, so demoting there costs the least performance.
+    std::vector<std::pair<double, sim::Process *>> order;
+    for (auto &proc : sys.processes()) {
+        if (proc->finished())
+            continue;
+        order.emplace_back(score(*proc), proc.get());
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    for (auto &[s, proc] : order) {
+        (void)s;
+        // Collect this process's unscanned huge regions.
+        std::vector<std::uint64_t> targets;
+        proc->space().forEachEligibleRegion([&](std::uint64_t r) {
+            if (proc->space().pageTable().isHuge(r) &&
+                !scanned_.count(scanKey(proc->pid(), r))) {
+                targets.push_back(r);
+            }
+        });
+        for (std::uint64_t region : targets) {
+            if (scan_budget_ <= 0.0)
+                return;
+            scanned_.insert(scanKey(proc->pid(), region));
+            scanRegion(sys, *proc, region);
+            if (sys.phys().usedFraction() < low_) {
+                active_ = false;
+                sys.metrics().event(sys.now(),
+                                    "bloat-recovery deactivated");
+                return;
+            }
+        }
+    }
+}
+
+void
+BloatRecovery::scanRegion(sim::System &sys, sim::Process &proc,
+                          std::uint64_t region)
+{
+    auto &space = proc.space();
+    const Vpn base = region << 9;
+    stats_.regionsScanned++;
+
+    // First pass: count zero-filled base pages, paying the scan cost.
+    unsigned zero_pages = 0;
+    for (unsigned i = 0; i < kPagesPerHuge; i++) {
+        vm::Translation t = space.pageTable().lookup(base + i);
+        const mem::PageContent &c = sys.phys().frame(t.pfn).content;
+        const std::uint64_t cost = mem::zeroScanCostBytes(c);
+        stats_.bytesScanned += cost;
+        scan_budget_ -= static_cast<double>(cost);
+        if (c.isZero())
+            zero_pages++;
+    }
+    if (zero_pages < zero_threshold_)
+        return;
+
+    // Demote and deduplicate the zero pages to the canonical zero
+    // page; in-use zero pages may be dedup'd too (correct under COW).
+    space.demoteRegion(region);
+    stats_.hugeDemoted++;
+    for (unsigned i = 0; i < kPagesPerHuge; i++) {
+        vm::Translation t = space.pageTable().lookup(base + i);
+        const mem::Frame &f = sys.phys().frame(t.pfn);
+        if (f.isShared() || f.mapCount != 1)
+            continue; // KSM already owns this frame
+        if (f.content.isZero()) {
+            space.dedupZeroPage(base + i);
+            stats_.pagesDeduped++;
+        }
+    }
+    if (on_demote_)
+        on_demote_(proc, region);
+}
+
+} // namespace hawksim::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory-bloat recovery (HawkEye §3.2).
+ *
+ * When allocated memory crosses the high watermark, a rate-limited
+ * thread scans huge pages of the process with the *lowest* MMU
+ * overhead (it needs its huge pages least), identifies zero-filled
+ * baseline pages inside them, and — when enough of a huge page is
+ * zero — demotes it and deduplicates the zero pages against the
+ * canonical zero page via COW. Scanning an in-use page costs only the
+ * distance to its first non-zero byte (~10 bytes on average, Fig. 3),
+ * so the thread's cost scales with the amount of bloat, not with the
+ * size of memory.
+ */
+
+#ifndef HAWKSIM_CORE_BLOAT_RECOVERY_HH
+#define HAWKSIM_CORE_BLOAT_RECOVERY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "base/types.hh"
+
+namespace hawksim::sim {
+class Process;
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::core {
+
+class BloatRecovery
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t bytesScanned = 0;
+        std::uint64_t regionsScanned = 0;
+        std::uint64_t hugeDemoted = 0;
+        std::uint64_t pagesDeduped = 0;
+        std::uint64_t activations = 0;
+    };
+
+    /** Score function: estimated/measured MMU overhead per process. */
+    using ScoreFn = std::function<double(sim::Process &)>;
+    /** Hook called after a region is demoted (policy bookkeeping). */
+    using DemoteHook =
+        std::function<void(sim::Process &, std::uint64_t region)>;
+
+    /**
+     * @param high activate above this used fraction (default 0.85)
+     * @param low deactivate below this used fraction (default 0.70)
+     * @param bytes_per_sec scan-rate limit
+     * @param zero_threshold zero-filled base pages per huge page
+     *        needed to trigger demotion + dedup
+     */
+    BloatRecovery(double high = 0.85, double low = 0.70,
+                  double bytes_per_sec = 400.0 * 1024 * 1024,
+                  unsigned zero_threshold = 128)
+        : high_(high), low_(low), rate_(bytes_per_sec),
+          zero_threshold_(zero_threshold)
+    {}
+
+    /** Run one tick of the recovery thread. */
+    void periodic(sim::System &sys, TimeNs dt, const ScoreFn &score);
+
+    bool active() const { return active_; }
+    const Stats &stats() const { return stats_; }
+    void setDemoteHook(DemoteHook hook) { on_demote_ = std::move(hook); }
+
+  private:
+    /** Scan one huge region; demote + dedup if bloated enough. */
+    void scanRegion(sim::System &sys, sim::Process &proc,
+                    std::uint64_t region);
+
+    double high_;
+    double low_;
+    double rate_;
+    unsigned zero_threshold_;
+    bool active_ = false;
+    double scan_budget_ = 0.0;
+    /** Regions already scanned during this activation. */
+    std::unordered_set<std::uint64_t> scanned_;
+    Stats stats_;
+    DemoteHook on_demote_;
+};
+
+} // namespace hawksim::core
+
+#endif // HAWKSIM_CORE_BLOAT_RECOVERY_HH

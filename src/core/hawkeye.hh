@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The HawkEye huge-page policy (§3) — the paper's core contribution.
+ *
+ * Components:
+ *   - huge pages at first fault, preferentially from pre-zeroed free
+ *     lists (low latency *and* few faults, resolving Table 1's
+ *     trade-off);
+ *   - a rate-limited async pre-zeroing thread feeding those lists;
+ *   - fine-grained promotion driven by per-region access coverage:
+ *     the per-process access_map buckets regions by EMA coverage, and
+ *     the promotion daemon promotes from the globally highest bucket
+ *     (HawkEye-G) or from the process with the highest *measured* MMU
+ *     overhead (HawkEye-PMU, which also stops below a 2% threshold);
+ *   - bloat recovery under memory pressure via zero-page dedup.
+ *
+ * The two variants differ only in how they rank processes: estimated
+ * (access coverage) vs measured (performance counters, Table 4).
+ */
+
+#ifndef HAWKSIM_CORE_HAWKEYE_HH
+#define HAWKSIM_CORE_HAWKEYE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/access_map.hh"
+#include "core/access_tracker.hh"
+#include "core/bloat_recovery.hh"
+#include "core/prezero.hh"
+#include "policy/common.hh"
+#include "policy/policy.hh"
+#include "tlb/perf_counters.hh"
+
+namespace hawksim::core {
+
+struct HawkEyeConfig
+{
+    /** Use hardware performance counters (HawkEye-PMU) instead of
+     *  access-coverage estimation (HawkEye-G). */
+    bool usePmu = false;
+    /** PMU variant stops promoting a process below this overhead. */
+    double pmuStopPct = 2.0;
+    /** Allocate huge pages directly at first fault. */
+    bool faultHuge = true;
+    /** Run the async pre-zeroing thread. */
+    bool enablePrezero = true;
+    /** Run bloat recovery under memory pressure. */
+    bool enableBloatRecovery = true;
+    /** Zero base pages per huge page that trigger demotion+dedup. */
+    unsigned dedupThreshold = 128;
+    /** Access-bit sampling period (§3.3: 30s) and window (1s). */
+    TimeNs samplePeriod = sec(30);
+    TimeNs sampleWindow = sec(1);
+    /** PMU read period for per-process overhead windows. */
+    TimeNs pmuPeriod = sec(1);
+    policy::ZeroMode zero = policy::ZeroMode::kUseZeroLists;
+};
+
+class HawkEyePolicy : public policy::HugePagePolicy
+{
+  public:
+    explicit HawkEyePolicy(HawkEyeConfig cfg = HawkEyeConfig{});
+
+    std::string
+    name() const override
+    {
+        return cfg_.usePmu ? "HawkEye-PMU" : "HawkEye-G";
+    }
+
+    policy::FaultOutcome onFault(sim::System &sys, sim::Process &proc,
+                                 Vpn vpn) override;
+    void periodic(sim::System &sys) override;
+    void attach(sim::System &sys) override;
+    void onProcessStart(sim::System &sys, sim::Process &proc) override;
+    void onProcessExit(sim::System &sys, sim::Process &proc) override;
+
+    /** @name Introspection for experiments */
+    /// @{
+    std::uint64_t promotions() const { return promotions_; }
+    const AsyncZeroDaemon &zeroDaemon() const { return prezero_; }
+    const BloatRecovery &bloatRecovery() const { return bloat_; }
+    const AccessMap *accessMap(std::int32_t pid) const;
+    const AccessTracker *tracker(std::int32_t pid) const;
+    /** Last measured/estimated overhead used for ranking. */
+    double processScore(std::int32_t pid) const;
+    const HawkEyeConfig &config() const { return cfg_; }
+    /// @}
+
+  private:
+    struct ProcState
+    {
+        std::unique_ptr<AccessTracker> tracker;
+        AccessMap map;
+        tlb::PerfCounters pmuSnapshot;
+        double pmuOverheadPct = 0.0;
+    };
+
+    /** Process selection + one promotion; false when nothing to do. */
+    bool promoteNext(sim::System &sys);
+    /** Refresh per-process PMU overhead windows. */
+    void samplePmu(sim::System &sys);
+    /** Overhead score used for bloat-recovery ordering. */
+    double bloatScore(sim::Process &proc);
+
+    HawkEyeConfig cfg_;
+    std::unordered_map<std::int32_t, ProcState> state_;
+    AsyncZeroDaemon prezero_;
+    BloatRecovery bloat_;
+    double promote_budget_ = 0.0;
+    std::uint64_t promotions_ = 0;
+    TimeNs next_pmu_ = 0;
+    /** Round-robin cursor over pids for tie-breaking. */
+    std::uint64_t rr_ = 0;
+};
+
+} // namespace hawksim::core
+
+#endif // HAWKSIM_CORE_HAWKEYE_HH

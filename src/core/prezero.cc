@@ -1,0 +1,31 @@
+#include "core/prezero.hh"
+
+#include "mem/phys.hh"
+#include "sim/system.hh"
+
+namespace hawksim::core {
+
+void
+AsyncZeroDaemon::periodic(sim::System &sys, TimeNs dt)
+{
+    budget_ += rate_ * static_cast<double>(dt) / 1e9;
+    auto &buddy = sys.phys().buddy();
+    while (budget_ >= 1.0) {
+        auto blk = buddy.takeNonZeroBlock(mem::BuddyAllocator::kMaxOrder);
+        if (!blk)
+            return; // nothing dirty left
+        for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
+            mem::Frame &f = sys.phys().frame(p);
+            f.content = mem::PageContent::zero();
+            f.set(mem::kFrameZeroed);
+        }
+        buddy.free(blk->pfn, blk->order, /*zeroed=*/true);
+        // Whole blocks are zeroed atomically; overdraft is repaid by
+        // the accumulating budget, keeping the long-run rate honest.
+        budget_ -= static_cast<double>(blk->pages());
+        stats_.pagesZeroed += blk->pages();
+        stats_.blocksZeroed++;
+    }
+}
+
+} // namespace hawksim::core

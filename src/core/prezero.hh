@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Rate-limited asynchronous page pre-zeroing (HawkEye §3.1).
+ *
+ * A background kernel thread drains the buddy allocator's non-zero
+ * free lists, zero-fills blocks with non-temporal stores (no cache
+ * pollution — the Fig. 10 study quantifies the alternative) and
+ * re-inserts them into the zero lists, where anonymous page faults
+ * pick them up without paying synchronous zeroing latency.
+ */
+
+#ifndef HAWKSIM_CORE_PREZERO_HH
+#define HAWKSIM_CORE_PREZERO_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace hawksim::sim {
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::core {
+
+class AsyncZeroDaemon
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t pagesZeroed = 0;
+        std::uint64_t blocksZeroed = 0;
+    };
+
+    /** @param pages_per_sec rate limit (4KB pages per second). */
+    explicit AsyncZeroDaemon(double pages_per_sec = 10'000.0)
+        : rate_(pages_per_sec)
+    {}
+
+    /** Zero as many free pages as this tick's budget allows. */
+    void periodic(sim::System &sys, TimeNs dt);
+
+    const Stats &stats() const { return stats_; }
+    void setRate(double pages_per_sec) { rate_ = pages_per_sec; }
+    double rate() const { return rate_; }
+
+  private:
+    double rate_;
+    double budget_ = 0.0;
+    Stats stats_;
+};
+
+} // namespace hawksim::core
+
+#endif // HAWKSIM_CORE_PREZERO_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Umbrella header: the HawkSim public API.
+ *
+ * Typical use:
+ * @code
+ *   using namespace hawksim;
+ *   sim::SystemConfig cfg;
+ *   cfg.memoryBytes = GiB(4);
+ *   sim::System sys(cfg);
+ *   sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
+ *   auto &p = sys.addProcess("graph",
+ *       workload::makeGraph500(sys.rng().fork()));
+ *   sys.runUntilAllDone(sec(600));
+ *   std::cout << p.mmuOverheadPct() << "\n";
+ * @endcode
+ */
+
+#ifndef HAWKSIM_HAWKSIM_HH
+#define HAWKSIM_HAWKSIM_HH
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "core/access_map.hh"
+#include "core/access_tracker.hh"
+#include "core/bloat_recovery.hh"
+#include "core/hawkeye.hh"
+#include "core/prezero.hh"
+#include "mem/buddy.hh"
+#include "mem/compaction.hh"
+#include "mem/phys.hh"
+#include "mem/swap.hh"
+#include "policy/freebsd.hh"
+#include "policy/ingens.hh"
+#include "policy/linux_thp.hh"
+#include "policy/policy.hh"
+#include "sim/metrics.hh"
+#include "sim/process.hh"
+#include "sim/system.hh"
+#include "tlb/tlb.hh"
+#include "vm/address_space.hh"
+#include "workload/kvstore.hh"
+#include "workload/linear_touch.hh"
+#include "workload/presets.hh"
+#include "workload/stream.hh"
+
+#endif // HAWKSIM_HAWKSIM_HH

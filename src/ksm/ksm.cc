@@ -1,0 +1,124 @@
+#include "ksm/ksm.hh"
+
+#include <algorithm>
+
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::ksm {
+
+const mem::PageContent &
+KsmDaemon::contentOf(sim::System &sys, sim::Process &proc, Vpn vpn)
+{
+    if (provider_) {
+        if (const mem::PageContent *c = provider_(proc, vpn))
+            return *c;
+    }
+    vm::Translation t = proc.space().pageTable().lookup(vpn);
+    return sys.phys().frame(t.pfn).content;
+}
+
+void
+KsmDaemon::periodic(sim::System &sys, TimeNs dt)
+{
+    budget_ += rate_ * static_cast<double>(dt) / 1e9;
+    if (budget_ < 512.0)
+        return;
+    // Round-robin over tracked processes.
+    std::vector<sim::Process *> procs;
+    for (auto &p : sys.processes()) {
+        if (p->finished())
+            continue;
+        if (tracked_.empty() ||
+            std::find(tracked_.begin(), tracked_.end(), p->pid()) !=
+                tracked_.end()) {
+            procs.push_back(p.get());
+        }
+    }
+    if (procs.empty()) {
+        budget_ = 0.0;
+        return;
+    }
+    for (std::size_t visited = 0;
+         visited < procs.size() && budget_ >= 512.0; visited++) {
+        scanProcess(sys, *procs[rr_++ % procs.size()]);
+    }
+}
+
+void
+KsmDaemon::scanProcess(sim::System &sys, sim::Process &proc)
+{
+    auto &space = proc.space();
+    auto &pt = space.pageTable();
+    std::vector<std::uint64_t> regions;
+    space.forEachEligibleRegion(
+        [&](std::uint64_t r) { regions.push_back(r); });
+    if (regions.empty())
+        return;
+    std::uint64_t &hand = cursor_[proc.pid()];
+
+    for (std::size_t step = 0;
+         step < regions.size() && budget_ >= 512.0; step++) {
+        const std::uint64_t region = regions[hand % regions.size()];
+        hand++;
+        if (pt.population(region) == 0)
+            continue;
+        const Vpn base = region << 9;
+        budget_ -= 512.0;
+        stats_.pagesScanned += 512;
+
+        if (pt.isHuge(region)) {
+            // Coordinated demotion: only split the huge page if it is
+            // worth it (enough mergeable content inside).
+            unsigned mergeable = 0;
+            for (unsigned i = 0; i < kPagesPerHuge; i++) {
+                if (contentOf(sys, proc, base + i).isZero())
+                    mergeable++;
+            }
+            if (mergeable < demote_threshold_)
+                continue;
+            space.demoteRegion(region);
+            stats_.hugeDemoted++;
+        }
+
+        for (unsigned i = 0; i < kPagesPerHuge; i++) {
+            const Vpn vpn = base + i;
+            vm::Translation t = pt.lookup(vpn);
+            if (!t.present || t.huge || t.entry.zeroPage() ||
+                t.entry.cow()) {
+                continue;
+            }
+            const mem::Frame &frame = sys.phys().frame(t.pfn);
+            if (frame.isShared() || frame.mapCount != 1)
+                continue; // already merged elsewhere
+            const mem::PageContent content = contentOf(sys, proc, vpn);
+            if (content.isZero()) {
+                // The host copy may be stale; the logical content is
+                // zero, so normalize before the zero-dedup.
+                sys.phys().zeroFrame(t.pfn);
+                space.dedupZeroPage(vpn);
+                stats_.zeroMerged++;
+                continue;
+            }
+            if (!merge_dups_)
+                continue;
+            auto [it, inserted] =
+                stable_.emplace(content.hash, t.pfn);
+            if (inserted)
+                continue; // first copy becomes the canonical page
+            const Pfn canonical = it->second;
+            if (canonical == t.pfn)
+                continue;
+            // The canonical frame may have been freed since; verify.
+            const mem::Frame &cf = sys.phys().frame(canonical);
+            if (cf.isFree() || !(cf.content == content)) {
+                it->second = t.pfn; // refresh the stable entry
+                continue;
+            }
+            space.sharePage(vpn, canonical);
+            stats_.dupMerged++;
+        }
+    }
+}
+
+} // namespace hawksim::ksm

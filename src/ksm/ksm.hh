@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Kernel same-page merging (KSM) daemon.
+ *
+ * Content-based page sharing in the tradition of VMware ESX [67] and
+ * Linux's ksmd: a rate-limited scanner that merges identical pages
+ * behind COW mappings. Two merge classes:
+ *
+ *   - zero pages merge against the canonical zero page — in a host
+ *     running HawkEye guests this is the mechanism that returns
+ *     guest-freed (pre-zeroed) memory to the host, giving the
+ *     balloon-like behaviour of Fig. 11;
+ *   - duplicate (equal-content) pages merge against the first copy
+ *     seen (the "stable tree" in real ksmd, a hash map here).
+ *
+ * Huge-mapped regions are only broken when they contain at least
+ * `demoteThreshold` mergeable pages — the coordination between ksm
+ * and huge pages that Ingens/SmartMD argue for (§3.2).
+ */
+
+#ifndef HAWKSIM_KSM_KSM_HH
+#define HAWKSIM_KSM_KSM_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/content.hh"
+
+namespace hawksim::sim {
+class Process;
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::ksm {
+
+class KsmDaemon
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t pagesScanned = 0;
+        std::uint64_t zeroMerged = 0;
+        std::uint64_t dupMerged = 0;
+        std::uint64_t hugeDemoted = 0;
+    };
+
+    /**
+     * Content override: returns the logical content of a mapped page
+     * (the virtualization layer supplies guest-frame contents).
+     * Returning nullptr means "use the host frame's content".
+     */
+    using ContentProvider = std::function<const mem::PageContent *(
+        sim::Process &, Vpn)>;
+
+    explicit KsmDaemon(double pages_per_sec = 25'000.0,
+                       unsigned demote_threshold = 256)
+        : rate_(pages_per_sec), demote_threshold_(demote_threshold)
+    {}
+
+    /** Restrict scanning to these pids (empty = scan everything). */
+    void trackProcess(std::int32_t pid) { tracked_.push_back(pid); }
+    void setContentProvider(ContentProvider p)
+    {
+        provider_ = std::move(p);
+    }
+    /** Enable merging of equal non-zero pages (zero merge is always
+     *  on). */
+    void setMergeDuplicates(bool on) { merge_dups_ = on; }
+
+    void periodic(sim::System &sys, TimeNs dt);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    void scanProcess(sim::System &sys, sim::Process &proc);
+    const mem::PageContent &contentOf(sim::System &sys,
+                                      sim::Process &proc, Vpn vpn);
+
+    double rate_;
+    unsigned demote_threshold_;
+    bool merge_dups_ = true;
+    double budget_ = 0.0;
+    std::vector<std::int32_t> tracked_;
+    ContentProvider provider_;
+    /** Stable tree: content hash -> canonical frame. */
+    std::unordered_map<std::uint64_t, Pfn> stable_;
+    /** Per-process scan cursor (region list index). */
+    std::unordered_map<std::int32_t, std::uint64_t> cursor_;
+    std::size_t rr_ = 0;
+    Stats stats_;
+};
+
+} // namespace hawksim::ksm
+
+#endif // HAWKSIM_KSM_KSM_HH

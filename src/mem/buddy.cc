@@ -1,0 +1,235 @@
+#include "mem/buddy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace hawksim::mem {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t frames, bool initially_zeroed)
+    : frames_(frames)
+{
+    HS_ASSERT(frames > 0, "empty buddy allocator");
+    // Carve the frame range into maximal naturally-aligned blocks.
+    Pfn pfn = 0;
+    while (pfn < frames_) {
+        unsigned order = kMaxOrder;
+        while (order > 0 &&
+               ((pfn & ((1ull << order) - 1)) != 0 ||
+                pfn + (1ull << order) > frames_)) {
+            order--;
+        }
+        insertBlock(pfn, order, initially_zeroed);
+        pfn += 1ull << order;
+    }
+}
+
+void
+BuddyAllocator::insertBlock(Pfn pfn, unsigned order, bool zeroed)
+{
+    auto [it, inserted] = blockInfo_.emplace(pfn, BlockInfo{order, zeroed});
+    HS_ASSERT(inserted, "double free of block at pfn ", pfn);
+    (void)it;
+    list(order, zeroed).insert(pfn);
+    freePages_ += 1ull << order;
+    if (zeroed)
+        freeZeroPages_ += 1ull << order;
+}
+
+void
+BuddyAllocator::removeBlock(Pfn pfn, unsigned order, bool zeroed)
+{
+    auto erased = list(order, zeroed).erase(pfn);
+    HS_ASSERT(erased == 1, "block not on expected list, pfn ", pfn);
+    blockInfo_.erase(pfn);
+    freePages_ -= 1ull << order;
+    if (zeroed)
+        freeZeroPages_ -= 1ull << order;
+}
+
+std::optional<BuddyBlock>
+BuddyAllocator::popBlock(unsigned order, bool zeroed)
+{
+    auto &l = list(order, zeroed);
+    if (l.empty())
+        return std::nullopt;
+    Pfn pfn = *l.begin();
+    removeBlock(pfn, order, zeroed);
+    return BuddyBlock{pfn, order, zeroed};
+}
+
+std::optional<BuddyBlock>
+BuddyAllocator::alloc(unsigned order, ZeroPref pref)
+{
+    HS_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    const bool first_zero = (pref == ZeroPref::kPreferZero);
+    for (unsigned o = order; o <= kMaxOrder; o++) {
+        std::optional<BuddyBlock> blk = popBlock(o, first_zero);
+        if (!blk)
+            blk = popBlock(o, !first_zero);
+        if (!blk)
+            continue;
+        // Split down to the requested order; upper halves go back on
+        // the free list with the parent's zero-ness preserved.
+        while (blk->order > order) {
+            blk->order--;
+            const Pfn upper = blk->pfn + (1ull << blk->order);
+            insertBlock(upper, blk->order, blk->zeroed);
+        }
+        return blk;
+    }
+    return std::nullopt;
+}
+
+std::optional<BuddyBlock>
+BuddyAllocator::allocSpecific(Pfn pfn)
+{
+    HS_ASSERT(pfn < frames_, "pfn out of range: ", pfn);
+    // Find the free block containing this pfn, smallest order first.
+    for (unsigned o = 0; o <= kMaxOrder; o++) {
+        const Pfn start = pfn & ~((1ull << o) - 1);
+        auto it = blockInfo_.find(start);
+        if (it == blockInfo_.end() || it->second.order != o)
+            continue;
+        const bool zeroed = it->second.zeroed;
+        removeBlock(start, o, zeroed);
+        // Split, keeping the half that contains pfn.
+        Pfn cur = start;
+        unsigned cur_order = o;
+        while (cur_order > 0) {
+            cur_order--;
+            const Pfn lower = cur;
+            const Pfn upper = cur + (1ull << cur_order);
+            if (pfn >= upper) {
+                insertBlock(lower, cur_order, zeroed);
+                cur = upper;
+            } else {
+                insertBlock(upper, cur_order, zeroed);
+                cur = lower;
+            }
+        }
+        return BuddyBlock{pfn, 0, zeroed};
+    }
+    return std::nullopt;
+}
+
+void
+BuddyAllocator::free(Pfn pfn, unsigned order, bool zeroed)
+{
+    HS_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    HS_ASSERT(pfn + (1ull << order) <= frames_, "block out of range");
+    HS_ASSERT((pfn & ((1ull << order) - 1)) == 0, "misaligned block");
+
+    // Coalesce with free buddies; a merged block is only "zeroed" if
+    // both halves were.
+    while (order < kMaxOrder) {
+        const Pfn buddy = pfn ^ (1ull << order);
+        if (buddy + (1ull << order) > frames_)
+            break;
+        auto it = blockInfo_.find(buddy);
+        if (it == blockInfo_.end() || it->second.order != order)
+            break;
+        const bool buddy_zeroed = it->second.zeroed;
+        removeBlock(buddy, order, buddy_zeroed);
+        zeroed = zeroed && buddy_zeroed;
+        pfn = std::min(pfn, buddy);
+        order++;
+    }
+    insertBlock(pfn, order, zeroed);
+}
+
+std::optional<BuddyBlock>
+BuddyAllocator::takeNonZeroBlock(unsigned max_order)
+{
+    max_order = std::min(max_order, kMaxOrder);
+    for (int o = static_cast<int>(max_order); o >= 0; o--) {
+        auto blk = popBlock(static_cast<unsigned>(o), false);
+        if (blk)
+            return blk;
+    }
+    // Only larger dirty blocks exist: split one down so the caller's
+    // per-call work stays bounded by max_order.
+    for (unsigned o = max_order + 1; o <= kMaxOrder; o++) {
+        auto blk = popBlock(o, false);
+        if (!blk)
+            continue;
+        while (blk->order > max_order) {
+            blk->order--;
+            insertBlock(blk->pfn + (1ull << blk->order), blk->order,
+                        blk->zeroed);
+        }
+        return blk;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+BuddyAllocator::freeBlocks(unsigned order) const
+{
+    HS_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    return freeZero_[order].size() + freeNonZero_[order].size();
+}
+
+int
+BuddyAllocator::largestFreeOrder() const
+{
+    for (int o = kMaxOrder; o >= 0; o--) {
+        if (freeBlocks(static_cast<unsigned>(o)) > 0)
+            return o;
+    }
+    return -1;
+}
+
+double
+BuddyAllocator::fragIndex(unsigned order) const
+{
+    HS_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    if (freePages_ == 0)
+        return 0.0; // no free memory: not a fragmentation problem
+    const std::uint64_t requested = freePages_ >> order;
+    if (requested == 0)
+        return 1.0; // less than one block's worth of free memory
+    std::uint64_t avail = 0;
+    for (unsigned o = order; o <= kMaxOrder; o++)
+        avail += freeBlocks(o) << (o - order);
+    if (avail >= requested)
+        return 0.0;
+    return 1.0 - static_cast<double>(avail) / static_cast<double>(requested);
+}
+
+void
+BuddyAllocator::checkConsistency() const
+{
+    std::uint64_t pages = 0;
+    std::uint64_t zero_pages = 0;
+    for (unsigned o = 0; o <= kMaxOrder; o++) {
+        for (Pfn pfn : freeZero_[o]) {
+            auto it = blockInfo_.find(pfn);
+            HS_ASSERT(it != blockInfo_.end() && it->second.order == o &&
+                          it->second.zeroed,
+                      "zero list entry mismatch at pfn ", pfn);
+            HS_ASSERT((pfn & ((1ull << o) - 1)) == 0, "misaligned block");
+            pages += 1ull << o;
+            zero_pages += 1ull << o;
+        }
+        for (Pfn pfn : freeNonZero_[o]) {
+            auto it = blockInfo_.find(pfn);
+            HS_ASSERT(it != blockInfo_.end() && it->second.order == o &&
+                          !it->second.zeroed,
+                      "non-zero list entry mismatch at pfn ", pfn);
+            pages += 1ull << o;
+        }
+    }
+    HS_ASSERT(pages == freePages_, "freePages counter drift");
+    HS_ASSERT(zero_pages == freeZeroPages_, "freeZeroPages counter drift");
+    HS_ASSERT(blockInfo_.size() ==
+                  [this] {
+                      std::size_t n = 0;
+                      for (unsigned o = 0; o <= kMaxOrder; o++)
+                          n += freeBlocks(o);
+                      return n;
+                  }(),
+              "blockInfo size drift");
+}
+
+} // namespace hawksim::mem

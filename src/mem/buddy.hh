@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Binary buddy allocator with split zero / non-zero free lists.
+ *
+ * This is the substrate both for ordinary OS page allocation and for
+ * HawkEye's async pre-zeroing design (§3.1): free pages live on one of
+ * two per-order lists. Pages released by applications enter the
+ * non-zero lists; the AsyncZeroDaemon moves blocks to the zero lists
+ * after zero-filling them; allocations state a preference so that
+ * anonymous faults consume pre-zeroed memory while COW/file-backed
+ * allocations consume non-zero memory first (avoiding wasted zeroing).
+ *
+ * It also exposes Gorman's free-memory fragmentation index (FMFI),
+ * which the Ingens policy uses to switch between aggressive and
+ * conservative promotion.
+ */
+
+#ifndef HAWKSIM_MEM_BUDDY_HH
+#define HAWKSIM_MEM_BUDDY_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace hawksim::mem {
+
+/** Allocation preference between the two free-list families. */
+enum class ZeroPref
+{
+    kPreferZero,    //!< anonymous faults: use pre-zeroed memory
+    kPreferNonZero, //!< COW / file-backed: don't waste zeroed memory
+    kAny,           //!< no preference (lowest order wins)
+};
+
+/** A contiguous power-of-two block of frames handed out by the buddy. */
+struct BuddyBlock
+{
+    Pfn pfn = kInvalidPfn;
+    unsigned order = 0;
+    /** True when the block came off a zero list (already zero-filled). */
+    bool zeroed = false;
+
+    std::uint64_t pages() const { return 1ull << order; }
+};
+
+class BuddyAllocator
+{
+  public:
+    static constexpr unsigned kMaxOrder = 10;
+
+    /**
+     * @param frames number of 4KB frames managed
+     * @param initially_zeroed whether boot memory starts on zero lists
+     */
+    explicit BuddyAllocator(std::uint64_t frames,
+                            bool initially_zeroed = true);
+
+    /** Allocate a block of 2^order frames, honouring the preference. */
+    std::optional<BuddyBlock> alloc(unsigned order, ZeroPref pref);
+
+    /**
+     * Allocate the specific frame @p pfn as an order-0 block (used by
+     * the Fragmenter to pin chosen frames). Fails if not free.
+     */
+    std::optional<BuddyBlock> allocSpecific(Pfn pfn);
+
+    /** Return a block to the allocator. @p zeroed: content is zero. */
+    void free(Pfn pfn, unsigned order, bool zeroed);
+
+    /**
+     * Detach a non-zero free block (order <= max_order, largest first)
+     * for the pre-zeroing daemon. The daemon re-inserts it with
+     * free(pfn, order, true) once zeroed.
+     */
+    std::optional<BuddyBlock> takeNonZeroBlock(unsigned max_order);
+
+    /** @name Introspection */
+    /// @{
+    std::uint64_t totalFrames() const { return frames_; }
+    std::uint64_t freePages() const { return freePages_; }
+    std::uint64_t freeZeroPages() const { return freeZeroPages_; }
+    std::uint64_t freeNonZeroPages() const
+    {
+        return freePages_ - freeZeroPages_;
+    }
+    /** Number of free blocks of exactly this order. */
+    std::uint64_t freeBlocks(unsigned order) const;
+    /** Largest order with at least one free block; -1 if none. */
+    int largestFreeOrder() const;
+    /** Whether a block of this order can currently be allocated. */
+    bool canAlloc(unsigned order) const
+    {
+        return largestFreeOrder() >= static_cast<int>(order);
+    }
+    /**
+     * Gorman's free memory fragmentation index for @p order.
+     * 0 means free memory is unfragmented w.r.t. this order,
+     * values toward 1 mean free memory exists but only in fragments
+     * smaller than the requested order.
+     */
+    double fragIndex(unsigned order) const;
+    /** True if @p pfn is the start of a free block (test helper). */
+    bool isFreeBlockStart(Pfn pfn) const
+    {
+        return blockInfo_.count(pfn) != 0;
+    }
+    /// @}
+
+    /** Validate internal consistency; panics on corruption (tests). */
+    void checkConsistency() const;
+
+  private:
+    struct BlockInfo
+    {
+        unsigned order;
+        bool zeroed;
+    };
+
+    using FreeList = std::set<Pfn>;
+
+    FreeList &list(unsigned order, bool zeroed)
+    {
+        return zeroed ? freeZero_[order] : freeNonZero_[order];
+    }
+    const FreeList &list(unsigned order, bool zeroed) const
+    {
+        return zeroed ? freeZero_[order] : freeNonZero_[order];
+    }
+
+    /** Insert without attempting coalescing. */
+    void insertBlock(Pfn pfn, unsigned order, bool zeroed);
+    /** Remove a block known to be on a free list. */
+    void removeBlock(Pfn pfn, unsigned order, bool zeroed);
+    /** Pop the first block of the given order/zero-ness, if any. */
+    std::optional<BuddyBlock> popBlock(unsigned order, bool zeroed);
+
+    std::uint64_t frames_;
+    std::array<FreeList, kMaxOrder + 1> freeZero_;
+    std::array<FreeList, kMaxOrder + 1> freeNonZero_;
+    /** Block-start pfn -> info, for buddy lookup during coalescing. */
+    std::unordered_map<Pfn, BlockInfo> blockInfo_;
+    std::uint64_t freePages_ = 0;
+    std::uint64_t freeZeroPages_ = 0;
+};
+
+} // namespace hawksim::mem
+
+#endif // HAWKSIM_MEM_BUDDY_HH

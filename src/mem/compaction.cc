@@ -1,0 +1,193 @@
+#include "mem/compaction.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace hawksim::mem {
+
+std::optional<std::uint64_t>
+Compactor::movableCost(Pfn region_start) const
+{
+    std::uint64_t allocated = 0;
+    for (Pfn p = region_start; p < region_start + kPagesPerHuge; p++) {
+        const Frame &f = phys_.frame(p);
+        if (f.isFree())
+            continue;
+        if (f.isUnmovable() || f.isShared() || f.isReserved())
+            return std::nullopt;
+        // Process frames are only movable with a valid single-entry
+        // reverse map; kernel (file-cache-like) frames need no fixup.
+        if (f.ownerPid >= 0 && f.mapCount != 1)
+            return std::nullopt;
+        allocated++;
+    }
+    return allocated;
+}
+
+CompactionResult
+Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate)
+{
+    CompactionResult res;
+    const std::uint64_t regions = phys_.totalFrames() / kPagesPerHuge;
+    if (regions == 0)
+        return res;
+
+    // Pick the cheapest compactable region in a bounded scan window
+    // from the cursor (a full sweep would be O(memory) per call).
+    std::optional<Pfn> best;
+    std::uint64_t best_cost = max_migrate + 1;
+    const std::uint64_t window = std::min<std::uint64_t>(regions, 256);
+    for (std::uint64_t i = 0; i < window; i++) {
+        const std::uint64_t r = (cursor_ + i) % regions;
+        const Pfn start = r * kPagesPerHuge;
+        res.regionsScanned++;
+        auto cost = movableCost(start);
+        if (!cost)
+            continue;
+        if (*cost == 0) {
+            // Fully free region: the buddy already coalesced it, so
+            // there is nothing to gain here.
+            continue;
+        }
+        if (*cost < best_cost) {
+            best = start;
+            best_cost = *cost;
+            if (best_cost <= max_migrate / 2)
+                break; // cheap enough, stop scanning
+        }
+    }
+    if (!best) {
+        // Move past the unpromising window so the next call makes
+        // progress instead of rescanning the same regions.
+        cursor_ = (cursor_ + window) % regions;
+        return res;
+    }
+    cursor_ = (*best / kPagesPerHuge + 1) % regions;
+
+    // Migrate every allocated frame out of the chosen region.
+    const Pfn start = *best;
+    for (Pfn p = start; p < start + kPagesPerHuge; p++) {
+        Frame &src = phys_.frame(p);
+        if (src.isFree())
+            continue;
+        // Find a destination outside the target region.
+        std::vector<BuddyBlock> rejects;
+        std::optional<BuddyBlock> dst;
+        for (int attempts = 0; attempts < 64; attempts++) {
+            auto blk = phys_.allocBlock(0, src.ownerPid,
+                                        ZeroPref::kPreferNonZero);
+            if (!blk)
+                break;
+            if (blk->pfn >= start && blk->pfn < start + kPagesPerHuge) {
+                rejects.push_back(*blk);
+                continue;
+            }
+            dst = blk;
+            break;
+        }
+        for (const auto &r : rejects)
+            phys_.freeBlock(r.pfn, r.order);
+        if (!dst) {
+            // Out of memory for migration: abort, leaving the region
+            // partially compacted (already-moved pages stay moved).
+            return res;
+        }
+        // Copy content and fix metadata/mappings.
+        Frame &d = phys_.frame(dst->pfn);
+        d.content = src.content;
+        d.flags = src.flags & static_cast<std::uint8_t>(~kFrameFree);
+        d.ownerPid = src.ownerPid;
+        d.rmapVpn = src.rmapVpn;
+        d.mapCount = src.mapCount;
+        src.mapCount = 0;
+        mover.pageMoved(p, dst->pfn);
+        phys_.freeBlock(p, 0);
+        res.pagesMigrated++;
+        total_migrated_++;
+    }
+
+    res.success = phys_.buddy().isFreeBlockStart(start) ||
+                  phys_.frame(start).isFree();
+    res.regionPfn = start;
+    return res;
+}
+
+void
+Fragmenter::fragment(double fraction, Rng &rng)
+{
+    const std::uint64_t regions = phys_.totalFrames() / kPagesPerHuge;
+    for (std::uint64_t r = 0; r < regions; r++) {
+        if (!rng.chance(fraction))
+            continue;
+        const Pfn base = r * kPagesPerHuge;
+        const Pfn target = base + rng.below(kPagesPerHuge);
+        auto blk = phys_.allocSpecificFrame(target, kKernelOwner);
+        if (!blk)
+            continue; // frame already in use
+        Frame &f = phys_.frame(target);
+        f.set(kFrameUnmovable);
+        pinned_.push_back(target);
+    }
+}
+
+void
+Fragmenter::fragmentMovable(double fraction,
+                            unsigned pages_per_region, Rng &rng)
+{
+    const std::uint64_t regions = phys_.totalFrames() / kPagesPerHuge;
+    for (std::uint64_t r = 0; r < regions; r++) {
+        if (!rng.chance(fraction))
+            continue;
+        const Pfn base = r * kPagesPerHuge;
+        for (unsigned i = 0; i < pages_per_region; i++) {
+            const Pfn target = base + rng.below(kPagesPerHuge);
+            auto blk = phys_.allocSpecificFrame(target, kKernelOwner);
+            if (!blk)
+                continue;
+            movable_.push_back(target);
+        }
+    }
+}
+
+void
+Fragmenter::fillMovable(double fraction, Rng &rng)
+{
+    (void)rng;
+    const auto want = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(phys_.totalFrames()));
+    for (std::uint64_t i = 0; i < want; i++) {
+        auto blk = phys_.allocBlock(0, kKernelOwner,
+                                    ZeroPref::kPreferNonZero);
+        if (!blk)
+            break;
+        movable_.push_back(blk->pfn);
+    }
+}
+
+void
+Fragmenter::release()
+{
+    for (Pfn p : pinned_) {
+        phys_.frame(p).clear(kFrameUnmovable);
+        phys_.freeBlock(p, 0);
+    }
+    pinned_.clear();
+    releaseMovable();
+}
+
+void
+Fragmenter::releaseMovable()
+{
+    for (Pfn p : movable_) {
+        // Compaction may have migrated (and thereby freed) the frame
+        // we pinned; only release frames we still hold.
+        const Frame &f = phys_.frame(p);
+        if (f.isFree() || f.ownerPid != kKernelOwner)
+            continue;
+        phys_.freeBlock(p, 0);
+    }
+    movable_.clear();
+}
+
+} // namespace hawksim::mem

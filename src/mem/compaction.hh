@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Memory compaction and controlled fragmentation.
+ *
+ * The Compactor migrates movable allocated frames out of nearly-empty
+ * huge-page-aligned regions to manufacture free 2MB blocks, modelling
+ * Linux's memory compaction [Corbet 2010] that khugepaged relies on.
+ * Page-table fixups are delegated through the PageMover interface so
+ * the mem/ layer stays independent of vm/.
+ *
+ * The Fragmenter reproduces the paper's experimental setup ("we
+ * fragment the memory initially by reading several files") by pinning
+ * unmovable kernel/file frames spread across physical memory, which
+ * destroys high-order contiguity exactly like a populated page cache.
+ */
+
+#ifndef HAWKSIM_MEM_COMPACTION_HH
+#define HAWKSIM_MEM_COMPACTION_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "mem/phys.hh"
+
+namespace hawksim::mem {
+
+/** Callback used by the compactor to retarget mappings of moved pages. */
+class PageMover
+{
+  public:
+    virtual ~PageMover() = default;
+    /** The frame at @p from has been migrated to @p to. */
+    virtual void pageMoved(Pfn from, Pfn to) = 0;
+};
+
+/** Result of one compaction attempt. */
+struct CompactionResult
+{
+    bool success = false;
+    /** Start of the freed huge-aligned region (on success). */
+    Pfn regionPfn = kInvalidPfn;
+    /** Base pages migrated to produce the free block. */
+    std::uint64_t pagesMigrated = 0;
+    /** Huge-aligned regions examined. */
+    std::uint64_t regionsScanned = 0;
+};
+
+class Compactor
+{
+  public:
+    explicit Compactor(PhysicalMemory &phys) : phys_(phys) {}
+
+    /**
+     * Try to produce one free huge-page (order-9) block by migrating
+     * movable frames out of the cheapest candidate region.
+     *
+     * @param mover receives page-moved notifications for PT fixups
+     * @param max_migrate give up on regions needing more moves
+     */
+    CompactionResult compactOne(PageMover &mover,
+                                std::uint64_t max_migrate = 256);
+
+    /** Total pages migrated over the object's lifetime. */
+    std::uint64_t totalMigrated() const { return total_migrated_; }
+
+  private:
+    /**
+     * Count allocated movable frames in a huge region; returns
+     * std::nullopt when the region contains unmovable or shared
+     * frames (not compactable).
+     */
+    std::optional<std::uint64_t> movableCost(Pfn region_start) const;
+
+    PhysicalMemory &phys_;
+    std::uint64_t total_migrated_ = 0;
+    /** Rotating scan cursor (huge-region index) for fairness. */
+    std::uint64_t cursor_ = 0;
+};
+
+/**
+ * Pins unmovable frames across physical memory to simulate
+ * fragmentation from a populated page cache.
+ */
+class Fragmenter
+{
+  public:
+    explicit Fragmenter(PhysicalMemory &phys) : phys_(phys) {}
+    ~Fragmenter() { release(); }
+
+    Fragmenter(const Fragmenter &) = delete;
+    Fragmenter &operator=(const Fragmenter &) = delete;
+
+    /**
+     * Pin one unmovable frame in @p fraction of all huge-aligned
+     * regions (chosen pseudo-randomly within each region).
+     */
+    void fragment(double fraction, Rng &rng);
+
+    /**
+     * Scatter @p pages_per_region *movable* file-cache-like frames
+     * in @p fraction of all regions. This models the paper's
+     * "fragment memory by reading several files": bounded fault-path
+     * compaction gives up on such regions, while khugepaged-grade
+     * compaction (and kcompactd) can migrate the pages out.
+     */
+    void fragmentMovable(double fraction, unsigned pages_per_region,
+                         Rng &rng);
+
+    /**
+     * Additionally consume @p fraction of total memory with movable
+     * file-cache-like frames (reclaimable under pressure).
+     */
+    void fillMovable(double fraction, Rng &rng);
+
+    /** Release everything this fragmenter pinned or filled. */
+    void release();
+    /** Release only the movable fill (models page-cache reclaim). */
+    void releaseMovable();
+
+    std::uint64_t pinnedFrames() const { return pinned_.size(); }
+    std::uint64_t movableFrames() const { return movable_.size(); }
+
+  private:
+    PhysicalMemory &phys_;
+    std::vector<Pfn> pinned_;
+    std::vector<Pfn> movable_;
+};
+
+} // namespace hawksim::mem
+
+#endif // HAWKSIM_MEM_COMPACTION_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-frame metadata (the simulator's struct page).
+ */
+
+#ifndef HAWKSIM_MEM_FRAME_HH
+#define HAWKSIM_MEM_FRAME_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "mem/content.hh"
+
+namespace hawksim::mem {
+
+/** Frame state/attribute flags. */
+enum FrameFlags : std::uint8_t
+{
+    kFrameFree      = 1u << 0, //!< on a buddy free list
+    kFrameUnmovable = 1u << 1, //!< cannot be migrated (kernel/file pin)
+    kFrameZeroed    = 1u << 2, //!< known to contain all zeroes
+    kFrameShared    = 1u << 3, //!< mapped COW into >1 place (dedup/KSM)
+    kFrameReserved  = 1u << 4, //!< part of a FreeBSD-style reservation
+};
+
+/**
+ * Metadata for one 4KB physical frame.
+ *
+ * Exclusively-mapped anonymous frames carry a one-entry reverse map
+ * (ownerPid, vpn) so the compactor can migrate them; shared frames
+ * (canonical zero page, KSM pages) are pinned kFrameUnmovable, which
+ * mirrors how Linux treats them for compaction purposes.
+ */
+struct Frame
+{
+    std::uint8_t flags = kFrameFree;
+    /** Owning process id, or -1 when free / kernel-owned. */
+    std::int32_t ownerPid = -1;
+    /**
+     * Number of page-table mappings referencing this frame. 64-bit:
+     * the canonical zero page can be referenced by millions of
+     * dedup'd mappings.
+     */
+    std::uint64_t mapCount = 0;
+    /** Content descriptor (valid for allocated frames). */
+    PageContent content = PageContent::zero();
+    /** Reverse-map virtual page for exclusively mapped frames. */
+    Vpn rmapVpn = 0;
+
+    bool isFree() const { return flags & kFrameFree; }
+    bool isUnmovable() const { return flags & kFrameUnmovable; }
+    bool isZeroed() const { return flags & kFrameZeroed; }
+    bool isShared() const { return flags & kFrameShared; }
+    bool isReserved() const { return flags & kFrameReserved; }
+
+    void set(FrameFlags f) { flags |= f; }
+    void clear(FrameFlags f) { flags &= static_cast<std::uint8_t>(~f); }
+};
+
+} // namespace hawksim::mem
+
+#endif // HAWKSIM_MEM_FRAME_HH

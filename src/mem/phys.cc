@@ -1,0 +1,149 @@
+#include "mem/phys.hh"
+
+#include "base/logging.hh"
+
+namespace hawksim::mem {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t bytes, bool initially_zeroed)
+    : frames_(bytes / kPageSize), buddy_(bytes / kPageSize,
+                                         initially_zeroed)
+{
+    HS_ASSERT(bytes >= kHugePageSize,
+              "physical memory too small: ", bytes);
+    if (initially_zeroed) {
+        for (auto &f : frames_)
+            f.set(kFrameZeroed);
+    }
+    // Reserve the canonical zero page: a shared, unmovable, zero-filled
+    // frame that zero-dedup points page tables at.
+    auto blk = allocBlock(0, kKernelOwner, ZeroPref::kPreferZero);
+    HS_ASSERT(blk.has_value(), "cannot reserve canonical zero page");
+    zero_page_pfn_ = blk->pfn;
+    Frame &zf = frame(zero_page_pfn_);
+    zf.set(kFrameUnmovable);
+    zf.set(kFrameShared);
+    zf.set(kFrameZeroed);
+    zf.content = PageContent::zero();
+}
+
+std::optional<BuddyBlock>
+PhysicalMemory::allocBlock(unsigned order, std::int32_t owner,
+                           ZeroPref pref)
+{
+    auto blk = buddy_.alloc(order, pref);
+    if (!blk)
+        return std::nullopt;
+    for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
+        Frame &f = frames_[p];
+        f.flags = blk->zeroed ? kFrameZeroed : 0;
+        f.ownerPid = owner;
+        f.mapCount = 0;
+        f.content = blk->zeroed ? PageContent::zero() : f.content;
+        f.rmapVpn = 0;
+    }
+    if (observer_)
+        observer_(blk->pfn, blk->order, true);
+    return blk;
+}
+
+std::optional<BuddyBlock>
+PhysicalMemory::allocSpecificFrame(Pfn pfn, std::int32_t owner)
+{
+    auto blk = buddy_.allocSpecific(pfn);
+    if (!blk)
+        return std::nullopt;
+    Frame &f = frames_[pfn];
+    f.flags = blk->zeroed ? kFrameZeroed : 0;
+    f.ownerPid = owner;
+    f.mapCount = 0;
+    f.rmapVpn = 0;
+    if (observer_)
+        observer_(blk->pfn, blk->order, true);
+    return blk;
+}
+
+void
+PhysicalMemory::freeBlock(Pfn pfn, unsigned order)
+{
+    const Pfn end = pfn + (1ull << order);
+    HS_ASSERT(end <= totalFrames(), "freeBlock out of range");
+    if (observer_)
+        observer_(pfn, order, false);
+    // Return maximal runs of same zero-ness; the buddy re-coalesces.
+    Pfn run_start = pfn;
+    bool run_zero = frames_[pfn].isZeroed() && frames_[pfn].content.isZero();
+    for (Pfn p = pfn; p < end; p++) {
+        Frame &f = frames_[p];
+        HS_ASSERT(!f.isFree(), "double free of frame ", p);
+        HS_ASSERT(f.mapCount == 0, "freeing mapped frame ", p,
+                  " owner=", f.ownerPid, " mapCount=", f.mapCount,
+                  " flags=", static_cast<int>(f.flags),
+                  " rmapVpn=", f.rmapVpn, " blockStart=", pfn,
+                  " order=", order);
+        const bool z = f.isZeroed() && f.content.isZero();
+        if (z != run_zero) {
+            for (Pfn q = run_start; q < p; q++) {
+                frames_[q].flags = kFrameFree;
+                frames_[q].ownerPid = -1;
+            }
+            // Free the finished run frame-by-frame; buddy coalesces.
+            for (Pfn q = run_start; q < p; q++)
+                buddy_.free(q, 0, run_zero);
+            run_start = p;
+            run_zero = z;
+        }
+    }
+    for (Pfn q = run_start; q < end; q++) {
+        frames_[q].flags = kFrameFree;
+        frames_[q].ownerPid = -1;
+    }
+    if (run_start == pfn) {
+        // Homogeneous block: free it whole (fast path).
+        buddy_.free(pfn, order, run_zero);
+    } else {
+        for (Pfn q = run_start; q < end; q++)
+            buddy_.free(q, 0, run_zero);
+    }
+}
+
+void
+PhysicalMemory::writeFrame(Pfn pfn, const PageContent &content)
+{
+    Frame &f = frames_.at(pfn);
+    HS_ASSERT(!f.isFree(), "write to free frame ", pfn);
+    f.content = content;
+    if (!content.isZero())
+        f.clear(kFrameZeroed);
+    else
+        f.set(kFrameZeroed);
+}
+
+void
+PhysicalMemory::zeroFrame(Pfn pfn)
+{
+    Frame &f = frames_.at(pfn);
+    f.content = PageContent::zero();
+    f.set(kFrameZeroed);
+}
+
+void
+PhysicalMemory::onMap(Pfn pfn, std::int32_t pid, Vpn vpn)
+{
+    Frame &f = frames_.at(pfn);
+    HS_ASSERT(!f.isFree(), "mapping free frame ", pfn);
+    f.mapCount++;
+    if (f.mapCount == 1 && !f.isShared()) {
+        f.ownerPid = pid;
+        f.rmapVpn = vpn;
+    }
+}
+
+void
+PhysicalMemory::onUnmap(Pfn pfn)
+{
+    Frame &f = frames_.at(pfn);
+    HS_ASSERT(f.mapCount > 0, "unmap of unmapped frame ", pfn);
+    f.mapCount--;
+}
+
+} // namespace hawksim::mem

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Physical memory: the frame table plus the buddy allocator, with
+ * ownership/reverse-map bookkeeping and the canonical zero page used
+ * for zero-page deduplication (HawkEye §3.2).
+ */
+
+#ifndef HAWKSIM_MEM_PHYS_HH
+#define HAWKSIM_MEM_PHYS_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/buddy.hh"
+#include "mem/frame.hh"
+
+namespace hawksim::mem {
+
+/** Owner id used for kernel-internal (fragmenter) allocations. */
+constexpr std::int32_t kKernelOwner = -2;
+
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param bytes size of simulated physical memory (multiple of 4KB)
+     * @param initially_zeroed whether boot memory starts pre-zeroed
+     */
+    explicit PhysicalMemory(std::uint64_t bytes,
+                            bool initially_zeroed = true);
+
+    /** @name Allocation */
+    /// @{
+    /**
+     * Allocate 2^order frames for @p owner. Frame metadata is
+     * initialized (owner set, free flag cleared). The returned block's
+     * `zeroed` flag tells the caller whether a synchronous zeroing
+     * cost must be charged.
+     */
+    std::optional<BuddyBlock> allocBlock(unsigned order,
+                                         std::int32_t owner,
+                                         ZeroPref pref);
+
+    /** Allocate one specific frame (fragmenter support). */
+    std::optional<BuddyBlock> allocSpecificFrame(Pfn pfn,
+                                                 std::int32_t owner);
+
+    /**
+     * Free 2^order frames. Each frame's content decides which list it
+     * returns to: never-written (still zero) frames go back to the
+     * zero lists, dirtied frames to the non-zero lists. Blocks whose
+     * frames disagree are split into maximal same-kind runs.
+     */
+    void freeBlock(Pfn pfn, unsigned order);
+    /// @}
+
+    /** @name Frame metadata */
+    /// @{
+    Frame &frame(Pfn pfn) { return frames_.at(pfn); }
+    const Frame &frame(Pfn pfn) const { return frames_.at(pfn); }
+
+    /**
+     * Record an application write to a frame: updates the content
+     * descriptor and drops the zeroed flag when content is non-zero.
+     */
+    void writeFrame(Pfn pfn, const PageContent &content);
+
+    /** Record the OS zero-filling a frame (content becomes zero). */
+    void zeroFrame(Pfn pfn);
+
+    /** Map/unmap bookkeeping (reverse map + map counts). */
+    void onMap(Pfn pfn, std::int32_t pid, Vpn vpn);
+    void onUnmap(Pfn pfn);
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    std::uint64_t totalFrames() const { return frames_.size(); }
+    std::uint64_t freeFrames() const { return buddy_.freePages(); }
+    std::uint64_t usedFrames() const
+    {
+        return totalFrames() - freeFrames();
+    }
+    /** Fraction of physical memory allocated, in [0, 1]. */
+    double
+    usedFraction() const
+    {
+        return static_cast<double>(usedFrames()) /
+               static_cast<double>(totalFrames());
+    }
+    BuddyAllocator &buddy() { return buddy_; }
+    const BuddyAllocator &buddy() const { return buddy_; }
+
+    /** The canonical all-zero frame used by COW dedup. */
+    Pfn zeroPagePfn() const { return zero_page_pfn_; }
+    /// @}
+
+    /**
+     * Observer invoked on every allocation (alloc=true) and free
+     * (alloc=false) with the block's start and order. Used by the
+     * virtualization layer to mirror guest-physical allocations into
+     * the host.
+     */
+    using AllocObserver =
+        std::function<void(Pfn, unsigned order, bool alloc)>;
+    void setAllocObserver(AllocObserver obs)
+    {
+        observer_ = std::move(obs);
+    }
+
+  private:
+    std::vector<Frame> frames_;
+    BuddyAllocator buddy_;
+    Pfn zero_page_pfn_ = kInvalidPfn;
+    AllocObserver observer_;
+};
+
+} // namespace hawksim::mem
+
+#endif // HAWKSIM_MEM_PHYS_HH

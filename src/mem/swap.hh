@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SSD-backed swap device cost model.
+ *
+ * The paper's overcommit experiments (Fig. 11) use a 96GB SSD swap
+ * partition. We model the device as a latency + bounded-throughput
+ * cost source: swapping N pages charges per-page device latency and
+ * respects a sustained bandwidth cap. Capacity is tracked so that
+ * exhausting swap raises an out-of-memory condition.
+ */
+
+#ifndef HAWKSIM_MEM_SWAP_HH
+#define HAWKSIM_MEM_SWAP_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace hawksim::mem {
+
+class SwapDevice
+{
+  public:
+    struct Config
+    {
+        std::uint64_t capacityBytes = GiB(96);
+        /** Per-4KB-page random read latency (SSD major fault). */
+        TimeNs readLatency = usec(80);
+        /** Per-4KB-page write latency (writeback is batched). */
+        TimeNs writeLatency = usec(20);
+        /** Sustained device throughput. */
+        std::uint64_t throughputBytesPerSec = MiB(500);
+    };
+
+    SwapDevice() : cfg_() {}
+    explicit SwapDevice(const Config &cfg) : cfg_(cfg) {}
+
+    /** Pages currently held in swap. */
+    std::uint64_t usedPages() const { return used_pages_; }
+    std::uint64_t
+    capacityPages() const
+    {
+        return cfg_.capacityBytes / kPageSize;
+    }
+    bool full() const { return used_pages_ >= capacityPages(); }
+
+    /**
+     * Swap out @p pages; returns the time charged to the reclaimer.
+     * Caps at remaining capacity; @p swapped_out reports the actual
+     * number of pages written.
+     */
+    TimeNs
+    swapOut(std::uint64_t pages, std::uint64_t *swapped_out = nullptr)
+    {
+        const std::uint64_t n =
+            std::min(pages, capacityPages() - used_pages_);
+        used_pages_ += n;
+        total_out_ += n;
+        if (swapped_out)
+            *swapped_out = n;
+        return cost(n, cfg_.writeLatency);
+    }
+
+    /** Swap in @p pages (major faults); returns time charged. */
+    TimeNs
+    swapIn(std::uint64_t pages)
+    {
+        const std::uint64_t n = std::min(pages, used_pages_);
+        used_pages_ -= n;
+        total_in_ += n;
+        return cost(n, cfg_.readLatency);
+    }
+
+    std::uint64_t totalSwappedOut() const { return total_out_; }
+    std::uint64_t totalSwappedIn() const { return total_in_; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    TimeNs
+    cost(std::uint64_t pages, TimeNs per_page) const
+    {
+        // Latency component plus bandwidth floor: the device cannot
+        // move bytes faster than its sustained throughput.
+        const TimeNs latency = static_cast<TimeNs>(pages) * per_page;
+        const TimeNs bw = static_cast<TimeNs>(
+            pages * kPageSize * 1'000'000'000ull /
+            cfg_.throughputBytesPerSec);
+        return std::max(latency, bw);
+    }
+
+    Config cfg_;
+    std::uint64_t used_pages_ = 0;
+    std::uint64_t total_out_ = 0;
+    std::uint64_t total_in_ = 0;
+};
+
+} // namespace hawksim::mem
+
+#endif // HAWKSIM_MEM_SWAP_HH

@@ -1,0 +1,145 @@
+#include "policy/common.hh"
+
+#include "mem/phys.hh"
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::policy {
+
+namespace {
+
+mem::ZeroPref
+prefFor(ZeroMode mode)
+{
+    return mode == ZeroMode::kUseZeroLists
+               ? mem::ZeroPref::kPreferZero
+               : mem::ZeroPref::kAny;
+}
+
+/** Zeroing cost for a freshly allocated block under a mode. */
+TimeNs
+zeroCost(const sim::CostParams &costs, ZeroMode mode, bool block_zeroed,
+         bool huge)
+{
+    switch (mode) {
+      case ZeroMode::kSyncAlways:
+        return huge ? costs.zero2m : costs.zero4k;
+      case ZeroMode::kNone:
+        return 0;
+      case ZeroMode::kUseZeroLists:
+        if (block_zeroed)
+            return 0;
+        return huge ? costs.zero2m : costs.zero4k;
+    }
+    return 0;
+}
+
+} // namespace
+
+FaultOutcome
+faultBase(sim::System &sys, sim::Process &proc, Vpn vpn, ZeroMode mode)
+{
+    FaultOutcome out;
+    out.latency += sys.swapInIfNeeded(proc.pid(), vpn);
+    auto blk = sys.phys().allocBlock(0, proc.pid(), prefFor(mode));
+    if (!blk && sys.swapEnabled()) {
+        // Direct reclaim: evict cold pages to swap and retry.
+        sys.reclaimPages(64, &out.latency);
+        blk = sys.phys().allocBlock(0, proc.pid(), prefFor(mode));
+    }
+    if (!blk) {
+        out.oom = true;
+        return out;
+    }
+    out.latency += sys.costs().faultBase4k +
+                   zeroCost(sys.costs(), mode, blk->zeroed, false);
+    if (mode != ZeroMode::kNone)
+        sys.phys().zeroFrame(blk->pfn);
+    proc.space().mapBasePage(vpn, blk->pfn,
+                             vm::kPteAccessed | vm::kPteDirty);
+    out.pagesMapped = 1;
+    return out;
+}
+
+FaultOutcome
+faultHuge(sim::System &sys, sim::Process &proc, Vpn vpn, ZeroMode mode,
+          bool allow_compact)
+{
+    TimeNs compact_cost = 0;
+    // Direct compaction in the fault path is bounded: against real
+    // page-cache fragmentation it gives up quickly (max_migrate 16),
+    // matching the kernel behaviour the paper observes.
+    auto blk = sys.allocHugeBlock(proc.pid(), prefFor(mode),
+                                  allow_compact, &compact_cost,
+                                  /*max_migrate=*/16);
+    if (!blk) {
+        FaultOutcome out = faultBase(sys, proc, vpn, mode);
+        out.latency += compact_cost;
+        return out;
+    }
+    FaultOutcome out;
+    out.latency = compact_cost + sys.costs().faultBase2m +
+                  zeroCost(sys.costs(), mode, blk->zeroed, true) +
+                  sys.swapInIfNeeded(proc.pid(), vpn);
+    if (mode != ZeroMode::kNone) {
+        for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++)
+            sys.phys().zeroFrame(p);
+    }
+    proc.space().mapHugeRegion(vpnToHugeRegion(vpn), blk->pfn,
+                               vm::kPteAccessed | vm::kPteDirty);
+    out.pagesMapped = kPagesPerHuge;
+    out.huge = true;
+    return out;
+}
+
+bool
+regionEligible(sim::Process &proc, std::uint64_t region)
+{
+    const Addr start = region * kHugePageSize;
+    const vm::Vma *vma = proc.space().findVma(start);
+    return vma && vma->anon && vma->hugeEligible &&
+           vma->contains(start + kHugePageSize - 1);
+}
+
+bool
+regionEmptyAndEligible(sim::Process &proc, Vpn vpn)
+{
+    const std::uint64_t region = vpnToHugeRegion(vpn);
+    return regionEligible(proc, region) &&
+           proc.space().pageTable().population(region) == 0;
+}
+
+std::optional<TimeNs>
+promoteOne(sim::System &sys, sim::Process &proc, std::uint64_t region,
+           bool prefer_zero)
+{
+    TimeNs cost = 0;
+    auto blk = sys.allocHugeBlock(proc.pid(),
+                                  prefer_zero
+                                      ? mem::ZeroPref::kPreferZero
+                                      : mem::ZeroPref::kPreferNonZero,
+                                  /*allow_compact=*/true, &cost);
+    if (!blk)
+        return std::nullopt;
+    // Tail pages that had no prior mapping must read as zero; if the
+    // block came pre-zeroed they already do, otherwise the daemon
+    // zeroes them (cheap relative to the copy, charged via zero2m
+    // scaled by the unbacked fraction).
+    const unsigned pop = proc.space().pageTable().population(region);
+    const std::uint64_t copied = proc.space().promoteRegion(region,
+                                                            blk->pfn);
+    cost += sys.costs().promoteFixed +
+            static_cast<TimeNs>(copied) * sys.costs().promoteCopyPerPage;
+    if (!blk->zeroed && pop < kPagesPerHuge) {
+        cost += sys.costs().zero2m *
+                static_cast<TimeNs>(kPagesPerHuge - pop) /
+                static_cast<TimeNs>(kPagesPerHuge);
+    }
+    // No full TLB shootdown is modelled: the simulator's TLB keys
+    // are virtual page numbers, and lookups re-resolve page size
+    // through the page table, so stale base-page entries simply age
+    // out (hardware uses targeted invlpg, not a full flush).
+    return cost;
+}
+
+} // namespace hawksim::policy

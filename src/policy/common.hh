@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fault-path building blocks shared by all huge-page policies.
+ */
+
+#ifndef HAWKSIM_POLICY_COMMON_HH
+#define HAWKSIM_POLICY_COMMON_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "base/types.hh"
+#include "policy/policy.hh"
+
+namespace hawksim::sim {
+class Process;
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::policy {
+
+/** How a policy obtains zeroed memory for anonymous faults. */
+enum class ZeroMode
+{
+    /** Zero synchronously in the fault path (Linux/Ingens). */
+    kSyncAlways,
+    /** Skip zeroing entirely (insecure; Table 1's hypothetical). */
+    kNone,
+    /**
+     * Prefer pre-zeroed free lists; zero synchronously only when the
+     * allocator hands back a dirty block (HawkEye §3.1).
+     */
+    kUseZeroLists,
+};
+
+/** Map one base page at @p vpn, charging the policy's zeroing cost. */
+FaultOutcome faultBase(sim::System &sys, sim::Process &proc, Vpn vpn,
+                       ZeroMode mode);
+
+/**
+ * Map the whole region containing @p vpn with a huge page, charging
+ * the policy's zeroing cost. Falls back to a base-page fault when no
+ * order-9 block can be produced.
+ *
+ * @param allow_compact run direct compaction in the fault path (the
+ *        latency of which is charged to the faulting process)
+ */
+FaultOutcome faultHuge(sim::System &sys, sim::Process &proc, Vpn vpn,
+                       ZeroMode mode, bool allow_compact);
+
+/**
+ * True when the 2MB region containing @p vpn lies fully inside a
+ * huge-eligible anonymous VMA and currently has no mappings — the
+ * precondition for allocating a huge page at first fault.
+ */
+bool regionEmptyAndEligible(sim::Process &proc, Vpn vpn);
+
+/** True when the region lies fully inside a huge-eligible VMA. */
+bool regionEligible(sim::Process &proc, std::uint64_t region);
+
+/**
+ * khugepaged-style promotion of one region: allocate an order-9 block
+ * (compacting if needed), copy, remap. Returns the daemon time spent,
+ * or std::nullopt if allocation failed.
+ */
+std::optional<TimeNs> promoteOne(sim::System &sys, sim::Process &proc,
+                                 std::uint64_t region,
+                                 bool prefer_zero = false);
+
+} // namespace hawksim::policy
+
+#endif // HAWKSIM_POLICY_COMMON_HH

@@ -1,0 +1,123 @@
+#include "policy/freebsd.hh"
+
+#include <vector>
+
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::policy {
+
+FaultOutcome
+FreeBsdPolicy::onFault(sim::System &sys, sim::Process &proc, Vpn vpn)
+{
+    const std::uint64_t region = vpnToHugeRegion(vpn);
+    if (cfg_.reservations && regionEligible(proc, region)) {
+        const std::uint64_t k = key(proc.pid(), region);
+        auto it = resv_.find(k);
+        if (it == resv_.end() &&
+            proc.space().pageTable().population(region) == 0) {
+            // Opportunistic reservation: take an order-9 block if one
+            // is free right now (no compaction in the fault path).
+            auto blk = sys.phys().allocBlock(kHugePageOrder,
+                                             proc.pid(),
+                                             mem::ZeroPref::kAny);
+            if (blk) {
+                for (Pfn p = blk->pfn; p < blk->pfn + blk->pages();
+                     p++) {
+                    sys.phys().frame(p).set(mem::kFrameReserved);
+                }
+                it = resv_.emplace(k, Reservation{blk->pfn,
+                                                  proc.pid()})
+                         .first;
+            }
+        }
+        if (it != resv_.end()) {
+            // Fill the faulting page's natural slot in the block.
+            const unsigned slot = vpn & (kPagesPerHuge - 1);
+            const Pfn pfn = it->second.block + slot;
+            FaultOutcome out;
+            out.latency = sys.costs().faultBase4k;
+            if (cfg_.zero != ZeroMode::kNone) {
+                out.latency += sys.costs().zero4k;
+                sys.phys().zeroFrame(pfn);
+            }
+            sys.phys().frame(pfn).clear(mem::kFrameReserved);
+            proc.space().mapBasePage(vpn, pfn, vm::kPteAccessed |
+                                                   vm::kPteDirty |
+                                                   vm::kPteReserv);
+            out.pagesMapped = 1;
+            if (proc.space().pageTable().population(region) ==
+                kPagesPerHuge) {
+                proc.space().promoteInPlace(region);
+                resv_.erase(it);
+                promotions_++;
+                out.huge = true;
+            }
+            return out;
+        }
+    }
+    FaultOutcome out = faultBase(sys, proc, vpn, cfg_.zero);
+    if (out.oom && !resv_.empty()) {
+        // Memory pressure: break partial reservations and retry.
+        breakAll(sys);
+        out = faultBase(sys, proc, vpn, cfg_.zero);
+    }
+    return out;
+}
+
+void
+FreeBsdPolicy::breakReservation(sim::System &sys, std::uint64_t k)
+{
+    auto it = resv_.find(k);
+    if (it == resv_.end())
+        return;
+    const Pfn block = it->second.block;
+    for (Pfn p = block; p < block + kPagesPerHuge; p++) {
+        mem::Frame &f = sys.phys().frame(p);
+        if (!f.isReserved())
+            continue; // slot was mapped (or already released)
+        f.clear(mem::kFrameReserved);
+        if (!f.isFree() && f.mapCount == 0)
+            sys.phys().freeBlock(p, 0);
+    }
+    resv_.erase(it);
+    broken_++;
+}
+
+void
+FreeBsdPolicy::breakAll(sim::System &sys)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(resv_.size());
+    for (const auto &[k, r] : resv_)
+        keys.push_back(k);
+    for (std::uint64_t k : keys)
+        breakReservation(sys, k);
+}
+
+void
+FreeBsdPolicy::onMadviseFree(sim::System &sys, sim::Process &proc,
+                             Addr start, std::uint64_t bytes)
+{
+    // Any reservation overlapping the freed range is no longer
+    // fillable: its mapped slots were just freed out from under it.
+    const std::uint64_t first = start / kHugePageSize;
+    const std::uint64_t last =
+        (start + bytes + kHugePageSize - 1) / kHugePageSize;
+    for (std::uint64_t region = first; region < last; region++)
+        breakReservation(sys, key(proc.pid(), region));
+}
+
+void
+FreeBsdPolicy::onProcessExit(sim::System &sys, sim::Process &proc)
+{
+    std::vector<std::uint64_t> keys;
+    for (const auto &[k, r] : resv_) {
+        if (r.pid == proc.pid())
+            keys.push_back(k);
+    }
+    for (std::uint64_t k : keys)
+        breakReservation(sys, k);
+}
+
+} // namespace hawksim::policy

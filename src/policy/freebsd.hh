@@ -1,0 +1,81 @@
+/**
+ * @file
+ * FreeBSD-style reservation-based huge-page policy [Navarro 2002].
+ *
+ * On the first fault in an eligible region the policy *reserves* a
+ * contiguous order-9 block but maps only the faulted base page;
+ * subsequent faults fill their natural slots of the reserved block.
+ * Only when every base page is populated is the region promoted —
+ * in place, with no copying. Under memory pressure, the unused tails
+ * of partial reservations are broken and returned to the allocator.
+ *
+ * Conservative by design: no bloat, but delayed promotion and a full
+ * complement of base-page faults (§2.1, §2.2).
+ */
+
+#ifndef HAWKSIM_POLICY_FREEBSD_HH
+#define HAWKSIM_POLICY_FREEBSD_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "policy/common.hh"
+#include "policy/policy.hh"
+
+namespace hawksim::policy {
+
+struct FreeBsdConfig
+{
+    bool reservations = true;
+    ZeroMode zero = ZeroMode::kSyncAlways;
+};
+
+class FreeBsdPolicy : public HugePagePolicy
+{
+  public:
+    explicit FreeBsdPolicy(FreeBsdConfig cfg = FreeBsdConfig{})
+        : cfg_(cfg)
+    {}
+
+    std::string name() const override { return "FreeBSD"; }
+
+    FaultOutcome onFault(sim::System &sys, sim::Process &proc,
+                         Vpn vpn) override;
+    void onMadviseFree(sim::System &sys, sim::Process &proc,
+                       Addr start, std::uint64_t bytes) override;
+    void onProcessExit(sim::System &sys, sim::Process &proc) override;
+
+    std::uint64_t promotions() const { return promotions_; }
+    std::uint64_t reservationsBroken() const { return broken_; }
+    std::size_t activeReservations() const { return resv_.size(); }
+
+  private:
+    struct Reservation
+    {
+        Pfn block;
+        std::int32_t pid;
+    };
+
+    static std::uint64_t
+    key(std::int32_t pid, std::uint64_t region)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(pid))
+                << 40) ^
+               region;
+    }
+
+    /** Free the unmapped frames of a reservation and drop it. */
+    void breakReservation(sim::System &sys, std::uint64_t k);
+    /** Break every partial reservation (memory pressure). */
+    void breakAll(sim::System &sys);
+
+    FreeBsdConfig cfg_;
+    std::unordered_map<std::uint64_t, Reservation> resv_;
+    std::uint64_t promotions_ = 0;
+    std::uint64_t broken_ = 0;
+};
+
+} // namespace hawksim::policy
+
+#endif // HAWKSIM_POLICY_FREEBSD_HH

@@ -1,0 +1,176 @@
+#include "policy/ingens.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::policy {
+
+bool
+IngensPolicy::conservative(sim::System &sys) const
+{
+    if (cfg_.alwaysConservative)
+        return true;
+    return sys.phys().buddy().fragIndex(kHugePageOrder) >
+           cfg_.fmfiThreshold;
+}
+
+FaultOutcome
+IngensPolicy::onFault(sim::System &sys, sim::Process &proc, Vpn vpn)
+{
+    // Ingens never allocates huge pages synchronously: base pages
+    // keep fault latency low; promotion is asynchronous.
+    FaultOutcome out = faultBase(sys, proc, vpn, cfg_.zero);
+    if (!out.oom) {
+        const std::uint64_t region = vpnToHugeRegion(vpn);
+        if (regionEligible(proc, region)) {
+            ProcState &st = state_[proc.pid()];
+            if (st.recentSet.insert(region).second)
+                st.recentRegions.push_back(region);
+        }
+    }
+    return out;
+}
+
+void
+IngensPolicy::onProcessStart(sim::System &sys, sim::Process &proc)
+{
+    (void)sys;
+    ProcState &st = state_[proc.pid()];
+    st.tracker = std::make_unique<core::AccessTracker>();
+}
+
+void
+IngensPolicy::onProcessExit(sim::System &sys, sim::Process &proc)
+{
+    (void)sys;
+    state_.erase(proc.pid());
+}
+
+double
+IngensPolicy::promotionMetric(sim::Process &proc, ProcState &st) const
+{
+    // "Memory contiguity as a resource": charge each process for the
+    // huge pages it holds, with idle (cold) huge pages weighing
+    // extra; normalize by footprint so small and large processes
+    // compete fairly for contiguity.
+    double idle = 0.0;
+    for (const auto &[region, stat] : st.tracker->regions()) {
+        if (stat.isHuge && stat.lastSample == 0)
+            idle += 1.0;
+    }
+    const double huge = static_cast<double>(
+        proc.space().pageTable().mappedHugePages());
+    const double footprint_regions = std::max<double>(
+        1.0, static_cast<double>(proc.space().mappedPages()) /
+                 static_cast<double>(kPagesPerHuge));
+    return (huge + cfg_.idlePenalty * idle) / footprint_regions;
+}
+
+bool
+IngensPolicy::pickCandidate(sim::Process &proc, ProcState &st,
+                            unsigned min_pop,
+                            std::uint64_t &region_out)
+{
+    const auto &pt = proc.space().pageTable();
+    // Recently faulted regions first (oldest outstanding fault wins).
+    while (!st.recentRegions.empty()) {
+        const std::uint64_t region = st.recentRegions.front();
+        if (pt.isHuge(region) || pt.population(region) == 0) {
+            st.recentRegions.pop_front();
+            st.recentSet.erase(region);
+            continue;
+        }
+        if (pt.population(region) >= min_pop) {
+            st.recentRegions.pop_front();
+            st.recentSet.erase(region);
+            region_out = region;
+            return true;
+        }
+        break; // head not ready yet; keep waiting for its faults
+    }
+    // Fallback: sequential low-to-high VA scan (the behaviour §2.3
+    // criticizes as unfair to high-VA hot spots).
+    for (const auto &[start, vma] : proc.space().vmas()) {
+        if (!vma.anon || !vma.hugeEligible)
+            continue;
+        const std::uint64_t first =
+            std::max(vma.firstFullRegion(), st.cursor);
+        for (std::uint64_t r = first; r < vma.endFullRegion(); r++) {
+            if (pt.isHuge(r))
+                continue;
+            if (pt.population(r) >= min_pop) {
+                region_out = r;
+                st.cursor = r + 1;
+                return true;
+            }
+        }
+    }
+    st.cursor = 0;
+    return false;
+}
+
+void
+IngensPolicy::periodic(sim::System &sys)
+{
+    // Idleness sampling for the fairness metric.
+    for (auto &proc : sys.processes()) {
+        if (proc->finished())
+            continue;
+        auto it = state_.find(proc->pid());
+        if (it != state_.end() && it->second.tracker)
+            it->second.tracker->periodic(*proc, sys.now());
+    }
+
+    promote_budget_ += sys.costs().promotionsPerSec *
+                       static_cast<double>(sys.config().tickQuantum) /
+                       1e9;
+    if (promote_budget_ < 1.0)
+        return;
+
+    const unsigned min_pop =
+        conservative(sys)
+            ? static_cast<unsigned>(cfg_.utilThreshold *
+                                    kPagesPerHuge)
+            : 1;
+
+    while (promote_budget_ >= 1.0) {
+        // Proportional-share selection: rank processes by promotion
+        // metric (lowest = most deserving), then promote the first
+        // ranked process that has a ready candidate.
+        std::vector<std::pair<double, sim::Process *>> order;
+        for (auto &proc : sys.processes()) {
+            if (proc->finished() || !state_.count(proc->pid()))
+                continue;
+            order.emplace_back(
+                promotionMetric(*proc, state_[proc->pid()]),
+                proc.get());
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        bool promoted = false;
+        for (auto &[metric, proc] : order) {
+            (void)metric;
+            std::uint64_t region = 0;
+            if (!pickCandidate(*proc, state_[proc->pid()], min_pop,
+                               region)) {
+                continue;
+            }
+            if (!promoteOne(sys, *proc, region).has_value())
+                return; // no contiguity available this round
+            promotions_++;
+            state_[proc->pid()].promoted++;
+            promote_budget_ -= 1.0;
+            promoted = true;
+            break;
+        }
+        if (!promoted)
+            return;
+    }
+}
+
+} // namespace hawksim::policy

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ingens huge-page policy [Kwon et al., OSDI 2016], as characterized
+ * by the HawkEye paper:
+ *
+ *   - base pages only in the fault path (low latency), with async
+ *     promotion by a khugepaged-like thread that prioritizes recently
+ *     faulted regions;
+ *   - adaptive utilization threshold: aggressive (promote at >=1
+ *     present page) while FMFI < 0.5, conservative (promote at the
+ *     configured utilization, default 90%) when fragmentation is
+ *     high;
+ *   - fairness via proportional promotion: memory contiguity is
+ *     treated as a resource, and processes with many idle (cold) huge
+ *     pages are penalized through an idleness penalty factor.
+ */
+
+#ifndef HAWKSIM_POLICY_INGENS_HH
+#define HAWKSIM_POLICY_INGENS_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/access_tracker.hh"
+#include "policy/common.hh"
+#include "policy/policy.hh"
+
+namespace hawksim::policy {
+
+struct IngensConfig
+{
+    /** Utilization threshold in conservative mode (fraction). */
+    double utilThreshold = 0.90;
+    /** FMFI above which the policy turns conservative. */
+    double fmfiThreshold = 0.5;
+    /** Penalty weight for idle huge pages in the fairness metric. */
+    double idlePenalty = 0.5;
+    /** Force conservative mode regardless of FMFI. */
+    bool alwaysConservative = false;
+    ZeroMode zero = ZeroMode::kSyncAlways;
+};
+
+class IngensPolicy : public HugePagePolicy
+{
+  public:
+    explicit IngensPolicy(IngensConfig cfg = IngensConfig{})
+        : cfg_(cfg)
+    {}
+
+    std::string
+    name() const override
+    {
+        return "Ingens-" +
+               std::to_string(
+                   static_cast<int>(cfg_.utilThreshold * 100)) +
+               "%";
+    }
+
+    FaultOutcome onFault(sim::System &sys, sim::Process &proc,
+                         Vpn vpn) override;
+    void periodic(sim::System &sys) override;
+    void onProcessStart(sim::System &sys, sim::Process &proc) override;
+    void onProcessExit(sim::System &sys, sim::Process &proc) override;
+
+    std::uint64_t promotions() const { return promotions_; }
+    /** True when currently promoting conservatively. */
+    bool conservative(sim::System &sys) const;
+
+  private:
+    struct ProcState
+    {
+        /** Recently faulted regions, oldest first (promotion prio). */
+        std::deque<std::uint64_t> recentRegions;
+        std::unordered_set<std::uint64_t> recentSet;
+        /** Sequential scan cursor for non-recent candidates. */
+        std::uint64_t cursor = 0;
+        /** Access-bit sampler for idleness accounting. */
+        std::unique_ptr<core::AccessTracker> tracker;
+        std::uint64_t promoted = 0;
+    };
+
+    /** Fairness metric: lower means more deserving of promotion. */
+    double promotionMetric(sim::Process &proc, ProcState &st) const;
+    /** Find this process's best candidate region, if any. */
+    bool pickCandidate(sim::Process &proc, ProcState &st,
+                       unsigned min_pop, std::uint64_t &region_out);
+
+    IngensConfig cfg_;
+    std::unordered_map<std::int32_t, ProcState> state_;
+    double promote_budget_ = 0.0;
+    std::uint64_t promotions_ = 0;
+};
+
+} // namespace hawksim::policy
+
+#endif // HAWKSIM_POLICY_INGENS_HH

@@ -1,0 +1,110 @@
+#include "policy/linux_thp.hh"
+
+#include <algorithm>
+
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::policy {
+
+FaultOutcome
+LinuxThpPolicy::onFault(sim::System &sys, sim::Process &proc, Vpn vpn)
+{
+    if (cfg_.thp && cfg_.faultHuge &&
+        regionEmptyAndEligible(proc, vpn)) {
+        // Synchronous huge allocation with direct compaction: low MMU
+        // overhead, but the zeroing + compaction latency is charged
+        // to the faulting thread (the problem §2.2 quantifies).
+        return faultHuge(sys, proc, vpn, cfg_.zero,
+                         /*allow_compact=*/true);
+    }
+    return faultBase(sys, proc, vpn, cfg_.zero);
+}
+
+void
+LinuxThpPolicy::onProcessStart(sim::System &sys, sim::Process &proc)
+{
+    (void)sys;
+    fcfs_.push_back(proc.pid());
+    cursor_[proc.pid()] = 0;
+}
+
+void
+LinuxThpPolicy::onProcessExit(sim::System &sys, sim::Process &proc)
+{
+    (void)sys;
+    auto it = std::find(fcfs_.begin(), fcfs_.end(), proc.pid());
+    if (it != fcfs_.end()) {
+        const auto idx = static_cast<std::size_t>(it - fcfs_.begin());
+        fcfs_.erase(it);
+        if (scan_idx_ > idx)
+            scan_idx_--;
+    }
+    cursor_.erase(proc.pid());
+    if (!fcfs_.empty())
+        scan_idx_ %= fcfs_.size();
+}
+
+bool
+LinuxThpPolicy::nextCandidate(sim::Process &proc,
+                              std::uint64_t &region_out)
+{
+    std::uint64_t &cur = cursor_[proc.pid()];
+    const unsigned need =
+        kPagesPerHuge - std::min<unsigned>(cfg_.maxPtesNone, 511);
+    for (const auto &[start, vma] : proc.space().vmas()) {
+        if (!vma.anon || !vma.hugeEligible)
+            continue;
+        const std::uint64_t first =
+            std::max(vma.firstFullRegion(), cur);
+        for (std::uint64_t r = first; r < vma.endFullRegion(); r++) {
+            const auto &pt = proc.space().pageTable();
+            if (pt.isHuge(r))
+                continue;
+            if (pt.population(r) >= need) {
+                region_out = r;
+                cur = r + 1;
+                return true;
+            }
+        }
+    }
+    cur = 0; // full pass complete; restart next round
+    return false;
+}
+
+void
+LinuxThpPolicy::periodic(sim::System &sys)
+{
+    if (!cfg_.thp || !cfg_.khugepaged || fcfs_.empty())
+        return;
+    promote_budget_ += sys.costs().promotionsPerSec *
+                       static_cast<double>(sys.config().tickQuantum) /
+                       1e9;
+    // khugepaged: FCFS across processes; finish one process's scan
+    // before moving to the next.
+    std::size_t exhausted = 0;
+    while (promote_budget_ >= 1.0 && exhausted < fcfs_.size()) {
+        sim::Process *proc = sys.findProcess(fcfs_[scan_idx_]);
+        if (!proc || proc->finished()) {
+            scan_idx_ = (scan_idx_ + 1) % fcfs_.size();
+            exhausted++;
+            continue;
+        }
+        std::uint64_t region = 0;
+        if (!nextCandidate(*proc, region)) {
+            scan_idx_ = (scan_idx_ + 1) % fcfs_.size();
+            exhausted++;
+            continue;
+        }
+        if (promoteOne(sys, *proc, region).has_value()) {
+            promotions_++;
+            promote_budget_ -= 1.0;
+        } else {
+            // No contiguity even after compaction: back off this
+            // round.
+            break;
+        }
+    }
+}
+
+} // namespace hawksim::policy

@@ -1,0 +1,22 @@
+#include "policy/policy.hh"
+
+#include "sim/process.hh"
+#include "sim/system.hh"
+
+namespace hawksim::policy {
+
+TimeNs
+HugePagePolicy::onCowFault(sim::System &sys, sim::Process &proc,
+                           Vpn vpn)
+{
+    // Break the COW: allocate a private frame and retarget. The extra
+    // zeroing cost (when the frame wasn't pre-zeroed) mirrors the
+    // base-page fault path.
+    const bool zeroed_sync = proc.space().breakCow(vpn);
+    TimeNs cost = sys.costs().cowBreak;
+    if (zeroed_sync)
+        cost += sys.costs().zero4k;
+    return cost;
+}
+
+} // namespace hawksim::policy

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The OS huge-page policy interface.
+ *
+ * A policy decides what happens on an anonymous page fault (base vs
+ * huge allocation, synchronous zeroing), runs its background work
+ * (khugepaged-style promotion, zeroing, bloat recovery) from
+ * periodic(), and reacts to madvise frees and process exit. All four
+ * systems from the paper — Linux, FreeBSD, Ingens and HawkEye — are
+ * implementations of this interface.
+ */
+
+#ifndef HAWKSIM_POLICY_POLICY_HH
+#define HAWKSIM_POLICY_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace hawksim::sim {
+class Process;
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::policy {
+
+/** Result of servicing one page fault. */
+struct FaultOutcome
+{
+    /** Latency charged to the faulting process. */
+    TimeNs latency = 0;
+    /** 4KB pages mapped by this fault (1 or 512). */
+    std::uint64_t pagesMapped = 0;
+    /** The fault was served with a huge page. */
+    bool huge = false;
+    /** No memory available; the process sees an OOM kill. */
+    bool oom = false;
+};
+
+class HugePagePolicy
+{
+  public:
+    virtual ~HugePagePolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Called once when the policy is installed into a system. */
+    virtual void attach(sim::System &sys) { (void)sys; }
+
+    /** Per-process lifecycle hooks. */
+    virtual void
+    onProcessStart(sim::System &sys, sim::Process &proc)
+    {
+        (void)sys;
+        (void)proc;
+    }
+    virtual void
+    onProcessExit(sim::System &sys, sim::Process &proc)
+    {
+        (void)sys;
+        (void)proc;
+    }
+
+    /** Service an anonymous page fault at @p vpn. */
+    virtual FaultOutcome onFault(sim::System &sys, sim::Process &proc,
+                                 Vpn vpn) = 0;
+
+    /**
+     * Service a write fault on a COW (zero-dedup) mapping. The
+     * default breaks the COW and charges the copy cost.
+     */
+    virtual TimeNs onCowFault(sim::System &sys, sim::Process &proc,
+                              Vpn vpn);
+
+    /** Background work; called once per simulation tick. */
+    virtual void periodic(sim::System &sys) { (void)sys; }
+
+    /** Total huge-page promotions performed by background work. */
+    virtual std::uint64_t promotions() const { return 0; }
+
+    /** Notification after a process released a VA range. */
+    virtual void
+    onMadviseFree(sim::System &sys, sim::Process &proc, Addr start,
+                  std::uint64_t bytes)
+    {
+        (void)sys;
+        (void)proc;
+        (void)start;
+        (void)bytes;
+    }
+};
+
+} // namespace hawksim::policy
+
+#endif // HAWKSIM_POLICY_POLICY_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Global cost parameters for the simulation engine.
+ *
+ * Fault-path costs are calibrated to the paper's own measurements
+ * (Table 1, Haswell-EP @2.3GHz):
+ *   - base-page fault: 3.5us total, ~25% of it zeroing;
+ *   - huge-page fault: 465us total, ~97% of it zeroing;
+ *   - with pre-zeroed memory: 2.65us and 13us respectively.
+ * Promotion copies 2MB at roughly memcpy bandwidth; khugepaged-style
+ * daemons are rate-limited the way the paper's timelines imply
+ * (roughly tens of promotions per second system-wide).
+ */
+
+#ifndef HAWKSIM_SIM_CONFIG_HH
+#define HAWKSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace hawksim::sim {
+
+struct CostParams
+{
+    /** Core frequency used to convert cycles to time. */
+    double cpuGhz = 2.3;
+
+    /** @name Page-fault path (Table 1 calibration) */
+    /// @{
+    /** Base-page fault cost excluding zeroing. */
+    TimeNs faultBase4k = nsec(2650);
+    /** Synchronous zeroing of one 4KB page. */
+    TimeNs zero4k = nsec(850);
+    /** Huge-page fault cost excluding zeroing. */
+    TimeNs faultBase2m = usec(13);
+    /** Synchronous zeroing of one 2MB page. */
+    TimeNs zero2m = usec(452);
+    /** COW break (copy + remap) for one base page. */
+    TimeNs cowBreak = usec(3);
+    /// @}
+
+    /** @name Promotion / demotion / migration */
+    /// @{
+    /** Per-base-page copy cost during promotion (~10GB/s). */
+    TimeNs promoteCopyPerPage = nsec(400);
+    /** Fixed promotion cost (allocation, PT surgery, shootdown). */
+    TimeNs promoteFixed = usec(20);
+    TimeNs demoteFixed = usec(10);
+    /** Per-page migration cost during compaction. */
+    TimeNs migratePerPage = nsec(450);
+    /// @}
+
+    /** @name Daemon rate limits */
+    /// @{
+    /** khugepaged-equivalent promotion rate (regions per second). */
+    double promotionsPerSec = 20.0;
+    /** Async pre-zeroing thread rate limit (4KB pages per second). */
+    double zeroDaemonPagesPerSec = 10'000.0;
+    /** Bloat-recovery scan rate (bytes of scanning per second). */
+    double bloatScanBytesPerSec = 400.0 * 1024 * 1024;
+    /** KSM scan rate (pages per second). */
+    double ksmPagesPerSec = 25'000.0;
+    /**
+     * kcompactd: background compaction that rebuilds order-9
+     * contiguity when free memory is plentiful but fragmented
+     * (regions defragmented per second; 0 disables).
+     */
+    double kcompactdRegionsPerSec = 25.0;
+    /// @}
+
+    /** @name Memory pressure watermarks (HawkEye §3.2) */
+    /// @{
+    double bloatHighWatermark = 0.85;
+    double bloatLowWatermark = 0.70;
+    /// @}
+
+    Cycles
+    nsToCycles(TimeNs ns) const
+    {
+        return static_cast<Cycles>(static_cast<double>(ns) * cpuGhz);
+    }
+
+    TimeNs
+    cyclesToNs(Cycles c) const
+    {
+        return static_cast<TimeNs>(static_cast<double>(c) / cpuGhz);
+    }
+};
+
+/** Top-level system configuration. */
+struct SystemConfig
+{
+    /** Simulated physical memory size in bytes. */
+    std::uint64_t memoryBytes = GiB(4);
+    /** Simulation tick quantum. */
+    TimeNs tickQuantum = msec(10);
+    /** Boot memory starts pre-zeroed. */
+    bool bootMemoryZeroed = true;
+    /** Master seed for all stochastic behaviour. */
+    std::uint64_t seed = 42;
+    /** Metrics sampling period (0 disables). */
+    TimeNs metricsPeriod = msec(100);
+    CostParams costs;
+};
+
+} // namespace hawksim::sim
+
+#endif // HAWKSIM_SIM_CONFIG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Named time-series recorder for experiments.
+ *
+ * Benches pull series like "p0.rss_pages" or "sys.free_frames" out of
+ * the recorder after a run and print the paper's figures from them.
+ */
+
+#ifndef HAWKSIM_SIM_METRICS_HH
+#define HAWKSIM_SIM_METRICS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace hawksim::sim {
+
+/** A discrete event worth listing in experiment output (OOM etc.). */
+struct SimEvent
+{
+    TimeNs time;
+    std::string what;
+};
+
+class Metrics
+{
+  public:
+    /** Append a sample to the named series (created on first use). */
+    void
+    record(const std::string &series, TimeNs t, double v)
+    {
+        auto it = series_.find(series);
+        if (it == series_.end())
+            it = series_.emplace(series, TimeSeries(series)).first;
+        it->second.record(t, v);
+    }
+
+    void
+    event(TimeNs t, std::string what)
+    {
+        events_.push_back({t, std::move(what)});
+    }
+
+    /** Fetch a series; returns an empty one if never recorded. */
+    const TimeSeries &
+    series(const std::string &name) const
+    {
+        static const TimeSeries empty;
+        auto it = series_.find(name);
+        return it == series_.end() ? empty : it->second;
+    }
+
+    bool has(const std::string &name) const
+    {
+        return series_.count(name) != 0;
+    }
+
+    const std::map<std::string, TimeSeries> &all() const
+    {
+        return series_;
+    }
+    const std::vector<SimEvent> &events() const { return events_; }
+
+    /**
+     * Export every series in long CSV form (series,time_ns,value) —
+     * directly loadable by pandas/R for plotting the figures.
+     */
+    void
+    writeCsv(std::ostream &os) const
+    {
+        os << "series,time_ns,value\n";
+        for (const auto &[name, ts] : series_) {
+            for (const auto &p : ts.points()) {
+                os << name << ',' << p.time << ',' << p.value
+                   << '\n';
+            }
+        }
+    }
+
+  private:
+    std::map<std::string, TimeSeries> series_;
+    std::vector<SimEvent> events_;
+};
+
+} // namespace hawksim::sim
+
+#endif // HAWKSIM_SIM_METRICS_HH

@@ -1,0 +1,148 @@
+#include "sim/process.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "sim/system.hh"
+
+namespace hawksim::sim {
+
+Process::Process(std::int32_t pid, std::string name, System &sys,
+                 std::unique_ptr<workload::Workload> wl,
+                 tlb::TlbConfig tlb_cfg)
+    : pid_(pid), name_(std::move(name)), sys_(sys),
+      space_(pid, sys.phys()), tlb_(tlb_cfg), workload_(std::move(wl))
+{
+    HS_ASSERT(workload_ != nullptr, "process without workload");
+}
+
+void
+Process::start(TimeNs now)
+{
+    HS_ASSERT(!started_, "double start of process ", name_);
+    started_ = true;
+    started_at_ = now;
+    workload_->init(*this);
+}
+
+void
+Process::tick(TimeNs dt)
+{
+    if (!started_ || finished_)
+        return;
+    const CostParams &costs = sys_.costs();
+    // The core is unhalted for the whole tick (Table 4's C3).
+    tlb_.counters().cpuClkUnhalted += costs.nsToCycles(dt);
+
+    TimeNs avail = dt - debt_;
+    debt_ = 0;
+    while (avail > 0 && !finished_) {
+        workload::WorkChunk chunk =
+            workload_->next(*this, std::min(avail, dt));
+        TimeNs cost = chunk.compute;
+
+        // Fault handling: touch pages in order, going through the OS
+        // policy for anything unmapped (or COW-protected writes).
+        for (Vpn vpn : chunk.faults) {
+            vm::Translation t = space_.pageTable().lookup(vpn);
+            if (t.present) {
+                if (t.entry.cow() && chunk.faultsAreWrites) {
+                    cost += sys_.policy().onCowFault(sys_, *this, vpn);
+                    cow_faults_++;
+                }
+                continue;
+            }
+            policy::FaultOutcome out =
+                sys_.policy().onFault(sys_, *this, vpn);
+            page_faults_++;
+            fault_time_ += out.latency;
+            cost += out.latency;
+            if (out.oom) {
+                oom_ = true;
+                sys_.metrics().event(sys_.now(),
+                                     name_ + ": OOM killed");
+                break;
+            }
+        }
+
+        // Content writes (drive zero-scan / dedup behaviour).
+        if (!oom_) {
+            for (const auto &[vpn, content] : chunk.writes) {
+                vm::Translation t = space_.pageTable().lookup(vpn);
+                if (!t.present) {
+                    policy::FaultOutcome out =
+                        sys_.policy().onFault(sys_, *this, vpn);
+                    page_faults_++;
+                    fault_time_ += out.latency;
+                    cost += out.latency;
+                    if (out.oom) {
+                        oom_ = true;
+                        sys_.metrics().event(sys_.now(),
+                                             name_ + ": OOM killed");
+                        break;
+                    }
+                    t = space_.pageTable().lookup(vpn);
+                }
+                if (t.entry.cow()) {
+                    cost += sys_.policy().onCowFault(sys_, *this, vpn);
+                    cow_faults_++;
+                    t = space_.pageTable().lookup(vpn);
+                }
+                sys_.phys().writeFrame(t.pfn, content);
+                space_.pageTable().touch(vpn, true);
+            }
+        }
+
+        // Accessed-bit shadow sample (for OS access-bit tracking).
+        for (Vpn vpn : chunk.touches)
+            space_.pageTable().touch(vpn, false);
+
+        // TLB simulation over the sampled access stream.
+        if (!chunk.sample.empty() && chunk.accessCount > 0) {
+            const double scale =
+                static_cast<double>(chunk.accessCount) /
+                static_cast<double>(chunk.sample.size());
+            tlb::TlbBatchResult res =
+                tlb_.simulate(space_.pageTable(), chunk.sample,
+                              chunk.sequentiality, scale);
+            cost += costs.cyclesToNs(res.walkCycles);
+        }
+
+        // Releases (MADV_DONTNEED).
+        for (const auto &fr : chunk.frees) {
+            space_.madviseDontneed(fr.start, fr.bytes);
+            sys_.policy().onMadviseFree(sys_, *this, fr.start,
+                                        fr.bytes);
+        }
+
+        ops_completed_ += chunk.opsCompleted;
+        avail -= std::max<TimeNs>(cost, 1);
+
+        if (chunk.done || oom_) {
+            finished_ = true;
+            const TimeNs used = std::clamp<TimeNs>(dt - avail, 0, dt);
+            finished_at_ = sys_.now() + used;
+        }
+    }
+    if (avail < 0)
+        debt_ = -avail;
+}
+
+double
+Process::windowMmuOverheadPct()
+{
+    const tlb::PerfCounters delta =
+        tlb_.counters().since(window_snapshot_);
+    window_snapshot_ = tlb_.counters();
+    return delta.mmuOverheadPct();
+}
+
+std::uint64_t
+Process::windowOps()
+{
+    const std::uint64_t delta = ops_completed_ - window_ops_snapshot_;
+    window_ops_snapshot_ = ops_completed_;
+    return delta;
+}
+
+} // namespace hawksim::sim

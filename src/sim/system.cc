@@ -1,0 +1,321 @@
+#include "sim/system.hh"
+
+#include "base/logging.hh"
+
+namespace hawksim::sim {
+
+System::System(SystemConfig cfg)
+    : cfg_(cfg), phys_(cfg.memoryBytes, cfg.bootMemoryZeroed),
+      compactor_(phys_), swap_(), rng_(cfg.seed)
+{}
+
+System::~System() = default;
+
+void
+System::setPolicy(std::unique_ptr<policy::HugePagePolicy> pol)
+{
+    HS_ASSERT(pol != nullptr, "null policy");
+    policy_ = std::move(pol);
+    policy_->attach(*this);
+}
+
+Process &
+System::addProcess(const std::string &name,
+                   std::unique_ptr<workload::Workload> wl)
+{
+    return addProcess(name, std::move(wl), tlb::TlbConfig::haswell());
+}
+
+Process &
+System::addProcess(const std::string &name,
+                   std::unique_ptr<workload::Workload> wl,
+                   const tlb::TlbConfig &tlb_cfg)
+{
+    HS_ASSERT(policy_ != nullptr, "install a policy before processes");
+    processes_.push_back(std::make_unique<Process>(
+        next_pid_++, name, *this, std::move(wl), tlb_cfg));
+    Process &proc = *processes_.back();
+    proc.start(now_);
+    policy_->onProcessStart(*this, proc);
+    return proc;
+}
+
+void
+System::fragmentMemory(double fraction, double movable_fill)
+{
+    if (!fragmenter_)
+        fragmenter_ = std::make_unique<mem::Fragmenter>(phys_);
+    Rng frag_rng = rng_.fork();
+    fragmenter_->fragment(fraction, frag_rng);
+    if (movable_fill > 0.0)
+        fragmenter_->fillMovable(movable_fill, frag_rng);
+}
+
+void
+System::fragmentMemoryMovable(double fraction,
+                              unsigned pages_per_region)
+{
+    if (!fragmenter_)
+        fragmenter_ = std::make_unique<mem::Fragmenter>(phys_);
+    Rng frag_rng = rng_.fork();
+    fragmenter_->fragmentMovable(fraction, pages_per_region,
+                                 frag_rng);
+}
+
+void
+System::tick()
+{
+    HS_ASSERT(policy_ != nullptr, "no policy installed");
+    // kcompactd: rebuild huge-page contiguity in the background when
+    // free memory is plentiful but fragmented.
+    if (cfg_.costs.kcompactdRegionsPerSec > 0.0) {
+        kcompactd_budget_ += cfg_.costs.kcompactdRegionsPerSec *
+                             static_cast<double>(cfg_.tickQuantum) /
+                             1e9;
+        while (kcompactd_budget_ >= 1.0) {
+            kcompactd_budget_ -= 1.0;
+            const double free_frac =
+                static_cast<double>(phys_.freeFrames()) /
+                static_cast<double>(phys_.totalFrames());
+            if (free_frac < 0.20 ||
+                phys_.buddy().fragIndex(kHugePageOrder) < 0.10) {
+                break;
+            }
+            if (!compactor_.compactOne(*this).success)
+                break;
+        }
+    }
+    // OS background work (policy daemons are on their own cores).
+    policy_->periodic(*this);
+    // Application cores.
+    for (auto &proc : processes_) {
+        const bool was_finished = proc->finished();
+        proc->tick(cfg_.tickQuantum);
+        if (!was_finished && proc->finished()) {
+            releaseProcessMemory(*proc);
+            policy_->onProcessExit(*this, *proc);
+        }
+    }
+    now_ += cfg_.tickQuantum;
+    if (cfg_.metricsPeriod > 0 && now_ >= next_metrics_) {
+        recordMetrics();
+        next_metrics_ = now_ + cfg_.metricsPeriod;
+    }
+}
+
+void
+System::run(TimeNs duration)
+{
+    const TimeNs end = now_ + duration;
+    while (now_ < end)
+        tick();
+}
+
+void
+System::runUntilAllDone(TimeNs limit)
+{
+    const TimeNs end = now_ + limit;
+    while (now_ < end) {
+        bool all_done = true;
+        for (auto &proc : processes_) {
+            if (proc->workload().runsToCompletion() &&
+                !proc->finished()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            return;
+        tick();
+    }
+    HS_WARN("runUntilAllDone hit the time limit");
+}
+
+Process *
+System::findProcess(std::int32_t pid)
+{
+    for (auto &proc : processes_) {
+        if (proc->pid() == pid)
+            return proc.get();
+    }
+    return nullptr;
+}
+
+std::optional<mem::BuddyBlock>
+System::allocHugeBlock(std::int32_t pid, mem::ZeroPref pref,
+                       bool allow_compact, TimeNs *cost,
+                       std::uint64_t max_migrate)
+{
+    auto blk = phys_.allocBlock(kHugePageOrder, pid, pref);
+    if (blk || !allow_compact)
+        return blk;
+    // Try to manufacture contiguity; bounded effort.
+    for (int attempt = 0; attempt < 4 && !blk; attempt++) {
+        mem::CompactionResult res =
+            compactor_.compactOne(*this, max_migrate);
+        if (cost) {
+            *cost += static_cast<TimeNs>(res.pagesMigrated) *
+                     costs().migratePerPage;
+        }
+        if (!res.success)
+            break;
+        blk = phys_.allocBlock(kHugePageOrder, pid, pref);
+    }
+    return blk;
+}
+
+namespace {
+
+std::uint64_t
+swapKey(std::int32_t pid, Vpn vpn)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+            << 40) ^
+           vpn;
+}
+
+} // namespace
+
+TimeNs
+System::swapInIfNeeded(std::int32_t pid, Vpn vpn)
+{
+    if (swapped_.empty())
+        return 0;
+    auto it = swapped_.find(swapKey(pid, vpn));
+    if (it == swapped_.end())
+        return 0;
+    const TimeNs latency = swap_.swapIn(1);
+    // Content restoration happens when the caller remaps + rewrites;
+    // the saved content is dropped with the mark.
+    swapped_.erase(it);
+    swapped_count_--;
+    return latency;
+}
+
+std::uint64_t
+System::reclaimPages(std::uint64_t pages, TimeNs *cost)
+{
+    std::uint64_t freed = 0;
+    if (processes_.empty())
+        return 0;
+    // Second-chance clock sweep, round-robin across processes.
+    std::size_t stale_procs = 0;
+    while (freed < pages && stale_procs < processes_.size() * 3) {
+        Process &proc =
+            *processes_[reclaim_rr_ % processes_.size()];
+        reclaim_rr_++;
+        if (proc.finished()) {
+            stale_procs++;
+            continue;
+        }
+        auto &space = proc.space();
+        auto &pt = space.pageTable();
+        bool evicted_any = false;
+        // Sweep up to a bounded number of regions per visit.
+        std::uint64_t &hand = reclaim_hand_[proc.pid()];
+        std::vector<std::uint64_t> regions;
+        space.forEachEligibleRegion(
+            [&](std::uint64_t r) { regions.push_back(r); });
+        if (regions.empty()) {
+            stale_procs++;
+            continue;
+        }
+        // Two passes over the same window: the first clears accessed
+        // bits (second chance), the second evicts what stayed cold.
+        const std::size_t window =
+            std::min<std::size_t>(regions.size(), 64);
+        std::uint64_t h = hand;
+        for (int pass = 0; pass < 2 && freed < pages; pass++) {
+            h = hand;
+            for (std::size_t step = 0;
+                 step < window && freed < pages; step++) {
+                const std::uint64_t region =
+                    regions[h % regions.size()];
+                h++;
+                if (pt.population(region) == 0)
+                    continue;
+                if (pt.isHuge(region))
+                    space.demoteRegion(region); // split THP
+                const Vpn base = region << 9;
+                for (unsigned i = 0;
+                     i < kPagesPerHuge && freed < pages; i++) {
+                    const Vpn vpn = base + i;
+                    vm::Translation t = pt.lookup(vpn);
+                    if (!t.present || t.entry.zeroPage())
+                        continue;
+                    if (t.entry.accessed()) {
+                        vm::Pte *e = pt.leafEntry(vpn);
+                        if (e)
+                            e->clearFlag(vm::kPteAccessed);
+                        continue;
+                    }
+                    const mem::Frame &f = phys_.frame(t.pfn);
+                    if (f.isShared() || f.mapCount != 1)
+                        continue; // KSM pages are not swap targets
+                    swapped_[swapKey(proc.pid(), vpn)] = f.content;
+                    swapped_count_++;
+                    space.unmapAndFreeBase(vpn);
+                    if (cost)
+                        *cost += swap_.swapOut(1);
+                    freed++;
+                    evicted_any = true;
+                }
+            }
+        }
+        hand = h;
+        if (!evicted_any)
+            stale_procs++;
+        else
+            stale_procs = 0;
+    }
+    return freed;
+}
+
+void
+System::pageMoved(Pfn from, Pfn to)
+{
+    (void)from;
+    const mem::Frame &f = phys_.frame(to);
+    if (f.ownerPid < 0)
+        return; // kernel-internal page: no page table to fix
+    Process *proc = findProcess(f.ownerPid);
+    if (!proc)
+        return;
+    proc->space().pageTable().remapBase(f.rmapVpn, to);
+}
+
+void
+System::recordMetrics()
+{
+    metrics_.record("sys.free_frames", now_,
+                    static_cast<double>(phys_.freeFrames()));
+    metrics_.record("sys.used_fraction", now_, phys_.usedFraction());
+    metrics_.record("sys.fmfi9", now_,
+                    phys_.buddy().fragIndex(kHugePageOrder));
+    for (auto &proc : processes_) {
+        if (proc->finished())
+            continue;
+        const std::string p = "p" + std::to_string(proc->pid());
+        metrics_.record(p + ".rss_pages", now_,
+                        static_cast<double>(proc->space().rssPages()));
+        metrics_.record(
+            p + ".huge_pages", now_,
+            static_cast<double>(
+                proc->space().pageTable().mappedHugePages()));
+        metrics_.record(p + ".mmu_overhead", now_,
+                        proc->windowMmuOverheadPct());
+    }
+}
+
+void
+System::releaseProcessMemory(Process &proc)
+{
+    auto &space = proc.space();
+    std::vector<Addr> starts;
+    for (const auto &[start, vma] : space.vmas())
+        starts.push_back(start);
+    for (Addr s : starts)
+        space.munmap(s);
+}
+
+} // namespace hawksim::sim

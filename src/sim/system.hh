@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The simulated machine: physical memory, processes, the installed
+ * huge-page policy and its daemons, a compactor, swap, a clock and a
+ * metrics recorder.
+ */
+
+#ifndef HAWKSIM_SIM_SYSTEM_HH
+#define HAWKSIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "mem/compaction.hh"
+#include "mem/phys.hh"
+#include "mem/swap.hh"
+#include "policy/policy.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "sim/process.hh"
+
+namespace hawksim::sim {
+
+class System : public mem::PageMover
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System() override;
+
+    /** @name Setup */
+    /// @{
+    /** Install the OS huge-page policy (required before running). */
+    void setPolicy(std::unique_ptr<policy::HugePagePolicy> pol);
+    /** Create a process; it starts at the current sim time. */
+    Process &addProcess(const std::string &name,
+                        std::unique_ptr<workload::Workload> wl);
+    /** Create a process with a non-default TLB (virtualized runs). */
+    Process &addProcess(const std::string &name,
+                        std::unique_ptr<workload::Workload> wl,
+                        const tlb::TlbConfig &tlb_cfg);
+    /**
+     * Fragment physical memory like a populated page cache: pins
+     * unmovable frames in @p fraction of huge regions and optionally
+     * fills @p movable_fill of memory with reclaimable file pages.
+     */
+    void fragmentMemory(double fraction, double movable_fill = 0.0);
+    /**
+     * Fragment with *movable* page-cache-like pins: per selected
+     * region, scatter @p pages_per_region single frames. Bounded
+     * fault-path compaction fails against this; khugepaged-grade
+     * compaction clears it (the paper's "read several files" setup).
+     */
+    void fragmentMemoryMovable(double fraction,
+                               unsigned pages_per_region = 64);
+    /// @}
+
+    /** @name Execution */
+    /// @{
+    /** Advance one tick. */
+    void tick();
+    /** Run for a fixed simulated duration. */
+    void run(TimeNs duration);
+    /** Run until all run-to-completion processes finish (or limit). */
+    void runUntilAllDone(TimeNs limit);
+    TimeNs now() const { return now_; }
+    /// @}
+
+    /** @name Components */
+    /// @{
+    mem::PhysicalMemory &phys() { return phys_; }
+    mem::Compactor &compactor() { return compactor_; }
+    mem::SwapDevice &swap() { return swap_; }
+    policy::HugePagePolicy &policy() { return *policy_; }
+    Metrics &metrics() { return metrics_; }
+    Rng &rng() { return rng_; }
+    const SystemConfig &config() const { return cfg_; }
+    const CostParams &costs() const { return cfg_.costs; }
+    CostParams &costs() { return cfg_.costs; }
+    std::vector<std::unique_ptr<Process>> &processes()
+    {
+        return processes_;
+    }
+    Process *findProcess(std::int32_t pid);
+    /// @}
+
+    /** @name Services used by policies */
+    /// @{
+    /**
+     * Allocate an order-9 block, optionally compacting to create
+     * contiguity. Migration cost is added to @p cost when non-null.
+     */
+    /**
+     * @param max_migrate compaction effort bound: the fault path uses
+     *        a small bound (direct compaction gives up quickly, as
+     *        the kernel's does), daemons a large one.
+     */
+    std::optional<mem::BuddyBlock>
+    allocHugeBlock(std::int32_t pid, mem::ZeroPref pref,
+                   bool allow_compact, TimeNs *cost = nullptr,
+                   std::uint64_t max_migrate = 256);
+
+    /** Enable swap-backed reclaim instead of OOM kills. */
+    void enableSwap(bool on) { swap_enabled_ = on; }
+    bool swapEnabled() const { return swap_enabled_; }
+    /**
+     * If @p vpn of @p pid was swapped out, charge the swap-in read
+     * and clear the mark; returns the latency (0 if not swapped).
+     */
+    TimeNs swapInIfNeeded(std::int32_t pid, Vpn vpn);
+    /**
+     * Evict approximately @p pages cold base pages to swap (second
+     * chance on the PTE accessed bit, splitting huge mappings as the
+     * kernel does). Returns the number of pages actually freed; the
+     * device time is added to @p cost.
+     */
+    std::uint64_t reclaimPages(std::uint64_t pages, TimeNs *cost);
+    std::uint64_t swappedPages() const { return swapped_count_; }
+    /// @}
+
+    /** mem::PageMover: fix the page table of a migrated frame. */
+    void pageMoved(Pfn from, Pfn to) override;
+
+  private:
+    void recordMetrics();
+    void releaseProcessMemory(Process &proc);
+
+    SystemConfig cfg_;
+    mem::PhysicalMemory phys_;
+    mem::Compactor compactor_;
+    mem::SwapDevice swap_;
+    std::unique_ptr<mem::Fragmenter> fragmenter_;
+    std::unique_ptr<policy::HugePagePolicy> policy_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    Rng rng_;
+    Metrics metrics_;
+    TimeNs now_ = 0;
+    TimeNs next_metrics_ = 0;
+    std::int32_t next_pid_ = 1;
+    bool swap_enabled_ = false;
+    /** Swapped-out pages: key (pid<<40 ^ vpn) -> saved content. */
+    std::unordered_map<std::uint64_t, mem::PageContent> swapped_;
+    std::uint64_t swapped_count_ = 0;
+    /** Per-process clock hand for reclaim (region index). */
+    std::unordered_map<std::int32_t, std::uint64_t> reclaim_hand_;
+    std::size_t reclaim_rr_ = 0;
+    double kcompactd_budget_ = 0.0;
+};
+
+} // namespace hawksim::sim
+
+#endif // HAWKSIM_SIM_SYSTEM_HH

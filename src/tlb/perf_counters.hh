@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulated hardware performance counters.
+ *
+ * Implements the measurement methodology of the paper's Table 4:
+ *
+ *   C1 = DTLB_LOAD_MISSES_WALK_DURATION
+ *   C2 = DTLB_STORE_MISSES_WALK_DURATION
+ *   C3 = CPU_CLK_UNHALTED
+ *   MMU overhead (%) = (C1 + C2) * 100 / C3
+ *
+ * HawkEye-PMU reads these counters per process; HawkEye-G must do
+ * without them (§2.4).
+ */
+
+#ifndef HAWKSIM_TLB_PERF_COUNTERS_HH
+#define HAWKSIM_TLB_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace hawksim::tlb {
+
+struct PerfCounters
+{
+    /** C1: cycles spent in page walks triggered by load misses. */
+    std::uint64_t dtlbLoadWalkCycles = 0;
+    /** C2: cycles spent in page walks triggered by store misses. */
+    std::uint64_t dtlbStoreWalkCycles = 0;
+    /** C3: unhalted CPU cycles. */
+    std::uint64_t cpuClkUnhalted = 0;
+    /** Auxiliary (not part of the Table 4 formula). */
+    std::uint64_t tlbAccesses = 0;
+    std::uint64_t tlbMisses = 0;
+
+    std::uint64_t
+    walkCycles() const
+    {
+        return dtlbLoadWalkCycles + dtlbStoreWalkCycles;
+    }
+
+    /** The Table 4 formula. Returns percent in [0, 100]. */
+    double
+    mmuOverheadPct() const
+    {
+        if (cpuClkUnhalted == 0)
+            return 0.0;
+        double pct = 100.0 * static_cast<double>(walkCycles()) /
+                     static_cast<double>(cpuClkUnhalted);
+        return pct > 100.0 ? 100.0 : pct;
+    }
+
+    double
+    missRate() const
+    {
+        return tlbAccesses
+                   ? static_cast<double>(tlbMisses) / tlbAccesses
+                   : 0.0;
+    }
+
+    /** Counter values accumulated since @p prev (window sampling). */
+    PerfCounters
+    since(const PerfCounters &prev) const
+    {
+        PerfCounters d;
+        d.dtlbLoadWalkCycles = dtlbLoadWalkCycles - prev.dtlbLoadWalkCycles;
+        d.dtlbStoreWalkCycles =
+            dtlbStoreWalkCycles - prev.dtlbStoreWalkCycles;
+        d.cpuClkUnhalted = cpuClkUnhalted - prev.cpuClkUnhalted;
+        d.tlbAccesses = tlbAccesses - prev.tlbAccesses;
+        d.tlbMisses = tlbMisses - prev.tlbMisses;
+        return d;
+    }
+
+    void
+    reset()
+    {
+        *this = PerfCounters{};
+    }
+};
+
+} // namespace hawksim::tlb
+
+#endif // HAWKSIM_TLB_PERF_COUNTERS_HH

@@ -1,0 +1,199 @@
+#include "tlb/tlb.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace hawksim::tlb {
+
+namespace {
+
+/** Cheap key mixer so strided keys spread across sets. */
+std::uint64_t
+mix(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return key;
+}
+
+} // namespace
+
+SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways)
+    : sets_(entries / ways), ways_(ways),
+      ways_storage_(static_cast<std::size_t>(entries))
+{
+    HS_ASSERT(entries > 0 && ways > 0 && entries % ways == 0,
+              "bad TLB geometry: ", entries, "/", ways);
+}
+
+bool
+SetAssocTlb::lookup(std::uint64_t key)
+{
+    const unsigned set = static_cast<unsigned>(mix(key) % sets_);
+    Way *base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; w++) {
+        if (base[w].valid && base[w].key == key) {
+            base[w].lru = ++tick_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocTlb::insert(std::uint64_t key)
+{
+    const unsigned set = static_cast<unsigned>(mix(key) % sets_);
+    Way *base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < ways_; w++) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->key = key;
+    victim->valid = true;
+    victim->lru = ++tick_;
+}
+
+void
+SetAssocTlb::flush()
+{
+    for (auto &w : ways_storage_)
+        w.valid = false;
+}
+
+TlbModel::TlbModel(TlbConfig cfg)
+    : cfg_(cfg), l1_4k_(cfg.l1Entries4k, cfg.l1Ways4k),
+      l1_2m_(cfg.l1Entries2m, cfg.l1Ways2m),
+      l2_(cfg.l2Entries, cfg.l2Ways), pwc_pde_(cfg.pwcPdeEntries, 4),
+      pwc_pdpte_(cfg.pwcPdpteEntries, cfg.pwcPdpteEntries),
+      pt_residency_(cfg.ptResidencyEntries, 8)
+{}
+
+Cycles
+TlbModel::walkLatency(Vpn vpn, bool huge)
+{
+    Cycles cost = 0;
+    // A page-table load hits in the data caches if its cache line was
+    // walked recently; otherwise it goes to memory. Tags separate the
+    // levels; PTEs/PDEs are cached at 64-byte (8-entry) granularity.
+    auto load = [&](std::uint64_t line_id) {
+        if (pt_residency_.lookup(line_id)) {
+            cost += cfg_.ptCachedLoadCycles;
+        } else {
+            cost += cfg_.ptMemoryLoadCycles;
+            pt_residency_.insert(line_id);
+        }
+    };
+    // The PML4 is a handful of hot lines; treat as always cached.
+    cost += 4;
+    if (!pwc_pdpte_.lookup(vpn >> 18)) {
+        load((vpn >> 21) | (1ull << 60)); // PDPTE line
+        pwc_pdpte_.insert(vpn >> 18);
+    }
+    if (huge) {
+        // Walk terminates at the PD level: the PDE is the leaf.
+        load((vpn >> 12) | (2ull << 60));
+    } else {
+        if (!pwc_pde_.lookup(vpn >> 9)) {
+            load((vpn >> 12) | (2ull << 60)); // PDE line
+            pwc_pde_.insert(vpn >> 9);
+        }
+        load((vpn >> 3) | (3ull << 60)); // PTE line
+    }
+    if (cfg_.nested)
+        cost = static_cast<Cycles>(static_cast<double>(cost) *
+                                   cfg_.nestedWalkFactor);
+    return cost;
+}
+
+TlbBatchResult
+TlbModel::simulate(vm::PageTable &pt,
+                   const std::vector<AccessSample> &batch,
+                   double sequentiality, double scale)
+{
+    double load_walk = 0.0;
+    double store_walk = 0.0;
+    std::uint64_t misses = 0;
+    std::uint64_t accesses = 0;
+    const double overlap =
+        1.0 - cfg_.sequentialOverlap * sequentiality;
+
+    for (const auto &a : batch) {
+        vm::Translation t = pt.lookup(a.vpn);
+        if (!t.present)
+            continue; // engine faults first; stale samples are skipped
+        accesses++;
+        pt.touch(a.vpn, a.write);
+        double walk = 0.0;
+        if (t.huge) {
+            const std::uint64_t region = a.vpn >> 9;
+            const std::uint64_t l2key = (region << 1) | 1;
+            if (l1_2m_.lookup(region)) {
+                // L1 hit: free
+            } else if (l2_.lookup(l2key)) {
+                walk = static_cast<double>(cfg_.l2HitCycles);
+                l1_2m_.insert(region);
+            } else {
+                misses++;
+                walk = static_cast<double>(walkLatency(a.vpn, true)) *
+                       overlap;
+                l1_2m_.insert(region);
+                l2_.insert(l2key);
+            }
+        } else {
+            const std::uint64_t l2key = a.vpn << 1;
+            if (l1_4k_.lookup(a.vpn)) {
+                // L1 hit: free
+            } else if (l2_.lookup(l2key)) {
+                walk = static_cast<double>(cfg_.l2HitCycles);
+                l1_4k_.insert(a.vpn);
+            } else {
+                misses++;
+                walk = static_cast<double>(walkLatency(a.vpn, false)) *
+                       overlap;
+                l1_4k_.insert(a.vpn);
+                l2_.insert(l2key);
+            }
+        }
+        if (a.write)
+            store_walk += walk;
+        else
+            load_walk += walk;
+    }
+
+    TlbBatchResult res;
+    res.accesses = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(accesses) * scale));
+    res.misses = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(misses) * scale));
+    res.walkCycles = static_cast<Cycles>(
+        std::llround((load_walk + store_walk) * scale));
+
+    counters_.tlbAccesses += res.accesses;
+    counters_.tlbMisses += res.misses;
+    counters_.dtlbLoadWalkCycles += static_cast<std::uint64_t>(
+        std::llround(load_walk * scale));
+    counters_.dtlbStoreWalkCycles += static_cast<std::uint64_t>(
+        std::llround(store_walk * scale));
+    return res;
+}
+
+void
+TlbModel::flush()
+{
+    l1_4k_.flush();
+    l1_2m_.flush();
+    l2_.flush();
+    pwc_pde_.flush();
+    pwc_pdpte_.flush();
+    pt_residency_.flush();
+}
+
+} // namespace hawksim::tlb

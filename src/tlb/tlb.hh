@@ -1,0 +1,174 @@
+/**
+ * @file
+ * TLB hierarchy and page-walk model.
+ *
+ * Models the paper's experimental platform (Intel Haswell-EP):
+ *   - L1 DTLB: 64 entries for 4KB pages, 8 entries for 2MB pages
+ *   - L2 STLB: 1024 entries shared between both page sizes
+ *   - page-walk caches for the upper levels of the radix table
+ *
+ * The model consumes *sampled* access streams: the engine passes a
+ * seeded sample of page-granularity accesses per tick plus the true
+ * total access count; miss counts and walk cycles are extrapolated by
+ * the caller via the sampling factor.
+ *
+ * Sequential access patterns hide part of the TLB-miss latency behind
+ * prefetching and out-of-order overlap (§2.4 — the reason WSS is a
+ * poor predictor of MMU overhead, and the mechanism behind Table 9's
+ * HawkEye-G mispredictions). This is modelled as an overlap factor
+ * that discounts walk cycles as a function of the batch's measured
+ * sequentiality.
+ */
+
+#ifndef HAWKSIM_TLB_TLB_HH
+#define HAWKSIM_TLB_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "tlb/perf_counters.hh"
+#include "vm/page_table.hh"
+
+namespace hawksim::tlb {
+
+/** One sampled memory access at page granularity. */
+struct AccessSample
+{
+    Vpn vpn;
+    bool write = false;
+};
+
+/** A set-associative translation cache with LRU replacement. */
+class SetAssocTlb
+{
+  public:
+    SetAssocTlb(unsigned entries, unsigned ways);
+
+    /** True on hit; refreshes LRU state. */
+    bool lookup(std::uint64_t key);
+    void insert(std::uint64_t key);
+    void flush();
+    unsigned entries() const { return sets_ * ways_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t key = ~0ull;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<Way> ways_storage_;
+};
+
+/** Hardware geometry and latency parameters. */
+struct TlbConfig
+{
+    unsigned l1Entries4k = 64;
+    unsigned l1Ways4k = 4;
+    unsigned l1Entries2m = 8;
+    unsigned l1Ways2m = 8; // fully associative
+    unsigned l2Entries = 1024;
+    unsigned l2Ways = 8;
+    /** Page-walk cache: PDE entries (each covers 2MB of VA). */
+    unsigned pwcPdeEntries = 32;
+    /** Page-walk cache: PDPTE entries (each covers 1GB of VA). */
+    unsigned pwcPdpteEntries = 4;
+
+    Cycles l2HitCycles = 7;
+    /** Latency of one page-table load that hits in the data caches. */
+    Cycles ptCachedLoadCycles = 30;
+    /** Latency of one page-table load from DRAM. */
+    Cycles ptMemoryLoadCycles = 170;
+    /**
+     * Cache lines of page-table data assumed resident in the data
+     * caches (~256KB worth). Small page-table working sets (the PDs
+     * backing huge mappings) fit and walk cheaply; the PTE arrays of
+     * large 4KB-mapped footprints thrash it and walk from memory.
+     */
+    unsigned ptResidencyEntries = 4096;
+    /** Fraction of walk latency hidden under sequential access. */
+    double sequentialOverlap = 0.85;
+    /**
+     * Virtualized (2-D/EPT) translation: every guest page-table load
+     * itself requires a nested walk, turning a 4-load walk into up to
+     * 24 loads. This factor scales walk latencies when enabled.
+     */
+    bool nested = false;
+    double nestedWalkFactor = 3.6;
+
+    static TlbConfig haswell() { return TlbConfig{}; }
+
+    static TlbConfig
+    haswellVirtualized()
+    {
+        TlbConfig c;
+        c.nested = true;
+        return c;
+    }
+};
+
+/** Result of simulating one access batch. */
+struct TlbBatchResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    Cycles walkCycles = 0;
+};
+
+class TlbModel
+{
+  public:
+    explicit TlbModel(TlbConfig cfg = TlbConfig::haswell());
+
+    /**
+     * Run a sampled access stream against the TLB hierarchy,
+     * resolving page sizes through @p pt and setting PTE
+     * accessed/dirty bits on the way (this is what the OS access-bit
+     * samplers observe).
+     *
+     * @param sequentiality in [0,1]: fraction of the stream that is
+     *        next-page sequential (drives latency overlap)
+     * @param scale each sampled access stands for @p scale real ones;
+     *        counters are scaled accordingly
+     */
+    TlbBatchResult simulate(vm::PageTable &pt,
+                            const std::vector<AccessSample> &batch,
+                            double sequentiality, double scale = 1.0);
+
+    /** Flush translations (context switch / TLB shootdown). */
+    void flush();
+
+    /**
+     * Update the nested-walk amplification dynamically (the
+     * virtualization layer lowers it as the host promotes more of the
+     * guest's backing to huge EPT mappings).
+     */
+    void setNestedFactor(double f) { cfg_.nestedWalkFactor = f; }
+
+    PerfCounters &counters() { return counters_; }
+    const PerfCounters &counters() const { return counters_; }
+    const TlbConfig &config() const { return cfg_; }
+
+  private:
+    /** Cycles for a full walk of @p levels page-table loads. */
+    Cycles walkLatency(Vpn vpn, bool huge);
+
+    TlbConfig cfg_;
+    SetAssocTlb l1_4k_;
+    SetAssocTlb l1_2m_;
+    SetAssocTlb l2_;
+    SetAssocTlb pwc_pde_;
+    SetAssocTlb pwc_pdpte_;
+    /** Approximates which PT pages are hot in the data caches. */
+    SetAssocTlb pt_residency_;
+    PerfCounters counters_;
+};
+
+} // namespace hawksim::tlb
+
+#endif // HAWKSIM_TLB_TLB_HH

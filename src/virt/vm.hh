@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Two-level (virtualized) memory management.
+ *
+ * A VirtualSystem is a host sim::System whose processes are virtual
+ * machines. Each VirtualMachine embeds a full guest sim::System — its
+ * own physical memory, policy and daemons — whose guest-physical
+ * frames are backed by a host-side anonymous VMA (one host process
+ * per VM, the EPT analogue). Guest frame allocations surface as host
+ * page faults; host policy decides the EPT page size; guest policy
+ * decides the guest page size; address translation pays the 2-D walk
+ * cost, scaled down as the host promotes more of the backing to huge
+ * mappings.
+ *
+ * The layer reproduces:
+ *   - Fig. 9 / Table 6: HawkEye at host, guest or both layers;
+ *   - Fig. 11: overcommitted hosts, where guest async pre-zeroing +
+ *     host KSM return guest-free memory to the host like a balloon;
+ *   - the explicit balloon-driver baseline.
+ */
+
+#ifndef HAWKSIM_VIRT_VM_HH
+#define HAWKSIM_VIRT_VM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ksm/ksm.hh"
+#include "sim/system.hh"
+#include "workload/workload.hh"
+
+namespace hawksim::virt {
+
+class VirtualMachine;
+
+/**
+ * Host-side workload standing in for one VM's guest-physical memory:
+ * it replays guest frame allocations as host faults (with guest
+ * content), guest frees as host madvise (balloon mode), and guest
+ * access samples as host touches (so the host policy sees coverage).
+ */
+class VmBackingWorkload : public workload::Workload
+{
+  public:
+    VmBackingWorkload(std::string name, std::uint64_t guest_bytes)
+        : name_(std::move(name)), guest_bytes_(guest_bytes)
+    {}
+
+    std::string name() const override { return name_; }
+    void init(sim::Process &proc) override;
+    workload::WorkChunk next(sim::Process &proc,
+                             TimeNs max_compute) override;
+    bool runsToCompletion() const override { return false; }
+
+    Addr baseAddr() const { return base_; }
+
+    /** @name Event intake (called by VirtualMachine) */
+    /// @{
+    void pushFault(Vpn gpa_page, const mem::PageContent &content);
+    void pushFree(Vpn gpa_page, std::uint64_t pages);
+    void pushTouch(Vpn gpa_page);
+    /// @}
+
+  private:
+    std::string name_;
+    std::uint64_t guest_bytes_;
+    Addr base_ = 0;
+    std::deque<std::pair<Vpn, mem::PageContent>> pending_faults_;
+    std::deque<std::pair<Vpn, std::uint64_t>> pending_frees_;
+    std::vector<Vpn> pending_touches_;
+};
+
+struct VmOptions
+{
+    /** Guest physical memory size. */
+    std::uint64_t guestMemBytes = GiB(2);
+    /** Balloon driver: guest frees return to the host immediately. */
+    bool balloon = false;
+    /** Nested walk amplification when the host backing is all-4KB. */
+    double nestedFactorBase = 3.6;
+    /** Amplification reduction at fully-huge host backing. */
+    double nestedFactorGain = 2.0;
+    std::uint64_t seed = 1234;
+};
+
+class VirtualSystem;
+
+class VirtualMachine
+{
+  public:
+    VirtualMachine(VirtualSystem &vs, const std::string &name,
+                   VmOptions opts,
+                   std::unique_ptr<policy::HugePagePolicy> guest_pol);
+
+    /** Add an application inside the guest (nested TLB config). */
+    sim::Process &addGuestProcess(
+        const std::string &name,
+        std::unique_ptr<workload::Workload> wl);
+
+    sim::System &guest() { return *guest_; }
+    sim::Process &hostProcess() { return *host_proc_; }
+    const std::string &name() const { return name_; }
+
+    /** Fraction of the VM's host backing mapped with huge pages. */
+    double hostHugeFraction() const;
+
+    /** One simulation step: update factors, tick guest, sync host. */
+    void tick();
+
+    /** Guest frame content for a host VA page (KSM provider). */
+    const mem::PageContent *guestContentAt(Vpn host_vpn) const;
+
+    bool allGuestWorkDone() const;
+
+  private:
+    friend class VirtualSystem;
+    void onGuestAlloc(Pfn gpa, unsigned order, bool alloc);
+    void onGuestChunk(sim::Process &proc,
+                      const workload::WorkChunk &chunk);
+
+    std::string name_;
+    VmOptions opts_;
+    VirtualSystem &vs_;
+    std::unique_ptr<sim::System> guest_;
+    VmBackingWorkload *backing_ = nullptr; //!< owned by host process
+    sim::Process *host_proc_ = nullptr;
+    /** Host fault time already charged back to the guest vCPUs. */
+    TimeNs charged_backing_fault_time_ = 0;
+    /** Guest touches awaiting GVA->GPA translation (proc pid, vpn). */
+    std::vector<std::pair<std::int32_t, Vpn>> pending_guest_touches_;
+};
+
+class VirtualSystem
+{
+  public:
+    VirtualSystem(sim::SystemConfig host_cfg,
+                  std::unique_ptr<policy::HugePagePolicy> host_pol);
+
+    VirtualMachine &
+    addVm(const std::string &name, VmOptions opts,
+          std::unique_ptr<policy::HugePagePolicy> guest_pol);
+
+    sim::System &host() { return host_; }
+    std::vector<std::unique_ptr<VirtualMachine>> &vms()
+    {
+        return vms_;
+    }
+
+    /** Enable host-level KSM (zero + duplicate merging). */
+    void enableHostKsm(double pages_per_sec = 50'000.0);
+    ksm::KsmDaemon *hostKsm() { return ksm_.get(); }
+
+    void tick();
+    void run(TimeNs duration);
+    /** Run until every guest's run-to-completion work finishes. */
+    void runUntilGuestsDone(TimeNs limit);
+    TimeNs now() const { return host_.now(); }
+
+  private:
+    sim::System host_;
+    std::vector<std::unique_ptr<VirtualMachine>> vms_;
+    std::unique_ptr<ksm::KsmDaemon> ksm_;
+};
+
+} // namespace hawksim::virt
+
+#endif // HAWKSIM_VIRT_VM_HH

@@ -1,0 +1,300 @@
+#include "vm/address_space.hh"
+
+#include "base/logging.hh"
+
+namespace hawksim::vm {
+
+AddressSpace::AddressSpace(std::int32_t pid, mem::PhysicalMemory &phys)
+    : pid_(pid), phys_(phys)
+{}
+
+Addr
+AddressSpace::mmapAnon(std::uint64_t bytes, const std::string &name,
+                       bool huge_eligible)
+{
+    HS_ASSERT(bytes > 0, "empty mmap");
+    const Addr start = next_mmap_;
+    const Addr end = start + hugeAlignUp(bytes);
+    next_mmap_ = end + kHugePageSize; // guard gap keeps regions distinct
+    Vma vma;
+    vma.start = start;
+    vma.end = end;
+    vma.anon = true;
+    vma.hugeEligible = huge_eligible;
+    vma.name = name;
+    vmas_.emplace(start, vma);
+    return start;
+}
+
+void
+AddressSpace::munmap(Addr start)
+{
+    auto it = vmas_.find(start);
+    HS_ASSERT(it != vmas_.end(), "munmap of unknown VMA at ", start);
+    madviseDontneed(it->second.start, it->second.bytes());
+    vmas_.erase(it);
+}
+
+const Vma *
+AddressSpace::findVma(Addr a) const
+{
+    auto it = vmas_.upper_bound(a);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(a) ? &it->second : nullptr;
+}
+
+void
+AddressSpace::mapBasePage(Vpn vpn, Pfn pfn, std::uint64_t extra_flags)
+{
+    pt_.mapBase(vpn, pfn, kPtePresent | extra_flags);
+    phys_.onMap(pfn, pid_, vpn);
+    owned_frames_++;
+}
+
+void
+AddressSpace::mapHugeRegion(std::uint64_t region, Pfn block_pfn,
+                            std::uint64_t extra_flags)
+{
+    const Vpn base = region << 9;
+    pt_.mapHuge(base, block_pfn, kPtePresent | extra_flags);
+    for (unsigned i = 0; i < kPagesPerHuge; i++)
+        phys_.onMap(block_pfn + i, pid_, base + i);
+    owned_frames_ += kPagesPerHuge;
+}
+
+void
+AddressSpace::mapZeroCow(Vpn vpn)
+{
+    const Pfn zp = phys_.zeroPagePfn();
+    pt_.mapBase(vpn, zp, kPtePresent | kPteCow | kPteZero);
+    phys_.onMap(zp, pid_, vpn);
+}
+
+bool
+AddressSpace::breakCow(Vpn vpn)
+{
+    Translation t = pt_.lookup(vpn);
+    HS_ASSERT(t.present && t.entry.cow(), "breakCow on non-COW vpn ", vpn);
+    HS_ASSERT(!t.huge, "COW huge pages unsupported");
+    auto blk = phys_.allocBlock(0, pid_, mem::ZeroPref::kPreferZero);
+    HS_ASSERT(blk.has_value(), "OOM during COW break");
+    const bool needed_zeroing = !blk->zeroed;
+    if (needed_zeroing)
+        phys_.zeroFrame(blk->pfn);
+    phys_.onUnmap(t.pfn); // drop the shared-page reference
+    mem::Frame &old = phys_.frame(t.pfn);
+    if (!t.entry.zeroPage() && old.isShared() && old.mapCount == 0) {
+        // Last reference to a KSM dup-canonical frame.
+        old.clear(mem::kFrameShared);
+        old.clear(mem::kFrameUnmovable);
+        phys_.freeBlock(t.pfn, 0);
+    }
+    pt_.unmapBase(vpn);
+    mapBasePage(vpn, blk->pfn, kPteDirty | kPteAccessed);
+    return needed_zeroing;
+}
+
+void
+AddressSpace::unmapAndFreeBase(Vpn vpn)
+{
+    Translation t = pt_.lookup(vpn);
+    HS_ASSERT(t.present && !t.huge, "unmapAndFreeBase bad vpn ", vpn);
+    pt_.unmapBase(vpn);
+    phys_.onUnmap(t.pfn);
+    if (t.entry.zeroPage())
+        return; // shared canonical zero page: nothing to free
+    mem::Frame &f = phys_.frame(t.pfn);
+    if (f.isShared()) {
+        // KSM canonical frame: the last unmapper releases it; it was
+        // never part of this process's owned frames.
+        if (f.mapCount == 0) {
+            f.clear(mem::kFrameShared);
+            f.clear(mem::kFrameUnmovable);
+            phys_.freeBlock(t.pfn, 0);
+        }
+        return;
+    }
+    if (f.mapCount == 0) {
+        phys_.freeBlock(t.pfn, 0);
+        owned_frames_--;
+    }
+}
+
+void
+AddressSpace::unmapAndFreeHuge(std::uint64_t region)
+{
+    const Vpn base = region << 9;
+    Pte old = pt_.unmapHuge(base);
+    const Pfn block = old.pfn();
+    for (unsigned i = 0; i < kPagesPerHuge; i++)
+        phys_.onUnmap(block + i);
+    phys_.freeBlock(block, kHugePageOrder);
+    owned_frames_ -= kPagesPerHuge;
+}
+
+void
+AddressSpace::madviseDontneed(Addr start, std::uint64_t bytes)
+{
+    const Vpn first = addrToVpn(pageAlignDown(start));
+    const Vpn last = addrToVpn(pageAlignUp(start + bytes)); // exclusive
+    Vpn vpn = first;
+    while (vpn < last) {
+        Translation t = pt_.lookup(vpn);
+        if (!t.present) {
+            vpn++;
+            continue;
+        }
+        if (t.huge) {
+            const std::uint64_t region = vpnToHugeRegion(vpn);
+            const Vpn region_base = region << 9;
+            if (region_base >= first && region_base + 512 <= last) {
+                // Fully covered: drop the whole huge page.
+                unmapAndFreeHuge(region);
+                vpn = region_base + 512;
+                continue;
+            }
+            // Partially covered: the kernel splits the huge mapping,
+            // then frees only the covered base pages.
+            demoteRegion(region);
+            // fall through to base-page handling of this vpn
+        }
+        unmapAndFreeBase(vpn);
+        vpn++;
+    }
+}
+
+std::uint64_t
+AddressSpace::promoteRegion(std::uint64_t region, Pfn block_pfn)
+{
+    const Vpn base = region << 9;
+    auto old = pt_.promote(base, block_pfn);
+    // Copy old contents into the new block; free old frames.
+    std::uint64_t copied = 0;
+    std::array<bool, 512> backed{};
+    for (const auto &[vpn, pte] : old) {
+        const unsigned slot = vpn & 511;
+        backed[slot] = true;
+        mem::Frame &dst = phys_.frame(block_pfn + slot);
+        if (pte.zeroPage()) {
+            dst.content = mem::PageContent::zero();
+            dst.set(mem::kFrameZeroed);
+            phys_.onUnmap(pte.pfn());
+        } else {
+            const mem::Frame &src = phys_.frame(pte.pfn());
+            dst.content = src.content;
+            if (src.content.isZero())
+                dst.set(mem::kFrameZeroed);
+            else
+                dst.clear(mem::kFrameZeroed);
+            copied++;
+            phys_.onUnmap(pte.pfn());
+            mem::Frame &old = phys_.frame(pte.pfn());
+            if (old.isShared()) {
+                // KSM-merged frame: other mappings may remain; only
+                // the last unmapper releases it. It never counted
+                // toward this process's owned frames.
+                if (old.mapCount == 0) {
+                    old.clear(mem::kFrameShared);
+                    old.clear(mem::kFrameUnmovable);
+                    phys_.freeBlock(pte.pfn(), 0);
+                }
+            } else {
+                phys_.freeBlock(pte.pfn(), 0);
+                owned_frames_--;
+            }
+        }
+    }
+    // Unbacked slots must read as zero after promotion.
+    for (unsigned i = 0; i < kPagesPerHuge; i++) {
+        if (!backed[i])
+            phys_.zeroFrame(block_pfn + i);
+        phys_.onMap(block_pfn + i, pid_, base + i);
+    }
+    owned_frames_ += kPagesPerHuge;
+    return copied;
+}
+
+void
+AddressSpace::demoteRegion(std::uint64_t region)
+{
+    pt_.demote(region << 9);
+    // Frames, map counts and ownership are unchanged: the base PTEs
+    // point into the same physical block.
+}
+
+void
+AddressSpace::sharePage(Vpn vpn, Pfn canonical)
+{
+    vm::Translation t = pt_.lookup(vpn);
+    HS_ASSERT(t.present && !t.huge, "sharePage bad vpn ", vpn);
+    mem::Frame &cf = phys_.frame(canonical);
+    HS_ASSERT(!cf.isFree(), "sharePage to free canonical frame");
+    if (t.pfn == canonical)
+        return;
+    const Pfn old = t.pfn;
+    pt_.unmapBase(vpn);
+    phys_.onUnmap(old);
+    if (phys_.frame(old).mapCount == 0 && !phys_.frame(old).isShared()) {
+        phys_.freeBlock(old, 0);
+        owned_frames_--;
+    }
+    cf.set(mem::kFrameShared);
+    cf.set(mem::kFrameUnmovable);
+    pt_.mapBase(vpn, canonical, kPtePresent | kPteCow);
+    phys_.onMap(canonical, pid_, vpn);
+}
+
+void
+AddressSpace::promoteInPlace(std::uint64_t region)
+{
+    const Vpn base = region << 9;
+    HS_ASSERT(pt_.population(region) == kPagesPerHuge,
+              "promoteInPlace on non-full region ", region);
+    vm::Translation first = pt_.lookup(base);
+    const Pfn block = first.pfn;
+    HS_ASSERT((block & (kPagesPerHuge - 1)) == 0,
+              "promoteInPlace on unaligned block");
+    // Verify contiguity: each page must sit at its natural offset.
+    for (unsigned i = 0; i < kPagesPerHuge; i++) {
+        vm::Translation t = pt_.lookup(base + i);
+        HS_ASSERT(t.present && t.pfn == block + i,
+                  "promoteInPlace on non-contiguous region ", region);
+    }
+    // No frames change hands: map counts, ownership and RSS are
+    // already correct; only the page-table shape changes.
+    pt_.promote(base, block);
+}
+
+void
+AddressSpace::dedupZeroPage(Vpn vpn)
+{
+    vm::Translation t = pt_.lookup(vpn);
+    HS_ASSERT(t.present && !t.huge, "dedupZeroPage bad vpn ", vpn);
+    HS_ASSERT(!t.entry.zeroPage(), "dedupZeroPage on dedup'd page");
+    const Pfn old = t.pfn;
+    HS_ASSERT(phys_.frame(old).content.isZero(),
+              "dedupZeroPage on non-zero page ", vpn);
+    pt_.unmapBase(vpn);
+    phys_.onUnmap(old);
+    phys_.freeBlock(old, 0);
+    owned_frames_--;
+    mapZeroCow(vpn);
+}
+
+void
+AddressSpace::forEachEligibleRegion(
+    const std::function<void(std::uint64_t)> &fn) const
+{
+    for (const auto &[start, vma] : vmas_) {
+        if (!vma.anon || !vma.hugeEligible)
+            continue;
+        for (std::uint64_t r = vma.firstFullRegion();
+             r < vma.endFullRegion(); r++) {
+            fn(r);
+        }
+    }
+}
+
+} // namespace hawksim::vm

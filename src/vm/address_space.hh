@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Per-process virtual address space: VMAs plus the page table, with
+ * the mapping/unmapping, promotion/demotion, COW and madvise
+ * primitives that huge-page policies are built from.
+ */
+
+#ifndef HAWKSIM_VM_ADDRESS_SPACE_HH
+#define HAWKSIM_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "base/types.hh"
+#include "mem/phys.hh"
+#include "vm/page_table.hh"
+
+namespace hawksim::vm {
+
+/** A virtual memory area (anonymous unless noted). */
+struct Vma
+{
+    Addr start = 0;
+    Addr end = 0; //!< exclusive
+    bool anon = true;
+    /** Eligible for transparent huge pages (anon only, like Linux). */
+    bool hugeEligible = true;
+    std::string name;
+
+    std::uint64_t bytes() const { return end - start; }
+    std::uint64_t pages() const { return bytes() / kPageSize; }
+    bool contains(Addr a) const { return a >= start && a < end; }
+    /** First and one-past-last huge-region index fully inside. */
+    std::uint64_t firstFullRegion() const
+    {
+        return hugeAlignUp(start) / kHugePageSize;
+    }
+    std::uint64_t endFullRegion() const
+    {
+        return hugeAlignDown(end) / kHugePageSize;
+    }
+};
+
+class AddressSpace
+{
+  public:
+    AddressSpace(std::int32_t pid, mem::PhysicalMemory &phys);
+
+    /** @name VMA management */
+    /// @{
+    /**
+     * Create an anonymous mapping of @p bytes (rounded up to huge
+     * alignment so regions are well-defined) and return its start.
+     */
+    Addr mmapAnon(std::uint64_t bytes, const std::string &name,
+                  bool huge_eligible = true);
+    /** Unmap a whole VMA, freeing all frames. */
+    void munmap(Addr start);
+    const Vma *findVma(Addr a) const;
+    const std::map<Addr, Vma> &vmas() const { return vmas_; }
+    /// @}
+
+    /** @name Page mapping primitives (used by fault handlers) */
+    /// @{
+    /** Map one base page to an exclusively owned frame. */
+    void mapBasePage(Vpn vpn, Pfn pfn, std::uint64_t extra_flags = 0);
+    /** Map a whole region to an order-9 block. */
+    void mapHugeRegion(std::uint64_t region, Pfn block_pfn,
+                       std::uint64_t extra_flags = 0);
+    /** Map one base page COW to the canonical zero page. */
+    void mapZeroCow(Vpn vpn);
+    /**
+     * Resolve a COW fault on a zero-dedup page: allocate a private
+     * frame and retarget the mapping. Returns true if the new frame
+     * required synchronous zeroing (cost signal for the caller).
+     */
+    bool breakCow(Vpn vpn);
+    /// @}
+
+    /** @name Unmapping / freeing */
+    /// @{
+    void unmapAndFreeBase(Vpn vpn);
+    void unmapAndFreeHuge(std::uint64_t region);
+    /**
+     * MADV_DONTNEED over [start, start+bytes): frees base pages and
+     * breaks (demotes, then partially frees) huge mappings that the
+     * range only partially covers — matching kernel behaviour the
+     * paper's Redis experiment depends on (§2.1).
+     */
+    void madviseDontneed(Addr start, std::uint64_t bytes);
+    /// @}
+
+    /** @name Promotion / demotion */
+    /// @{
+    /**
+     * Promote @p region onto @p block_pfn (an order-9 block already
+     * allocated to this process). Copies old frame contents, frees
+     * old frames, zero-fills unbacked tail pages. Returns the number
+     * of base pages that were copied (cost driver).
+     */
+    std::uint64_t promoteRegion(std::uint64_t region, Pfn block_pfn);
+    /** In-place demotion: split the huge mapping into base pages. */
+    void demoteRegion(std::uint64_t region);
+    /**
+     * Promote a region whose present base pages already sit at their
+     * natural offsets of one aligned order-9 block (FreeBSD-style
+     * reservations): no copying, just page-table surgery. The region
+     * must be fully populated.
+     */
+    void promoteInPlace(std::uint64_t region);
+    /**
+     * Replace an exclusively-owned, zero-filled base page with a COW
+     * mapping of the canonical zero page, freeing the frame (the
+     * dedup step of HawkEye's bloat recovery).
+     */
+    void dedupZeroPage(Vpn vpn);
+    /**
+     * KSM-style sharing: retarget @p vpn to @p canonical (COW),
+     * freeing its old frame. The canonical frame is pinned shared +
+     * unmovable, as Linux does for KSM pages.
+     */
+    void sharePage(Vpn vpn, Pfn canonical);
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    std::int32_t pid() const { return pid_; }
+    PageTable &pageTable() { return pt_; }
+    const PageTable &pageTable() const { return pt_; }
+    mem::PhysicalMemory &phys() { return phys_; }
+    /** Physical frames owned exclusively by this process. */
+    std::uint64_t rssPages() const { return owned_frames_; }
+    /** Mapped (virtual) pages, including zero-dedup'd ones. */
+    std::uint64_t mappedPages() const { return pt_.mappedPages(); }
+    /** Run a callback over every huge region of huge-eligible VMAs. */
+    void forEachEligibleRegion(
+        const std::function<void(std::uint64_t)> &fn) const;
+    /// @}
+
+  private:
+    std::int32_t pid_;
+    mem::PhysicalMemory &phys_;
+    PageTable pt_;
+    std::map<Addr, Vma> vmas_;
+    Addr next_mmap_ = GiB(4); //!< VA allocation cursor
+    std::uint64_t owned_frames_ = 0;
+};
+
+} // namespace hawksim::vm
+
+#endif // HAWKSIM_VM_ADDRESS_SPACE_HH

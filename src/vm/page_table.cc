@@ -1,0 +1,349 @@
+#include "vm/page_table.hh"
+
+#include "base/logging.hh"
+
+namespace hawksim::vm {
+
+PageTable::Node *
+PageTable::pdNode(Vpn vpn, bool create)
+{
+    Node *l3 = &root_;
+    const unsigned i3 = idxL3(vpn);
+    if (!l3->children[i3]) {
+        if (!create)
+            return nullptr;
+        l3->children[i3] = std::make_unique<Node>();
+        l3->used++;
+    }
+    Node *l2 = l3->children[i3].get();
+    const unsigned i2 = idxL2(vpn);
+    if (!l2->children[i2]) {
+        if (!create)
+            return nullptr;
+        l2->children[i2] = std::make_unique<Node>();
+        l2->used++;
+    }
+    return l2->children[i2].get();
+}
+
+const PageTable::Node *
+PageTable::pdNodeConst(Vpn vpn) const
+{
+    const Node *l3 = &root_;
+    const Node *l2 = l3->children[idxL3(vpn)].get();
+    if (!l2)
+        return nullptr;
+    return l2->children[idxL2(vpn)].get();
+}
+
+void
+PageTable::mapBase(Vpn vpn, Pfn pfn, std::uint64_t flags)
+{
+    Node *pd = pdNode(vpn, true);
+    const unsigned i1 = idxL1(vpn);
+    Pte pd_entry(pd->entries[i1]);
+    HS_ASSERT(!pd_entry.huge(), "mapBase under a huge mapping, vpn ", vpn);
+    if (!pd->children[i1]) {
+        pd->children[i1] = std::make_unique<Node>();
+        pd->used++;
+    }
+    Node *pt = pd->children[i1].get();
+    const unsigned i0 = idxL0(vpn);
+    HS_ASSERT(!Pte(pt->entries[i0]).present(),
+              "double map of vpn ", vpn);
+    pt->entries[i0] = Pte::make(pfn, flags | kPtePresent).raw();
+    pt->used++;
+    base_pages_++;
+}
+
+void
+PageTable::mapHuge(Vpn vpn, Pfn block_pfn, std::uint64_t flags)
+{
+    Node *pd = pdNode(vpn, true);
+    const unsigned i1 = idxL1(vpn);
+    HS_ASSERT(!pd->children[i1],
+              "mapHuge over populated PT, region ", vpnToHugeRegion(vpn));
+    HS_ASSERT(!Pte(pd->entries[i1]).present(),
+              "double huge map, region ", vpnToHugeRegion(vpn));
+    pd->entries[i1] =
+        Pte::make(block_pfn, flags | kPtePresent | kPteHuge).raw();
+    pd->used++;
+    huge_pages_++;
+}
+
+Pte
+PageTable::unmapBase(Vpn vpn)
+{
+    Node *pd = pdNode(vpn, false);
+    HS_ASSERT(pd, "unmapBase of unmapped vpn ", vpn);
+    const unsigned i1 = idxL1(vpn);
+    Node *pt = pd->children[i1].get();
+    HS_ASSERT(pt, "unmapBase of unmapped vpn ", vpn);
+    const unsigned i0 = idxL0(vpn);
+    Pte old(pt->entries[i0]);
+    HS_ASSERT(old.present() && !old.huge(),
+              "unmapBase of non-present vpn ", vpn);
+    pt->entries[i0] = 0;
+    pt->used--;
+    base_pages_--;
+    if (pt->used == 0) {
+        pd->children[i1].reset();
+        pd->used--;
+    }
+    return old;
+}
+
+Pte
+PageTable::unmapHuge(Vpn vpn)
+{
+    Node *pd = pdNode(vpn, false);
+    HS_ASSERT(pd, "unmapHuge of unmapped region");
+    const unsigned i1 = idxL1(vpn);
+    Pte old(pd->entries[i1]);
+    HS_ASSERT(old.present() && old.huge(),
+              "unmapHuge of non-huge region ", vpnToHugeRegion(vpn));
+    pd->entries[i1] = 0;
+    pd->used--;
+    huge_pages_--;
+    return old;
+}
+
+void
+PageTable::remapBase(Vpn vpn, Pfn new_pfn)
+{
+    bool is_huge = false;
+    Pte *e = leafEntry(vpn, &is_huge);
+    HS_ASSERT(e && !is_huge, "remapBase of unmapped/huge vpn ", vpn);
+    const std::uint64_t flags = e->raw() & 0xfff;
+    *e = Pte::make(new_pfn, flags);
+}
+
+std::vector<std::pair<Vpn, Pte>>
+PageTable::promote(Vpn vpn, Pfn block_pfn)
+{
+    Node *pd = pdNode(vpn, true);
+    const unsigned i1 = idxL1(vpn);
+    std::vector<std::pair<Vpn, Pte>> old;
+    std::uint64_t agg_flags = 0;
+    if (Node *pt = pd->children[i1].get()) {
+        const Vpn region_base = (vpn >> 9) << 9;
+        for (unsigned i = 0; i < 512; i++) {
+            Pte e(pt->entries[i]);
+            if (!e.present())
+                continue;
+            agg_flags |= e.raw() & (kPteAccessed | kPteDirty);
+            old.emplace_back(region_base + i, e);
+        }
+        base_pages_ -= old.size();
+        pd->children[i1].reset();
+        pd->used--;
+    }
+    pd->entries[i1] = Pte::make(block_pfn, kPtePresent | kPteHuge |
+                                               agg_flags)
+                          .raw();
+    pd->used++;
+    huge_pages_++;
+    return old;
+}
+
+Pte
+PageTable::demote(Vpn vpn)
+{
+    Node *pd = pdNode(vpn, false);
+    HS_ASSERT(pd, "demote of unmapped region");
+    const unsigned i1 = idxL1(vpn);
+    Pte old(pd->entries[i1]);
+    HS_ASSERT(old.present() && old.huge(),
+              "demote of non-huge region ", vpnToHugeRegion(vpn));
+    pd->entries[i1] = 0;
+    huge_pages_--;
+    // pd->used stays: the slot now holds a PT instead of a leaf.
+    pd->children[i1] = std::make_unique<Node>();
+    Node *pt = pd->children[i1].get();
+    const std::uint64_t inherit =
+        old.raw() & (kPteAccessed | kPteDirty | kPteCow);
+    for (unsigned i = 0; i < 512; i++) {
+        pt->entries[i] =
+            Pte::make(old.pfn() + i, kPtePresent | inherit).raw();
+    }
+    pt->used = 512;
+    base_pages_ += 512;
+    return old;
+}
+
+Translation
+PageTable::lookup(Vpn vpn) const
+{
+    Translation t;
+    const Node *pd = pdNodeConst(vpn);
+    if (!pd)
+        return t;
+    const unsigned i1 = idxL1(vpn);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge()) {
+        t.present = true;
+        t.huge = true;
+        t.pfn = pd_entry.pfn() + idxL0(vpn);
+        t.entry = pd_entry;
+        return t;
+    }
+    const Node *pt = pd->children[i1].get();
+    if (!pt)
+        return t;
+    Pte e(pt->entries[idxL0(vpn)]);
+    if (!e.present())
+        return t;
+    t.present = true;
+    t.huge = false;
+    t.pfn = e.pfn();
+    t.entry = e;
+    return t;
+}
+
+bool
+PageTable::touch(Vpn vpn, bool write)
+{
+    bool is_huge = false;
+    Pte *e = leafEntry(vpn, &is_huge);
+    if (!e)
+        return false;
+    e->setFlag(write ? (kPteAccessed | kPteDirty)
+                     : std::uint64_t{kPteAccessed});
+    return true;
+}
+
+void
+PageTable::clearAccessed(std::uint64_t region)
+{
+    const Vpn base = region << 9;
+    Node *pd = pdNode(base, false);
+    if (!pd)
+        return;
+    const unsigned i1 = idxL1(base);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge()) {
+        Pte cleared = pd_entry;
+        cleared.clearFlag(kPteAccessed);
+        pd->entries[i1] = cleared.raw();
+        return;
+    }
+    if (Node *pt = pd->children[i1].get()) {
+        for (auto &raw : pt->entries) {
+            Pte e(raw);
+            if (e.present()) {
+                e.clearFlag(kPteAccessed);
+                raw = e.raw();
+            }
+        }
+    }
+}
+
+unsigned
+PageTable::accessedCount(std::uint64_t region) const
+{
+    const Vpn base = region << 9;
+    const Node *pd = pdNodeConst(base);
+    if (!pd)
+        return 0;
+    const unsigned i1 = idxL1(base);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge())
+        return pd_entry.accessed() ? 512 : 0;
+    const Node *pt = pd->children[i1].get();
+    if (!pt)
+        return 0;
+    unsigned n = 0;
+    for (auto raw : pt->entries) {
+        Pte e(raw);
+        if (e.present() && e.accessed())
+            n++;
+    }
+    return n;
+}
+
+unsigned
+PageTable::population(std::uint64_t region) const
+{
+    const Vpn base = region << 9;
+    const Node *pd = pdNodeConst(base);
+    if (!pd)
+        return 0;
+    const unsigned i1 = idxL1(base);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge())
+        return 512;
+    const Node *pt = pd->children[i1].get();
+    return pt ? pt->used : 0;
+}
+
+bool
+PageTable::isHuge(std::uint64_t region) const
+{
+    const Vpn base = region << 9;
+    const Node *pd = pdNodeConst(base);
+    if (!pd)
+        return false;
+    Pte e(pd->entries[idxL1(base)]);
+    return e.present() && e.huge();
+}
+
+void
+PageTable::forEachLeaf(
+    const std::function<void(Vpn, const Pte &, bool)> &fn) const
+{
+    for (unsigned i3 = 0; i3 < 512; i3++) {
+        const Node *l2 = root_.children[i3].get();
+        if (!l2)
+            continue;
+        for (unsigned i2 = 0; i2 < 512; i2++) {
+            const Node *pd = l2->children[i2].get();
+            if (!pd)
+                continue;
+            for (unsigned i1 = 0; i1 < 512; i1++) {
+                const Vpn base =
+                    (static_cast<Vpn>(i3) << 27) |
+                    (static_cast<Vpn>(i2) << 18) |
+                    (static_cast<Vpn>(i1) << 9);
+                Pte pd_entry(pd->entries[i1]);
+                if (pd_entry.present() && pd_entry.huge()) {
+                    fn(base, pd_entry, true);
+                    continue;
+                }
+                const Node *pt = pd->children[i1].get();
+                if (!pt)
+                    continue;
+                for (unsigned i0 = 0; i0 < 512; i0++) {
+                    Pte e(pt->entries[i0]);
+                    if (e.present())
+                        fn(base + i0, e, false);
+                }
+            }
+        }
+    }
+}
+
+Pte *
+PageTable::leafEntry(Vpn vpn, bool *is_huge)
+{
+    Node *pd = pdNode(vpn, false);
+    if (!pd)
+        return nullptr;
+    const unsigned i1 = idxL1(vpn);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge()) {
+        if (is_huge)
+            *is_huge = true;
+        return reinterpret_cast<Pte *>(&pd->entries[i1]);
+    }
+    Node *pt = pd->children[i1].get();
+    if (!pt)
+        return nullptr;
+    Pte *e = reinterpret_cast<Pte *>(&pt->entries[idxL0(vpn)]);
+    if (!e->present())
+        return nullptr;
+    if (is_huge)
+        *is_huge = false;
+    return e;
+}
+
+} // namespace hawksim::vm

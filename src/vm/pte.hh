@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hardware-format page table entries.
+ *
+ * Entries pack a frame number and flag bits into a single 64-bit word,
+ * mirroring x86-64 so that access/dirty-bit tracking, COW and the
+ * huge-page bit behave like the real structures HawkEye manipulates.
+ */
+
+#ifndef HAWKSIM_VM_PTE_HH
+#define HAWKSIM_VM_PTE_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace hawksim::vm {
+
+/** PTE flag bits (low 12 bits of the entry). */
+enum PteFlags : std::uint64_t
+{
+    kPtePresent  = 1ull << 0,
+    kPteHuge     = 1ull << 1, //!< PD-level 2MB leaf mapping
+    kPteAccessed = 1ull << 2, //!< set by the (simulated) MMU on access
+    kPteDirty    = 1ull << 3, //!< set by the MMU on write
+    kPteCow      = 1ull << 4, //!< write triggers copy-on-write fault
+    kPteZero     = 1ull << 5, //!< maps the canonical zero page (dedup)
+    kPteReserv   = 1ull << 6, //!< FreeBSD-style reservation member
+};
+
+/** A 64-bit page-table entry: pfn << 12 | flags. */
+class Pte
+{
+  public:
+    constexpr Pte() = default;
+    constexpr explicit Pte(std::uint64_t raw) : raw_(raw) {}
+
+    static Pte
+    make(Pfn pfn, std::uint64_t flags)
+    {
+        return Pte((pfn << kPageShift) | (flags & 0xfff));
+    }
+
+    std::uint64_t raw() const { return raw_; }
+    Pfn pfn() const { return raw_ >> kPageShift; }
+
+    bool present() const { return raw_ & kPtePresent; }
+    bool huge() const { return raw_ & kPteHuge; }
+    bool accessed() const { return raw_ & kPteAccessed; }
+    bool dirty() const { return raw_ & kPteDirty; }
+    bool cow() const { return raw_ & kPteCow; }
+    bool zeroPage() const { return raw_ & kPteZero; }
+
+    void setFlag(std::uint64_t f) { raw_ |= f; }
+    void clearFlag(std::uint64_t f) { raw_ &= ~f; }
+
+    bool operator==(const Pte &o) const { return raw_ == o.raw_; }
+
+  private:
+    std::uint64_t raw_ = 0;
+};
+
+/** Result of a page-table lookup for one virtual page. */
+struct Translation
+{
+    bool present = false;
+    bool huge = false;
+    /** Frame of the 4KB page (for huge mappings: block pfn + offset). */
+    Pfn pfn = kInvalidPfn;
+    /** Entry flags as stored. */
+    Pte entry;
+};
+
+} // namespace hawksim::vm
+
+#endif // HAWKSIM_VM_PTE_HH

@@ -1,0 +1,197 @@
+#include "workload/kvstore.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "sim/process.hh"
+
+namespace hawksim::workload {
+
+void
+KeyValueStoreWorkload::init(sim::Process &proc)
+{
+    base_ = proc.space().mmapAnon(cfg_.arenaBytes, name_);
+    arena_pages_ = cfg_.arenaBytes / kPageSize;
+}
+
+Vpn
+KeyValueStoreWorkload::pageOf(std::uint64_t arena_page) const
+{
+    return addrToVpn(base_) + arena_page;
+}
+
+KeyValueStoreWorkload::Value
+KeyValueStoreWorkload::allocValue(std::uint64_t value_bytes)
+{
+    const auto pages = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1,
+                                (value_bytes + kPageSize - 1) /
+                                    kPageSize));
+    // Small values reuse freed slots of the same size class; large
+    // values get fresh (huge-aligned) arena space, like size-class
+    // slab allocators do.
+    if (pages == small_pages_ && !free_small_.empty()) {
+        const std::uint64_t slot = free_small_.front();
+        free_small_.pop_front();
+        return Value{slot, pages};
+    }
+    std::uint64_t start = cursor_;
+    if (pages >= kPagesPerHuge) {
+        start = (start + kPagesPerHuge - 1) & ~(kPagesPerHuge - 1);
+    }
+    HS_ASSERT(start + pages <= arena_pages_,
+              "kvstore arena exhausted for ", name_);
+    cursor_ = start + pages;
+    return Value{start, pages};
+}
+
+WorkChunk
+KeyValueStoreWorkload::next(sim::Process &proc, TimeNs max_compute)
+{
+    (void)proc;
+    WorkChunk chunk;
+    if (phase_ >= cfg_.phases.size()) {
+        chunk.done = true;
+        return chunk;
+    }
+    const KvPhase &ph = cfg_.phases[phase_];
+    auto advancePhase = [&] {
+        phase_++;
+        phase_progress_ = 0;
+        phase_time_ = 0.0;
+    };
+
+    switch (ph.type) {
+      case KvPhase::Type::kInsert: {
+        const double per_op = 1e9 / ph.opsPerSec;
+        const auto budget_ops = static_cast<std::uint64_t>(
+            static_cast<double>(max_compute) / per_op);
+        const std::uint64_t ops = std::min<std::uint64_t>(
+            std::min<std::uint64_t>(budget_ops, 512),
+            ph.count - phase_progress_);
+        if (ops == 0) {
+            // Rate too low for this tick granularity: do one op.
+        }
+        const std::uint64_t todo = std::max<std::uint64_t>(ops, 1);
+        for (std::uint64_t i = 0; i < todo; i++) {
+            Value v = allocValue(ph.valueBytes);
+            for (std::uint32_t p = 0; p < v.pages; p++) {
+                const Vpn vpn = pageOf(v.firstPage + p);
+                chunk.faults.push_back(vpn);
+                chunk.writes.emplace_back(vpn, content_.data());
+            }
+            live_.push_back(v);
+            live_bytes_ += ph.valueBytes;
+        }
+        phase_progress_ += todo;
+        chunk.compute =
+            static_cast<TimeNs>(static_cast<double>(todo) * per_op);
+        chunk.accessCount = todo * cfg_.accessesPerOp;
+        chunk.opsCompleted = todo;
+        chunk.sequentiality = 0.5;
+        if (phase_progress_ >= ph.count)
+            advancePhase();
+        break;
+      }
+      case KvPhase::Type::kDelete: {
+        // Deletions are fast; do the whole phase in one chunk.
+        const auto target = static_cast<std::uint64_t>(
+            ph.fraction * static_cast<double>(live_.size()));
+        std::uint64_t deleted = 0;
+        auto dropAt = [&](std::uint64_t idx) {
+            const Value v = live_[idx];
+            live_[idx] = live_.back();
+            live_.pop_back();
+            live_bytes_ -=
+                std::min<std::uint64_t>(live_bytes_,
+                                        std::uint64_t{v.pages} *
+                                            kPageSize);
+            chunk.frees.push_back(
+                {base_ + v.firstPage * kPageSize,
+                 std::uint64_t{v.pages} * kPageSize});
+            if (v.pages == small_pages_)
+                free_small_.push_back(v.firstPage);
+            deleted++;
+        };
+        while (deleted < target && !live_.empty()) {
+            if (ph.clusterRun <= 1) {
+                dropAt(rng_.below(live_.size()));
+                continue;
+            }
+            // Clustered expiry: erase a run of values contiguous in
+            // insertion (and hence arena) order.
+            const std::uint64_t idx = rng_.below(live_.size());
+            const std::uint64_t run = std::min<std::uint64_t>(
+                {ph.clusterRun, target - deleted,
+                 live_.size() - idx});
+            for (std::uint64_t j = idx; j < idx + run; j++) {
+                const Value &v = live_[j];
+                live_bytes_ -= std::min<std::uint64_t>(
+                    live_bytes_,
+                    std::uint64_t{v.pages} * kPageSize);
+                chunk.frees.push_back(
+                    {base_ + v.firstPage * kPageSize,
+                     std::uint64_t{v.pages} * kPageSize});
+                if (v.pages == small_pages_)
+                    free_small_.push_back(v.firstPage);
+                deleted++;
+            }
+            live_.erase(live_.begin() + static_cast<long>(idx),
+                        live_.begin() + static_cast<long>(idx + run));
+        }
+        chunk.compute = std::max<TimeNs>(
+            static_cast<TimeNs>(static_cast<double>(target) * 200),
+            usec(10));
+        chunk.opsCompleted = deleted;
+        advancePhase();
+        break;
+      }
+      case KvPhase::Type::kServe: {
+        const TimeNs compute = std::min<TimeNs>(
+            max_compute,
+            static_cast<TimeNs>(
+                std::max(ph.durationSec - phase_time_, 0.0) * 1e9));
+        if (compute <= 0 || live_.empty()) {
+            advancePhase();
+            break;
+        }
+        const double secs = static_cast<double>(compute) / 1e9;
+        const auto ops =
+            static_cast<std::uint64_t>(ph.opsPerSec * secs);
+        chunk.compute = compute;
+        chunk.accessCount = ops * cfg_.accessesPerOp;
+        chunk.opsCompleted = ops;
+        chunk.sequentiality = 0.1;
+        auto draw = [&]() -> Vpn {
+            const Value &v = live_[rng_.below(live_.size())];
+            return pageOf(v.firstPage + rng_.below(v.pages));
+        };
+        const unsigned n = std::min<std::uint64_t>(
+            cfg_.samplePerChunk, chunk.accessCount);
+        for (unsigned i = 0; i < n; i++)
+            chunk.sample.push_back({draw(), rng_.chance(0.15)});
+        for (unsigned i = 0; i < cfg_.touchesPerChunk; i++)
+            chunk.touches.push_back(draw());
+        phase_time_ += secs;
+        if (phase_time_ >= ph.durationSec)
+            advancePhase();
+        break;
+      }
+      case KvPhase::Type::kPause: {
+        const TimeNs compute = std::min<TimeNs>(
+            max_compute,
+            static_cast<TimeNs>(
+                std::max(ph.durationSec - phase_time_, 0.0) * 1e9));
+        chunk.compute = std::max<TimeNs>(compute, usec(100));
+        phase_time_ += static_cast<double>(chunk.compute) / 1e9;
+        if (phase_time_ >= ph.durationSec)
+            advancePhase();
+        break;
+      }
+    }
+    if (phase_ >= cfg_.phases.size())
+        chunk.done = true;
+    return chunk;
+}
+
+} // namespace hawksim::workload

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A Redis-like in-memory key-value store model.
+ *
+ * Drives the paper's bloat experiments (Fig. 1, Table 7) and serves
+ * as the TLB-insensitive co-runner in Fig. 8: phases of inserts,
+ * random deletions (which release memory back to the OS with
+ * MADV_DONTNEED, leaving the address space sparse) and request
+ * serving. Small values reuse freed slots of their own size class,
+ * large values carve fresh arena space — which is exactly the
+ * allocator behaviour that turns recovered-then-re-promoted huge
+ * pages into bloat (§2.1).
+ */
+
+#ifndef HAWKSIM_WORKLOAD_KVSTORE_HH
+#define HAWKSIM_WORKLOAD_KVSTORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "mem/content.hh"
+#include "workload/workload.hh"
+
+namespace hawksim::workload {
+
+/** One phase of the store's lifecycle. */
+struct KvPhase
+{
+    enum class Type
+    {
+        kInsert,  //!< insert `count` values of `valueBytes`
+        kDelete,  //!< delete `fraction` of live values at random
+        kServe,   //!< serve random GETs for `durationSec`
+        kPause,   //!< idle for `durationSec`
+    };
+
+    Type type = Type::kInsert;
+    std::uint64_t count = 0;
+    std::uint64_t valueBytes = 4096;
+    double fraction = 0.0;
+    /**
+     * Deletion clustering: values expire in contiguous runs of this
+     * many (1 = uniform random). Real stores free extents of
+     * related keys, which leaves per-region live fractions bimodal
+     * rather than uniform — the pattern that separates Ingens-50%
+     * from Ingens-90% in Table 7.
+     */
+    std::uint64_t clusterRun = 1;
+    double durationSec = 0.0;
+    /** Operation rate (inserts or GETs per second of compute). */
+    double opsPerSec = 100'000.0;
+};
+
+struct KvConfig
+{
+    /** Arena (VMA) size; must fit the peak footprint. */
+    std::uint64_t arenaBytes = GiB(2);
+    std::vector<KvPhase> phases;
+    /**
+     * Server semantics: the store is a long-running service, so
+     * experiment drivers should not wait for it to "finish" (its
+     * serve phase may be unbounded).
+     */
+    bool servesForever = false;
+    /** Per-request CPU cost beyond memory accesses. */
+    TimeNs workPerOp = 2'000;
+    /** Memory accesses per request (index + value walk). */
+    unsigned accessesPerOp = 12;
+    unsigned samplePerChunk = 512;
+    unsigned touchesPerChunk = 2048;
+};
+
+class KeyValueStoreWorkload : public Workload
+{
+  public:
+    KeyValueStoreWorkload(std::string name, KvConfig cfg, Rng rng)
+        : name_(std::move(name)), cfg_(cfg), rng_(rng),
+          content_(rng.fork())
+    {}
+
+    std::string name() const override { return name_; }
+    void init(sim::Process &proc) override;
+    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+    bool
+    runsToCompletion() const override
+    {
+        return !cfg_.servesForever;
+    }
+
+    std::uint64_t liveValues() const { return live_.size(); }
+    /** Logical dataset bytes currently live. */
+    std::uint64_t liveBytes() const { return live_bytes_; }
+
+  private:
+    struct Value
+    {
+        std::uint64_t firstPage; //!< arena-relative page index
+        std::uint32_t pages;
+    };
+
+    /** Allocate arena pages for a value (reuse freed slots first). */
+    Value allocValue(std::uint64_t value_bytes);
+    Vpn pageOf(std::uint64_t arena_page) const;
+
+    std::string name_;
+    KvConfig cfg_;
+    Rng rng_;
+    mem::ContentGenerator content_;
+    Addr base_ = 0;
+    std::uint64_t arena_pages_ = 0;
+    std::uint64_t cursor_ = 0; //!< bump pointer (arena pages)
+    /** Free slots keyed by size class (pages per value). */
+    std::deque<std::uint64_t> free_small_;
+    std::uint32_t small_pages_ = 1;
+    std::vector<Value> live_;
+    std::uint64_t live_bytes_ = 0;
+    std::size_t phase_ = 0;
+    std::uint64_t phase_progress_ = 0;
+    double phase_time_ = 0.0;
+};
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_KVSTORE_HH

@@ -1,0 +1,76 @@
+#include "workload/linear_touch.hh"
+
+#include <algorithm>
+
+#include "sim/process.hh"
+
+namespace hawksim::workload {
+
+void
+LinearTouchWorkload::init(sim::Process &proc)
+{
+    base_ = proc.space().mmapAnon(cfg_.bytes, name_);
+    pages_ = cfg_.bytes / kPageSize;
+    rehash_at_ = cfg_.rehashGrowth ? std::max<std::uint64_t>(
+                                         pages_ / 64, 1024)
+                                   : 0;
+}
+
+WorkChunk
+LinearTouchWorkload::next(sim::Process &proc, TimeNs max_compute)
+{
+    (void)max_compute;
+    WorkChunk chunk;
+    if (iter_ >= cfg_.iterations) {
+        chunk.done = true;
+        return chunk;
+    }
+
+    const Vpn base_vpn = addrToVpn(base_);
+    std::uint64_t batch =
+        std::min<std::uint64_t>(cfg_.chunkPages, pages_ - pos_);
+
+    // SparseHash-style rehash: when the table doubles, re-touch the
+    // already-populated range (copy into the grown table).
+    if (cfg_.rehashGrowth && rehash_at_ && pos_ >= rehash_at_ &&
+        pos_ < pages_) {
+        const std::uint64_t copy =
+            std::min<std::uint64_t>(cfg_.chunkPages, rehash_at_);
+        for (std::uint64_t i = 0; i < copy; i++) {
+            const Vpn vpn = base_vpn + (pos_ + i) % pages_;
+            chunk.sample.push_back({vpn, true});
+        }
+        rehash_at_ *= 2;
+    }
+
+    chunk.faults.reserve(batch);
+    for (std::uint64_t i = 0; i < batch; i++) {
+        const Vpn vpn = base_vpn + pos_ + i;
+        chunk.faults.push_back(vpn);
+        if (cfg_.writeContent)
+            chunk.writes.emplace_back(vpn, content_.data());
+    }
+    pos_ += batch;
+    total_touched_ += batch;
+    chunk.compute = static_cast<TimeNs>(batch) * cfg_.workPerPage;
+    chunk.accessCount = batch;
+    chunk.sequentiality = 1.0;
+    chunk.opsCompleted = batch;
+
+    if (pos_ >= pages_) {
+        pos_ = 0;
+        iter_++;
+        if (cfg_.rehashGrowth)
+            rehash_at_ = std::max<std::uint64_t>(pages_ / 64, 1024);
+        if (cfg_.freeEachIteration || iter_ >= cfg_.iterations) {
+            chunk.frees.push_back(
+                {base_, pages_ * kPageSize});
+        }
+        if (iter_ >= cfg_.iterations)
+            chunk.done = true;
+    }
+    (void)proc;
+    return chunk;
+}
+
+} // namespace hawksim::workload

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sequential allocate-touch-free workloads.
+ *
+ * Reproduces the paper's Table 1 microbenchmark (allocate a buffer,
+ * touch one byte in every base page, free it, repeat) and, with one
+ * iteration and small per-page work, the fault-dominated spin-up
+ * workloads of Table 8 (JVM/KVM start-up, HACC-IO, SparseHash).
+ */
+
+#ifndef HAWKSIM_WORKLOAD_LINEAR_TOUCH_HH
+#define HAWKSIM_WORKLOAD_LINEAR_TOUCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.hh"
+#include "mem/content.hh"
+#include "workload/workload.hh"
+
+namespace hawksim::workload {
+
+struct LinearTouchConfig
+{
+    std::uint64_t bytes = GiB(1);
+    /** Allocate/touch/free cycles. */
+    unsigned iterations = 1;
+    /** Useful compute per touched page. */
+    TimeNs workPerPage = 500;
+    /** Release the buffer after each iteration. */
+    bool freeEachIteration = true;
+    /** Touched pages become dirty (write one byte at offset 0). */
+    bool writeContent = true;
+    /** Pages per work chunk. */
+    unsigned chunkPages = 1024;
+    /**
+     * SparseHash-style growth: after each doubling of touched pages,
+     * reallocate a 2x arena and copy (extra faults + copy work).
+     */
+    bool rehashGrowth = false;
+};
+
+class LinearTouchWorkload : public Workload
+{
+  public:
+    LinearTouchWorkload(std::string name, LinearTouchConfig cfg,
+                        Rng rng)
+        : name_(std::move(name)), cfg_(cfg), content_(rng)
+    {}
+
+    std::string name() const override { return name_; }
+    void init(sim::Process &proc) override;
+    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+
+    std::uint64_t touchesDone() const { return total_touched_; }
+
+  private:
+    std::string name_;
+    LinearTouchConfig cfg_;
+    mem::ContentGenerator content_;
+    Addr base_ = 0;
+    std::uint64_t pages_ = 0;
+    std::uint64_t pos_ = 0;
+    unsigned iter_ = 0;
+    std::uint64_t total_touched_ = 0;
+    /** Next growth boundary for rehash mode (pages). */
+    std::uint64_t rehash_at_ = 0;
+};
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_LINEAR_TOUCH_HH

@@ -1,0 +1,184 @@
+#include "workload/presets.hh"
+
+#include "base/logging.hh"
+
+namespace hawksim::workload {
+
+std::unique_ptr<StreamWorkload>
+makeGraph500(Rng rng, Scale s, double work_seconds)
+{
+    StreamConfig cfg;
+    cfg.footprintBytes = s(GiB(9));
+    cfg.wssBytes = s(GiB(8));
+    // Edge/frontier structures live at the top of the address space:
+    // sequential low-to-high promotion reaches them last (Fig. 6).
+    cfg.hotStart = 0.60;
+    cfg.hotEnd = 1.00;
+    cfg.hotFraction = 0.88;
+    cfg.zipfS = 0.35;
+    cfg.sequentialFraction = 0.05;
+    cfg.coveragePages = 512;
+    cfg.accessesPerSec = 4.0e6;
+    cfg.workSeconds = work_seconds;
+    return std::make_unique<StreamWorkload>("Graph500", cfg, rng);
+}
+
+std::unique_ptr<StreamWorkload>
+makeXSBench(Rng rng, Scale s, double work_seconds)
+{
+    StreamConfig cfg;
+    cfg.footprintBytes = s(GiB(8));
+    cfg.wssBytes = s(GiB(7));
+    // Cross-section lookup grids sit in the upper-middle VA range.
+    cfg.hotStart = 0.55;
+    cfg.hotEnd = 0.92;
+    cfg.hotFraction = 0.85;
+    cfg.zipfS = 0.25;
+    cfg.sequentialFraction = 0.02;
+    cfg.coveragePages = 512;
+    cfg.accessesPerSec = 4.2e6;
+    cfg.workSeconds = work_seconds;
+    return std::make_unique<StreamWorkload>("XSBench", cfg, rng);
+}
+
+std::unique_ptr<StreamWorkload>
+makeNpb(const std::string &which, Rng rng, Scale s,
+        double work_seconds)
+{
+    StreamConfig cfg;
+    cfg.workSeconds = work_seconds;
+    if (which == "cg") {
+        // Sparse-matrix gather: random, big WSS -> 39% overhead @4KB.
+        cfg.footprintBytes = s(GiB(16));
+        cfg.wssBytes = s(GiB(8));
+        cfg.sequentialFraction = 0.05;
+        cfg.accessesPerSec = 3.4e6;
+    } else if (which == "mg") {
+        // Multigrid: huge footprint but stencil-sequential -> ~1%.
+        cfg.footprintBytes = s(GiB(26));
+        cfg.wssBytes = s(GiB(24));
+        cfg.sequentialFraction = 0.85;
+        cfg.accessesPerSec = 4.0e6;
+    } else if (which == "bt") {
+        cfg.footprintBytes = s(GiB(10));
+        cfg.wssBytes = s(GiB(9));
+        cfg.sequentialFraction = 0.40;
+        cfg.accessesPerSec = 1.3e6;
+    } else if (which == "sp") {
+        cfg.footprintBytes = s(GiB(12));
+        cfg.wssBytes = s(GiB(10));
+        cfg.sequentialFraction = 0.45;
+        cfg.accessesPerSec = 1.0e6;
+    } else if (which == "lu") {
+        cfg.footprintBytes = s(GiB(8));
+        cfg.wssBytes = s(GiB(8));
+        cfg.sequentialFraction = 0.55;
+        cfg.accessesPerSec = 0.9e6;
+    } else if (which == "ua") {
+        cfg.footprintBytes = s(GiB(10));
+        cfg.wssBytes = s(GiB(6));
+        cfg.sequentialFraction = 0.70;
+        cfg.accessesPerSec = 0.4e6;
+    } else if (which == "ft") {
+        cfg.footprintBytes = s(GiB(24));
+        cfg.wssBytes = s(GiB(20));
+        cfg.sequentialFraction = 0.60;
+        cfg.accessesPerSec = 1.2e6;
+    } else {
+        HS_FATAL("unknown NPB profile: ", which);
+    }
+    return std::make_unique<StreamWorkload>(which + ".D", cfg, rng);
+}
+
+std::unique_ptr<StreamWorkload>
+makeRandom(Rng rng, Scale s, double work_seconds)
+{
+    StreamConfig cfg;
+    cfg.footprintBytes = s(GiB(4));
+    cfg.sequentialFraction = 0.0;
+    cfg.accessesPerSec = 6.5e6;
+    cfg.workSeconds = work_seconds;
+    return std::make_unique<StreamWorkload>("random", cfg, rng);
+}
+
+std::unique_ptr<StreamWorkload>
+makeSequential(Rng rng, Scale s, double work_seconds)
+{
+    StreamConfig cfg;
+    cfg.footprintBytes = s(GiB(4));
+    // High access coverage, but prefetch-friendly: the MMU overhead
+    // HawkEye-G *estimates* is high while the PMU *measures* ~0
+    // (Table 9's divergence).
+    cfg.sequentialFraction = 1.0;
+    cfg.accessesPerSec = 6.5e6;
+    cfg.workSeconds = work_seconds;
+    return std::make_unique<StreamWorkload>("sequential", cfg, rng);
+}
+
+std::unique_ptr<KeyValueStoreWorkload>
+makeRedisLight(Rng rng, Scale s, double serve_seconds)
+{
+    KvConfig cfg;
+    cfg.servesForever = true; // a server: don't wait for it
+    const std::uint64_t keys = 40'000'000 / s.div;
+    cfg.arenaBytes = s(GiB(52));
+    KvPhase load;
+    load.type = KvPhase::Type::kInsert;
+    load.count = keys / 4; // 1KB values pack 4 per page slot
+    load.valueBytes = 4096;
+    load.opsPerSec = 1.5e6;
+    KvPhase serve;
+    serve.type = KvPhase::Type::kServe;
+    serve.durationSec = serve_seconds;
+    serve.opsPerSec = 10'000; // lightly loaded: TLB insensitive
+    cfg.phases = {load, serve};
+    return std::make_unique<KeyValueStoreWorkload>("Redis-light", cfg,
+                                                   rng);
+}
+
+std::unique_ptr<LinearTouchWorkload>
+makeTouchMicro(Rng rng, Scale s, unsigned iterations)
+{
+    LinearTouchConfig cfg;
+    cfg.bytes = s(GiB(10));
+    cfg.iterations = iterations;
+    cfg.workPerPage = 500;
+    return std::make_unique<LinearTouchWorkload>("touch-10GB", cfg,
+                                                 rng);
+}
+
+std::unique_ptr<LinearTouchWorkload>
+makeSpinUp(const std::string &name, std::uint64_t bytes, Rng rng)
+{
+    LinearTouchConfig cfg;
+    cfg.bytes = bytes;
+    cfg.iterations = 1;
+    cfg.workPerPage = 60; // spin-up is purely fault dominated
+    cfg.freeEachIteration = false;
+    return std::make_unique<LinearTouchWorkload>(name, cfg, rng);
+}
+
+std::unique_ptr<LinearTouchWorkload>
+makeSparseHash(Rng rng, Scale s)
+{
+    LinearTouchConfig cfg;
+    cfg.bytes = s(GiB(36));
+    cfg.iterations = 1;
+    cfg.workPerPage = 900;
+    cfg.rehashGrowth = true;
+    cfg.freeEachIteration = false;
+    return std::make_unique<LinearTouchWorkload>("SparseHash", cfg,
+                                                 rng);
+}
+
+std::unique_ptr<LinearTouchWorkload>
+makeHaccIo(Rng rng, Scale s)
+{
+    LinearTouchConfig cfg;
+    cfg.bytes = s(GiB(6));
+    cfg.iterations = 4; // IO buffer reuse across dumps
+    cfg.workPerPage = 700;
+    return std::make_unique<LinearTouchWorkload>("HACC-IO", cfg, rng);
+}
+
+} // namespace hawksim::workload

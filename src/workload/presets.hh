@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Factory presets modelling the paper's benchmark applications.
+ *
+ * Each preset fixes the memory behaviour knobs (footprint, WSS, hot
+ * zone placement, skew, sequentiality, per-region coverage) and an
+ * effective serialized access rate calibrated so that the 4KB-page
+ * MMU overheads land near the paper's measurements (Tables 3 and 9).
+ * Footprints take a scale divisor so experiments can run at 1/4 or
+ * 1/8 of the paper's sizes with identical ratios.
+ */
+
+#ifndef HAWKSIM_WORKLOAD_PRESETS_HH
+#define HAWKSIM_WORKLOAD_PRESETS_HH
+
+#include <memory>
+
+#include "base/rng.hh"
+#include "workload/kvstore.hh"
+#include "workload/linear_touch.hh"
+#include "workload/stream.hh"
+
+namespace hawksim::workload {
+
+/** Scale divisor applied to the paper's footprints. */
+struct Scale
+{
+    std::uint64_t div = 8;
+    std::uint64_t
+    operator()(std::uint64_t bytes) const
+    {
+        return bytes / div;
+    }
+};
+
+/** Graph500: hot structures at high VAs, skewed, high coverage. */
+std::unique_ptr<StreamWorkload> makeGraph500(Rng rng, Scale s = {},
+                                             double work_seconds = 60);
+
+/** XSBench: hot lookup tables in the upper-middle VA range. */
+std::unique_ptr<StreamWorkload> makeXSBench(Rng rng, Scale s = {},
+                                            double work_seconds = 60);
+
+/** NPB profiles (Table 3): cg/mg/bt/sp/lu/ua/ft class D. */
+std::unique_ptr<StreamWorkload> makeNpb(const std::string &which,
+                                        Rng rng, Scale s = {},
+                                        double work_seconds = 60);
+
+/** Table 9's synthetic pair: uniform-random over a 4GB buffer. */
+std::unique_ptr<StreamWorkload> makeRandom(Rng rng, Scale s = {},
+                                           double work_seconds = 60);
+/** Table 9's synthetic pair: pure sequential streaming over 4GB. */
+std::unique_ptr<StreamWorkload> makeSequential(Rng rng, Scale s = {},
+                                               double work_seconds = 60);
+
+/** Lightly loaded Redis (Fig. 8): 40M 1KB keys, 10K req/s. */
+std::unique_ptr<KeyValueStoreWorkload>
+makeRedisLight(Rng rng, Scale s = {}, double serve_seconds = 120);
+
+/** Table 1 microbenchmark: 10GB buffer, one byte per page, x10. */
+std::unique_ptr<LinearTouchWorkload>
+makeTouchMicro(Rng rng, Scale s = {}, unsigned iterations = 10);
+
+/** Spin-up workloads (Table 8). */
+std::unique_ptr<LinearTouchWorkload> makeSpinUp(const std::string &name,
+                                                std::uint64_t bytes,
+                                                Rng rng);
+/** SparseHash-like growth workload (Table 8). */
+std::unique_ptr<LinearTouchWorkload> makeSparseHash(Rng rng,
+                                                    Scale s = {});
+/** HACC-IO-like buffered IO workload (Table 8). */
+std::unique_ptr<LinearTouchWorkload> makeHaccIo(Rng rng, Scale s = {});
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_PRESETS_HH

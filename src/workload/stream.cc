@@ -1,0 +1,116 @@
+#include "workload/stream.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "sim/process.hh"
+
+namespace hawksim::workload {
+
+void
+StreamWorkload::init(sim::Process &proc)
+{
+    base_ = proc.space().mmapAnon(cfg_.footprintBytes, name_);
+    pages_ = cfg_.footprintBytes / kPageSize;
+    wss_pages_ =
+        cfg_.wssBytes ? cfg_.wssBytes / kPageSize : pages_;
+    wss_pages_ = std::min(wss_pages_, pages_);
+    HS_ASSERT(pages_ > 0, "empty stream workload");
+}
+
+Vpn
+StreamWorkload::drawPage()
+{
+    const Vpn base_vpn = addrToVpn(base_);
+    // Sequential stream component walks the WSS in order.
+    if (cfg_.sequentialFraction > 0.0 &&
+        rng_.chance(cfg_.sequentialFraction)) {
+        const Vpn v = base_vpn + (seq_pos_ % wss_pages_);
+        seq_pos_++;
+        return v;
+    }
+    // Pick the zone.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = wss_pages_; // exclusive
+    if (rng_.chance(cfg_.hotFraction)) {
+        lo = static_cast<std::uint64_t>(cfg_.hotStart *
+                                        static_cast<double>(pages_));
+        hi = static_cast<std::uint64_t>(cfg_.hotEnd *
+                                        static_cast<double>(pages_));
+        hi = std::max(hi, lo + 1);
+        hi = std::min(hi, pages_);
+    }
+    const std::uint64_t span = hi - lo;
+    std::uint64_t idx = cfg_.zipfS > 0.0 ? rng_.zipf(span, cfg_.zipfS)
+                                         : rng_.below(span);
+    std::uint64_t page = lo + idx;
+    // Coverage restriction: only the first coveragePages slots of
+    // each 2MB region are real data (models sparse structures).
+    if (cfg_.coveragePages < kPagesPerHuge) {
+        page = (page & ~(kPagesPerHuge - 1)) |
+               (page % cfg_.coveragePages);
+        if (page >= pages_)
+            page = pages_ - 1;
+    }
+    return base_vpn + page;
+}
+
+WorkChunk
+StreamWorkload::next(sim::Process &proc, TimeNs max_compute)
+{
+    (void)proc;
+    WorkChunk chunk;
+
+    // Phase 1: touch the whole footprint (allocation phase).
+    if (cfg_.initTouchAll && init_pos_ < pages_) {
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(1024, pages_ - init_pos_);
+        const Vpn base_vpn = addrToVpn(base_);
+        chunk.faults.reserve(batch);
+        chunk.writes.reserve(batch);
+        for (std::uint64_t i = 0; i < batch; i++) {
+            const Vpn vpn = base_vpn + init_pos_ + i;
+            chunk.faults.push_back(vpn);
+            chunk.writes.emplace_back(vpn, content_.data());
+        }
+        init_pos_ += batch;
+        chunk.compute =
+            static_cast<TimeNs>(batch) * cfg_.initWorkPerPage;
+        chunk.accessCount = batch;
+        chunk.sequentiality = 1.0;
+        return chunk;
+    }
+
+    // Phase 2: steady-state access stream.
+    const double remaining =
+        cfg_.workSeconds > 0.0 ? cfg_.workSeconds - work_done_
+                               : 1e18;
+    TimeNs compute = std::min<TimeNs>(
+        max_compute,
+        static_cast<TimeNs>(std::max(remaining, 0.0) * 1e9));
+    if (compute <= 0) {
+        chunk.done = true;
+        return chunk;
+    }
+    chunk.compute = compute;
+    const double secs = static_cast<double>(compute) / 1e9;
+    chunk.accessCount =
+        static_cast<std::uint64_t>(cfg_.accessesPerSec * secs);
+    chunk.sequentiality = cfg_.sequentialFraction;
+    const unsigned n = std::min<std::uint64_t>(cfg_.samplePerChunk,
+                                               chunk.accessCount);
+    chunk.sample.reserve(n);
+    for (unsigned i = 0; i < n; i++)
+        chunk.sample.push_back({drawPage(), rng_.chance(0.3)});
+    chunk.touches.reserve(cfg_.touchesPerChunk);
+    for (unsigned i = 0; i < cfg_.touchesPerChunk; i++)
+        chunk.touches.push_back(drawPage());
+    chunk.opsCompleted =
+        static_cast<std::uint64_t>(cfg_.opsPerSec * secs);
+    work_done_ += secs;
+    if (cfg_.workSeconds > 0.0 && work_done_ >= cfg_.workSeconds)
+        chunk.done = true;
+    return chunk;
+}
+
+} // namespace hawksim::workload

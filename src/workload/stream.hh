@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The configurable access-stream workload.
+ *
+ * Models the memory behaviour of the paper's benchmark applications:
+ * a footprint allocated up front (as Graph500/XSBench/NPB do), then a
+ * steady-state access stream characterized by
+ *   - a working set (subset of the footprint actively accessed),
+ *   - a hot zone placed anywhere in the VA space (Graph500 and
+ *     XSBench keep their hot structures at *high* VAs — the reason
+ *     sequential low-to-high promotion is ineffective, Fig. 6),
+ *   - skew (Zipf) and a sequential-stream component,
+ *   - per-region access coverage (how many base pages of each 2MB
+ *     region are used — HawkEye's promotion signal, §3.3).
+ *
+ * Factory presets for the paper's workloads live in npb.hh.
+ */
+
+#ifndef HAWKSIM_WORKLOAD_STREAM_HH
+#define HAWKSIM_WORKLOAD_STREAM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.hh"
+#include "mem/content.hh"
+#include "workload/workload.hh"
+
+namespace hawksim::workload {
+
+struct StreamConfig
+{
+    std::uint64_t footprintBytes = GiB(1);
+    /** Actively accessed bytes; 0 means the whole footprint. */
+    std::uint64_t wssBytes = 0;
+    /** Hot zone as fractions of the footprint's VA range. */
+    double hotStart = 0.0;
+    double hotEnd = 1.0;
+    /** Fraction of accesses that go to the hot zone. */
+    double hotFraction = 1.0;
+    /** Zipf exponent within the chosen zone (0 = uniform). */
+    double zipfS = 0.0;
+    /** Fraction of the stream that is next-page sequential. */
+    double sequentialFraction = 0.0;
+    /** Base pages used within each touched 2MB region (1..512). */
+    unsigned coveragePages = 512;
+    /** Memory accesses per second of useful compute. */
+    double accessesPerSec = 50e6;
+    /** Total useful compute; 0 = run until stopped. */
+    double workSeconds = 20.0;
+    /** Touch the whole footprint at start (allocate-then-compute). */
+    bool initTouchAll = true;
+    /** TLB sample size per chunk. */
+    unsigned samplePerChunk = 512;
+    /** Accessed-bit shadow touches per chunk. */
+    unsigned touchesPerChunk = 2048;
+    /** Per-page init compute (ns). */
+    TimeNs initWorkPerPage = 100;
+    /** Ops per second of useful compute (throughput metric). */
+    double opsPerSec = 0.0;
+};
+
+class StreamWorkload : public Workload
+{
+  public:
+    StreamWorkload(std::string name, StreamConfig cfg, Rng rng)
+        : name_(std::move(name)), cfg_(cfg), rng_(rng),
+          content_(rng.fork())
+    {}
+
+    std::string name() const override { return name_; }
+    void init(sim::Process &proc) override;
+    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+    bool
+    runsToCompletion() const override
+    {
+        return cfg_.workSeconds > 0.0;
+    }
+
+    const StreamConfig &config() const { return cfg_; }
+    /** Base VA of the footprint (valid after init). */
+    Addr baseAddr() const { return base_; }
+
+  private:
+    /** Draw one accessed page according to the stream model. */
+    Vpn drawPage();
+
+    std::string name_;
+    StreamConfig cfg_;
+    Rng rng_;
+    mem::ContentGenerator content_;
+    Addr base_ = 0;
+    std::uint64_t pages_ = 0;      //!< total footprint pages
+    std::uint64_t wss_pages_ = 0;  //!< accessible pages
+    std::uint64_t init_pos_ = 0;   //!< init-touch cursor
+    std::uint64_t seq_pos_ = 0;    //!< sequential stream cursor
+    double work_done_ = 0.0;       //!< useful compute consumed (s)
+};
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_STREAM_HH

@@ -1,0 +1,150 @@
+#include "workload/suite.hh"
+
+namespace hawksim::workload {
+
+namespace {
+
+/**
+ * Build one profile. TLB sensitivity emerges from the combination of
+ * WSS (how much translation reach is needed), access rate (how much
+ * each walk matters) and sequentiality (how much walk latency the
+ * prefetcher hides).
+ *
+ * @param wss_mb working set in MB (at experiment scale)
+ * @param rate_maps effective serialized accesses per second, x1e6
+ * @param seq sequential fraction of the stream
+ */
+StreamConfig
+profile(double wss_mb, double rate_maps, double seq,
+        double footprint_mb = 0.0)
+{
+    StreamConfig c;
+    c.wssBytes = static_cast<std::uint64_t>(wss_mb * (1 << 20));
+    c.footprintBytes =
+        footprint_mb > 0.0
+            ? static_cast<std::uint64_t>(footprint_mb * (1 << 20))
+            : c.wssBytes;
+    if (c.footprintBytes < c.wssBytes)
+        c.footprintBytes = c.wssBytes;
+    c.accessesPerSec = rate_maps * 1e6;
+    c.sequentialFraction = seq;
+    c.workSeconds = 5.0;
+    c.samplePerChunk = 384;
+    c.touchesPerChunk = 256;
+    return c;
+}
+
+} // namespace
+
+std::vector<SuiteApp>
+table2Catalog()
+{
+    std::vector<SuiteApp> apps;
+    auto add = [&](const char *suite, const char *name,
+                   bool sensitive, StreamConfig cfg) {
+        apps.push_back({suite, name, sensitive, cfg});
+    };
+
+    // ---- SPEC CPU2006 integer (12; sensitive: mcf, astar,
+    //      omnetpp, xalancbmk) -------------------------------------
+    add("SPEC-int", "perlbench", false, profile(30, 1.2, 0.4));
+    add("SPEC-int", "bzip2", false, profile(100, 0.8, 0.7));
+    add("SPEC-int", "gcc", false, profile(80, 1.0, 0.5));
+    add("SPEC-int", "mcf", true, profile(900, 5.5, 0.05, 1700));
+    add("SPEC-int", "gobmk", false, profile(28, 0.9, 0.3));
+    add("SPEC-int", "hmmer", false, profile(24, 1.1, 0.8));
+    add("SPEC-int", "sjeng", false, profile(170, 0.7, 0.3));
+    add("SPEC-int", "libquantum", false, profile(96, 0.9, 0.95));
+    add("SPEC-int", "h264ref", false, profile(64, 1.0, 0.7));
+    add("SPEC-int", "omnetpp", true, profile(160, 4.8, 0.05));
+    add("SPEC-int", "astar", true, profile(320, 4.2, 0.1));
+    add("SPEC-int", "xalancbmk", true, profile(380, 4.6, 0.08));
+
+    // ---- SPEC CPU2006 floating point (19; sensitive: zeusmp,
+    //      GemsFDTD, cactusADM) ------------------------------------
+    add("SPEC-fp", "bwaves", false, profile(870, 1.0, 0.9));
+    add("SPEC-fp", "gamess", false, profile(20, 0.8, 0.6));
+    add("SPEC-fp", "milc", false, profile(680, 1.4, 0.75));
+    add("SPEC-fp", "zeusmp", true, profile(510, 4.4, 0.15));
+    add("SPEC-fp", "gromacs", false, profile(28, 0.9, 0.6));
+    add("SPEC-fp", "cactusADM", true, profile(660, 4.0, 0.2));
+    add("SPEC-fp", "leslie3d", false, profile(125, 1.1, 0.85));
+    add("SPEC-fp", "namd", false, profile(46, 0.9, 0.5));
+    add("SPEC-fp", "dealII", false, profile(110, 1.2, 0.45));
+    add("SPEC-fp", "soplex", false, profile(255, 1.6, 0.4));
+    add("SPEC-fp", "povray", false, profile(7, 0.8, 0.4));
+    add("SPEC-fp", "calculix", false, profile(62, 1.0, 0.6));
+    add("SPEC-fp", "GemsFDTD", true, profile(840, 4.2, 0.2));
+    add("SPEC-fp", "tonto", false, profile(40, 0.9, 0.5));
+    add("SPEC-fp", "lbm", false, profile(410, 1.2, 0.92));
+    add("SPEC-fp", "wrf", false, profile(680, 1.1, 0.7));
+    add("SPEC-fp", "sphinx3", false, profile(45, 1.3, 0.6));
+    add("SPEC-fp", "gemsrt", false, profile(130, 0.9, 0.6));
+    add("SPEC-fp", "fotonik", false, profile(330, 1.0, 0.85));
+
+    // ---- PARSEC (13; sensitive: canneal, dedup) ------------------
+    add("PARSEC", "blackscholes", false, profile(610, 0.7, 0.9));
+    add("PARSEC", "bodytrack", false, profile(34, 0.9, 0.5));
+    add("PARSEC", "canneal", true, profile(730, 5.2, 0.02));
+    add("PARSEC", "dedup", true, profile(1100, 3.9, 0.15));
+    add("PARSEC", "facesim", false, profile(310, 1.0, 0.6));
+    add("PARSEC", "ferret", false, profile(90, 1.1, 0.5));
+    add("PARSEC", "fluidanimate", false, profile(230, 1.0, 0.7));
+    add("PARSEC", "freqmine", false, profile(500, 1.3, 0.5));
+    add("PARSEC", "raytrace", false, profile(430, 1.0, 0.45));
+    add("PARSEC", "streamcluster", false, profile(110, 1.2, 0.9));
+    add("PARSEC", "swaptions", false, profile(6, 0.7, 0.4));
+    add("PARSEC", "vips", false, profile(70, 1.0, 0.75));
+    add("PARSEC", "x264", false, profile(140, 1.0, 0.7));
+
+    // ---- SPLASH-2 (10; none sensitive) ---------------------------
+    add("SPLASH-2", "barnes", false, profile(58, 1.2, 0.4));
+    add("SPLASH-2", "fmm", false, profile(60, 1.0, 0.5));
+    add("SPLASH-2", "ocean", false, profile(220, 1.2, 0.85));
+    add("SPLASH-2", "radiosity", false, profile(40, 1.0, 0.4));
+    add("SPLASH-2", "raytrace", false, profile(50, 0.9, 0.4));
+    add("SPLASH-2", "volrend", false, profile(28, 0.9, 0.5));
+    add("SPLASH-2", "water-ns", false, profile(12, 0.8, 0.6));
+    add("SPLASH-2", "water-sp", false, profile(12, 0.8, 0.6));
+    add("SPLASH-2", "cholesky", false, profile(36, 1.1, 0.6));
+    add("SPLASH-2", "fft", false, profile(256, 1.0, 0.9));
+
+    // ---- Biobench (9; sensitive: tigr, mummer) -------------------
+    add("Biobench", "blastp", false, profile(240, 1.2, 0.6));
+    add("Biobench", "blastn", false, profile(300, 1.3, 0.6));
+    add("Biobench", "clustalw", false, profile(25, 0.9, 0.5));
+    add("Biobench", "fasta", false, profile(180, 1.1, 0.7));
+    add("Biobench", "hmmer-bio", false, profile(30, 1.0, 0.8));
+    add("Biobench", "mummer", true, profile(470, 5.0, 0.05));
+    add("Biobench", "phylip", false, profile(16, 0.8, 0.5));
+    add("Biobench", "tigr", true, profile(620, 5.4, 0.03));
+    add("Biobench", "grappa", false, profile(22, 0.9, 0.4));
+
+    // ---- NPB (9; sensitive: cg, bt) ------------------------------
+    add("NPB", "bt", true, profile(1150, 3.6, 0.3));
+    add("NPB", "cg", true, profile(1000, 5.3, 0.05));
+    add("NPB", "dc", false, profile(380, 1.2, 0.5));
+    add("NPB", "ep", false, profile(6, 0.7, 0.3));
+    add("NPB", "ft", false, profile(800, 1.2, 0.6));
+    add("NPB", "is", false, profile(260, 1.3, 0.75));
+    add("NPB", "lu", false, profile(700, 1.0, 0.55));
+    add("NPB", "mg", false, profile(900, 1.2, 0.85));
+    add("NPB", "ua", false, profile(620, 0.8, 0.7));
+
+    // ---- CloudSuite (7; sensitive: graph-, data-analytics) -------
+    add("CloudSuite", "data-analytics", true,
+        profile(1050, 4.1, 0.1));
+    add("CloudSuite", "data-caching", false, profile(700, 0.6, 0.55));
+    add("CloudSuite", "data-serving", false, profile(640, 0.6, 0.5));
+    add("CloudSuite", "graph-analytics", true,
+        profile(1200, 4.8, 0.05));
+    add("CloudSuite", "in-memory-analytics", false,
+        profile(560, 0.7, 0.65));
+    add("CloudSuite", "media-streaming", false,
+        profile(300, 0.8, 0.85));
+    add("CloudSuite", "web-search", false, profile(480, 0.65, 0.6));
+
+    return apps;
+}
+
+} // namespace hawksim::workload

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The Table 2 application catalogue: 79 memory-behaviour profiles
+ * across seven benchmark suites.
+ *
+ * Each entry models one application's memory behaviour (footprint,
+ * WSS, access rate, sequentiality); the Table 2 bench *measures*
+ * each profile's huge-page speedup through the TLB model and
+ * classifies it as TLB-sensitive when the speedup exceeds 3%. The
+ * `paperSensitive` flag records the paper's own classification for
+ * comparison.
+ */
+
+#ifndef HAWKSIM_WORKLOAD_SUITE_HH
+#define HAWKSIM_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/stream.hh"
+
+namespace hawksim::workload {
+
+struct SuiteApp
+{
+    std::string suite;
+    std::string name;
+    /** The paper's Table 2 classification. */
+    bool paperSensitive;
+    StreamConfig config;
+};
+
+/** The full 79-application catalogue. */
+std::vector<SuiteApp> table2Catalog();
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_SUITE_HH

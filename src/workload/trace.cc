@@ -1,0 +1,221 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "sim/process.hh"
+
+namespace hawksim::workload {
+
+std::vector<TraceOp>
+parseTrace(std::istream &in)
+{
+    std::vector<TraceOp> ops;
+    // Stack of (start index in ops, remaining repeat count).
+    std::vector<std::pair<std::size_t, std::uint64_t>> repeat_stack;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        std::istringstream ls(line);
+        std::string cmd;
+        if (!(ls >> cmd) || cmd[0] == '#')
+            continue;
+        TraceOp op{};
+        if (cmd == "alloc") {
+            op.kind = TraceOp::Kind::kAlloc;
+            if (!(ls >> op.vma >> op.a))
+                HS_FATAL("trace line ", lineno, ": alloc <name> <bytes>");
+        } else if (cmd == "touch" || cmd == "write") {
+            op.kind = cmd == "touch" ? TraceOp::Kind::kTouch
+                                     : TraceOp::Kind::kWrite;
+            if (!(ls >> op.vma >> op.a))
+                HS_FATAL("trace line ", lineno,
+                         ": touch <vma> <page> [n]");
+            op.b = 1;
+            ls >> op.b;
+        } else if (cmd == "access") {
+            op.kind = TraceOp::Kind::kAccess;
+            std::string pattern;
+            if (!(ls >> op.vma >> op.a >> pattern))
+                HS_FATAL("trace line ", lineno,
+                         ": access <vma> <count> <pattern>");
+            if (pattern == "seq") {
+                op.sequential = true;
+            } else if (pattern == "rand") {
+                op.sequential = false;
+            } else if (pattern.rfind("zipf:", 0) == 0) {
+                op.zipf = std::stod(pattern.substr(5));
+            } else {
+                HS_FATAL("trace line ", lineno, ": bad pattern '",
+                         pattern, "'");
+            }
+        } else if (cmd == "free") {
+            op.kind = TraceOp::Kind::kFree;
+            if (!(ls >> op.vma >> op.a >> op.b))
+                HS_FATAL("trace line ", lineno,
+                         ": free <vma> <page> <n>");
+        } else if (cmd == "compute") {
+            op.kind = TraceOp::Kind::kCompute;
+            if (!(ls >> op.a))
+                HS_FATAL("trace line ", lineno, ": compute <ns>");
+        } else if (cmd == "repeat") {
+            std::uint64_t k = 0;
+            if (!(ls >> k) || k == 0)
+                HS_FATAL("trace line ", lineno, ": repeat <k>");
+            repeat_stack.emplace_back(ops.size(), k);
+            continue;
+        } else if (cmd == "end") {
+            if (repeat_stack.empty())
+                HS_FATAL("trace line ", lineno, ": end without repeat");
+            auto [start, k] = repeat_stack.back();
+            repeat_stack.pop_back();
+            // Unroll: append k-1 more copies of the block.
+            const std::vector<TraceOp> block(
+                ops.begin() + static_cast<long>(start), ops.end());
+            for (std::uint64_t i = 1; i < k; i++)
+                ops.insert(ops.end(), block.begin(), block.end());
+            continue;
+        } else {
+            HS_FATAL("trace line ", lineno, ": unknown directive '",
+                     cmd, "'");
+        }
+        ops.push_back(op);
+    }
+    if (!repeat_stack.empty())
+        HS_FATAL("trace: unterminated repeat block");
+    return ops;
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::fromStream(std::string name, std::istream &in, Rng rng)
+{
+    return std::make_unique<TraceWorkload>(std::move(name),
+                                           parseTrace(in), rng);
+}
+
+void
+TraceWorkload::init(sim::Process &proc)
+{
+    // VMAs are created lazily by kAlloc ops so traces can interleave
+    // allocation with work; nothing to do here.
+    (void)proc;
+}
+
+const TraceWorkload::Region &
+TraceWorkload::regionOf(const std::string &name) const
+{
+    auto it = regions_.find(name);
+    if (it == regions_.end())
+        HS_FATAL("trace references unknown VMA '", name, "'");
+    return it->second;
+}
+
+WorkChunk
+TraceWorkload::next(sim::Process &proc, TimeNs max_compute)
+{
+    WorkChunk chunk;
+    if (pc_ >= ops_.size()) {
+        chunk.done = true;
+        return chunk;
+    }
+    const TraceOp &op = ops_[pc_];
+    auto finishOp = [&] {
+        pc_++;
+        op_progress_ = 0;
+    };
+
+    switch (op.kind) {
+      case TraceOp::Kind::kAlloc: {
+        regions_[op.vma] = {proc.space().mmapAnon(op.a, op.vma),
+                            hugeAlignUp(op.a) / kPageSize};
+        chunk.compute = usec(20); // mmap syscall
+        finishOp();
+        break;
+      }
+      case TraceOp::Kind::kTouch:
+      case TraceOp::Kind::kWrite: {
+        const Region &r = regionOf(op.vma);
+        const std::uint64_t first = op.a + op_progress_;
+        const std::uint64_t remaining = op.b - op_progress_;
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(remaining, 1024);
+        HS_ASSERT(op.a + op.b <= r.pages,
+                  "trace touch beyond VMA '", op.vma, "'");
+        for (std::uint64_t i = 0; i < batch; i++) {
+            const Vpn vpn = addrToVpn(r.base) + first + i;
+            chunk.faults.push_back(vpn);
+            if (op.kind == TraceOp::Kind::kWrite)
+                chunk.writes.emplace_back(vpn, content_.data());
+        }
+        chunk.compute = static_cast<TimeNs>(batch) * 150;
+        chunk.accessCount = batch;
+        chunk.sequentiality = 1.0;
+        op_progress_ += batch;
+        if (op_progress_ >= op.b)
+            finishOp();
+        break;
+      }
+      case TraceOp::Kind::kAccess: {
+        const Region &r = regionOf(op.vma);
+        const std::uint64_t remaining = op.a - op_progress_;
+        const auto budget = static_cast<std::uint64_t>(
+            accesses_per_sec_ * static_cast<double>(max_compute) /
+            1e9);
+        const std::uint64_t n = std::min<std::uint64_t>(
+            remaining, std::max<std::uint64_t>(budget, 1));
+        chunk.accessCount = n;
+        chunk.compute = static_cast<TimeNs>(
+            static_cast<double>(n) / accesses_per_sec_ * 1e9);
+        chunk.sequentiality = op.sequential ? 1.0 : 0.0;
+        auto draw = [&]() -> Vpn {
+            std::uint64_t idx;
+            if (op.sequential)
+                idx = (op_progress_ + rng_.below(1024)) % r.pages;
+            else if (op.zipf > 0.0)
+                idx = rng_.zipf(r.pages, op.zipf);
+            else
+                idx = rng_.below(r.pages);
+            return addrToVpn(r.base) + idx;
+        };
+        const unsigned samples =
+            static_cast<unsigned>(std::min<std::uint64_t>(n, 512));
+        for (unsigned i = 0; i < samples; i++)
+            chunk.sample.push_back({draw(), rng_.chance(0.3)});
+        for (unsigned i = 0; i < 2048; i++)
+            chunk.touches.push_back(draw());
+        op_progress_ += n;
+        if (op_progress_ >= op.a)
+            finishOp();
+        break;
+      }
+      case TraceOp::Kind::kFree: {
+        const Region &r = regionOf(op.vma);
+        HS_ASSERT(op.a + op.b <= r.pages,
+                  "trace free beyond VMA '", op.vma, "'");
+        chunk.frees.push_back({r.base + op.a * kPageSize,
+                               op.b * kPageSize});
+        chunk.compute = usec(5);
+        finishOp();
+        break;
+      }
+      case TraceOp::Kind::kCompute: {
+        const TimeNs remaining =
+            static_cast<TimeNs>(op.a) -
+            static_cast<TimeNs>(op_progress_);
+        const TimeNs slice = std::min(remaining, max_compute);
+        chunk.compute = std::max<TimeNs>(slice, 1);
+        op_progress_ += static_cast<std::uint64_t>(chunk.compute);
+        if (static_cast<std::uint64_t>(op_progress_) >= op.a)
+            finishOp();
+        break;
+      }
+    }
+    chunk.opsCompleted = 1;
+    if (pc_ >= ops_.size())
+        chunk.done = true;
+    return chunk;
+}
+
+} // namespace hawksim::workload

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace-driven workload: replay a recorded memory-behaviour trace.
+ *
+ * For studying policies against real applications, users can record
+ * page-granularity traces (e.g. with perf/PEBS or Valgrind tooling)
+ * and replay them through the simulator. The trace format is a
+ * simple line-oriented text format:
+ *
+ *   # comment
+ *   alloc <name> <bytes>          create an anonymous VMA
+ *   touch <vma> <page> [n]        touch n pages starting at index
+ *   write <vma> <page> [n]        like touch, but dirtying writes
+ *   access <vma> <count> <pattern> steady-state accesses:
+ *                                  pattern = seq | rand | zipf:<s>
+ *   free <vma> <page> <n>         MADV_DONTNEED n pages
+ *   compute <ns>                  burn useful compute time
+ *   repeat <k>  ... end           loop the enclosed block k times
+ *
+ * Page indexes are VMA-relative. Each directive becomes one or more
+ * work chunks; `access` directives emit sampled TLB streams like the
+ * synthetic workloads do.
+ */
+
+#ifndef HAWKSIM_WORKLOAD_TRACE_HH
+#define HAWKSIM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "mem/content.hh"
+#include "workload/workload.hh"
+
+namespace hawksim::workload {
+
+/** One parsed trace directive. */
+struct TraceOp
+{
+    enum class Kind
+    {
+        kAlloc,
+        kTouch,
+        kWrite,
+        kAccess,
+        kFree,
+        kCompute,
+    };
+
+    Kind kind;
+    std::string vma;    //!< VMA name (alloc/touch/write/access/free)
+    std::uint64_t a = 0; //!< bytes / start page / count / ns
+    std::uint64_t b = 0; //!< page count
+    double zipf = 0.0;   //!< zipf exponent for access
+    bool sequential = false;
+};
+
+/**
+ * Parse a trace from a stream. Throws nothing; calls HS_FATAL on
+ * malformed input (traces are user-provided configuration).
+ */
+std::vector<TraceOp> parseTrace(std::istream &in);
+
+class TraceWorkload : public Workload
+{
+  public:
+    TraceWorkload(std::string name, std::vector<TraceOp> ops, Rng rng,
+                  double accesses_per_sec = 5e6)
+        : name_(std::move(name)), ops_(std::move(ops)), rng_(rng),
+          content_(rng.fork()), accesses_per_sec_(accesses_per_sec)
+    {}
+
+    /** Convenience: parse from a stream. */
+    static std::unique_ptr<TraceWorkload>
+    fromStream(std::string name, std::istream &in, Rng rng);
+
+    std::string name() const override { return name_; }
+    void init(sim::Process &proc) override;
+    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+
+    std::size_t opsRemaining() const { return ops_.size() - pc_; }
+
+  private:
+    struct Region
+    {
+        Addr base;
+        std::uint64_t pages;
+    };
+
+    const Region &regionOf(const std::string &name) const;
+
+    std::string name_;
+    std::vector<TraceOp> ops_;
+    Rng rng_;
+    mem::ContentGenerator content_;
+    double accesses_per_sec_;
+    std::unordered_map<std::string, Region> regions_;
+    std::size_t pc_ = 0;          //!< next op index
+    std::uint64_t op_progress_ = 0; //!< pages done within a long op
+};
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The workload abstraction: applications as memory-behaviour models.
+ *
+ * A workload drives its process in quanta ("work chunks"). Each chunk
+ * declares:
+ *   - compute: useful execution time at base IPC (no MMU overhead),
+ *   - faults:  pages touched that may need fault handling, in order,
+ *   - writes:  page contents being installed (drives zero-scan/dedup),
+ *   - accessCount + sample: the memory accesses performed, as a true
+ *     total plus a seeded page-granularity sample for the TLB model,
+ *   - sequentiality: fraction of the stream that is next-page
+ *     sequential (drives walk-latency overlap, §2.4),
+ *   - frees: address ranges released via MADV_DONTNEED.
+ *
+ * The engine charges fault latencies and TLB walk cycles against the
+ * process's tick budget, so a workload under high MMU overhead
+ * genuinely runs slower — runtimes, throughputs and crossovers emerge
+ * rather than being scripted.
+ */
+
+#ifndef HAWKSIM_WORKLOAD_WORKLOAD_HH
+#define HAWKSIM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/content.hh"
+#include "tlb/tlb.hh"
+
+namespace hawksim::sim {
+class Process;
+} // namespace hawksim::sim
+
+namespace hawksim::workload {
+
+/** An MADV_DONTNEED-style release of a VA range. */
+struct FreeRange
+{
+    Addr start;
+    std::uint64_t bytes;
+};
+
+/** One quantum of application execution. */
+struct WorkChunk
+{
+    /** Useful compute time consumed by this chunk. */
+    TimeNs compute = 0;
+    /** Pages touched that may require fault handling (in order). */
+    std::vector<Vpn> faults;
+    /** True if the faulting touches are writes (they usually are). */
+    bool faultsAreWrites = true;
+    /** Page contents installed by this chunk. */
+    std::vector<std::pair<Vpn, mem::PageContent>> writes;
+    /** Total memory accesses this chunk performs. */
+    std::uint64_t accessCount = 0;
+    /** Seeded sample of those accesses for the TLB model. */
+    std::vector<tlb::AccessSample> sample;
+    /**
+     * Larger, cheap page-touch sample used only to set PTE accessed
+     * bits, so OS access-bit sampling (30s period, 1s window) observes
+     * realistic per-region coverage without simulating every access
+     * through the TLB.
+     */
+    std::vector<Vpn> touches;
+    /** Fraction of the access stream that is sequential, in [0,1]. */
+    double sequentiality = 0.0;
+    /** VA ranges released back to the OS. */
+    std::vector<FreeRange> frees;
+    /** Operations completed (for throughput-style workloads). */
+    std::uint64_t opsCompleted = 0;
+    /** Set when the workload has finished all its work. */
+    bool done = false;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Create VMAs and any internal state. Called once at attach. */
+    virtual void init(sim::Process &proc) = 0;
+
+    /**
+     * Produce the next quantum. @p max_compute bounds the chunk's
+     * compute time (the engine's tick granularity).
+     */
+    virtual WorkChunk next(sim::Process &proc, TimeNs max_compute) = 0;
+
+    /**
+     * Hint for experiments: does this workload run to completion
+     * (true) or serve requests until stopped (false)?
+     */
+    virtual bool runsToCompletion() const { return true; }
+};
+
+} // namespace hawksim::workload
+
+#endif // HAWKSIM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,110 @@
+/** @file Deterministic RNG unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+
+using namespace hawksim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++) {
+        if (a.next() == b.next())
+            same++;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000000ull}) {
+        for (int i = 0; i < 200; i++)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        const std::uint64_t v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfBoundsAndSkew)
+{
+    Rng r(13);
+    std::uint64_t low_half = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; i++) {
+        const std::uint64_t v = r.zipf(1000, 0.9);
+        ASSERT_LT(v, 1000u);
+        if (v < 500)
+            low_half++;
+    }
+    // Skewed: much more than half the draws land in the lower half.
+    EXPECT_GT(low_half, kDraws * 6 / 10);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform)
+{
+    Rng r(17);
+    std::uint64_t low_half = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; i++) {
+        if (r.zipf(1000, 0.0) < 500)
+            low_half++;
+    }
+    EXPECT_NEAR(static_cast<double>(low_half) / kDraws, 0.5, 0.03);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; i++)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng a(23);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; i++) {
+        if (a.next() == b.next())
+            same++;
+    }
+    EXPECT_LT(same, 2);
+}

@@ -1,0 +1,94 @@
+/** @file Statistics primitives unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+using namespace hawksim;
+
+TEST(Ema, FirstSampleSeedsValue)
+{
+    Ema e(0.4);
+    EXPECT_FALSE(e.seeded());
+    EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+    EXPECT_TRUE(e.seeded());
+}
+
+TEST(Ema, ConvergesTowardConstantInput)
+{
+    Ema e(0.4);
+    e.update(0.0);
+    for (int i = 0; i < 50; i++)
+        e.update(100.0);
+    EXPECT_NEAR(e.value(), 100.0, 1e-6);
+}
+
+TEST(Ema, WeighsRecentSamples)
+{
+    Ema e(0.5);
+    e.update(0.0);
+    e.update(100.0);
+    EXPECT_DOUBLE_EQ(e.value(), 50.0);
+}
+
+TEST(Ema, ResetClears)
+{
+    Ema e;
+    e.update(5.0);
+    e.reset();
+    EXPECT_FALSE(e.seeded());
+    EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(Summary, TracksMinMaxMeanCount)
+{
+    Summary s;
+    for (double v : {3.0, 1.0, 2.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(s.maximum(), 3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minimum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-5.0);  // clamps to first bucket
+    h.add(100.0); // clamps to last bucket
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, WeightedQuantile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; i++)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(TimeSeries, RecordsAndSummarizes)
+{
+    TimeSeries ts("x");
+    EXPECT_TRUE(ts.empty());
+    ts.record(0, 1.0);
+    ts.record(10, 5.0);
+    ts.record(20, 3.0);
+    EXPECT_EQ(ts.points().size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.last(), 3.0);
+    EXPECT_DOUBLE_EQ(ts.peak(), 5.0);
+    EXPECT_EQ(ts.name(), "x");
+}

@@ -1,0 +1,108 @@
+/** @file LLC model + pre-zeroing interference tests (Fig. 10). */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace hawksim;
+using cache::CacheConfig;
+using cache::CacheSim;
+using cache::InterferenceWorkload;
+
+TEST(CacheSim, HitsAfterFill)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    CacheSim c(cfg);
+    for (std::uint64_t l = 0; l < 100; l++)
+        c.access(l);
+    c.resetStats();
+    for (std::uint64_t l = 0; l < 100; l++)
+        c.access(l);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.hits(), 100u);
+}
+
+TEST(CacheSim, NonTemporalBypassDoesNotAllocate)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    CacheSim c(cfg);
+    c.access(7, /*non_temporal=*/true);
+    c.resetStats();
+    c.access(7);
+    EXPECT_EQ(c.misses(), 1u); // was never cached
+}
+
+TEST(CacheSim, NonTemporalStreamDoesNotEvictWorkingSet)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    CacheSim c(cfg);
+    for (std::uint64_t l = 0; l < 512; l++)
+        c.access(l); // working set cached (32KB)
+    // A huge NT stream passes through...
+    for (std::uint64_t l = 1 << 20; l < (1 << 20) + 100000; l++)
+        c.access(l, true);
+    c.resetStats();
+    for (std::uint64_t l = 0; l < 512; l++)
+        c.access(l);
+    EXPECT_EQ(c.misses(), 0u) << "NT stores must not pollute";
+}
+
+TEST(CacheSim, CachingStreamEvictsWorkingSet)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    CacheSim c(cfg);
+    for (std::uint64_t l = 0; l < 512; l++)
+        c.access(l);
+    for (std::uint64_t l = 1 << 20; l < (1 << 20) + 100000; l++)
+        c.access(l, false); // caching stores thrash everything
+    c.resetStats();
+    for (std::uint64_t l = 0; l < 512; l++)
+        c.access(l);
+    EXPECT_GT(c.misses(), 400u);
+}
+
+TEST(Interference, CachingStoresHurtMoreThanNonTemporal)
+{
+    // The Fig. 10 headline: for a cache-sensitive workload, zeroing
+    // with caching stores costs far more than with NT stores.
+    InterferenceWorkload w{"cache-sensitive", 20ull << 20, 200e6,
+                           0.2};
+    const auto nt =
+        cache::runInterference(w, 1e9, /*non_temporal=*/true, Rng(1));
+    const auto cached = cache::runInterference(
+        w, 1e9, /*non_temporal=*/false, Rng(1));
+    EXPECT_GT(cached.overheadPct, nt.overheadPct * 2);
+    EXPECT_GE(cached.missRate, cached.baselineMissRate);
+}
+
+TEST(Interference, NonTemporalOverheadIsModest)
+{
+    InterferenceWorkload w{"cache-sensitive", 20ull << 20, 200e6,
+                           0.2};
+    const auto nt =
+        cache::runInterference(w, 1e9, true, Rng(2));
+    EXPECT_LT(nt.overheadPct, 12.0);
+}
+
+TEST(Interference, CacheInsensitiveWorkloadBarelyAffected)
+{
+    // A tiny working set stays resident regardless of zeroing mode.
+    InterferenceWorkload w{"tiny", 256ull << 10, 200e6, 0.0};
+    const auto cached =
+        cache::runInterference(w, 1e9, false, Rng(3));
+    EXPECT_LT(cached.missRate, 0.05);
+}
+
+TEST(Interference, OverheadScalesWithZeroingRate)
+{
+    InterferenceWorkload w{"mid", 20ull << 20, 200e6, 0.2};
+    const auto slow =
+        cache::runInterference(w, 100e6, false, Rng(4));
+    const auto fast =
+        cache::runInterference(w, 2e9, false, Rng(4));
+    EXPECT_GT(fast.overheadPct, slow.overheadPct);
+}

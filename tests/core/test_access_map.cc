@@ -1,0 +1,117 @@
+/**
+ * @file
+ * AccessMap (§3.3, Fig. 4) tests: bucketing, head/tail recency
+ * placement, and promotion ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access_map.hh"
+
+using namespace hawksim;
+using core::AccessMap;
+
+TEST(AccessMap, BucketBoundaries)
+{
+    // Ten buckets over coverage 0..512: 0-51.2 -> 0, etc.
+    EXPECT_EQ(AccessMap::bucketFor(0.0), 0u);
+    EXPECT_EQ(AccessMap::bucketFor(51.0), 0u);
+    EXPECT_EQ(AccessMap::bucketFor(52.0), 1u);
+    EXPECT_EQ(AccessMap::bucketFor(511.0), 9u);
+    EXPECT_EQ(AccessMap::bucketFor(512.0), 9u); // clamped
+}
+
+TEST(AccessMap, InsertAndPeek)
+{
+    AccessMap m;
+    EXPECT_TRUE(m.empty());
+    m.update(100, 500.0); // bucket 9
+    m.update(200, 10.0);  // bucket 0
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.topBucket(), 9);
+    EXPECT_EQ(m.peekTop().value(), 100u);
+}
+
+TEST(AccessMap, PromotionOrderHighToLow)
+{
+    AccessMap m;
+    m.update(1, 40.0);   // bucket 0
+    m.update(2, 300.0);  // bucket 5
+    m.update(3, 499.0);  // bucket 9
+    EXPECT_EQ(m.popTop().value(), 3u);
+    EXPECT_EQ(m.popTop().value(), 2u);
+    EXPECT_EQ(m.popTop().value(), 1u);
+    EXPECT_FALSE(m.popTop().has_value());
+}
+
+TEST(AccessMap, MovingUpInsertsAtHead)
+{
+    AccessMap m;
+    m.update(1, 300.0); // bucket 5
+    m.update(2, 100.0); // bucket 1
+    m.update(2, 310.0); // region 2 heats up into bucket 5
+    // Region 2 moved up: goes to the head, promoted before 1.
+    EXPECT_EQ(m.popTop().value(), 2u);
+    EXPECT_EQ(m.popTop().value(), 1u);
+}
+
+TEST(AccessMap, MovingDownInsertsAtTail)
+{
+    AccessMap m;
+    m.update(1, 490.0); // bucket 9
+    m.update(2, 300.0); // bucket 5
+    m.update(1, 280.0); // region 1 cools into bucket 5 -> tail
+    EXPECT_EQ(m.popTop().value(), 2u);
+    EXPECT_EQ(m.popTop().value(), 1u);
+}
+
+TEST(AccessMap, SameBucketKeepsPosition)
+{
+    AccessMap m;
+    m.update(1, 290.0);
+    m.update(2, 295.0); // head of bucket 5 (newer)
+    m.update(1, 300.0); // same bucket: position unchanged
+    EXPECT_EQ(m.popTop().value(), 2u);
+}
+
+TEST(AccessMap, RemoveDropsRegion)
+{
+    AccessMap m;
+    m.update(1, 300.0);
+    m.update(2, 400.0);
+    m.remove(2);
+    EXPECT_FALSE(m.contains(2));
+    EXPECT_EQ(m.peekTop().value(), 1u);
+    m.remove(99); // removing an absent region is a no-op
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(AccessMap, Figure4PromotionOrderWithinProcess)
+{
+    // Figure 4's process C: regions in buckets 9 (C1), 8 (C2),
+    // 6 (C3, C4), 2 (C5). Promotion order must be C1 C2 C3 C4 C5.
+    AccessMap m;
+    m.update(5, 150.0); // C5, bucket 2
+    m.update(4, 330.0); // C4, bucket 6 (inserted first)
+    m.update(3, 340.0); // C3, bucket 6 head (newer at head)
+    m.update(2, 440.0); // C2, bucket 8
+    m.update(1, 500.0); // C1, bucket 9
+    // Within bucket 6: head is the most recently inserted (C3).
+    EXPECT_EQ(m.popTop().value(), 1u);
+    EXPECT_EQ(m.popTop().value(), 2u);
+    EXPECT_EQ(m.popTop().value(), 3u);
+    EXPECT_EQ(m.popTop().value(), 4u);
+    EXPECT_EQ(m.popTop().value(), 5u);
+}
+
+TEST(AccessMap, BucketSizeAccounting)
+{
+    AccessMap m;
+    for (std::uint64_t r = 0; r < 20; r++)
+        m.update(r, 500.0);
+    EXPECT_EQ(m.bucketSize(9), 20u);
+    for (std::uint64_t r = 0; r < 10; r++)
+        m.update(r, 1.0);
+    EXPECT_EQ(m.bucketSize(9), 10u);
+    EXPECT_EQ(m.bucketSize(0), 10u);
+}

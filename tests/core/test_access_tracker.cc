@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Access-bit tracker tests: the 30s clear / 1s read sampling cycle,
+ * EMA convergence, and coverage scores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access_tracker.hh"
+#include "hawksim.hh"
+
+using namespace hawksim;
+using core::AccessTracker;
+
+namespace {
+
+/** A process with one VMA of `regions` huge regions, `pop` base
+ *  pages mapped per region. */
+struct TrackerFixture
+{
+    TrackerFixture(unsigned regions = 4, unsigned pop = 512)
+    {
+        setLogQuiet(true);
+        sim::SystemConfig cfg;
+        cfg.memoryBytes = MiB(64);
+        sys = std::make_unique<sim::System>(cfg);
+        sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>(
+            policy::LinuxConfig{.thp = false}));
+        workload::StreamConfig wc;
+        wc.footprintBytes = regions * kHugePageSize;
+        wc.workSeconds = 1e9; // never finishes on its own
+        wc.initTouchAll = false;
+        proc = &sys->addProcess(
+            "t", std::make_unique<workload::StreamWorkload>(
+                     "t", wc, Rng(1)));
+        base = static_cast<workload::StreamWorkload *>(
+                   &proc->workload())
+                   ->baseAddr();
+        // Back the regions with base pages directly.
+        for (unsigned r = 0; r < regions; r++) {
+            for (unsigned i = 0; i < pop; i++) {
+                auto blk = sys->phys().allocBlock(
+                    0, proc->pid(), mem::ZeroPref::kAny);
+                proc->space().mapBasePage(
+                    addrToVpn(base) + r * 512 + i, blk->pfn);
+            }
+        }
+    }
+
+    void
+    touchRegion(unsigned region, unsigned pages)
+    {
+        for (unsigned i = 0; i < pages; i++) {
+            proc->space().pageTable().touch(
+                addrToVpn(base) + region * 512 + i, false);
+        }
+    }
+
+    std::uint64_t
+    regionId(unsigned r) const
+    {
+        return (base / kHugePageSize) + r;
+    }
+
+    std::unique_ptr<sim::System> sys;
+    sim::Process *proc = nullptr;
+    Addr base = 0;
+};
+
+} // namespace
+
+TEST(AccessTracker, SamplesCoverageAfterWindow)
+{
+    TrackerFixture f;
+    AccessTracker tr(sec(30), sec(1));
+    tr.periodic(*f.proc, 0); // clear phase arms the window
+    f.touchRegion(0, 100);
+    f.touchRegion(1, 400);
+    tr.periodic(*f.proc, sec(1)); // read phase
+    EXPECT_NEAR(tr.emaCoverage(f.regionId(0)), 100.0, 0.01);
+    EXPECT_NEAR(tr.emaCoverage(f.regionId(1)), 400.0, 0.01);
+    EXPECT_NEAR(tr.emaCoverage(f.regionId(2)), 0.0, 0.01);
+}
+
+TEST(AccessTracker, ClearPhaseResetsStaleBits)
+{
+    TrackerFixture f;
+    f.touchRegion(0, 512); // stale accesses before the window
+    AccessTracker tr(sec(30), sec(1));
+    tr.periodic(*f.proc, 0);
+    tr.periodic(*f.proc, sec(1));
+    EXPECT_NEAR(tr.emaCoverage(f.regionId(0)), 0.0, 0.01);
+}
+
+TEST(AccessTracker, EmaSmoothsAcrossPeriods)
+{
+    TrackerFixture f;
+    AccessTracker tr(sec(30), sec(1));
+    tr.periodic(*f.proc, 0);
+    f.touchRegion(0, 500);
+    tr.periodic(*f.proc, sec(1));
+    // Next period: the region goes cold.
+    tr.periodic(*f.proc, sec(30));
+    tr.periodic(*f.proc, sec(31));
+    const double ema = tr.emaCoverage(f.regionId(0));
+    EXPECT_GT(ema, 100.0); // still remembers the hot sample
+    EXPECT_LT(ema, 500.0); // but decayed
+}
+
+TEST(AccessTracker, RespectsSamplingPeriod)
+{
+    TrackerFixture f;
+    AccessTracker tr(sec(30), sec(1));
+    tr.periodic(*f.proc, 0);
+    tr.periodic(*f.proc, sec(1));
+    f.touchRegion(2, 300);
+    // Too early for another sample: nothing changes.
+    tr.periodic(*f.proc, sec(10));
+    EXPECT_NEAR(tr.emaCoverage(f.regionId(2)), 0.0, 0.01);
+    // The next period picks it up (bits persisted since).
+    tr.periodic(*f.proc, sec(30));
+    f.touchRegion(2, 300);
+    tr.periodic(*f.proc, sec(31));
+    EXPECT_GT(tr.emaCoverage(f.regionId(2)), 100.0);
+}
+
+TEST(AccessTracker, HookFiresPerRegion)
+{
+    TrackerFixture f(3);
+    AccessTracker tr(sec(30), sec(1));
+    int fired = 0;
+    tr.setHook([&](std::uint64_t, double, unsigned, bool) {
+        fired++;
+    });
+    tr.periodic(*f.proc, 0);
+    tr.periodic(*f.proc, sec(1));
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(AccessTracker, CoverageScores)
+{
+    TrackerFixture f(4);
+    AccessTracker tr(sec(30), sec(1));
+    tr.periodic(*f.proc, 0);
+    f.touchRegion(0, 200);
+    f.touchRegion(1, 100);
+    tr.periodic(*f.proc, sec(1));
+    EXPECT_NEAR(tr.pendingCoverageScore(), 300.0, 0.01);
+    EXPECT_NEAR(tr.totalCoverageScore(), 300.0, 0.01);
+}

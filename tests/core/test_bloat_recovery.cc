@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Bloat-recovery tests (§3.2): watermark activation, zero-page
+ * detection inside huge pages, demotion + dedup, and the
+ * cost-proportional-to-bloat property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bloat_recovery.hh"
+#include "hawksim.hh"
+
+using namespace hawksim;
+using core::BloatRecovery;
+
+namespace {
+
+struct BloatFixture
+{
+    explicit BloatFixture(std::uint64_t mem = MiB(64))
+    {
+        setLogQuiet(true);
+        sim::SystemConfig cfg;
+        cfg.memoryBytes = mem;
+        sys = std::make_unique<sim::System>(cfg);
+        sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>(
+            policy::LinuxConfig{.thp = false}));
+        workload::StreamConfig wc;
+        wc.footprintBytes = mem; // VA room for everything
+        wc.workSeconds = 1e9;
+        wc.initTouchAll = false;
+        proc = &sys->addProcess(
+            "b", std::make_unique<workload::StreamWorkload>(
+                     "b", wc, Rng(1)));
+        base = static_cast<workload::StreamWorkload *>(
+                   &proc->workload())
+                   ->baseAddr();
+    }
+
+    /**
+     * Map a huge page at region index r of the VMA with
+     * `used` non-zero base pages (rest zero-filled = bloat).
+     */
+    void
+    mapHugeWithBloat(unsigned r, unsigned used)
+    {
+        auto blk = sys->phys().allocBlock(kHugePageOrder,
+                                          proc->pid(),
+                                          mem::ZeroPref::kPreferZero);
+        ASSERT_TRUE(blk.has_value());
+        mem::ContentGenerator gen(Rng(77 + r));
+        for (unsigned i = 0; i < used; i++)
+            sys->phys().writeFrame(blk->pfn + i, gen.data());
+        for (unsigned i = used; i < 512; i++)
+            sys->phys().zeroFrame(blk->pfn + i);
+        proc->space().mapHugeRegion(base / kHugePageSize + r,
+                                    blk->pfn);
+    }
+
+    std::unique_ptr<sim::System> sys;
+    sim::Process *proc = nullptr;
+    Addr base = 0;
+};
+
+double
+noScore(sim::Process &)
+{
+    return 0.0;
+}
+
+} // namespace
+
+TEST(BloatRecovery, InactiveBelowHighWatermark)
+{
+    BloatFixture f;
+    f.mapHugeWithBloat(0, 10);
+    BloatRecovery br(0.85, 0.70, 1e12, 128);
+    br.periodic(*f.sys, msec(10), noScore);
+    EXPECT_FALSE(br.active());
+    EXPECT_EQ(br.stats().hugeDemoted, 0u);
+}
+
+TEST(BloatRecovery, ActivatesAndRecoversBloat)
+{
+    BloatFixture f(MiB(64)); // 32 huge regions
+    // Fill ~90% of memory with huge pages that are 75% bloat.
+    for (unsigned r = 0; r < 29; r++)
+        f.mapHugeWithBloat(r, 128);
+    ASSERT_GT(f.sys->phys().usedFraction(), 0.85);
+    BloatRecovery br(0.85, 0.70, 1e12, 128);
+    const std::uint64_t rss_before = f.proc->space().rssPages();
+    br.periodic(*f.sys, sec(1), noScore);
+    EXPECT_GT(br.stats().activations, 0u);
+    EXPECT_GT(br.stats().hugeDemoted, 0u);
+    EXPECT_GT(br.stats().pagesDeduped, 0u);
+    EXPECT_LT(f.proc->space().rssPages(), rss_before);
+    // It stops once usage falls below the low watermark.
+    EXPECT_LE(f.sys->phys().usedFraction(), 0.75);
+    EXPECT_FALSE(br.active());
+}
+
+TEST(BloatRecovery, DedupedPagesReadAsZeroCow)
+{
+    BloatFixture f(MiB(64));
+    for (unsigned r = 0; r < 29; r++)
+        f.mapHugeWithBloat(r, 64);
+    BloatRecovery br(0.85, 0.70, 1e12, 128);
+    br.periodic(*f.sys, sec(1), noScore);
+    // Find a demoted region and check its zero pages.
+    bool checked = false;
+    for (unsigned r = 0; r < 29 && !checked; r++) {
+        const std::uint64_t region = f.base / kHugePageSize + r;
+        if (f.proc->space().pageTable().isHuge(region))
+            continue;
+        auto t = f.proc->space().pageTable().lookup(
+            (region << 9) + 511); // bloat slot
+        ASSERT_TRUE(t.present);
+        EXPECT_TRUE(t.entry.zeroPage());
+        EXPECT_TRUE(t.entry.cow());
+        EXPECT_EQ(t.pfn, f.sys->phys().zeroPagePfn());
+        checked = true;
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(BloatRecovery, SparesHugePagesBelowThreshold)
+{
+    BloatFixture f(MiB(64));
+    // 28 fully-used huge pages + 1 bloated one -> high pressure.
+    for (unsigned r = 0; r < 28; r++)
+        f.mapHugeWithBloat(r, 512);
+    f.mapHugeWithBloat(28, 32);
+    BloatRecovery br(0.85, 0.70, 1e12, 128);
+    br.periodic(*f.sys, sec(1), noScore);
+    // Only the bloated huge page may be demoted.
+    EXPECT_EQ(br.stats().hugeDemoted, 1u);
+    unsigned huge_left = 0;
+    for (unsigned r = 0; r < 29; r++) {
+        if (f.proc->space().pageTable().isHuge(
+                f.base / kHugePageSize + r)) {
+            huge_left++;
+        }
+    }
+    EXPECT_EQ(huge_left, 28u);
+}
+
+TEST(BloatRecovery, ScanCostProportionalToBloatNotMemory)
+{
+    // In-use pages cost ~10 bytes each to reject; only bloat pages
+    // cost the full 4KB (§3.2's scaling argument).
+    BloatFixture dense(MiB(64));
+    for (unsigned r = 0; r < 29; r++)
+        dense.mapHugeWithBloat(r, 512); // no bloat
+    BloatRecovery br1(0.85, 0.70, 1e12, 128);
+    br1.periodic(*dense.sys, sec(1), noScore);
+
+    BloatFixture sparse(MiB(64));
+    for (unsigned r = 0; r < 29; r++)
+        sparse.mapHugeWithBloat(r, 0); // pure bloat
+    BloatRecovery br2(0.85, 0.70, 1e12, 128);
+    br2.periodic(*sparse.sys, sec(1), noScore);
+
+    ASSERT_GT(br1.stats().regionsScanned, 0u);
+    const double per_region_dense =
+        static_cast<double>(br1.stats().bytesScanned) /
+        static_cast<double>(br1.stats().regionsScanned);
+    const double per_region_sparse =
+        static_cast<double>(br2.stats().bytesScanned) /
+        static_cast<double>(br2.stats().regionsScanned);
+    EXPECT_GT(per_region_sparse, per_region_dense * 20);
+}
+
+TEST(BloatRecovery, ScansLowestOverheadProcessFirst)
+{
+    BloatFixture f(MiB(64));
+    for (unsigned r = 0; r < 29; r++)
+        f.mapHugeWithBloat(r, 128);
+    // Claim this process has huge measured overhead: the scanner
+    // should still work (it's the only process), but with a tiny
+    // budget it scans in score order — covered by the multi-process
+    // integration test; here we check the hook plumbing.
+    BloatRecovery br(0.85, 0.70, 1e12, 128);
+    int hook_calls = 0;
+    br.setDemoteHook(
+        [&](sim::Process &, std::uint64_t) { hook_calls++; });
+    br.periodic(*f.sys, sec(1), noScore);
+    EXPECT_EQ(static_cast<std::uint64_t>(hook_calls),
+              br.stats().hugeDemoted);
+}

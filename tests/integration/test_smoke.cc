@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end engine smoke tests: a workload runs to completion under
+ * each policy, memory is conserved, and the basic paper mechanisms
+ * (huge faults under Linux/HawkEye, base-only under Ingens) hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+sim::SystemConfig
+smallConfig()
+{
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(512);
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::unique_ptr<workload::StreamWorkload>
+smallStream(Rng rng, double seconds = 2.0)
+{
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(128);
+    wc.accessesPerSec = 4e6;
+    wc.workSeconds = seconds;
+    return std::make_unique<workload::StreamWorkload>("small", wc,
+                                                      rng);
+}
+
+} // namespace
+
+class PolicySmoke : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static std::unique_ptr<policy::HugePagePolicy>
+    makePolicy(const std::string &which)
+    {
+        if (which == "linux4k") {
+            policy::LinuxConfig c;
+            c.thp = false;
+            return std::make_unique<policy::LinuxThpPolicy>(c);
+        }
+        if (which == "linux2m")
+            return std::make_unique<policy::LinuxThpPolicy>();
+        if (which == "freebsd")
+            return std::make_unique<policy::FreeBsdPolicy>();
+        if (which == "ingens")
+            return std::make_unique<policy::IngensPolicy>();
+        if (which == "hawkeye-g")
+            return std::make_unique<core::HawkEyePolicy>();
+        core::HawkEyeConfig c;
+        c.usePmu = true;
+        return std::make_unique<core::HawkEyePolicy>(c);
+    }
+};
+
+TEST_P(PolicySmoke, WorkloadRunsToCompletion)
+{
+    setLogQuiet(true);
+    sim::System sys(smallConfig());
+    sys.setPolicy(makePolicy(GetParam()));
+    auto &proc = sys.addProcess("w", smallStream(sys.rng().fork()));
+    sys.runUntilAllDone(sec(120));
+    EXPECT_TRUE(proc.finished());
+    EXPECT_FALSE(proc.oomKilled());
+    EXPECT_GT(proc.pageFaults(), 0u);
+    // Process memory is released on exit.
+    EXPECT_EQ(proc.space().rssPages(), 0u);
+    sys.phys().buddy().checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySmoke,
+                         ::testing::Values("linux4k", "linux2m",
+                                           "freebsd", "ingens",
+                                           "hawkeye-g",
+                                           "hawkeye-pmu"));
+
+TEST(EngineSmoke, LinuxThpMapsHugeAtFault)
+{
+    setLogQuiet(true);
+    sim::System sys(smallConfig());
+    sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    auto &proc = sys.addProcess("w", smallStream(sys.rng().fork()));
+    sys.run(msec(500));
+    EXPECT_GT(proc.space().pageTable().mappedHugePages(), 0u);
+}
+
+TEST(EngineSmoke, IngensNeverMapsHugeAtFaultTime)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg = smallConfig();
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<policy::IngensPolicy>());
+    auto &proc = sys.addProcess("w", smallStream(sys.rng().fork()));
+    sys.run(msec(20)); // before async promotion has any budget
+    EXPECT_GT(proc.pageFaults(), 0u);
+    EXPECT_EQ(proc.space().pageTable().mappedHugePages(), 0u);
+}
+
+TEST(EngineSmoke, MmuOverheadLowerWithHugePages)
+{
+    setLogQuiet(true);
+    auto run = [](bool thp) {
+        sim::System sys(smallConfig());
+        policy::LinuxConfig c;
+        c.thp = thp;
+        sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>(c));
+        workload::StreamConfig wc;
+        wc.footprintBytes = MiB(256);
+        wc.accessesPerSec = 6e6;
+        wc.workSeconds = 4.0;
+        auto &proc = sys.addProcess(
+            "rand", std::make_unique<workload::StreamWorkload>(
+                        "rand", wc, sys.rng().fork()));
+        sys.runUntilAllDone(sec(120));
+        return proc.mmuOverheadPct();
+    };
+    const double base = run(false);
+    const double huge = run(true);
+    EXPECT_GT(base, 2.0);
+    EXPECT_LT(huge, base * 0.5);
+}
+
+TEST(EngineSmoke, HugePagesReduceRuntimeForRandomAccess)
+{
+    setLogQuiet(true);
+    auto run = [](bool thp) {
+        sim::System sys(smallConfig());
+        policy::LinuxConfig c;
+        c.thp = thp;
+        sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>(c));
+        workload::StreamConfig wc;
+        wc.footprintBytes = MiB(256);
+        wc.accessesPerSec = 6e6;
+        wc.workSeconds = 4.0;
+        auto &proc = sys.addProcess(
+            "rand", std::make_unique<workload::StreamWorkload>(
+                        "rand", wc, sys.rng().fork()));
+        sys.runUntilAllDone(sec(120));
+        return proc.runtime();
+    };
+    EXPECT_LT(run(true), run(false));
+}

@@ -1,0 +1,161 @@
+/** @file KSM daemon tests: zero merging, dup merging, coordination. */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+#include "ksm/ksm.hh"
+
+using namespace hawksim;
+using ksm::KsmDaemon;
+
+namespace {
+
+struct KsmFixture
+{
+    KsmFixture()
+    {
+        setLogQuiet(true);
+        sim::SystemConfig cfg;
+        cfg.memoryBytes = MiB(64);
+        sys = std::make_unique<sim::System>(cfg);
+        sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>(
+            policy::LinuxConfig{.thp = false, .khugepaged = false}));
+        workload::StreamConfig wc;
+        wc.footprintBytes = MiB(32);
+        wc.workSeconds = 1e9;
+        wc.initTouchAll = false;
+        proc = &sys->addProcess(
+            "k", std::make_unique<workload::StreamWorkload>(
+                     "k", wc, Rng(1)));
+        base = static_cast<workload::StreamWorkload *>(
+                   &proc->workload())
+                   ->baseAddr();
+    }
+
+    Vpn
+    mapWith(unsigned idx, const mem::PageContent &c)
+    {
+        auto blk =
+            sys->phys().allocBlock(0, proc->pid(),
+                                   mem::ZeroPref::kPreferZero);
+        EXPECT_TRUE(blk.has_value());
+        sys->phys().writeFrame(blk->pfn, c);
+        const Vpn vpn = addrToVpn(base) + idx;
+        proc->space().mapBasePage(vpn, blk->pfn);
+        return vpn;
+    }
+
+    std::unique_ptr<sim::System> sys;
+    sim::Process *proc = nullptr;
+    Addr base = 0;
+};
+
+} // namespace
+
+TEST(Ksm, MergesZeroPagesToCanonical)
+{
+    KsmFixture f;
+    for (unsigned i = 0; i < 16; i++)
+        f.mapWith(i, mem::PageContent::zero());
+    KsmDaemon d(1e9);
+    d.trackProcess(f.proc->pid());
+    d.periodic(*f.sys, sec(1));
+    EXPECT_EQ(d.stats().zeroMerged, 16u);
+    EXPECT_EQ(f.proc->space().rssPages(), 0u);
+    auto t = f.proc->space().pageTable().lookup(addrToVpn(f.base));
+    EXPECT_EQ(t.pfn, f.sys->phys().zeroPagePfn());
+}
+
+TEST(Ksm, MergesDuplicateContent)
+{
+    KsmFixture f;
+    mem::ContentGenerator gen(Rng(2));
+    const mem::PageContent dup = gen.duplicated(3, 8);
+    const Vpn a = f.mapWith(0, dup);
+    const Vpn b = f.mapWith(1, dup);
+    const Vpn c = f.mapWith(2, gen.data());
+    KsmDaemon d(1e9);
+    d.trackProcess(f.proc->pid());
+    d.periodic(*f.sys, sec(1));
+    EXPECT_EQ(d.stats().dupMerged, 1u);
+    auto &pt = f.proc->space().pageTable();
+    EXPECT_EQ(pt.lookup(a).pfn, pt.lookup(b).pfn);
+    EXPECT_NE(pt.lookup(c).pfn, pt.lookup(a).pfn);
+    EXPECT_TRUE(pt.lookup(b).entry.cow());
+}
+
+TEST(Ksm, DupMergingCanBeDisabled)
+{
+    KsmFixture f;
+    mem::ContentGenerator gen(Rng(2));
+    const mem::PageContent dup = gen.duplicated(3, 8);
+    f.mapWith(0, dup);
+    f.mapWith(1, dup);
+    KsmDaemon d(1e9);
+    d.setMergeDuplicates(false);
+    d.trackProcess(f.proc->pid());
+    d.periodic(*f.sys, sec(1));
+    EXPECT_EQ(d.stats().dupMerged, 0u);
+}
+
+TEST(Ksm, DemotesHugePageOnlyAboveThreshold)
+{
+    KsmFixture f;
+    // One huge page with 300 zero pages (above the 256 threshold),
+    // one with 100 (below).
+    auto mk = [&](unsigned region_idx, unsigned zeros) {
+        auto blk = f.sys->phys().allocBlock(
+            kHugePageOrder, f.proc->pid(), mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        mem::ContentGenerator gen{Rng(region_idx)};
+        for (unsigned i = 0; i < 512; i++) {
+            if (i < zeros)
+                f.sys->phys().zeroFrame(blk->pfn + i);
+            else
+                f.sys->phys().writeFrame(blk->pfn + i, gen.data());
+        }
+        f.proc->space().mapHugeRegion(
+            f.base / kHugePageSize + region_idx, blk->pfn);
+    };
+    mk(0, 300);
+    mk(1, 100);
+    KsmDaemon d(1e9, 256);
+    d.trackProcess(f.proc->pid());
+    d.periodic(*f.sys, sec(1));
+    auto &pt = f.proc->space().pageTable();
+    EXPECT_FALSE(pt.isHuge(f.base / kHugePageSize));
+    EXPECT_TRUE(pt.isHuge(f.base / kHugePageSize + 1));
+    EXPECT_EQ(d.stats().hugeDemoted, 1u);
+    EXPECT_EQ(d.stats().zeroMerged, 300u);
+}
+
+TEST(Ksm, RateLimitBoundsScanning)
+{
+    KsmFixture f;
+    for (unsigned i = 0; i < 64; i++)
+        f.mapWith(i, mem::PageContent::zero());
+    KsmDaemon d(1000.0); // 1000 pages/s
+    d.trackProcess(f.proc->pid());
+    d.periodic(*f.sys, msec(100)); // budget 100 < one region (512)
+    EXPECT_EQ(d.stats().pagesScanned, 0u);
+    d.periodic(*f.sys, sec(1)); // budget now covers ~2 regions
+    EXPECT_LE(d.stats().pagesScanned, 2048u);
+}
+
+TEST(Ksm, ContentProviderOverridesHostView)
+{
+    KsmFixture f;
+    mem::ContentGenerator gen(Rng(5));
+    // Host frame holds data, but the provider says "zero" (the
+    // guest's truth in virtualized runs).
+    const Vpn vpn = f.mapWith(0, gen.data());
+    KsmDaemon d(1e9);
+    d.trackProcess(f.proc->pid());
+    static const mem::PageContent zero = mem::PageContent::zero();
+    d.setContentProvider(
+        [](sim::Process &, Vpn) { return &zero; });
+    d.periodic(*f.sys, sec(1));
+    EXPECT_EQ(d.stats().zeroMerged, 1u);
+    EXPECT_EQ(f.proc->space().pageTable().lookup(vpn).pfn,
+              f.sys->phys().zeroPagePfn());
+}

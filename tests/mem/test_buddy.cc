@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Buddy allocator unit + property tests: coalescing, zero/non-zero
+ * list discipline, FMFI, and invariants under random op sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "mem/buddy.hh"
+
+using namespace hawksim;
+using mem::BuddyAllocator;
+using mem::BuddyBlock;
+using mem::ZeroPref;
+
+namespace {
+constexpr std::uint64_t kFrames = 4096; // 16MB
+} // namespace
+
+TEST(Buddy, BootCarvesEverythingFree)
+{
+    BuddyAllocator b(kFrames);
+    EXPECT_EQ(b.freePages(), kFrames);
+    EXPECT_EQ(b.freeZeroPages(), kFrames);
+    EXPECT_EQ(b.largestFreeOrder(), 10);
+    b.checkConsistency();
+}
+
+TEST(Buddy, NonPowerOfTwoSizeIsCarved)
+{
+    BuddyAllocator b(kFrames + 3);
+    EXPECT_EQ(b.freePages(), kFrames + 3);
+    b.checkConsistency();
+}
+
+TEST(Buddy, AllocSplitsAndFreeCoalesces)
+{
+    BuddyAllocator b(kFrames);
+    auto blk = b.alloc(0, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    EXPECT_EQ(b.freePages(), kFrames - 1);
+    b.free(blk->pfn, 0, blk->zeroed);
+    EXPECT_EQ(b.freePages(), kFrames);
+    // Everything should have merged back into maximal blocks.
+    EXPECT_EQ(b.largestFreeOrder(), 10);
+    EXPECT_EQ(b.freeBlocks(10), kFrames >> 10);
+    b.checkConsistency();
+}
+
+TEST(Buddy, ZeroPreferenceHonored)
+{
+    BuddyAllocator b(kFrames, /*initially_zeroed=*/true);
+    // Create one dirty order-0 block.
+    auto blk = b.alloc(0, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    b.free(blk->pfn, 0, /*zeroed=*/false);
+    auto dirty = b.alloc(0, ZeroPref::kPreferNonZero);
+    ASSERT_TRUE(dirty.has_value());
+    EXPECT_FALSE(dirty->zeroed);
+    b.free(dirty->pfn, 0, false);
+    auto clean = b.alloc(0, ZeroPref::kPreferZero);
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_TRUE(clean->zeroed);
+    b.checkConsistency();
+}
+
+TEST(Buddy, MergingZeroAndDirtyYieldsDirty)
+{
+    BuddyAllocator b(2); // one order-1 block
+    auto a0 = b.alloc(0, ZeroPref::kAny);
+    auto a1 = b.alloc(0, ZeroPref::kAny);
+    ASSERT_TRUE(a0 && a1);
+    b.free(a0->pfn, 0, /*zeroed=*/true);
+    b.free(a1->pfn, 0, /*zeroed=*/false);
+    EXPECT_EQ(b.freeBlocks(1), 1u);
+    EXPECT_EQ(b.freeZeroPages(), 0u); // merged block is dirty
+    b.checkConsistency();
+}
+
+TEST(Buddy, AllocSpecificCarvesTargetFrame)
+{
+    BuddyAllocator b(kFrames);
+    auto blk = b.allocSpecific(1234);
+    ASSERT_TRUE(blk.has_value());
+    EXPECT_EQ(blk->pfn, 1234u);
+    EXPECT_EQ(b.freePages(), kFrames - 1);
+    // The same frame cannot be taken twice.
+    EXPECT_FALSE(b.allocSpecific(1234).has_value());
+    b.free(1234, 0, true);
+    EXPECT_EQ(b.freePages(), kFrames);
+    b.checkConsistency();
+}
+
+TEST(Buddy, TakeNonZeroBlockFindsDirtyMemory)
+{
+    BuddyAllocator b(kFrames, /*initially_zeroed=*/false);
+    auto blk = b.takeNonZeroBlock(BuddyAllocator::kMaxOrder);
+    ASSERT_TRUE(blk.has_value());
+    EXPECT_FALSE(blk->zeroed);
+    b.free(blk->pfn, blk->order, true);
+    EXPECT_EQ(b.freeZeroPages(), blk->pages());
+    b.checkConsistency();
+}
+
+TEST(Buddy, TakeNonZeroBlockRespectsMaxOrder)
+{
+    BuddyAllocator b(kFrames, false);
+    auto blk = b.takeNonZeroBlock(3);
+    ASSERT_TRUE(blk.has_value());
+    EXPECT_LE(blk->order, 3u);
+    b.free(blk->pfn, blk->order, false);
+}
+
+TEST(Buddy, TakeNonZeroBlockEmptyWhenAllZero)
+{
+    BuddyAllocator b(kFrames, true);
+    EXPECT_FALSE(
+        b.takeNonZeroBlock(BuddyAllocator::kMaxOrder).has_value());
+}
+
+TEST(Buddy, FmfiZeroWhenUnfragmented)
+{
+    BuddyAllocator b(kFrames);
+    EXPECT_DOUBLE_EQ(b.fragIndex(9), 0.0);
+}
+
+TEST(Buddy, FmfiRisesWithFragmentation)
+{
+    BuddyAllocator b(kFrames);
+    // Pin one frame per 512-frame region: no order-9 blocks remain.
+    std::vector<Pfn> pinned;
+    for (Pfn p = 256; p < kFrames; p += 512) {
+        auto blk = b.allocSpecific(p);
+        ASSERT_TRUE(blk.has_value());
+        pinned.push_back(p);
+    }
+    EXPECT_EQ(b.largestFreeOrder(), 8);
+    EXPECT_GT(b.fragIndex(9), 0.9);
+    EXPECT_DOUBLE_EQ(b.fragIndex(0), 0.0);
+    for (Pfn p : pinned)
+        b.free(p, 0, true);
+    EXPECT_DOUBLE_EQ(b.fragIndex(9), 0.0);
+    b.checkConsistency();
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt)
+{
+    BuddyAllocator b(8);
+    std::vector<BuddyBlock> held;
+    while (auto blk = b.alloc(0, ZeroPref::kAny))
+        held.push_back(*blk);
+    EXPECT_EQ(held.size(), 8u);
+    EXPECT_FALSE(b.alloc(0, ZeroPref::kAny).has_value());
+    EXPECT_FALSE(b.canAlloc(0));
+    for (auto &blk : held)
+        b.free(blk.pfn, 0, false);
+    b.checkConsistency();
+}
+
+/** Property: random alloc/free sequences conserve pages and keep the
+ *  allocator internally consistent, for several seeds. */
+class BuddyProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BuddyProperty, RandomOpsPreserveInvariants)
+{
+    Rng rng(GetParam());
+    BuddyAllocator b(kFrames);
+    std::vector<BuddyBlock> held;
+    for (int step = 0; step < 3000; step++) {
+        if (held.empty() || rng.chance(0.55)) {
+            const auto order = static_cast<unsigned>(rng.below(6));
+            const auto pref = static_cast<ZeroPref>(rng.below(3));
+            auto blk = b.alloc(order, pref);
+            if (blk) {
+                held.push_back(*blk);
+                // No overlap with any held block.
+                for (std::size_t i = 0; i + 1 < held.size(); i++) {
+                    const auto &o = held[i];
+                    const bool disjoint =
+                        blk->pfn + blk->pages() <= o.pfn ||
+                        o.pfn + o.pages() <= blk->pfn;
+                    ASSERT_TRUE(disjoint);
+                }
+            }
+        } else {
+            const std::size_t idx = rng.below(held.size());
+            const BuddyBlock blk = held[idx];
+            held[idx] = held.back();
+            held.pop_back();
+            b.free(blk.pfn, blk.order, rng.chance(0.5));
+        }
+        std::uint64_t held_pages = 0;
+        for (const auto &blk : held)
+            held_pages += blk.pages();
+        ASSERT_EQ(b.freePages() + held_pages, kFrames);
+    }
+    b.checkConsistency();
+    for (const auto &blk : held)
+        b.free(blk.pfn, blk.order, false);
+    EXPECT_EQ(b.freePages(), kFrames);
+    EXPECT_EQ(b.largestFreeOrder(), 10);
+    b.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99,
+                                           12345));

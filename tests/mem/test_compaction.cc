@@ -1,0 +1,130 @@
+/** @file Fragmenter and compactor tests. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "mem/compaction.hh"
+
+using namespace hawksim;
+using mem::Compactor;
+using mem::Fragmenter;
+using mem::PhysicalMemory;
+using mem::ZeroPref;
+
+namespace {
+
+class RecordingMover : public mem::PageMover
+{
+  public:
+    void
+    pageMoved(Pfn from, Pfn to) override
+    {
+        moves.emplace_back(from, to);
+    }
+    std::vector<std::pair<Pfn, Pfn>> moves;
+};
+
+} // namespace
+
+TEST(Fragmenter, DestroysHugeContiguity)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(1);
+    Fragmenter frag(pm);
+    frag.fragment(1.0, rng);
+    EXPECT_GT(frag.pinnedFrames(), 0u);
+    EXPECT_FALSE(pm.buddy().canAlloc(kHugePageOrder));
+    EXPECT_GT(pm.buddy().fragIndex(kHugePageOrder), 0.9);
+    frag.release();
+    EXPECT_TRUE(pm.buddy().canAlloc(kHugePageOrder));
+}
+
+TEST(Fragmenter, PartialFragmentationLeavesSomeBlocks)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(2);
+    Fragmenter frag(pm);
+    frag.fragment(0.5, rng);
+    // Roughly half the regions survive.
+    const std::uint64_t regions = pm.totalFrames() / kPagesPerHuge;
+    EXPECT_GT(frag.pinnedFrames(), regions / 4);
+    EXPECT_LT(frag.pinnedFrames(), regions);
+}
+
+TEST(Fragmenter, MovableFillConsumesMemory)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(3);
+    Fragmenter frag(pm);
+    frag.fillMovable(0.25, rng);
+    EXPECT_NEAR(static_cast<double>(frag.movableFrames()),
+                0.25 * static_cast<double>(pm.totalFrames()),
+                static_cast<double>(pm.totalFrames()) * 0.02);
+    frag.releaseMovable();
+    EXPECT_EQ(frag.movableFrames(), 0u);
+}
+
+TEST(Compactor, ProducesFreeHugeBlockByMigration)
+{
+    PhysicalMemory pm(MiB(64));
+    // Allocate scattered movable kernel pages so no order-9 exists.
+    std::vector<Pfn> pins;
+    for (Pfn p = 128; p < pm.totalFrames(); p += 512) {
+        auto blk = pm.allocSpecificFrame(p, mem::kKernelOwner);
+        ASSERT_TRUE(blk.has_value());
+        pins.push_back(p);
+    }
+    ASSERT_FALSE(pm.buddy().canAlloc(kHugePageOrder));
+    Compactor comp(pm);
+    RecordingMover mover;
+    auto res = comp.compactOne(mover);
+    EXPECT_TRUE(res.success);
+    EXPECT_GT(res.pagesMigrated, 0u);
+    EXPECT_TRUE(pm.buddy().canAlloc(kHugePageOrder));
+    for (Pfn p : pins) {
+        if (!pm.frame(p).isFree())
+            pm.freeBlock(p, 0);
+    }
+}
+
+TEST(Compactor, RefusesRegionsWithUnmovableFrames)
+{
+    PhysicalMemory pm(MiB(8)); // 4 huge regions
+    // Pin an unmovable frame in every region.
+    for (Pfn p = 64; p < pm.totalFrames(); p += 512) {
+        auto blk = pm.allocSpecificFrame(p, mem::kKernelOwner);
+        ASSERT_TRUE(blk.has_value());
+        pm.frame(p).set(mem::kFrameUnmovable);
+    }
+    Compactor comp(pm);
+    RecordingMover mover;
+    auto res = comp.compactOne(mover);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.pagesMigrated, 0u);
+}
+
+TEST(Compactor, NotifiesMoverWithCopiedMetadata)
+{
+    PhysicalMemory pm(MiB(64));
+    for (Pfn p = 128; p < pm.totalFrames(); p += 512) {
+        auto blk = pm.allocSpecificFrame(p, /*owner=*/9);
+        ASSERT_TRUE(blk.has_value());
+        pm.onMap(p, 9, /*vpn=*/p + 7);
+        mem::PageContent c;
+        c.hash = p;
+        c.firstNonZero = 0;
+        pm.writeFrame(p, c);
+    }
+    Compactor comp(pm);
+    RecordingMover mover;
+    auto res = comp.compactOne(mover);
+    ASSERT_TRUE(res.success);
+    ASSERT_FALSE(mover.moves.empty());
+    for (auto [from, to] : mover.moves) {
+        const mem::Frame &f = pm.frame(to);
+        EXPECT_EQ(f.ownerPid, 9);
+        EXPECT_EQ(f.rmapVpn, from + 7);
+        EXPECT_EQ(f.content.hash, from);
+        EXPECT_EQ(f.mapCount, 1u);
+    }
+}

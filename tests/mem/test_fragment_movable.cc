@@ -1,0 +1,89 @@
+/** @file Movable (page-cache-style) fragmentation tests. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "mem/compaction.hh"
+
+using namespace hawksim;
+using mem::Compactor;
+using mem::Fragmenter;
+using mem::PhysicalMemory;
+
+namespace {
+
+class NullMover : public mem::PageMover
+{
+    void pageMoved(Pfn, Pfn) override {}
+};
+
+} // namespace
+
+TEST(FragmentMovable, KillsContiguityButStaysCompactable)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(1);
+    Fragmenter frag(pm);
+    frag.fragmentMovable(1.0, 64, rng);
+    EXPECT_FALSE(pm.buddy().canAlloc(kHugePageOrder));
+    // But khugepaged-grade compaction can clear a region (64 moves).
+    Compactor comp(pm);
+    NullMover mover;
+    auto res = comp.compactOne(mover, 256);
+    EXPECT_TRUE(res.success);
+    EXPECT_GE(res.pagesMigrated, 1u);
+    EXPECT_TRUE(pm.buddy().canAlloc(kHugePageOrder));
+}
+
+TEST(FragmentMovable, DefeatsBoundedFaultPathCompaction)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(2);
+    Fragmenter frag(pm);
+    frag.fragmentMovable(1.0, 64, rng);
+    Compactor comp(pm);
+    NullMover mover;
+    // Fault-path effort (16 migrations) cannot clear 64 pins.
+    auto res = comp.compactOne(mover, 16);
+    EXPECT_FALSE(res.success);
+    EXPECT_FALSE(pm.buddy().canAlloc(kHugePageOrder));
+}
+
+TEST(FragmentMovable, ConsumesProportionalMemory)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(3);
+    Fragmenter frag(pm);
+    frag.fragmentMovable(1.0, 64, rng);
+    // 64 pins per 512-page region = 12.5% of memory (minus overlap
+    // from duplicate random offsets).
+    const double used = pm.usedFraction();
+    EXPECT_GT(used, 0.09);
+    EXPECT_LT(used, 0.14);
+}
+
+TEST(FragmentMovable, ReleaseToleratesMigratedPins)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(4);
+    auto frag = std::make_unique<Fragmenter>(pm);
+    frag->fragmentMovable(1.0, 32, rng);
+    Compactor comp(pm);
+    NullMover mover;
+    // Migrate a bunch of pinned frames to new locations.
+    for (int i = 0; i < 8; i++)
+        comp.compactOne(mover, 256);
+    // Destruction releases what it still holds without double-frees
+    // (migrated pins became untracked kernel frames).
+    EXPECT_NO_FATAL_FAILURE(frag.reset());
+    pm.buddy().checkConsistency();
+}
+
+TEST(FragmentMovable, PartialFractionLeavesFreeBlocks)
+{
+    PhysicalMemory pm(MiB(64));
+    Rng rng(5);
+    Fragmenter frag(pm);
+    frag.fragmentMovable(0.5, 64, rng);
+    EXPECT_TRUE(pm.buddy().canAlloc(kHugePageOrder));
+}

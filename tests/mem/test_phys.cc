@@ -1,0 +1,134 @@
+/** @file PhysicalMemory frame-table + content-aware free tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys.hh"
+
+using namespace hawksim;
+using mem::PageContent;
+using mem::PhysicalMemory;
+using mem::ZeroPref;
+
+TEST(Phys, ReservesCanonicalZeroPage)
+{
+    PhysicalMemory pm(MiB(16));
+    const Pfn zp = pm.zeroPagePfn();
+    EXPECT_NE(zp, kInvalidPfn);
+    const mem::Frame &f = pm.frame(zp);
+    EXPECT_TRUE(f.isShared());
+    EXPECT_TRUE(f.isUnmovable());
+    EXPECT_TRUE(f.content.isZero());
+    EXPECT_EQ(pm.usedFrames(), 1u);
+}
+
+TEST(Phys, AllocSetsOwnerAndFlags)
+{
+    PhysicalMemory pm(MiB(16));
+    auto blk = pm.allocBlock(3, 42, ZeroPref::kPreferZero);
+    ASSERT_TRUE(blk.has_value());
+    EXPECT_TRUE(blk->zeroed);
+    for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
+        EXPECT_FALSE(pm.frame(p).isFree());
+        EXPECT_EQ(pm.frame(p).ownerPid, 42);
+        EXPECT_TRUE(pm.frame(p).isZeroed());
+    }
+    pm.freeBlock(blk->pfn, 3);
+    EXPECT_EQ(pm.usedFrames(), 1u); // just the zero page
+}
+
+TEST(Phys, DirtiedFramesReturnToNonZeroList)
+{
+    PhysicalMemory pm(MiB(16));
+    auto blk = pm.allocBlock(0, 1, ZeroPref::kPreferZero);
+    ASSERT_TRUE(blk.has_value());
+    PageContent c;
+    c.hash = 0x1234;
+    c.firstNonZero = 0;
+    pm.writeFrame(blk->pfn, c);
+    EXPECT_FALSE(pm.frame(blk->pfn).isZeroed());
+    pm.freeBlock(blk->pfn, 0);
+    EXPECT_EQ(pm.buddy().freeNonZeroPages(), 1u);
+}
+
+TEST(Phys, UntouchedFramesReturnToZeroList)
+{
+    PhysicalMemory pm(MiB(16));
+    const std::uint64_t zero_before = pm.buddy().freeZeroPages();
+    auto blk = pm.allocBlock(0, 1, ZeroPref::kPreferZero);
+    ASSERT_TRUE(blk.has_value());
+    pm.freeBlock(blk->pfn, 0);
+    EXPECT_EQ(pm.buddy().freeZeroPages(), zero_before);
+    EXPECT_EQ(pm.buddy().freeNonZeroPages(), 0u);
+}
+
+TEST(Phys, MixedBlockFreeSplitsByContent)
+{
+    PhysicalMemory pm(MiB(16));
+    auto blk = pm.allocBlock(2, 1, ZeroPref::kPreferZero); // 4 pages
+    ASSERT_TRUE(blk.has_value());
+    PageContent dirty;
+    dirty.hash = 7;
+    dirty.firstNonZero = 0;
+    pm.writeFrame(blk->pfn + 1, dirty); // dirty the second page
+    pm.freeBlock(blk->pfn, 2);
+    // Buddy coalescing merges zero runs with the dirty page back into
+    // one block, which must then be conservatively non-zero (the
+    // async daemon will re-zero it). No page may be falsely zero.
+    EXPECT_GE(pm.buddy().freeNonZeroPages(), 1u);
+    EXPECT_LE(pm.buddy().freeZeroPages(),
+              pm.buddy().freePages() - 1);
+    pm.buddy().checkConsistency();
+}
+
+TEST(Phys, ZeroFrameRestoresZeroContent)
+{
+    PhysicalMemory pm(MiB(16));
+    auto blk = pm.allocBlock(0, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    PageContent c;
+    c.hash = 9;
+    c.firstNonZero = 3;
+    pm.writeFrame(blk->pfn, c);
+    pm.zeroFrame(blk->pfn);
+    EXPECT_TRUE(pm.frame(blk->pfn).content.isZero());
+    EXPECT_TRUE(pm.frame(blk->pfn).isZeroed());
+    pm.freeBlock(blk->pfn, 0);
+}
+
+TEST(Phys, MapUnmapBookkeeping)
+{
+    PhysicalMemory pm(MiB(16));
+    auto blk = pm.allocBlock(0, 5, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    pm.onMap(blk->pfn, 5, 0x1000);
+    EXPECT_EQ(pm.frame(blk->pfn).mapCount, 1u);
+    EXPECT_EQ(pm.frame(blk->pfn).rmapVpn, 0x1000u);
+    pm.onUnmap(blk->pfn);
+    EXPECT_EQ(pm.frame(blk->pfn).mapCount, 0u);
+    pm.freeBlock(blk->pfn, 0);
+}
+
+TEST(Phys, AllocObserverSeesAllocationsAndFrees)
+{
+    PhysicalMemory pm(MiB(16));
+    int allocs = 0, frees = 0;
+    pm.setAllocObserver([&](Pfn, unsigned, bool alloc) {
+        (alloc ? allocs : frees)++;
+    });
+    auto blk = pm.allocBlock(1, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    pm.freeBlock(blk->pfn, 1);
+    EXPECT_EQ(allocs, 1);
+    EXPECT_EQ(frees, 1);
+}
+
+TEST(Phys, UsedFractionTracksAllocation)
+{
+    PhysicalMemory pm(MiB(16));
+    const double before = pm.usedFraction();
+    auto blk = pm.allocBlock(10, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    EXPECT_GT(pm.usedFraction(), before);
+    pm.freeBlock(blk->pfn, 10);
+    EXPECT_DOUBLE_EQ(pm.usedFraction(), before);
+}

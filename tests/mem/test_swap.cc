@@ -1,0 +1,61 @@
+/** @file Swap device cost-model tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/swap.hh"
+
+using namespace hawksim;
+using mem::SwapDevice;
+
+TEST(Swap, ChargesPerPageLatency)
+{
+    SwapDevice dev;
+    const TimeNs out = dev.swapOut(10);
+    EXPECT_GE(out, 10 * dev.config().writeLatency);
+    EXPECT_EQ(dev.usedPages(), 10u);
+    const TimeNs in = dev.swapIn(10);
+    EXPECT_GE(in, 10 * dev.config().readLatency);
+    EXPECT_EQ(dev.usedPages(), 0u);
+}
+
+TEST(Swap, ReadsCostMoreThanWrites)
+{
+    SwapDevice dev;
+    dev.swapOut(100);
+    EXPECT_GT(dev.swapIn(100), 0);
+    SwapDevice dev2;
+    EXPECT_LT(dev2.swapOut(100), SwapDevice().config().readLatency * 100 + 1);
+}
+
+TEST(Swap, CapacityIsEnforced)
+{
+    SwapDevice::Config cfg;
+    cfg.capacityBytes = kPageSize * 16;
+    SwapDevice dev(cfg);
+    std::uint64_t written = 0;
+    dev.swapOut(100, &written);
+    EXPECT_EQ(written, 16u);
+    EXPECT_TRUE(dev.full());
+}
+
+TEST(Swap, BandwidthFloorDominatesLargeTransfers)
+{
+    SwapDevice::Config cfg;
+    cfg.writeLatency = 1; // absurdly fast latency
+    cfg.throughputBytesPerSec = MiB(100);
+    SwapDevice dev(cfg);
+    // 1GB at 100MB/s must take >= 10 seconds.
+    const TimeNs t = dev.swapOut(GiB(1) / kPageSize);
+    EXPECT_GE(t, sec(10));
+}
+
+TEST(Swap, TracksCumulativeTotals)
+{
+    SwapDevice dev;
+    dev.swapOut(5);
+    dev.swapIn(3);
+    dev.swapOut(2);
+    EXPECT_EQ(dev.totalSwappedOut(), 7u);
+    EXPECT_EQ(dev.totalSwappedIn(), 3u);
+    EXPECT_EQ(dev.usedPages(), 4u);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * FreeBSD reservation policy tests: reserve-then-fill, in-place
+ * promotion only at full population, reservation breaking under
+ * pressure and on madvise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+struct BsdFixture
+{
+    explicit BsdFixture(std::uint64_t mem = MiB(64))
+    {
+        setLogQuiet(true);
+        sim::SystemConfig scfg;
+        scfg.memoryBytes = mem;
+        sys = std::make_unique<sim::System>(scfg);
+        auto pol = std::make_unique<policy::FreeBsdPolicy>();
+        policy = pol.get();
+        sys->setPolicy(std::move(pol));
+    }
+
+    sim::Process &
+    addIdle(const std::string &name, std::uint64_t bytes)
+    {
+        workload::StreamConfig wc;
+        wc.footprintBytes = bytes;
+        wc.workSeconds = 1e9;
+        wc.initTouchAll = false;
+        return sys->addProcess(
+            name, std::make_unique<workload::StreamWorkload>(
+                      name, wc, Rng(1)));
+    }
+
+    std::unique_ptr<sim::System> sys;
+    policy::FreeBsdPolicy *policy = nullptr;
+};
+
+Addr
+workloadBase(sim::Process &p)
+{
+    return static_cast<workload::StreamWorkload *>(&p.workload())
+        ->baseAddr();
+}
+
+} // namespace
+
+TEST(FreeBsdPolicy, FirstFaultReservesButMapsOneBasePage)
+{
+    BsdFixture f;
+    auto &proc = f.addIdle("a", MiB(8));
+    const Vpn vpn = addrToVpn(workloadBase(proc)) + 77;
+    auto out = f.policy->onFault(*f.sys, proc, vpn);
+    EXPECT_FALSE(out.huge);
+    EXPECT_EQ(out.pagesMapped, 1u);
+    EXPECT_EQ(proc.space().rssPages(), 1u);
+    EXPECT_EQ(f.policy->activeReservations(), 1u);
+    // The whole 2MB block is taken from the allocator though.
+    EXPECT_GE(f.sys->phys().usedFrames(), kPagesPerHuge);
+}
+
+TEST(FreeBsdPolicy, FillsNaturalSlotsContiguously)
+{
+    BsdFixture f;
+    auto &proc = f.addIdle("a", MiB(8));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    f.policy->onFault(*f.sys, proc, base + 3);
+    f.policy->onFault(*f.sys, proc, base + 4);
+    const auto &pt = proc.space().pageTable();
+    EXPECT_EQ(pt.lookup(base + 4).pfn, pt.lookup(base + 3).pfn + 1);
+}
+
+TEST(FreeBsdPolicy, PromotesInPlaceOnlyWhenFull)
+{
+    BsdFixture f;
+    auto &proc = f.addIdle("a", MiB(8));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    for (unsigned i = 0; i < 511; i++)
+        f.policy->onFault(*f.sys, proc, base + i);
+    EXPECT_FALSE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+    EXPECT_EQ(f.policy->promotions(), 0u);
+    auto out = f.policy->onFault(*f.sys, proc, base + 511);
+    EXPECT_TRUE(out.huge); // the 512th fault completes + promotes
+    EXPECT_TRUE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+    EXPECT_EQ(f.policy->promotions(), 1u);
+    EXPECT_EQ(f.policy->activeReservations(), 0u);
+}
+
+TEST(FreeBsdPolicy, NoReservationUnderFragmentation)
+{
+    BsdFixture f;
+    f.sys->fragmentMemory(1.0);
+    auto &proc = f.addIdle("a", MiB(8));
+    auto out = f.policy->onFault(*f.sys, proc,
+                                 addrToVpn(workloadBase(proc)));
+    EXPECT_FALSE(out.oom);
+    EXPECT_EQ(f.policy->activeReservations(), 0u);
+    EXPECT_EQ(proc.space().rssPages(), 1u);
+}
+
+TEST(FreeBsdPolicy, MadviseBreaksOverlappingReservation)
+{
+    BsdFixture f;
+    auto &proc = f.addIdle("a", MiB(8));
+    const Addr base = workloadBase(proc);
+    f.policy->onFault(*f.sys, proc, addrToVpn(base));
+    const std::uint64_t used = f.sys->phys().usedFrames();
+    ASSERT_GE(used, kPagesPerHuge);
+    proc.space().madviseDontneed(base, kPageSize);
+    f.policy->onMadviseFree(*f.sys, proc, base, kPageSize);
+    EXPECT_EQ(f.policy->activeReservations(), 0u);
+    EXPECT_EQ(f.policy->reservationsBroken(), 1u);
+    // All 512 frames are back with the allocator.
+    EXPECT_EQ(f.sys->phys().usedFrames(), used - kPagesPerHuge);
+}
+
+TEST(FreeBsdPolicy, MemoryPressureBreaksPartialReservations)
+{
+    BsdFixture f(MiB(8)); // tiny system: 4 huge regions minus zero pg
+    auto &proc = f.addIdle("a", MiB(8));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    // Reserve all available 2MB blocks with one fault each.
+    for (unsigned r = 0; r < 3; r++)
+        f.policy->onFault(*f.sys, proc, base + r * 512);
+    ASSERT_GE(f.policy->activeReservations(), 2u);
+    // Memory now looks exhausted; base faults must reclaim the
+    // reservation tails instead of OOM-ing.
+    std::uint64_t mapped = 0;
+    for (unsigned i = 0; i < 600; i++) {
+        auto out =
+            f.policy->onFault(*f.sys, proc, base + 3 * 512 + i);
+        if (out.oom)
+            break;
+        mapped++;
+    }
+    EXPECT_GT(mapped, 500u);
+    EXPECT_GT(f.policy->reservationsBroken(), 0u);
+}
+
+TEST(FreeBsdPolicy, ExitReleasesReservations)
+{
+    BsdFixture f;
+    {
+        auto &proc = f.addIdle("a", MiB(8));
+        f.policy->onFault(*f.sys, proc,
+                          addrToVpn(workloadBase(proc)));
+        ASSERT_EQ(f.policy->activeReservations(), 1u);
+        f.policy->onProcessExit(*f.sys, proc);
+    }
+    EXPECT_EQ(f.policy->activeReservations(), 0u);
+}

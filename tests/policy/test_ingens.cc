@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Ingens policy tests: base-pages-only fault path, FMFI-adaptive
+ * utilization threshold, recent-fault prioritization, and the
+ * proportional fairness metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+struct IngensFixture
+{
+    explicit IngensFixture(policy::IngensConfig cfg = {},
+                           std::uint64_t mem = MiB(256))
+    {
+        setLogQuiet(true);
+        sim::SystemConfig scfg;
+        scfg.memoryBytes = mem;
+        sys = std::make_unique<sim::System>(scfg);
+        auto pol = std::make_unique<policy::IngensPolicy>(cfg);
+        policy = pol.get();
+        sys->setPolicy(std::move(pol));
+    }
+
+    sim::Process &
+    addIdle(const std::string &name, std::uint64_t bytes)
+    {
+        workload::StreamConfig wc;
+        wc.footprintBytes = bytes;
+        wc.workSeconds = 1e9;
+        wc.initTouchAll = false;
+        return sys->addProcess(
+            name, std::make_unique<workload::StreamWorkload>(
+                      name, wc, Rng(1)));
+    }
+
+    std::unique_ptr<sim::System> sys;
+    policy::IngensPolicy *policy = nullptr;
+};
+
+Addr
+workloadBase(sim::Process &p)
+{
+    return static_cast<workload::StreamWorkload *>(&p.workload())
+        ->baseAddr();
+}
+
+} // namespace
+
+TEST(IngensPolicy, FaultPathIsAlwaysBasePages)
+{
+    IngensFixture f;
+    auto &proc = f.addIdle("a", MiB(16));
+    auto out = f.policy->onFault(*f.sys, proc,
+                                 addrToVpn(workloadBase(proc)));
+    EXPECT_FALSE(out.huge);
+    EXPECT_EQ(out.pagesMapped, 1u);
+    // Low latency: no 2MB zeroing in the fault path.
+    EXPECT_LT(out.latency, usec(10));
+}
+
+TEST(IngensPolicy, AggressivePromotionWhenUnfragmented)
+{
+    IngensFixture f;
+    ASSERT_FALSE(f.policy->conservative(*f.sys));
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    f.policy->onFault(*f.sys, proc, base); // one page only
+    f.sys->run(sec(1));
+    // FMFI ~ 0 -> aggressive: promotes even at 1/512 utilization.
+    EXPECT_TRUE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+}
+
+TEST(IngensPolicy, ConservativeUnderFragmentation)
+{
+    IngensFixture f;
+    f.sys->fragmentMemory(0.97);
+    ASSERT_TRUE(f.policy->conservative(*f.sys));
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    // 50% utilized: below the 90% threshold -> no promotion.
+    for (unsigned i = 0; i < 256; i++)
+        f.policy->onFault(*f.sys, proc, base + i);
+    f.sys->run(sec(1));
+    EXPECT_FALSE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+    // 92% utilized: above threshold -> promoted (via compaction).
+    for (unsigned i = 256; i < 472; i++)
+        f.policy->onFault(*f.sys, proc, base + i);
+    f.sys->run(sec(2));
+    EXPECT_TRUE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+}
+
+TEST(IngensPolicy, AlwaysConservativeConfig)
+{
+    policy::IngensConfig cfg;
+    cfg.alwaysConservative = true;
+    IngensFixture f(cfg);
+    EXPECT_TRUE(f.policy->conservative(*f.sys));
+    EXPECT_EQ(f.policy->name(), "Ingens-90%");
+}
+
+TEST(IngensPolicy, FiftyPercentVariantPromotesAtHalf)
+{
+    policy::IngensConfig cfg;
+    cfg.utilThreshold = 0.50;
+    cfg.alwaysConservative = true;
+    IngensFixture f(cfg);
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    for (unsigned i = 0; i < 260; i++)
+        f.policy->onFault(*f.sys, proc, base + i);
+    f.sys->run(sec(1));
+    EXPECT_TRUE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+}
+
+TEST(IngensPolicy, RecentlyFaultedRegionsPromoteFirst)
+{
+    IngensFixture f;
+    auto &proc = f.addIdle("a", MiB(64));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    // Fault region 5 first, then region 2: FIFO order wins over VA
+    // order for recent faults.
+    f.policy->onFault(*f.sys, proc, base + 5 * 512);
+    f.policy->onFault(*f.sys, proc, base + 2 * 512);
+    f.sys->costs().promotionsPerSec = 5.0;
+    f.sys->run(msec(300)); // budget for exactly one promotion
+    const auto &pt = proc.space().pageTable();
+    EXPECT_TRUE(pt.isHuge(vpnToHugeRegion(base) + 5));
+    EXPECT_FALSE(pt.isHuge(vpnToHugeRegion(base) + 2));
+}
+
+TEST(IngensPolicy, ProportionalShareAcrossProcesses)
+{
+    IngensFixture f({}, MiB(512));
+    auto &p1 = f.addIdle("a", MiB(64));
+    auto &p2 = f.addIdle("b", MiB(64));
+    const Vpn b1 = addrToVpn(workloadBase(p1));
+    const Vpn b2 = addrToVpn(workloadBase(p2));
+    for (unsigned r = 0; r < 32; r++) {
+        f.policy->onFault(*f.sys, p1, b1 + r * 512);
+        f.policy->onFault(*f.sys, p2, b2 + r * 512);
+    }
+    f.sys->run(sec(1)); // ~20 promotions across 64 candidates
+    const auto h1 = p1.space().pageTable().mappedHugePages();
+    const auto h2 = p2.space().pageTable().mappedHugePages();
+    // Unlike Linux FCFS, promotion interleaves: both make progress.
+    EXPECT_GT(h1, 0u);
+    EXPECT_GT(h2, 0u);
+    EXPECT_LE(h1 > h2 ? h1 - h2 : h2 - h1, 2u);
+}

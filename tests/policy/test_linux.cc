@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Linux THP policy tests: synchronous huge faults, sync zeroing
+ * latency (Table 1's 465us), khugepaged FCFS + low-to-high VA order,
+ * and max_ptes_none-driven re-promotion (the Fig. 1 bloat source).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+struct LinuxFixture
+{
+    explicit LinuxFixture(policy::LinuxConfig cfg = {},
+                          std::uint64_t mem = MiB(256))
+    {
+        setLogQuiet(true);
+        sim::SystemConfig scfg;
+        scfg.memoryBytes = mem;
+        sys = std::make_unique<sim::System>(scfg);
+        auto pol = std::make_unique<policy::LinuxThpPolicy>(cfg);
+        policy = pol.get();
+        sys->setPolicy(std::move(pol));
+    }
+
+    sim::Process &
+    addIdle(const std::string &name, std::uint64_t bytes)
+    {
+        workload::StreamConfig wc;
+        wc.footprintBytes = bytes;
+        wc.workSeconds = 1e9;
+        wc.initTouchAll = false;
+        return sys->addProcess(
+            name, std::make_unique<workload::StreamWorkload>(
+                      name, wc, Rng(1)));
+    }
+
+    std::unique_ptr<sim::System> sys;
+    policy::LinuxThpPolicy *policy = nullptr;
+};
+
+Addr
+workloadBase(sim::Process &p)
+{
+    return static_cast<workload::StreamWorkload *>(&p.workload())
+        ->baseAddr();
+}
+
+} // namespace
+
+TEST(LinuxPolicy, FaultInEmptyRegionMapsHugeSynchronously)
+{
+    LinuxFixture f;
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn vpn = addrToVpn(workloadBase(proc)) + 13;
+    auto out = f.policy->onFault(*f.sys, proc, vpn);
+    EXPECT_TRUE(out.huge);
+    EXPECT_EQ(out.pagesMapped, kPagesPerHuge);
+    // Sync zeroing dominates: ~465us of the paper's Table 1.
+    EXPECT_GE(out.latency, f.sys->costs().zero2m);
+    EXPECT_TRUE(proc.space().pageTable().isHuge(vpnToHugeRegion(vpn)));
+}
+
+TEST(LinuxPolicy, PopulatedRegionFallsBackToBasePages)
+{
+    LinuxFixture f;
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn vpn = addrToVpn(workloadBase(proc));
+    f.policy->onFault(*f.sys, proc, vpn);
+    proc.space().madviseDontneed(workloadBase(proc), kPageSize);
+    // Region now partially populated: next fault maps one base page.
+    auto out = f.policy->onFault(*f.sys, proc, vpn);
+    EXPECT_FALSE(out.huge);
+    EXPECT_EQ(out.pagesMapped, 1u);
+    EXPECT_LE(out.latency, usec(10));
+}
+
+TEST(LinuxPolicy, ThpOffNeverMapsHuge)
+{
+    LinuxFixture f(policy::LinuxConfig{.thp = false});
+    auto &proc = f.addIdle("a", MiB(16));
+    auto out = f.policy->onFault(*f.sys, proc,
+                                 addrToVpn(workloadBase(proc)));
+    EXPECT_FALSE(out.huge);
+    // Base fault: ~3.5us with sync zeroing (Table 1).
+    EXPECT_NEAR(static_cast<double>(out.latency), 3500.0, 500.0);
+}
+
+TEST(LinuxPolicy, FaultHugeUnderFragmentationCompactsInFaultPath)
+{
+    LinuxFixture f;
+    f.sys->fragmentMemory(1.0);
+    ASSERT_FALSE(f.sys->phys().buddy().canAlloc(kHugePageOrder));
+    auto &proc = f.addIdle("a", MiB(16));
+    auto out = f.policy->onFault(*f.sys, proc,
+                                 addrToVpn(workloadBase(proc)));
+    // Direct compaction cannot move the pinned unmovable pages, so
+    // the fault degrades to a base page — after paying scan cost.
+    EXPECT_FALSE(out.huge);
+}
+
+TEST(LinuxPolicy, KhugepagedPromotesSparseRegions)
+{
+    // max_ptes_none=511: even one present page triggers promotion —
+    // this is how freed memory turns back into bloat in Fig. 1.
+    LinuxFixture f;
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    f.policy->onFault(*f.sys, proc, base); // huge at fault
+    proc.space().madviseDontneed(workloadBase(proc) + kPageSize,
+                                 510 * kPageSize);
+    ASSERT_FALSE(proc.space().pageTable().isHuge(
+        vpnToHugeRegion(base)));
+    ASSERT_EQ(proc.space().pageTable().population(
+                  vpnToHugeRegion(base)),
+              2u);
+    f.sys->run(sec(2)); // khugepaged gets budget
+    EXPECT_TRUE(proc.space().pageTable().isHuge(
+        vpnToHugeRegion(base)));
+    EXPECT_EQ(proc.space().rssPages(), 512u); // bloat re-created
+}
+
+TEST(LinuxPolicy, KhugepagedRespectsMaxPtesNone)
+{
+    policy::LinuxConfig cfg;
+    cfg.faultHuge = false;  // force base faults
+    cfg.maxPtesNone = 64;   // need >= 448 present pages
+    LinuxFixture f(cfg);
+    auto &proc = f.addIdle("a", MiB(16));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    for (unsigned i = 0; i < 100; i++)
+        f.policy->onFault(*f.sys, proc, base + i);
+    f.sys->run(sec(2));
+    EXPECT_FALSE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+    for (unsigned i = 100; i < 460; i++)
+        f.policy->onFault(*f.sys, proc, base + i);
+    f.sys->run(sec(2));
+    EXPECT_TRUE(
+        proc.space().pageTable().isHuge(vpnToHugeRegion(base)));
+}
+
+TEST(LinuxPolicy, KhugepagedScansProcessesFcfs)
+{
+    policy::LinuxConfig cfg;
+    cfg.faultHuge = false;
+    LinuxFixture f(cfg, MiB(512));
+    auto &p1 = f.addIdle("first", MiB(64));
+    auto &p2 = f.addIdle("second", MiB(64));
+    const Vpn b1 = addrToVpn(workloadBase(p1));
+    const Vpn b2 = addrToVpn(workloadBase(p2));
+    for (unsigned r = 0; r < 32; r++) {
+        f.policy->onFault(*f.sys, p1, b1 + r * 512);
+        f.policy->onFault(*f.sys, p2, b2 + r * 512);
+    }
+    // Give khugepaged a budget that can cover only ~half the work.
+    f.sys->run(sec(1));
+    const auto h1 = p1.space().pageTable().mappedHugePages();
+    const auto h2 = p2.space().pageTable().mappedHugePages();
+    // FCFS: the first process is fully promoted before the second
+    // gets anything (the unfairness Fig. 7 shows).
+    EXPECT_GT(h1, 0u);
+    EXPECT_TRUE(h2 == 0 || h1 == 32)
+        << "h1=" << h1 << " h2=" << h2;
+}
+
+TEST(LinuxPolicy, KhugepagedScansLowToHighVa)
+{
+    policy::LinuxConfig cfg;
+    cfg.faultHuge = false;
+    LinuxFixture f(cfg);
+    auto &proc = f.addIdle("a", MiB(64));
+    const Vpn base = addrToVpn(workloadBase(proc));
+    for (unsigned r = 0; r < 16; r++)
+        f.policy->onFault(*f.sys, proc, base + r * 512);
+    // Small budget: only some regions get promoted; they must be the
+    // lowest-VA ones.
+    f.sys->costs().promotionsPerSec = 4.0;
+    f.sys->run(sec(1));
+    const auto &pt = proc.space().pageTable();
+    int first_unpromoted = -1;
+    for (unsigned r = 0; r < 16; r++) {
+        if (!pt.isHuge(vpnToHugeRegion(base) + r)) {
+            first_unpromoted = static_cast<int>(r);
+            break;
+        }
+    }
+    ASSERT_GE(first_unpromoted, 1);
+    for (unsigned r = first_unpromoted; r < 16; r++)
+        EXPECT_FALSE(pt.isHuge(vpnToHugeRegion(base) + r));
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cross-component interaction tests: the paper's §2/§3 claims that
+ * involve two mechanisms at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+sim::SystemConfig
+cfg(std::uint64_t mem, std::uint64_t seed = 5)
+{
+    sim::SystemConfig c;
+    c.memoryBytes = mem;
+    c.seed = seed;
+    return c;
+}
+
+} // namespace
+
+/** §2.1: khugepaged re-promotes madvise-freed regions into bloat. */
+TEST(Interactions, LinuxRepromotionRecreatesBloat)
+{
+    setLogQuiet(true);
+    sim::System sys(cfg(MiB(256)));
+    sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    workload::KvConfig kc;
+    kc.arenaBytes = MiB(256);
+    workload::KvPhase ins;
+    ins.type = workload::KvPhase::Type::kInsert;
+    ins.count = 20000; // ~80MB
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.9;
+    workload::KvPhase hold;
+    hold.type = workload::KvPhase::Type::kPause;
+    hold.durationSec = 1e9;
+    kc.phases = {ins, del, hold};
+    auto &proc = sys.addProcess(
+        "kv", std::make_unique<workload::KeyValueStoreWorkload>(
+                  "kv", kc, sys.rng().fork()));
+    auto *kv = static_cast<workload::KeyValueStoreWorkload *>(
+        &proc.workload());
+    sys.run(sec(125)); // khugepaged re-promotes sparse regions
+    // 90% of values are dead, yet RSS sits far above the live set:
+    // every surviving region was re-inflated to a full huge page.
+    EXPECT_GT(proc.space().rssPages(), kv->liveValues() * 5)
+        << "max_ptes_none=511 should re-inflate freed regions";
+}
+
+/** §3.2: HawkEye's recovery undoes exactly that bloat. */
+TEST(Interactions, HawkEyeRecoversRepromotionBloat)
+{
+    setLogQuiet(true);
+    sim::System sys(cfg(MiB(256)));
+    auto pol = std::make_unique<core::HawkEyePolicy>();
+    auto *hawkeye = pol.get();
+    sys.setPolicy(std::move(pol));
+    workload::KvConfig kc;
+    kc.arenaBytes = MiB(512);
+    workload::KvPhase ins;
+    ins.type = workload::KvPhase::Type::kInsert;
+    ins.count = 60000; // ~235MB of the 256MB machine
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.9;
+    workload::KvPhase serve;
+    serve.type = workload::KvPhase::Type::kServe;
+    serve.durationSec = 1e9;
+    serve.opsPerSec = 5000;
+    kc.phases = {ins, del, serve};
+    sys.addProcess("kv",
+                   std::make_unique<workload::KeyValueStoreWorkload>(
+                       "kv", kc, sys.rng().fork()));
+    sys.run(sec(200));
+    // Re-promotion happens (aggressive policy), but recovery keeps
+    // the system out of sustained pressure.
+    EXPECT_LT(sys.phys().usedFraction(), 0.90);
+    EXPECT_GT(hawkeye->bloatRecovery().stats().pagesDeduped, 0u);
+}
+
+/** §2.2: Ingens' async promotion does not reduce fault counts. */
+TEST(Interactions, IngensKeepsBasePageFaultCount)
+{
+    setLogQuiet(true);
+    auto faults = [](const char *which) {
+        sim::System sys(cfg(MiB(512)));
+        if (std::string(which) == "ingens")
+            sys.setPolicy(std::make_unique<policy::IngensPolicy>());
+        else
+            sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+        workload::LinearTouchConfig lc;
+        lc.bytes = MiB(128);
+        auto &proc = sys.addProcess(
+            "t", std::make_unique<workload::LinearTouchWorkload>(
+                     "t", lc, Rng(1)));
+        sys.runUntilAllDone(sec(300));
+        return proc.pageFaults();
+    };
+    EXPECT_EQ(faults("ingens"), MiB(128) / kPageSize);
+    EXPECT_EQ(faults("linux"), MiB(128) / kHugePageSize);
+}
+
+/** §3.1: the zero daemon keeps huge faults cheap under churn. */
+TEST(Interactions, PrezeroKeepsFaultsCheapUnderChurn)
+{
+    setLogQuiet(true);
+    sim::SystemConfig c = cfg(GiB(1));
+    c.bootMemoryZeroed = false;
+    sim::System sys(c);
+    sys.costs().zeroDaemonPagesPerSec = 1e6;
+    sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(256);
+    lc.iterations = 6; // alloc/free cycles dirty freed memory
+    auto &proc = sys.addProcess(
+        "t", std::make_unique<workload::LinearTouchWorkload>(
+                 "t", lc, Rng(1)));
+    sys.runUntilAllDone(sec(600));
+    const double avg_fault_us =
+        static_cast<double>(proc.faultTime()) / 1e3 /
+        static_cast<double>(proc.pageFaults());
+    // Mostly pre-zeroed huge faults (13us), far from sync 465us.
+    EXPECT_LT(avg_fault_us, 160.0);
+}
+
+/** Fairness: FreeBSD's reservations never create bloat. */
+TEST(Interactions, FreeBsdNeverBloats)
+{
+    setLogQuiet(true);
+    sim::System sys(cfg(MiB(256)));
+    sys.setPolicy(std::make_unique<policy::FreeBsdPolicy>());
+    workload::KvConfig kc;
+    kc.arenaBytes = MiB(256);
+    workload::KvPhase ins;
+    ins.type = workload::KvPhase::Type::kInsert;
+    ins.count = 20000;
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.9;
+    workload::KvPhase hold;
+    hold.type = workload::KvPhase::Type::kPause;
+    hold.durationSec = 1e9;
+    kc.phases = {ins, del, hold};
+    auto &proc = sys.addProcess(
+        "kv", std::make_unique<workload::KeyValueStoreWorkload>(
+                  "kv", kc, sys.rng().fork()));
+    sys.run(sec(5));
+    const std::uint64_t after_delete = proc.space().rssPages();
+    sys.run(sec(120));
+    // No khugepaged: RSS stays at the live dataset.
+    EXPECT_LE(proc.space().rssPages(), after_delete + 512);
+}

@@ -1,0 +1,54 @@
+/** @file Metrics recorder unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+using namespace hawksim;
+using sim::Metrics;
+
+TEST(Metrics, SeriesCreatedOnFirstUse)
+{
+    Metrics m;
+    EXPECT_FALSE(m.has("x"));
+    m.record("x", 10, 1.0);
+    EXPECT_TRUE(m.has("x"));
+    EXPECT_EQ(m.series("x").points().size(), 1u);
+}
+
+TEST(Metrics, UnknownSeriesIsEmptyNotCrash)
+{
+    Metrics m;
+    EXPECT_TRUE(m.series("nope").empty());
+    EXPECT_DOUBLE_EQ(m.series("nope").last(), 0.0);
+}
+
+TEST(Metrics, SeriesAccumulateInOrder)
+{
+    Metrics m;
+    for (int i = 0; i < 5; i++)
+        m.record("s", i * 100, static_cast<double>(i));
+    const auto &pts = m.series("s").points();
+    ASSERT_EQ(pts.size(), 5u);
+    EXPECT_EQ(pts[3].time, 300);
+    EXPECT_DOUBLE_EQ(pts[4].value, 4.0);
+    EXPECT_DOUBLE_EQ(m.series("s").peak(), 4.0);
+}
+
+TEST(Metrics, EventsKeepTimestamps)
+{
+    Metrics m;
+    m.event(5, "first");
+    m.event(9, "second");
+    ASSERT_EQ(m.events().size(), 2u);
+    EXPECT_EQ(m.events()[0].what, "first");
+    EXPECT_EQ(m.events()[1].time, 9);
+}
+
+TEST(Metrics, AllEnumeratesSeries)
+{
+    Metrics m;
+    m.record("a", 0, 1.0);
+    m.record("b", 0, 2.0);
+    EXPECT_EQ(m.all().size(), 2u);
+}

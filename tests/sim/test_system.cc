@@ -1,0 +1,200 @@
+/** @file System engine tests: metrics, compaction service, swap. */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+std::unique_ptr<sim::System>
+makeSys(std::uint64_t mem = MiB(128))
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = mem;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    return sys;
+}
+
+std::unique_ptr<workload::StreamWorkload>
+idleStream(std::uint64_t bytes)
+{
+    workload::StreamConfig wc;
+    wc.footprintBytes = bytes;
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    return std::make_unique<workload::StreamWorkload>("w", wc,
+                                                      Rng(1));
+}
+
+} // namespace
+
+TEST(System, ClockAdvancesByQuantum)
+{
+    auto sys = makeSys();
+    const TimeNs q = sys->config().tickQuantum;
+    sys->tick();
+    sys->tick();
+    EXPECT_EQ(sys->now(), 2 * q);
+}
+
+TEST(System, MetricsRecordStandardSeries)
+{
+    auto sys = makeSys();
+    sys->addProcess("w", idleStream(MiB(4)));
+    sys->run(sec(1));
+    EXPECT_TRUE(sys->metrics().has("sys.free_frames"));
+    EXPECT_TRUE(sys->metrics().has("sys.fmfi9"));
+    EXPECT_TRUE(sys->metrics().has("p1.rss_pages"));
+    EXPECT_FALSE(
+        sys->metrics().series("sys.free_frames").points().empty());
+}
+
+TEST(System, AllocHugeBlockCompactsOnDemand)
+{
+    auto sys = makeSys(MiB(64));
+    // Movable kernel pages scattered: no free order-9 block, but
+    // compaction can manufacture one.
+    std::vector<Pfn> pins;
+    for (Pfn p = 128; p < sys->phys().totalFrames(); p += 512) {
+        auto blk = sys->phys().allocSpecificFrame(p, mem::kKernelOwner);
+        ASSERT_TRUE(blk.has_value());
+        pins.push_back(p);
+    }
+    ASSERT_FALSE(sys->phys().buddy().canAlloc(kHugePageOrder));
+    TimeNs cost = 0;
+    auto blk = sys->allocHugeBlock(1, mem::ZeroPref::kAny, true,
+                                   &cost);
+    EXPECT_TRUE(blk.has_value());
+    EXPECT_GT(cost, 0);
+}
+
+TEST(System, AllocHugeBlockFailsAgainstUnmovablePins)
+{
+    auto sys = makeSys(MiB(64));
+    sys->fragmentMemory(1.0);
+    TimeNs cost = 0;
+    auto blk = sys->allocHugeBlock(1, mem::ZeroPref::kAny, true,
+                                   &cost);
+    EXPECT_FALSE(blk.has_value());
+}
+
+TEST(System, PageMovedFixesProcessMappings)
+{
+    auto sys = makeSys(MiB(64));
+    auto &proc = sys->addProcess("w", idleStream(MiB(16)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    // Map base pages away from the zero page's (unmovable) region so
+    // their region is a compaction candidate.
+    for (unsigned i = 0; i < 8; i++) {
+        auto blk = sys->phys().allocSpecificFrame(
+            kPagesPerHuge + i * 17, proc.pid());
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    // Force migrations until some process page moves.
+    bool moved = false;
+    for (int i = 0; i < 32 && !moved; i++) {
+        auto res = sys->compactor().compactOne(*sys);
+        if (!res.success)
+            break;
+        for (unsigned j = 0; j < 8; j++) {
+            auto t = proc.space().pageTable().lookup(
+                addrToVpn(base) + j);
+            ASSERT_TRUE(t.present);
+            const mem::Frame &f = sys->phys().frame(t.pfn);
+            ASSERT_EQ(f.ownerPid, proc.pid());
+            ASSERT_EQ(f.rmapVpn, addrToVpn(base) + j);
+            moved = true;
+        }
+    }
+    EXPECT_TRUE(moved);
+}
+
+TEST(System, SwapReclaimEvictsColdPages)
+{
+    auto sys = makeSys(MiB(64));
+    sys->enableSwap(true);
+    auto &proc = sys->addProcess("w", idleStream(MiB(32)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    for (unsigned i = 0; i < 2048; i++) {
+        auto blk = sys->phys().allocBlock(0, proc.pid(),
+                                          mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    TimeNs cost = 0;
+    const std::uint64_t freed = sys->reclaimPages(256, &cost);
+    // Second chance: mapBasePage sets accessed, first sweep clears,
+    // later sweeps evict.
+    EXPECT_GT(freed, 0u);
+    EXPECT_GT(cost, 0);
+    EXPECT_EQ(sys->swappedPages(), freed);
+    EXPECT_LT(proc.space().rssPages(), 2048u);
+}
+
+TEST(System, SwapInChargedOnRefault)
+{
+    auto sys = makeSys(MiB(64));
+    sys->enableSwap(true);
+    auto &proc = sys->addProcess("w", idleStream(MiB(32)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    for (unsigned i = 0; i < 1024; i++) {
+        auto blk = sys->phys().allocBlock(0, proc.pid(),
+                                          mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    TimeNs cost = 0;
+    ASSERT_GT(sys->reclaimPages(128, &cost), 0u);
+    // Find a swapped-out page (unmapped now) and refault it.
+    Vpn victim = 0;
+    for (unsigned i = 0; i < 1024; i++) {
+        if (!proc.space().pageTable().lookup(addrToVpn(base) + i)
+                 .present) {
+            victim = addrToVpn(base) + i;
+            break;
+        }
+    }
+    ASSERT_NE(victim, 0u);
+    auto out = sys->policy().onFault(*sys, proc, victim);
+    EXPECT_GE(out.latency,
+              sys->swap().config().readLatency);
+}
+
+TEST(System, OomWithoutSwapKillsProcess)
+{
+    auto sys = makeSys(MiB(8));
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(32); // 4x physical memory
+    lc.freeEachIteration = false;
+    auto &proc = sys->addProcess(
+        "t", std::make_unique<workload::LinearTouchWorkload>(
+                 "t", lc, Rng(1)));
+    sys->run(sec(30));
+    EXPECT_TRUE(proc.oomKilled());
+    EXPECT_FALSE(sys->metrics().events().empty());
+}
+
+TEST(System, ProcessExitReleasesMemory)
+{
+    auto sys = makeSys();
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(32);
+    wc.workSeconds = 0.5;
+    sys->addProcess("w",
+                    std::make_unique<workload::StreamWorkload>(
+                        "w", wc, Rng(1)));
+    sys->runUntilAllDone(sec(60));
+    // Everything back except the canonical zero page.
+    EXPECT_EQ(sys->phys().usedFrames(), 1u);
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * TLB hierarchy and page-walk model tests: the hardware behaviours
+ * the paper's argument rests on (huge pages cut misses and walk
+ * latency, sequential streams hide walk latency, nested translation
+ * amplifies it).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "tlb/tlb.hh"
+#include "vm/page_table.hh"
+
+using namespace hawksim;
+using tlb::AccessSample;
+using tlb::SetAssocTlb;
+using tlb::TlbConfig;
+using tlb::TlbModel;
+
+TEST(SetAssocTlb, HitAfterInsert)
+{
+    SetAssocTlb t(64, 4);
+    EXPECT_FALSE(t.lookup(42));
+    t.insert(42);
+    EXPECT_TRUE(t.lookup(42));
+    t.flush();
+    EXPECT_FALSE(t.lookup(42));
+}
+
+TEST(SetAssocTlb, LruEvictsOldest)
+{
+    SetAssocTlb t(4, 4); // one set, 4 ways
+    for (std::uint64_t k = 0; k < 4; k++)
+        t.insert(k);
+    t.lookup(0); // refresh 0
+    t.insert(99); // evicts key 1 (oldest untouched)
+    EXPECT_TRUE(t.lookup(0));
+    EXPECT_TRUE(t.lookup(99));
+    int present = 0;
+    for (std::uint64_t k = 1; k < 4; k++)
+        present += t.lookup(k) ? 1 : 0;
+    EXPECT_EQ(present, 2);
+}
+
+TEST(SetAssocTlb, CapacityBoundsResidency)
+{
+    SetAssocTlb t(64, 4);
+    for (std::uint64_t k = 0; k < 1000; k++)
+        t.insert(k);
+    int hits = 0;
+    for (std::uint64_t k = 0; k < 1000; k++)
+        hits += t.lookup(k) ? 1 : 0;
+    EXPECT_LE(hits, 64 + 64); // at most capacity (plus re-inserts)
+}
+
+namespace {
+
+/** Map n base pages (or n/512 huge regions) and return the table. */
+void
+mapRange(vm::PageTable &pt, std::uint64_t pages, bool huge)
+{
+    if (huge) {
+        for (std::uint64_t r = 0; r * 512 < pages; r++)
+            pt.mapHuge(r << 9, r << 9);
+    } else {
+        for (Vpn v = 0; v < pages; v++)
+            pt.mapBase(v, v);
+    }
+}
+
+/** Simulate n uniform random accesses over the mapped range. */
+tlb::TlbBatchResult
+randomAccesses(TlbModel &model, vm::PageTable &pt,
+               std::uint64_t pages, int n, double seq = 0.0,
+               std::uint64_t seed = 9)
+{
+    Rng rng(seed);
+    std::vector<AccessSample> batch;
+    batch.reserve(n);
+    for (int i = 0; i < n; i++)
+        batch.push_back({rng.below(pages), false});
+    return model.simulate(pt, batch, seq);
+}
+
+} // namespace
+
+TEST(TlbModel, HugePagesCutMissesForLargeFootprints)
+{
+    vm::PageTable pt4k, pt2m;
+    constexpr std::uint64_t kPages = 512 * 1024; // 2GB footprint
+    mapRange(pt4k, kPages, false);
+    mapRange(pt2m, kPages, true);
+    TlbModel m4k, m2m;
+    auto r4k = randomAccesses(m4k, pt4k, kPages, 20000);
+    auto r2m = randomAccesses(m2m, pt2m, kPages, 20000);
+    EXPECT_GT(r4k.misses, r2m.misses * 2);
+    EXPECT_GT(r4k.walkCycles, r2m.walkCycles * 5);
+}
+
+TEST(TlbModel, SmallFootprintFitsInTlb)
+{
+    vm::PageTable pt;
+    mapRange(pt, 32, false); // 32 pages fit in the 64-entry L1
+    TlbModel m;
+    randomAccesses(m, pt, 32, 2000); // warm
+    auto r = randomAccesses(m, pt, 32, 2000);
+    EXPECT_LT(static_cast<double>(r.misses) / r.accesses, 0.01);
+}
+
+TEST(TlbModel, SequentialOverlapHidesWalkLatency)
+{
+    // Same access pattern; only the declared sequentiality differs.
+    auto run = [](double seq) {
+        vm::PageTable pt;
+        mapRange(pt, 1 << 18, false);
+        TlbModel m;
+        std::vector<AccessSample> batch;
+        for (Vpn v = 0; v < (1 << 15); v++)
+            batch.push_back({v * 8 % (1 << 18), false});
+        return m.simulate(pt, batch, seq).walkCycles;
+    };
+    EXPECT_LT(run(1.0), run(0.0) / 3);
+}
+
+TEST(TlbModel, NestedTranslationAmplifiesWalks)
+{
+    auto run = [](bool nested) {
+        vm::PageTable pt;
+        mapRange(pt, 1 << 18, false);
+        TlbConfig cfg = nested ? TlbConfig::haswellVirtualized()
+                               : TlbConfig::haswell();
+        TlbModel m(cfg);
+        return randomAccesses(m, pt, 1 << 18, 20000).walkCycles;
+    };
+    const Cycles native = run(false);
+    const Cycles virt = run(true);
+    EXPECT_GT(virt, native * 2);
+    EXPECT_LT(virt, native * 5);
+}
+
+TEST(TlbModel, CountersImplementTable4Formula)
+{
+    vm::PageTable pt;
+    mapRange(pt, 1 << 16, false);
+    TlbModel m;
+    Rng rng(3);
+    std::vector<AccessSample> batch;
+    for (int i = 0; i < 5000; i++)
+        batch.push_back({rng.below(1 << 16), i % 3 == 0});
+    m.simulate(pt, batch, 0.0);
+    m.counters().cpuClkUnhalted = m.counters().walkCycles() * 4;
+    EXPECT_NEAR(m.counters().mmuOverheadPct(), 25.0, 0.01);
+    EXPECT_GT(m.counters().dtlbLoadWalkCycles, 0u);
+    EXPECT_GT(m.counters().dtlbStoreWalkCycles, 0u);
+}
+
+TEST(TlbModel, SimulateSetsAccessedBits)
+{
+    vm::PageTable pt;
+    mapRange(pt, 1024, false);
+    TlbModel m;
+    std::vector<AccessSample> batch = {{5, false}, {700, true}};
+    m.simulate(pt, batch, 0.0);
+    EXPECT_TRUE(pt.lookup(5).entry.accessed());
+    EXPECT_TRUE(pt.lookup(700).entry.dirty());
+    EXPECT_FALSE(pt.lookup(6).entry.accessed());
+}
+
+TEST(TlbModel, ScalingExtrapolatesCounts)
+{
+    vm::PageTable pt;
+    mapRange(pt, 1 << 16, false);
+    TlbModel m;
+    auto r = randomAccesses(m, pt, 1 << 16, 1000);
+    vm::PageTable pt2;
+    mapRange(pt2, 1 << 16, false);
+    TlbModel m2;
+    Rng rng(9);
+    std::vector<AccessSample> batch;
+    for (int i = 0; i < 1000; i++)
+        batch.push_back({rng.below(1 << 16), false});
+    auto r10 = m2.simulate(pt2, batch, 0.0, 10.0);
+    EXPECT_EQ(r10.accesses, r.accesses * 10);
+    EXPECT_NEAR(static_cast<double>(r10.misses),
+                static_cast<double>(r.misses) * 10.0,
+                static_cast<double>(r.misses));
+}
+
+TEST(TlbModel, FlushDropsTranslations)
+{
+    vm::PageTable pt;
+    mapRange(pt, 64, false);
+    TlbModel m;
+    randomAccesses(m, pt, 64, 1000);
+    const std::uint64_t misses_before = m.counters().tlbMisses;
+    m.flush();
+    randomAccesses(m, pt, 64, 64);
+    EXPECT_GT(m.counters().tlbMisses, misses_before);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * TLB model property tests: monotonicity and invariance properties
+ * that must hold across footprints and access patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "tlb/tlb.hh"
+#include "vm/page_table.hh"
+
+using namespace hawksim;
+using tlb::AccessSample;
+using tlb::TlbModel;
+
+namespace {
+
+struct Tables
+{
+    vm::PageTable pt4k;
+    vm::PageTable pt2m;
+
+    explicit Tables(std::uint64_t pages)
+    {
+        for (Vpn v = 0; v < pages; v++)
+            pt4k.mapBase(v, v);
+        for (std::uint64_t r = 0; r * 512 < pages; r++)
+            pt2m.mapHuge(r << 9, r << 9);
+    }
+};
+
+std::vector<AccessSample>
+uniformBatch(std::uint64_t pages, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<AccessSample> batch;
+    batch.reserve(n);
+    for (int i = 0; i < n; i++)
+        batch.push_back({rng.below(pages), rng.chance(0.3)});
+    return batch;
+}
+
+} // namespace
+
+class TlbFootprint : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(TlbFootprint, HugeNeverWorseThanBase)
+{
+    const std::uint64_t pages = GetParam();
+    Tables s(pages);
+    TlbModel m4k, m2m;
+    const auto batch = uniformBatch(pages, 20000, 11);
+    const auto r4k = m4k.simulate(s.pt4k, batch, 0.0);
+    const auto r2m = m2m.simulate(s.pt2m, batch, 0.0);
+    EXPECT_LE(r2m.misses, r4k.misses + r4k.misses / 10);
+    EXPECT_LE(r2m.walkCycles, r4k.walkCycles);
+}
+
+TEST_P(TlbFootprint, WalkCyclesScaleWithMisses)
+{
+    const std::uint64_t pages = GetParam();
+    Tables s(pages);
+    TlbModel m;
+    const auto r =
+        m.simulate(s.pt4k, uniformBatch(pages, 20000, 13), 0.0);
+    if (r.misses == 0) {
+        EXPECT_LT(r.walkCycles, 20000u * 8);
+        return;
+    }
+    const double per_miss = static_cast<double>(r.walkCycles) /
+                            static_cast<double>(r.misses);
+    EXPECT_GT(per_miss, 4.0);   // at least an L2-hit's worth
+    EXPECT_LT(per_miss, 600.0); // bounded by a full memory walk
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, TlbFootprint,
+                         ::testing::Values(64, 4096, 1 << 15,
+                                           1 << 18, 1 << 20));
+
+TEST(TlbProperties, MissRateMonotonicInFootprint)
+{
+    double prev = -1.0;
+    for (std::uint64_t pages : {64ull, 1ull << 12, 1ull << 16,
+                                1ull << 19}) {
+        Tables s(pages);
+        TlbModel m;
+        m.simulate(s.pt4k, uniformBatch(pages, 8000, 17), 0.0);
+        const auto r =
+            m.simulate(s.pt4k, uniformBatch(pages, 8000, 18), 0.0);
+        const double rate = static_cast<double>(r.misses) /
+                            static_cast<double>(r.accesses);
+        EXPECT_GE(rate, prev - 0.02)
+            << "miss rate should not fall as footprint grows";
+        prev = rate;
+    }
+}
+
+TEST(TlbProperties, SequentialityOnlyDiscountsLatency)
+{
+    // Declared sequentiality must not change hit/miss accounting,
+    // only the charged walk cycles.
+    Tables s(1 << 18);
+    const auto batch = uniformBatch(1 << 18, 10000, 19);
+    TlbModel a, b;
+    const auto ra = a.simulate(s.pt4k, batch, 0.0);
+    const auto rb = b.simulate(s.pt4k, batch, 1.0);
+    EXPECT_EQ(ra.misses, rb.misses);
+    EXPECT_GT(ra.walkCycles, rb.walkCycles * 3);
+}
+
+TEST(TlbProperties, DeterministicAcrossRuns)
+{
+    Tables s(1 << 16);
+    TlbModel a, b;
+    const auto batch = uniformBatch(1 << 16, 5000, 23);
+    const auto ra = a.simulate(s.pt4k, batch, 0.2);
+    const auto rb = b.simulate(s.pt4k, batch, 0.2);
+    EXPECT_EQ(ra.misses, rb.misses);
+    EXPECT_EQ(ra.walkCycles, rb.walkCycles);
+}
+
+TEST(TlbProperties, CountersAccumulateAcrossBatches)
+{
+    Tables s(1 << 16);
+    TlbModel m;
+    const auto b1 = uniformBatch(1 << 16, 3000, 29);
+    const auto b2 = uniformBatch(1 << 16, 3000, 31);
+    const auto r1 = m.simulate(s.pt4k, b1, 0.0);
+    const tlb::PerfCounters snap = m.counters();
+    const auto r2 = m.simulate(s.pt4k, b2, 0.0);
+    EXPECT_EQ(m.counters().tlbMisses, r1.misses + r2.misses);
+    EXPECT_EQ(m.counters().since(snap).tlbMisses, r2.misses);
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * AddressSpace tests: VMAs, madvise semantics (huge-page splitting),
+ * promotion copy semantics, zero-page dedup and COW, RSS accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys.hh"
+#include "vm/address_space.hh"
+
+using namespace hawksim;
+using mem::PageContent;
+using mem::PhysicalMemory;
+using mem::ZeroPref;
+using vm::AddressSpace;
+
+namespace {
+
+struct Fixture
+{
+    Fixture() : pm(MiB(64)), space(1, pm) {}
+    PhysicalMemory pm;
+    AddressSpace space;
+
+    /** Map n base pages at the start of a fresh VMA; returns base. */
+    Addr
+    mapPages(std::uint64_t n, const std::string &name = "a")
+    {
+        const Addr base = space.mmapAnon(n * kPageSize, name);
+        for (std::uint64_t i = 0; i < n; i++) {
+            auto blk = pm.allocBlock(0, 1, ZeroPref::kPreferZero);
+            EXPECT_TRUE(blk.has_value());
+            space.mapBasePage(addrToVpn(base) + i, blk->pfn);
+        }
+        return base;
+    }
+};
+
+} // namespace
+
+TEST(AddressSpace, MmapCreatesAlignedVma)
+{
+    Fixture f;
+    const Addr a = f.space.mmapAnon(MiB(3), "x");
+    const vm::Vma *vma = f.space.findVma(a);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->start % kHugePageSize, 0u);
+    EXPECT_EQ(vma->bytes() % kHugePageSize, 0u);
+    EXPECT_GE(vma->bytes(), MiB(3));
+    EXPECT_EQ(vma->name, "x");
+}
+
+TEST(AddressSpace, VmasDoNotOverlap)
+{
+    Fixture f;
+    const Addr a = f.space.mmapAnon(MiB(2), "a");
+    const Addr b = f.space.mmapAnon(MiB(2), "b");
+    EXPECT_NE(a, b);
+    const vm::Vma *va = f.space.findVma(a);
+    const vm::Vma *vb = f.space.findVma(b);
+    EXPECT_TRUE(va->end <= vb->start || vb->end <= va->start);
+}
+
+TEST(AddressSpace, RssTracksMappedFrames)
+{
+    Fixture f;
+    EXPECT_EQ(f.space.rssPages(), 0u);
+    f.mapPages(10);
+    EXPECT_EQ(f.space.rssPages(), 10u);
+}
+
+TEST(AddressSpace, MadviseFreesRangeAndFrames)
+{
+    Fixture f;
+    const Addr base = f.mapPages(10);
+    const std::uint64_t used_before = f.pm.usedFrames();
+    f.space.madviseDontneed(base, 5 * kPageSize);
+    EXPECT_EQ(f.space.rssPages(), 5u);
+    EXPECT_EQ(f.pm.usedFrames(), used_before - 5);
+    EXPECT_FALSE(
+        f.space.pageTable().lookup(addrToVpn(base)).present);
+    EXPECT_TRUE(
+        f.space.pageTable().lookup(addrToVpn(base) + 5).present);
+}
+
+TEST(AddressSpace, MadvisePartialHugeBreaksMapping)
+{
+    Fixture f;
+    const Addr base = f.space.mmapAnon(kHugePageSize, "h");
+    auto blk = f.pm.allocBlock(kHugePageOrder, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    const std::uint64_t region = base / kHugePageSize;
+    f.space.mapHugeRegion(region, blk->pfn);
+    EXPECT_EQ(f.space.rssPages(), 512u);
+    // Free the first 64 base pages only: the kernel demotes the huge
+    // mapping and frees just the covered range (§2.1's madvise).
+    f.space.madviseDontneed(base, 64 * kPageSize);
+    EXPECT_FALSE(f.space.pageTable().isHuge(region));
+    EXPECT_EQ(f.space.pageTable().population(region), 512u - 64u);
+    EXPECT_EQ(f.space.rssPages(), 512u - 64u);
+}
+
+TEST(AddressSpace, MadviseFullHugeFreesWholeBlock)
+{
+    Fixture f;
+    const Addr base = f.space.mmapAnon(kHugePageSize, "h");
+    auto blk = f.pm.allocBlock(kHugePageOrder, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    f.space.mapHugeRegion(base / kHugePageSize, blk->pfn);
+    const std::uint64_t used_before = f.pm.usedFrames();
+    f.space.madviseDontneed(base, kHugePageSize);
+    EXPECT_EQ(f.pm.usedFrames(), used_before - 512);
+    EXPECT_EQ(f.space.rssPages(), 0u);
+}
+
+TEST(AddressSpace, PromoteRegionCopiesContentAndFreesOldFrames)
+{
+    Fixture f;
+    const Addr base = f.space.mmapAnon(kHugePageSize, "p");
+    const Vpn base_vpn = addrToVpn(base);
+    // Map 3 scattered pages with distinct content.
+    for (unsigned i : {0u, 100u, 511u}) {
+        auto blk = f.pm.allocBlock(0, 1, ZeroPref::kPreferZero);
+        ASSERT_TRUE(blk.has_value());
+        PageContent c;
+        c.hash = 1000 + i;
+        c.firstNonZero = 0;
+        f.pm.writeFrame(blk->pfn, c);
+        f.space.mapBasePage(base_vpn + i, blk->pfn);
+    }
+    auto huge = f.pm.allocBlock(kHugePageOrder, 1, ZeroPref::kAny);
+    ASSERT_TRUE(huge.has_value());
+    const std::uint64_t copied =
+        f.space.promoteRegion(base / kHugePageSize, huge->pfn);
+    EXPECT_EQ(copied, 3u);
+    EXPECT_TRUE(f.space.pageTable().isHuge(base / kHugePageSize));
+    // Content moved to the natural slots of the new block.
+    EXPECT_EQ(f.pm.frame(huge->pfn + 100).content.hash, 1100u);
+    // Unbacked slots read as zero.
+    EXPECT_TRUE(f.pm.frame(huge->pfn + 7).content.isZero());
+    EXPECT_EQ(f.space.rssPages(), 512u);
+}
+
+TEST(AddressSpace, PromoteInPlaceKeepsFrames)
+{
+    Fixture f;
+    const Addr base = f.space.mmapAnon(kHugePageSize, "r");
+    auto blk = f.pm.allocBlock(kHugePageOrder, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    const Vpn base_vpn = addrToVpn(base);
+    for (unsigned i = 0; i < 512; i++)
+        f.space.mapBasePage(base_vpn + i, blk->pfn + i);
+    const std::uint64_t used = f.pm.usedFrames();
+    f.space.promoteInPlace(base / kHugePageSize);
+    EXPECT_TRUE(f.space.pageTable().isHuge(base / kHugePageSize));
+    EXPECT_EQ(f.pm.usedFrames(), used); // nothing allocated or freed
+    EXPECT_EQ(f.space.pageTable().lookup(base_vpn + 9).pfn,
+              blk->pfn + 9);
+}
+
+TEST(AddressSpace, DemoteRegionKeepsRss)
+{
+    Fixture f;
+    const Addr base = f.space.mmapAnon(kHugePageSize, "d");
+    auto blk = f.pm.allocBlock(kHugePageOrder, 1, ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    f.space.mapHugeRegion(base / kHugePageSize, blk->pfn);
+    f.space.demoteRegion(base / kHugePageSize);
+    EXPECT_EQ(f.space.rssPages(), 512u);
+    EXPECT_FALSE(f.space.pageTable().isHuge(base / kHugePageSize));
+    EXPECT_EQ(f.space.pageTable().population(base / kHugePageSize),
+              512u);
+}
+
+TEST(AddressSpace, ZeroDedupAndCowBreak)
+{
+    Fixture f;
+    const Addr base = f.mapPages(1);
+    const Vpn vpn = addrToVpn(base);
+    const std::uint64_t used_before = f.pm.usedFrames();
+    f.space.dedupZeroPage(vpn);
+    EXPECT_EQ(f.pm.usedFrames(), used_before - 1);
+    EXPECT_EQ(f.space.rssPages(), 0u);
+    auto t = f.space.pageTable().lookup(vpn);
+    ASSERT_TRUE(t.present);
+    EXPECT_TRUE(t.entry.cow());
+    EXPECT_TRUE(t.entry.zeroPage());
+    EXPECT_EQ(t.pfn, f.pm.zeroPagePfn());
+    // Writing triggers COW: a fresh private frame appears.
+    f.space.breakCow(vpn);
+    t = f.space.pageTable().lookup(vpn);
+    EXPECT_FALSE(t.entry.cow());
+    EXPECT_NE(t.pfn, f.pm.zeroPagePfn());
+    EXPECT_EQ(f.space.rssPages(), 1u);
+    EXPECT_EQ(f.pm.usedFrames(), used_before);
+}
+
+TEST(AddressSpace, SharePageMergesFrames)
+{
+    Fixture f;
+    const Addr base = f.mapPages(2);
+    const Vpn v0 = addrToVpn(base), v1 = v0 + 1;
+    const Pfn canonical = f.space.pageTable().lookup(v0).pfn;
+    const std::uint64_t used_before = f.pm.usedFrames();
+    f.space.sharePage(v1, canonical);
+    EXPECT_EQ(f.pm.usedFrames(), used_before - 1);
+    EXPECT_EQ(f.space.pageTable().lookup(v1).pfn, canonical);
+    EXPECT_TRUE(f.space.pageTable().lookup(v1).entry.cow());
+    EXPECT_TRUE(f.pm.frame(canonical).isShared());
+    EXPECT_EQ(f.pm.frame(canonical).mapCount, 2u);
+}
+
+TEST(AddressSpace, MunmapReleasesEverything)
+{
+    Fixture f;
+    const Addr base = f.mapPages(20, "gone");
+    f.space.munmap(base);
+    EXPECT_EQ(f.space.rssPages(), 0u);
+    EXPECT_EQ(f.space.findVma(base), nullptr);
+    EXPECT_EQ(f.pm.usedFrames(), 1u); // only the canonical zero page
+}
+
+TEST(AddressSpace, ForEachEligibleRegionSkipsIneligible)
+{
+    Fixture f;
+    f.space.mmapAnon(4 * kHugePageSize, "thp", true);
+    f.space.mmapAnon(4 * kHugePageSize, "nothp", false);
+    unsigned count = 0;
+    f.space.forEachEligibleRegion([&](std::uint64_t) { count++; });
+    EXPECT_EQ(count, 4u);
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Four-level page table tests: mapping, huge leaves, promotion and
+ * demotion surgery, access bits, and counter invariants under random
+ * operation sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/rng.hh"
+#include "vm/page_table.hh"
+
+using namespace hawksim;
+using vm::PageTable;
+using vm::Pte;
+
+TEST(PageTable, MapLookupUnmapBase)
+{
+    PageTable pt;
+    pt.mapBase(0x12345, 777);
+    auto t = pt.lookup(0x12345);
+    ASSERT_TRUE(t.present);
+    EXPECT_FALSE(t.huge);
+    EXPECT_EQ(t.pfn, 777u);
+    EXPECT_EQ(pt.mappedBasePages(), 1u);
+    EXPECT_FALSE(pt.lookup(0x12346).present);
+    const Pte old = pt.unmapBase(0x12345);
+    EXPECT_EQ(old.pfn(), 777u);
+    EXPECT_FALSE(pt.lookup(0x12345).present);
+    EXPECT_EQ(pt.mappedBasePages(), 0u);
+}
+
+TEST(PageTable, HugeMappingCoversRegion)
+{
+    PageTable pt;
+    const Vpn base = 0x200; // region 1
+    pt.mapHuge(base, 512);
+    for (unsigned i = 0; i < 512; i += 37) {
+        auto t = pt.lookup(base + i);
+        ASSERT_TRUE(t.present);
+        EXPECT_TRUE(t.huge);
+        EXPECT_EQ(t.pfn, 512u + i);
+    }
+    EXPECT_EQ(pt.mappedHugePages(), 1u);
+    EXPECT_EQ(pt.mappedPages(), 512u);
+    EXPECT_TRUE(pt.isHuge(1));
+    EXPECT_EQ(pt.population(1), 512u);
+    pt.unmapHuge(base);
+    EXPECT_FALSE(pt.lookup(base).present);
+}
+
+TEST(PageTable, PromoteAggregatesAndReturnsOldPtes)
+{
+    PageTable pt;
+    const Vpn base = 3 << 9;
+    pt.mapBase(base + 1, 100);
+    pt.mapBase(base + 5, 200, vm::kPtePresent | vm::kPteDirty);
+    auto old = pt.promote(base, 4096);
+    ASSERT_EQ(old.size(), 2u);
+    EXPECT_EQ(old[0].first, base + 1);
+    EXPECT_EQ(old[0].second.pfn(), 100u);
+    EXPECT_EQ(old[1].second.pfn(), 200u);
+    auto t = pt.lookup(base + 5);
+    ASSERT_TRUE(t.present && t.huge);
+    EXPECT_EQ(t.pfn, 4096u + 5);
+    EXPECT_TRUE(t.entry.dirty()); // aggregated from old PTEs
+    EXPECT_EQ(pt.mappedBasePages(), 0u);
+    EXPECT_EQ(pt.mappedHugePages(), 1u);
+}
+
+TEST(PageTable, DemoteSplitsIntoContiguousBasePages)
+{
+    PageTable pt;
+    const Vpn base = 7 << 9;
+    pt.mapHuge(base, 8192);
+    pt.demote(base);
+    EXPECT_FALSE(pt.isHuge(7));
+    EXPECT_EQ(pt.population(7), 512u);
+    EXPECT_EQ(pt.mappedBasePages(), 512u);
+    EXPECT_EQ(pt.mappedHugePages(), 0u);
+    for (unsigned i = 0; i < 512; i += 61) {
+        auto t = pt.lookup(base + i);
+        ASSERT_TRUE(t.present);
+        EXPECT_FALSE(t.huge);
+        EXPECT_EQ(t.pfn, 8192u + i);
+    }
+}
+
+TEST(PageTable, PromoteThenDemoteRoundTrips)
+{
+    PageTable pt;
+    const Vpn base = 2 << 9;
+    for (unsigned i = 0; i < 512; i++)
+        pt.mapBase(base + i, 1000 + i);
+    pt.promote(base, 5120);
+    pt.demote(base);
+    EXPECT_EQ(pt.population(2), 512u);
+    EXPECT_EQ(pt.lookup(base + 9).pfn, 5120u + 9);
+}
+
+TEST(PageTable, TouchSetsAccessedAndDirty)
+{
+    PageTable pt;
+    pt.mapBase(10, 1);
+    EXPECT_TRUE(pt.touch(10, false));
+    EXPECT_TRUE(pt.lookup(10).entry.accessed());
+    EXPECT_FALSE(pt.lookup(10).entry.dirty());
+    EXPECT_TRUE(pt.touch(10, true));
+    EXPECT_TRUE(pt.lookup(10).entry.dirty());
+    EXPECT_FALSE(pt.touch(11, false)); // unmapped
+}
+
+TEST(PageTable, AccessBitSamplingPerRegion)
+{
+    PageTable pt;
+    const Vpn base = 4 << 9;
+    for (unsigned i = 0; i < 100; i++)
+        pt.mapBase(base + i, i);
+    for (unsigned i = 0; i < 30; i++)
+        pt.touch(base + i, false);
+    // mapBase installs clean entries; only touched pages count.
+    EXPECT_EQ(pt.accessedCount(4), 30u);
+    pt.clearAccessed(4);
+    EXPECT_EQ(pt.accessedCount(4), 0u);
+    pt.touch(base + 42, false);
+    EXPECT_EQ(pt.accessedCount(4), 1u);
+}
+
+TEST(PageTable, HugeAccessBitCountsWholeRegion)
+{
+    PageTable pt;
+    const Vpn base = 9 << 9;
+    pt.mapHuge(base, 512);
+    EXPECT_EQ(pt.accessedCount(9), 0u);
+    pt.touch(base + 77, false);
+    EXPECT_EQ(pt.accessedCount(9), 512u);
+    pt.clearAccessed(9);
+    EXPECT_EQ(pt.accessedCount(9), 0u);
+}
+
+TEST(PageTable, RemapBasePreservesFlags)
+{
+    PageTable pt;
+    pt.mapBase(20, 5, vm::kPtePresent | vm::kPteDirty | vm::kPteCow);
+    pt.remapBase(20, 99);
+    auto t = pt.lookup(20);
+    EXPECT_EQ(t.pfn, 99u);
+    EXPECT_TRUE(t.entry.dirty());
+    EXPECT_TRUE(t.entry.cow());
+}
+
+TEST(PageTable, ForEachLeafVisitsEverything)
+{
+    PageTable pt;
+    pt.mapBase(1, 10);
+    pt.mapBase((1 << 9) + 3, 11);
+    pt.mapHuge(5 << 9, 512);
+    std::set<Vpn> seen;
+    unsigned huge_count = 0;
+    pt.forEachLeaf([&](Vpn vpn, const Pte &, bool huge) {
+        seen.insert(vpn);
+        if (huge)
+            huge_count++;
+    });
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(huge_count, 1u);
+    EXPECT_TRUE(seen.count(1));
+    EXPECT_TRUE(seen.count((1 << 9) + 3));
+    EXPECT_TRUE(seen.count(5 << 9));
+}
+
+TEST(PageTable, SparseHighAddressesWork)
+{
+    PageTable pt;
+    const Vpn high = (200ull << 27) + (37ull << 18) + (11ull << 9) + 3;
+    pt.mapBase(high, 1234);
+    EXPECT_TRUE(pt.lookup(high).present);
+    EXPECT_EQ(pt.mappedBasePages(), 1u);
+}
+
+/** Property: random map/unmap/promote/demote keeps counters honest. */
+class PageTableProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(PageTableProperty, CountersMatchLeafIteration)
+{
+    Rng rng(GetParam());
+    PageTable pt;
+    std::set<Vpn> base_mapped;
+    std::set<std::uint64_t> huge_mapped;
+    for (int step = 0; step < 1500; step++) {
+        const std::uint64_t region = rng.below(32);
+        const Vpn vpn = (region << 9) + rng.below(512);
+        switch (rng.below(4)) {
+          case 0: // map base
+            if (!huge_mapped.count(region) && !base_mapped.count(vpn)) {
+                pt.mapBase(vpn, rng.below(1 << 20));
+                base_mapped.insert(vpn);
+            }
+            break;
+          case 1: // unmap base
+            if (base_mapped.count(vpn)) {
+                pt.unmapBase(vpn);
+                base_mapped.erase(vpn);
+            }
+            break;
+          case 2: // promote
+            if (!huge_mapped.count(region)) {
+                auto old = pt.promote(region << 9, region << 9);
+                for (auto &[v, e] : old)
+                    base_mapped.erase(v);
+                huge_mapped.insert(region);
+            }
+            break;
+          case 3: // demote
+            if (huge_mapped.count(region)) {
+                pt.demote(region << 9);
+                huge_mapped.erase(region);
+                for (unsigned i = 0; i < 512; i++)
+                    base_mapped.insert((region << 9) + i);
+            }
+            break;
+        }
+        ASSERT_EQ(pt.mappedBasePages(), base_mapped.size());
+        ASSERT_EQ(pt.mappedHugePages(), huge_mapped.size());
+    }
+    // Cross-check with full leaf iteration.
+    std::uint64_t base_count = 0, huge_count = 0;
+    pt.forEachLeaf([&](Vpn, const Pte &, bool huge) {
+        (huge ? huge_count : base_count)++;
+    });
+    EXPECT_EQ(base_count, base_mapped.size());
+    EXPECT_EQ(huge_count, huge_mapped.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));

@@ -1,0 +1,54 @@
+/** @file PTE bit-packing unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "vm/pte.hh"
+
+using namespace hawksim;
+using vm::Pte;
+
+TEST(Pte, DefaultIsNotPresent)
+{
+    Pte e;
+    EXPECT_FALSE(e.present());
+    EXPECT_EQ(e.raw(), 0u);
+}
+
+TEST(Pte, MakePacksPfnAndFlags)
+{
+    const Pte e = Pte::make(0x123456, vm::kPtePresent | vm::kPteDirty);
+    EXPECT_EQ(e.pfn(), 0x123456u);
+    EXPECT_TRUE(e.present());
+    EXPECT_TRUE(e.dirty());
+    EXPECT_FALSE(e.huge());
+}
+
+TEST(Pte, FlagsRoundTrip)
+{
+    Pte e = Pte::make(7, vm::kPtePresent);
+    e.setFlag(vm::kPteAccessed);
+    e.setFlag(vm::kPteCow | vm::kPteZero);
+    EXPECT_TRUE(e.accessed());
+    EXPECT_TRUE(e.cow());
+    EXPECT_TRUE(e.zeroPage());
+    e.clearFlag(vm::kPteAccessed);
+    EXPECT_FALSE(e.accessed());
+    EXPECT_TRUE(e.cow());
+    EXPECT_EQ(e.pfn(), 7u); // flags edits never disturb the pfn
+}
+
+TEST(Pte, LargePfnsSurvive)
+{
+    // 40-bit frame numbers (the x86-64 physical range).
+    const Pfn big = (1ull << 39) + 12345;
+    const Pte e = Pte::make(big, vm::kPtePresent | vm::kPteHuge);
+    EXPECT_EQ(e.pfn(), big);
+    EXPECT_TRUE(e.huge());
+}
+
+TEST(Pte, FlagMaskIsolation)
+{
+    // Flags beyond bit 11 must not leak into the pfn field.
+    const Pte e = Pte::make(1, 0xffff);
+    EXPECT_EQ(e.pfn(), 1u);
+}

@@ -1,0 +1,68 @@
+/** @file Table 2 catalogue sanity checks. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/suite.hh"
+
+using namespace hawksim;
+
+TEST(SuiteCatalog, HasSeventyNineApplications)
+{
+    EXPECT_EQ(workload::table2Catalog().size(), 79u);
+}
+
+TEST(SuiteCatalog, PaperSensitiveCountsPerSuite)
+{
+    // Table 2's row counts: total and sensitive per suite.
+    const std::map<std::string, std::pair<int, int>> expected = {
+        {"SPEC-int", {12, 4}}, {"SPEC-fp", {19, 3}},
+        {"PARSEC", {13, 2}},   {"SPLASH-2", {10, 0}},
+        {"Biobench", {9, 2}},  {"NPB", {9, 2}},
+        {"CloudSuite", {7, 2}},
+    };
+    std::map<std::string, std::pair<int, int>> got;
+    for (const auto &app : workload::table2Catalog()) {
+        got[app.suite].first++;
+        if (app.paperSensitive)
+            got[app.suite].second++;
+    }
+    EXPECT_EQ(got, expected);
+}
+
+TEST(SuiteCatalog, NamesUniqueWithinSuite)
+{
+    std::set<std::string> seen;
+    for (const auto &app : workload::table2Catalog())
+        EXPECT_TRUE(seen.insert(app.suite + "/" + app.name).second)
+            << app.suite << "/" << app.name;
+}
+
+TEST(SuiteCatalog, ProfilesAreWellFormed)
+{
+    for (const auto &app : workload::table2Catalog()) {
+        EXPECT_GT(app.config.footprintBytes, 0u) << app.name;
+        EXPECT_GE(app.config.footprintBytes, app.config.wssBytes)
+            << app.name;
+        EXPECT_GT(app.config.accessesPerSec, 0.0) << app.name;
+        EXPECT_GE(app.config.sequentialFraction, 0.0) << app.name;
+        EXPECT_LE(app.config.sequentialFraction, 1.0) << app.name;
+        EXPECT_GT(app.config.workSeconds, 0.0) << app.name;
+    }
+}
+
+TEST(SuiteCatalog, SensitiveProfilesLookSensitive)
+{
+    // Structural expectation: paper-sensitive apps have high access
+    // rates and mostly-random streams; the measured classification
+    // lives in the Table 2 bench.
+    for (const auto &app : workload::table2Catalog()) {
+        if (!app.paperSensitive)
+            continue;
+        EXPECT_GE(app.config.accessesPerSec, 3e6) << app.name;
+        EXPECT_LE(app.config.sequentialFraction, 0.35) << app.name;
+        EXPECT_GE(app.config.wssBytes, 100ull << 20) << app.name;
+    }
+}

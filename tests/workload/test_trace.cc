@@ -1,0 +1,131 @@
+/** @file Trace parser + trace-driven workload tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hawksim.hh"
+#include "workload/trace.hh"
+
+using namespace hawksim;
+using workload::parseTrace;
+using workload::TraceOp;
+using workload::TraceWorkload;
+
+TEST(TraceParser, ParsesAllDirectives)
+{
+    std::istringstream in(R"(# a comment
+alloc heap 4194304
+touch heap 0 16
+write heap 16 4
+access heap 1000 rand
+access heap 500 seq
+access heap 200 zipf:0.8
+free heap 0 8
+compute 250000
+)");
+    const auto ops = parseTrace(in);
+    ASSERT_EQ(ops.size(), 8u);
+    EXPECT_EQ(ops[0].kind, TraceOp::Kind::kAlloc);
+    EXPECT_EQ(ops[0].a, 4194304u);
+    EXPECT_EQ(ops[1].b, 16u);
+    EXPECT_EQ(ops[2].kind, TraceOp::Kind::kWrite);
+    EXPECT_FALSE(ops[3].sequential);
+    EXPECT_TRUE(ops[4].sequential);
+    EXPECT_DOUBLE_EQ(ops[5].zipf, 0.8);
+    EXPECT_EQ(ops[6].kind, TraceOp::Kind::kFree);
+    EXPECT_EQ(ops[7].a, 250000u);
+}
+
+TEST(TraceParser, RepeatUnrollsBlocks)
+{
+    std::istringstream in(R"(alloc a 2097152
+repeat 3
+touch a 0 4
+free a 0 4
+end
+)");
+    const auto ops = parseTrace(in);
+    // alloc + 3 x (touch, free)
+    ASSERT_EQ(ops.size(), 7u);
+    EXPECT_EQ(ops[1].kind, TraceOp::Kind::kTouch);
+    EXPECT_EQ(ops[5].kind, TraceOp::Kind::kTouch);
+    EXPECT_EQ(ops[6].kind, TraceOp::Kind::kFree);
+}
+
+TEST(TraceParser, NestedRepeats)
+{
+    std::istringstream in(R"(alloc a 2097152
+repeat 2
+repeat 2
+compute 10
+end
+end
+)");
+    const auto ops = parseTrace(in);
+    EXPECT_EQ(ops.size(), 1u + 4u);
+}
+
+TEST(TraceWorkload, ReplayDrivesRealMemoryState)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(128);
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    std::istringstream in(R"(alloc heap 16777216
+touch heap 0 4096
+access heap 200000 rand
+free heap 0 2048
+compute 1000000
+)");
+    auto &proc = sys.addProcess(
+        "trace", TraceWorkload::fromStream("trace", in, Rng(3)));
+    sys.runUntilAllDone(sec(60));
+    ASSERT_TRUE(proc.finished());
+    // 4096 pages touched, 2048 freed.
+    EXPECT_EQ(proc.space().rssPages(), 0u); // released at exit
+    EXPECT_GT(proc.pageFaults(), 0u);
+    EXPECT_GT(proc.counters().tlbAccesses, 100000u);
+}
+
+TEST(TraceWorkload, ChurnLoopInteractsWithPolicies)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(128);
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
+    std::istringstream in(R"(alloc heap 33554432
+repeat 4
+touch heap 0 8192
+free heap 0 8192
+end
+)");
+    auto &proc = sys.addProcess(
+        "churn", TraceWorkload::fromStream("churn", in, Rng(5)));
+    sys.runUntilAllDone(sec(120));
+    ASSERT_TRUE(proc.finished());
+    // Huge-at-fault: 8192 pages = 16 regions per iteration.
+    EXPECT_EQ(proc.pageFaults(), 4u * 16u);
+    EXPECT_EQ(sys.phys().usedFrames(), 1u);
+}
+
+TEST(TraceWorkload, MidTraceStateIsQueryable)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(128);
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>(
+        policy::LinuxConfig{.thp = false}));
+    std::istringstream in(R"(alloc heap 8388608
+touch heap 0 2048
+compute 30000000000
+)");
+    auto &proc = sys.addProcess(
+        "t", TraceWorkload::fromStream("t", in, Rng(7)));
+    sys.run(sec(5)); // inside the 30s compute op
+    EXPECT_FALSE(proc.finished());
+    EXPECT_EQ(proc.space().rssPages(), 2048u);
+}

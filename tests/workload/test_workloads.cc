@@ -1,0 +1,211 @@
+/** @file Workload model tests: chunk structure, phases, presets. */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+struct WlFixture
+{
+    explicit WlFixture(std::uint64_t mem = MiB(256))
+    {
+        setLogQuiet(true);
+        sim::SystemConfig cfg;
+        cfg.memoryBytes = mem;
+        sys = std::make_unique<sim::System>(cfg);
+        sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    }
+    std::unique_ptr<sim::System> sys;
+};
+
+} // namespace
+
+TEST(StreamWorkload, InitPhaseTouchesWholeFootprint)
+{
+    WlFixture f;
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(16);
+    wc.workSeconds = 10.0; // still running when we check
+    auto &proc = f.sys->addProcess(
+        "s", std::make_unique<workload::StreamWorkload>("s", wc,
+                                                        Rng(1)));
+    f.sys->run(sec(2));
+    ASSERT_FALSE(proc.finished());
+    EXPECT_EQ(proc.space().mappedPages(), MiB(16) / kPageSize);
+}
+
+TEST(StreamWorkload, FinishesAfterWorkSeconds)
+{
+    WlFixture f;
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(8);
+    wc.workSeconds = 1.0;
+    wc.accessesPerSec = 1e5; // negligible overhead
+    auto &proc = f.sys->addProcess(
+        "s", std::make_unique<workload::StreamWorkload>("s", wc,
+                                                        Rng(1)));
+    f.sys->runUntilAllDone(sec(60));
+    ASSERT_TRUE(proc.finished());
+    // Runtime ~= workSeconds + init/fault overheads (small here).
+    EXPECT_GE(proc.runtime(), sec(1));
+    EXPECT_LE(proc.runtime(), sec(3));
+}
+
+TEST(StreamWorkload, CoverageRestrictionLimitsPagesPerRegion)
+{
+    WlFixture f;
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(8);
+    wc.coveragePages = 8;
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    workload::StreamWorkload wl("s", wc, Rng(1));
+    auto &proc = f.sys->addProcess(
+        "s", std::make_unique<workload::StreamWorkload>("s", wc,
+                                                        Rng(1)));
+    auto *stream = static_cast<workload::StreamWorkload *>(
+        &proc.workload());
+    auto chunk = stream->next(proc, msec(10));
+    for (const auto &s : chunk.sample)
+        EXPECT_LT(s.vpn & 511, 8u);
+    for (Vpn v : chunk.touches)
+        EXPECT_LT(v & 511, 8u);
+}
+
+TEST(LinearTouch, FaultCountMatchesPages)
+{
+    WlFixture f;
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(8);
+    lc.iterations = 3;
+    auto &proc = f.sys->addProcess(
+        "t", std::make_unique<workload::LinearTouchWorkload>(
+                 "t", lc, Rng(1)));
+    f.sys->runUntilAllDone(sec(300));
+    ASSERT_TRUE(proc.finished());
+    auto *wl = static_cast<workload::LinearTouchWorkload *>(
+        &proc.workload());
+    EXPECT_EQ(wl->touchesDone(), 3 * MiB(8) / kPageSize);
+    // Each iteration frees, so the last iteration leaves nothing:
+    EXPECT_EQ(proc.space().rssPages(), 0u);
+}
+
+TEST(LinearTouch, HugePagesCutFaultsByFiveHundred)
+{
+    // The Table 1 effect: THP cuts page faults by ~512x for
+    // sequential touch patterns.
+    auto run = [](bool thp) {
+        WlFixture f;
+        policy::LinuxConfig c;
+        c.thp = thp;
+        f.sys->setPolicy(
+            std::make_unique<policy::LinuxThpPolicy>(c));
+        workload::LinearTouchConfig lc;
+        lc.bytes = MiB(64);
+        auto &proc = f.sys->addProcess(
+            "t", std::make_unique<workload::LinearTouchWorkload>(
+                     "t", lc, Rng(1)));
+        f.sys->runUntilAllDone(sec(300));
+        return proc.pageFaults();
+    };
+    const std::uint64_t f4k = run(false);
+    const std::uint64_t f2m = run(true);
+    EXPECT_EQ(f4k, MiB(64) / kPageSize);
+    EXPECT_EQ(f2m, MiB(64) / kHugePageSize);
+}
+
+TEST(KvStore, InsertDeleteServeLifecycle)
+{
+    WlFixture f;
+    workload::KvConfig kc;
+    kc.arenaBytes = MiB(64);
+    workload::KvPhase ins;
+    ins.type = workload::KvPhase::Type::kInsert;
+    ins.count = 4000;
+    ins.valueBytes = 4096;
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.5;
+    workload::KvPhase serve;
+    serve.type = workload::KvPhase::Type::kServe;
+    serve.durationSec = 0.5;
+    serve.opsPerSec = 1000;
+    kc.phases = {ins, del, serve};
+    auto &proc = f.sys->addProcess(
+        "kv", std::make_unique<workload::KeyValueStoreWorkload>(
+                  "kv", kc, Rng(1)));
+    auto *kv = static_cast<workload::KeyValueStoreWorkload *>(
+        &proc.workload());
+    f.sys->runUntilAllDone(sec(120));
+    ASSERT_TRUE(proc.finished());
+    EXPECT_EQ(kv->liveValues(), 2000u);
+    EXPECT_GT(proc.opsCompleted(), 4000u);
+}
+
+TEST(KvStore, DeleteReleasesMemoryViaMadvise)
+{
+    WlFixture f;
+    workload::KvConfig kc;
+    kc.arenaBytes = MiB(64);
+    workload::KvPhase ins;
+    ins.type = workload::KvPhase::Type::kInsert;
+    ins.count = 8000;
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 0.8;
+    workload::KvPhase hold;
+    hold.type = workload::KvPhase::Type::kPause;
+    hold.durationSec = 1e9; // keep running
+    kc.phases = {ins, del, hold};
+    policy::LinuxConfig lc;
+    lc.thp = false; // base pages: frees return 1:1
+    f.sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>(lc));
+    auto &proc = f.sys->addProcess(
+        "kv", std::make_unique<workload::KeyValueStoreWorkload>(
+                  "kv", kc, Rng(1)));
+    f.sys->run(sec(20));
+    // 80% deleted: RSS reflects the survivors (plus rounding).
+    EXPECT_LT(proc.space().rssPages(), 8000u * 3 / 10);
+    EXPECT_GT(proc.space().rssPages(), 1000u);
+}
+
+TEST(KvStore, SmallValueSlotsAreReused)
+{
+    WlFixture f;
+    workload::KvConfig kc;
+    kc.arenaBytes = MiB(64);
+    workload::KvPhase ins;
+    ins.type = workload::KvPhase::Type::kInsert;
+    ins.count = 2000;
+    workload::KvPhase del;
+    del.type = workload::KvPhase::Type::kDelete;
+    del.fraction = 1.0;
+    workload::KvPhase ins2 = ins;
+    kc.phases = {ins, del, ins2};
+    auto &proc = f.sys->addProcess(
+        "kv", std::make_unique<workload::KeyValueStoreWorkload>(
+                  "kv", kc, Rng(1)));
+    f.sys->runUntilAllDone(sec(120));
+    // Reinsertion reused the freed slots: footprint did not double.
+    EXPECT_LT(proc.space().mappedPages(), 2500u);
+}
+
+TEST(Presets, FactoriesProduceRunnableWorkloads)
+{
+    for (const char *which : {"cg", "mg", "bt", "sp", "lu", "ua",
+                              "ft"}) {
+        auto wl = workload::makeNpb(which, Rng(1),
+                                    workload::Scale{64}, 1.0);
+        ASSERT_NE(wl, nullptr);
+        EXPECT_EQ(wl->name(), std::string(which) + ".D");
+        EXPECT_GT(wl->config().footprintBytes, 0u);
+    }
+    EXPECT_EQ(workload::makeGraph500(Rng(1))->name(), "Graph500");
+    EXPECT_EQ(workload::makeXSBench(Rng(1))->name(), "XSBench");
+    // Graph500's hot zone sits in the upper VA range (Fig. 6).
+    EXPECT_GE(workload::makeGraph500(Rng(1))->config().hotStart,
+              0.5);
+}

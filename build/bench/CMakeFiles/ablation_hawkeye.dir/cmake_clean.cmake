@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hawkeye.dir/ablation_hawkeye.cc.o"
+  "CMakeFiles/ablation_hawkeye.dir/ablation_hawkeye.cc.o.d"
+  "ablation_hawkeye"
+  "ablation_hawkeye.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hawkeye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

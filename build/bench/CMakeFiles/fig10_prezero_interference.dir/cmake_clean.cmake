@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_prezero_interference.dir/fig10_prezero_interference.cc.o"
+  "CMakeFiles/fig10_prezero_interference.dir/fig10_prezero_interference.cc.o.d"
+  "fig10_prezero_interference"
+  "fig10_prezero_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prezero_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overcommit.dir/fig11_overcommit.cc.o"
+  "CMakeFiles/fig11_overcommit.dir/fig11_overcommit.cc.o.d"
+  "fig11_overcommit"
+  "fig11_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_redis_rss.dir/fig1_redis_rss.cc.o"
+  "CMakeFiles/fig1_redis_rss.dir/fig1_redis_rss.cc.o.d"
+  "fig1_redis_rss"
+  "fig1_redis_rss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_redis_rss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

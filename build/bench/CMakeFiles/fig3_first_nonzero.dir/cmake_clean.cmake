@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_first_nonzero.dir/fig3_first_nonzero.cc.o"
+  "CMakeFiles/fig3_first_nonzero.dir/fig3_first_nonzero.cc.o.d"
+  "fig3_first_nonzero"
+  "fig3_first_nonzero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_first_nonzero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_first_nonzero.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_first_nonzero.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_promotion_efficiency.dir/fig5_promotion_efficiency.cc.o"
+  "CMakeFiles/fig5_promotion_efficiency.dir/fig5_promotion_efficiency.cc.o.d"
+  "fig5_promotion_efficiency"
+  "fig5_promotion_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_promotion_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_promotion_timeline.dir/fig6_promotion_timeline.cc.o"
+  "CMakeFiles/fig6_promotion_timeline.dir/fig6_promotion_timeline.cc.o.d"
+  "fig6_promotion_timeline"
+  "fig6_promotion_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_promotion_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_table5_identical.dir/fig7_table5_identical.cc.o"
+  "CMakeFiles/fig7_table5_identical.dir/fig7_table5_identical.cc.o.d"
+  "fig7_table5_identical"
+  "fig7_table5_identical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_table5_identical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

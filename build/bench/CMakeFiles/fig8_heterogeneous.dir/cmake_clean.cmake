@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_heterogeneous.dir/fig8_heterogeneous.cc.o"
+  "CMakeFiles/fig8_heterogeneous.dir/fig8_heterogeneous.cc.o.d"
+  "fig8_heterogeneous"
+  "fig8_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

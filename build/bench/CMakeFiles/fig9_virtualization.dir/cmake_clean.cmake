@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_virtualization.dir/fig9_virtualization.cc.o"
+  "CMakeFiles/fig9_virtualization.dir/fig9_virtualization.cc.o.d"
+  "fig9_virtualization"
+  "fig9_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

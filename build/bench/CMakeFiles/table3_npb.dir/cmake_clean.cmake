@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_npb.dir/table3_npb.cc.o"
+  "CMakeFiles/table3_npb.dir/table3_npb.cc.o.d"
+  "table3_npb"
+  "table3_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

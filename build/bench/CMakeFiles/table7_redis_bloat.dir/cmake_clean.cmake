@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_redis_bloat.dir/table7_redis_bloat.cc.o"
+  "CMakeFiles/table7_redis_bloat.dir/table7_redis_bloat.cc.o.d"
+  "table7_redis_bloat"
+  "table7_redis_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_redis_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_fast_faults.dir/table8_fast_faults.cc.o"
+  "CMakeFiles/table8_fast_faults.dir/table8_fast_faults.cc.o.d"
+  "table8_fast_faults"
+  "table8_fast_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fast_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

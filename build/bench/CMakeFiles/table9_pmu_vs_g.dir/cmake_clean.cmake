@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_pmu_vs_g.dir/table9_pmu_vs_g.cc.o"
+  "CMakeFiles/table9_pmu_vs_g.dir/table9_pmu_vs_g.cc.o.d"
+  "table9_pmu_vs_g"
+  "table9_pmu_vs_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_pmu_vs_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

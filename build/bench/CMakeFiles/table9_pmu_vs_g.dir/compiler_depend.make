@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table9_pmu_vs_g.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_pmu_vs_g.
+# This may be replaced when dependencies are built.

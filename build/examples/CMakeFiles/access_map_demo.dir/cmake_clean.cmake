@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_map_demo.dir/access_map_demo.cpp.o"
+  "CMakeFiles/access_map_demo.dir/access_map_demo.cpp.o.d"
+  "access_map_demo"
+  "access_map_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_map_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

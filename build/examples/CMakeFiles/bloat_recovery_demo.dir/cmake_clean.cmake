@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloat_recovery_demo.dir/bloat_recovery_demo.cpp.o"
+  "CMakeFiles/bloat_recovery_demo.dir/bloat_recovery_demo.cpp.o.d"
+  "bloat_recovery_demo"
+  "bloat_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloat_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

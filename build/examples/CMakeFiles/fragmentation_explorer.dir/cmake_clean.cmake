@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_explorer.dir/fragmentation_explorer.cpp.o"
+  "CMakeFiles/fragmentation_explorer.dir/fragmentation_explorer.cpp.o.d"
+  "fragmentation_explorer"
+  "fragmentation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

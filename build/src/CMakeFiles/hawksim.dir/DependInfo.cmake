@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/hawksim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/base/logging.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/hawksim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/core/access_map.cc" "src/CMakeFiles/hawksim.dir/core/access_map.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/core/access_map.cc.o.d"
+  "/root/repo/src/core/access_tracker.cc" "src/CMakeFiles/hawksim.dir/core/access_tracker.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/core/access_tracker.cc.o.d"
+  "/root/repo/src/core/bloat_recovery.cc" "src/CMakeFiles/hawksim.dir/core/bloat_recovery.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/core/bloat_recovery.cc.o.d"
+  "/root/repo/src/core/hawkeye.cc" "src/CMakeFiles/hawksim.dir/core/hawkeye.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/core/hawkeye.cc.o.d"
+  "/root/repo/src/core/prezero.cc" "src/CMakeFiles/hawksim.dir/core/prezero.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/core/prezero.cc.o.d"
+  "/root/repo/src/ksm/ksm.cc" "src/CMakeFiles/hawksim.dir/ksm/ksm.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/ksm/ksm.cc.o.d"
+  "/root/repo/src/mem/buddy.cc" "src/CMakeFiles/hawksim.dir/mem/buddy.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/mem/buddy.cc.o.d"
+  "/root/repo/src/mem/compaction.cc" "src/CMakeFiles/hawksim.dir/mem/compaction.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/mem/compaction.cc.o.d"
+  "/root/repo/src/mem/phys.cc" "src/CMakeFiles/hawksim.dir/mem/phys.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/mem/phys.cc.o.d"
+  "/root/repo/src/policy/common.cc" "src/CMakeFiles/hawksim.dir/policy/common.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/policy/common.cc.o.d"
+  "/root/repo/src/policy/freebsd.cc" "src/CMakeFiles/hawksim.dir/policy/freebsd.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/policy/freebsd.cc.o.d"
+  "/root/repo/src/policy/ingens.cc" "src/CMakeFiles/hawksim.dir/policy/ingens.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/policy/ingens.cc.o.d"
+  "/root/repo/src/policy/linux_thp.cc" "src/CMakeFiles/hawksim.dir/policy/linux_thp.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/policy/linux_thp.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/hawksim.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/policy/policy.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/CMakeFiles/hawksim.dir/sim/process.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/sim/process.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/hawksim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/sim/system.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/hawksim.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/virt/vm.cc" "src/CMakeFiles/hawksim.dir/virt/vm.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/virt/vm.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/hawksim.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/hawksim.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/workload/kvstore.cc" "src/CMakeFiles/hawksim.dir/workload/kvstore.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/workload/kvstore.cc.o.d"
+  "/root/repo/src/workload/linear_touch.cc" "src/CMakeFiles/hawksim.dir/workload/linear_touch.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/workload/linear_touch.cc.o.d"
+  "/root/repo/src/workload/presets.cc" "src/CMakeFiles/hawksim.dir/workload/presets.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/workload/presets.cc.o.d"
+  "/root/repo/src/workload/stream.cc" "src/CMakeFiles/hawksim.dir/workload/stream.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/workload/stream.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/hawksim.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/workload/suite.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/hawksim.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/hawksim.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

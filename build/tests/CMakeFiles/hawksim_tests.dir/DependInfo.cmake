@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/test_rng.cc" "tests/CMakeFiles/hawksim_tests.dir/base/test_rng.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/base/test_rng.cc.o.d"
+  "/root/repo/tests/base/test_stats.cc" "tests/CMakeFiles/hawksim_tests.dir/base/test_stats.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/base/test_stats.cc.o.d"
+  "/root/repo/tests/cache/test_cache.cc" "tests/CMakeFiles/hawksim_tests.dir/cache/test_cache.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/cache/test_cache.cc.o.d"
+  "/root/repo/tests/core/test_access_map.cc" "tests/CMakeFiles/hawksim_tests.dir/core/test_access_map.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/core/test_access_map.cc.o.d"
+  "/root/repo/tests/core/test_access_tracker.cc" "tests/CMakeFiles/hawksim_tests.dir/core/test_access_tracker.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/core/test_access_tracker.cc.o.d"
+  "/root/repo/tests/core/test_bloat_recovery.cc" "tests/CMakeFiles/hawksim_tests.dir/core/test_bloat_recovery.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/core/test_bloat_recovery.cc.o.d"
+  "/root/repo/tests/core/test_hawkeye.cc" "tests/CMakeFiles/hawksim_tests.dir/core/test_hawkeye.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/core/test_hawkeye.cc.o.d"
+  "/root/repo/tests/core/test_hawkeye_accessors.cc" "tests/CMakeFiles/hawksim_tests.dir/core/test_hawkeye_accessors.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/core/test_hawkeye_accessors.cc.o.d"
+  "/root/repo/tests/core/test_prezero.cc" "tests/CMakeFiles/hawksim_tests.dir/core/test_prezero.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/core/test_prezero.cc.o.d"
+  "/root/repo/tests/integration/test_conservation.cc" "tests/CMakeFiles/hawksim_tests.dir/integration/test_conservation.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/integration/test_conservation.cc.o.d"
+  "/root/repo/tests/integration/test_determinism.cc" "tests/CMakeFiles/hawksim_tests.dir/integration/test_determinism.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/integration/test_determinism.cc.o.d"
+  "/root/repo/tests/integration/test_smoke.cc" "tests/CMakeFiles/hawksim_tests.dir/integration/test_smoke.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/integration/test_smoke.cc.o.d"
+  "/root/repo/tests/ksm/test_ksm.cc" "tests/CMakeFiles/hawksim_tests.dir/ksm/test_ksm.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/ksm/test_ksm.cc.o.d"
+  "/root/repo/tests/mem/test_buddy.cc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_buddy.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_buddy.cc.o.d"
+  "/root/repo/tests/mem/test_compaction.cc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_compaction.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_compaction.cc.o.d"
+  "/root/repo/tests/mem/test_content.cc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_content.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_content.cc.o.d"
+  "/root/repo/tests/mem/test_fragment_movable.cc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_fragment_movable.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_fragment_movable.cc.o.d"
+  "/root/repo/tests/mem/test_phys.cc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_phys.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_phys.cc.o.d"
+  "/root/repo/tests/mem/test_swap.cc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_swap.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/mem/test_swap.cc.o.d"
+  "/root/repo/tests/policy/test_freebsd.cc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_freebsd.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_freebsd.cc.o.d"
+  "/root/repo/tests/policy/test_ingens.cc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_ingens.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_ingens.cc.o.d"
+  "/root/repo/tests/policy/test_linux.cc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_linux.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_linux.cc.o.d"
+  "/root/repo/tests/policy/test_policy_interactions.cc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_policy_interactions.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/policy/test_policy_interactions.cc.o.d"
+  "/root/repo/tests/sim/test_metrics.cc" "tests/CMakeFiles/hawksim_tests.dir/sim/test_metrics.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/sim/test_metrics.cc.o.d"
+  "/root/repo/tests/sim/test_system.cc" "tests/CMakeFiles/hawksim_tests.dir/sim/test_system.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/sim/test_system.cc.o.d"
+  "/root/repo/tests/tlb/test_tlb.cc" "tests/CMakeFiles/hawksim_tests.dir/tlb/test_tlb.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/tlb/test_tlb.cc.o.d"
+  "/root/repo/tests/tlb/test_tlb_properties.cc" "tests/CMakeFiles/hawksim_tests.dir/tlb/test_tlb_properties.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/tlb/test_tlb_properties.cc.o.d"
+  "/root/repo/tests/virt/test_virt.cc" "tests/CMakeFiles/hawksim_tests.dir/virt/test_virt.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/virt/test_virt.cc.o.d"
+  "/root/repo/tests/vm/test_address_space.cc" "tests/CMakeFiles/hawksim_tests.dir/vm/test_address_space.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/vm/test_address_space.cc.o.d"
+  "/root/repo/tests/vm/test_page_table.cc" "tests/CMakeFiles/hawksim_tests.dir/vm/test_page_table.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/vm/test_page_table.cc.o.d"
+  "/root/repo/tests/vm/test_pte.cc" "tests/CMakeFiles/hawksim_tests.dir/vm/test_pte.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/vm/test_pte.cc.o.d"
+  "/root/repo/tests/workload/test_suite.cc" "tests/CMakeFiles/hawksim_tests.dir/workload/test_suite.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/workload/test_suite.cc.o.d"
+  "/root/repo/tests/workload/test_trace.cc" "tests/CMakeFiles/hawksim_tests.dir/workload/test_trace.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/workload/test_trace.cc.o.d"
+  "/root/repo/tests/workload/test_workloads.cc" "tests/CMakeFiles/hawksim_tests.dir/workload/test_workloads.cc.o" "gcc" "tests/CMakeFiles/hawksim_tests.dir/workload/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawksim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -6,16 +6,23 @@
  * mechanism at a time and measure two scenarios that stress
  * complementary parts of the design:
  *
- *   - "spin-up": a fault-dominated allocation burst (async
+ *   - "spinup":  a fault-dominated allocation burst (async
  *     pre-zeroing and huge-at-fault should dominate);
  *   - "hotspot": a fragmented machine with a high-VA hot region
  *     (coverage-ordered promotion should dominate).
  *
  * Not a paper table — this regenerates the design-choice evidence
  * that DESIGN.md's inventory calls out.
+ *
+ * Reading: disabling pre-zeroing costs the spin-up scenario its
+ * synchronous 2MB zeroing; disabling huge-at-fault costs it the
+ * 512x fault reduction; neither matters much for the hotspot
+ * scenario, whose runtime is set by promotion ordering (and bloat
+ * recovery is neutral in both).
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
@@ -36,31 +43,39 @@ variant(const std::string &name)
     return c;
 }
 
-double
-runSpinup(const core::HawkEyeConfig &hc)
+harness::RunOutput
+runSpinup(const harness::RunContext &ctx,
+          const core::HawkEyeConfig &hc)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
-    cfg.seed = 3;
+    cfg.seed = ctx.seed();
     // Dirty boot memory so pre-zeroing actually matters.
     cfg.bootMemoryZeroed = false;
-    sim::System sys2(cfg);
-    sys2.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
-    sys2.costs().zeroDaemonPagesPerSec = 300'000;
-    sys2.run(sec(20)); // let the daemon (if enabled) pre-zero
-    auto &proc = sys2.addProcess(
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
+    sys.costs().zeroDaemonPagesPerSec = 300'000;
+    sys.run(sec(20)); // let the daemon (if enabled) pre-zero
+    auto &proc = sys.addProcess(
         "spinup", workload::makeSpinUp("spinup", GiB(4),
-                                       sys2.rng().fork()));
-    sys2.runUntilAllDone(sec(600));
-    return static_cast<double>(proc.runtime()) / 1e9;
+                                       sys.rng().fork()));
+    sys.runUntilAllDone(sec(600));
+
+    harness::RunOutput out;
+    out.scalar("runtime_s",
+               static_cast<double>(proc.runtime()) / 1e9);
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
+    return out;
 }
 
-double
-runHotspot(const core::HawkEyeConfig &hc)
+harness::RunOutput
+runHotspot(const harness::RunContext &ctx,
+           const core::HawkEyeConfig &hc)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(4);
-    cfg.seed = 3;
+    cfg.seed = ctx.seed();
     sim::System sys(cfg);
     sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
     sys.fragmentMemoryMovable(1.0, 64);
@@ -76,31 +91,37 @@ runHotspot(const core::HawkEyeConfig &hc)
         "hot", std::make_unique<workload::StreamWorkload>(
                    "hot", wc, sys.rng().fork()));
     sys.runUntilAllDone(sec(1200));
-    return static_cast<double>(proc.runtime()) / 1e9;
+
+    harness::RunOutput out;
+    out.scalar("runtime_s",
+               static_cast<double>(proc.runtime()) / 1e9);
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
+    return out;
+}
+
+harness::RunOutput
+run(const harness::RunContext &ctx)
+{
+    const core::HawkEyeConfig hc = variant(ctx.param("variant"));
+    return ctx.param("scenario") == "spinup" ? runSpinup(ctx, hc)
+                                             : runHotspot(ctx, hc);
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Ablation: HawkEye with one mechanism disabled at a time",
-           "HawkSim design-choice study (DESIGN.md inventory)");
+namespace bench {
 
-    printRow({"Variant", "Spinup(s)", "Hotspot(s)"}, 20);
-    for (const std::string v :
-         {"full", "no-prezero", "no-fault-huge",
-          "no-bloat-recovery", "pmu"}) {
-        const core::HawkEyeConfig hc = variant(v);
-        printRow({v, fmt(runSpinup(hc), 2), fmt(runHotspot(hc), 1)},
-                 20);
-    }
-    std::printf(
-        "\nReading: disabling pre-zeroing costs the spin-up scenario "
-        "its synchronous 2MB zeroing; disabling huge-at-fault costs "
-        "it the 512x fault reduction; neither matters much for the "
-        "hotspot scenario, whose runtime is set by promotion "
-        "ordering (and bloat recovery is neutral in both).\n");
-    return 0;
+void
+registerAblationHawkEye(harness::Registry &reg)
+{
+    reg.add("ablation_hawkeye",
+            "Ablation: HawkEye with one mechanism disabled at a "
+            "time")
+        .axis("variant", {"full", "no-prezero", "no-fault-huge",
+                          "no-bloat-recovery", "pmu"})
+        .axis("scenario", {"spinup", "hotspot"})
+        .run(run);
 }
+
+} // namespace bench

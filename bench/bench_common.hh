@@ -1,22 +1,21 @@
 /**
  * @file
- * Shared helpers for the experiment-reproduction benches: policy
- * factory, table formatting, and run bookkeeping.
+ * Shared helpers for the experiment registrations: the policy
+ * factory every grid uses for its "policy"/"config" axis.
  *
- * Every bench binary regenerates one table or figure of the paper.
+ * Every registration reproduces one table or figure of the paper.
  * Absolute numbers are simulated (the substrate is HawkSim, not the
  * authors' Haswell testbed); the *shape* — who wins, by what factor,
  * where crossovers fall — is the reproduction target. EXPERIMENTS.md
- * records paper-vs-measured for each.
+ * records paper-vs-measured for each; the harness report carries the
+ * raw series and scalars each figure is derived from.
  */
 
 #ifndef HAWKSIM_BENCH_COMMON_HH
 #define HAWKSIM_BENCH_COMMON_HH
 
-#include <cstdio>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "hawksim.hh"
 
@@ -47,6 +46,14 @@ makePolicy(const std::string &name)
         c.utilThreshold = 0.50;
         return std::make_unique<policy::IngensPolicy>(c);
     }
+    // Fixed (non-FMFI-adaptive) Ingens thresholds: Table 7 studies
+    // the utilization threshold itself.
+    if (name == "Ingens-90%-fixed" || name == "Ingens-50%-fixed") {
+        policy::IngensConfig c;
+        c.utilThreshold = name == "Ingens-90%-fixed" ? 0.90 : 0.50;
+        c.alwaysConservative = true;
+        return std::make_unique<policy::IngensPolicy>(c);
+    }
     if (name == "HawkEye-G")
         return std::make_unique<core::HawkEyePolicy>();
     if (name == "HawkEye-PMU") {
@@ -54,53 +61,16 @@ makePolicy(const std::string &name)
         c.usePmu = true;
         return std::make_unique<core::HawkEyePolicy>(c);
     }
+    // Pre-zeroing without huge pages ("no page-zeroing Linux-4KB"
+    // in Table 1): base faults served from the zeroed free lists.
+    if (name == "HawkEye-4KB") {
+        core::HawkEyeConfig c;
+        c.faultHuge = false;
+        return std::make_unique<core::HawkEyePolicy>(c);
+    }
+    if (name == "HawkEye-2MB")
+        return std::make_unique<core::HawkEyePolicy>();
     HS_FATAL("unknown policy name: ", name);
-}
-
-/** Print a bench banner. */
-inline void
-banner(const std::string &what, const std::string &paper_ref)
-{
-    std::printf("\n");
-    std::printf("======================================================="
-                "=================\n");
-    std::printf("%s\n", what.c_str());
-    std::printf("Reproduces: %s\n", paper_ref.c_str());
-    std::printf("======================================================="
-                "=================\n");
-}
-
-/** Simple fixed-width row printing. */
-inline void
-printRow(const std::vector<std::string> &cells, int width = 14)
-{
-    for (const auto &c : cells)
-        std::printf("%-*s", width, c.c_str());
-    std::printf("\n");
-}
-
-inline std::string
-fmt(double v, int prec = 2)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-    return buf;
-}
-
-inline std::string
-fmtInt(std::uint64_t v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-/** Seconds with one decimal from a TimeNs. */
-inline std::string
-fmtSec(hawksim::TimeNs t)
-{
-    return fmt(static_cast<double>(t) / 1e9, 1);
 }
 
 } // namespace bench

@@ -8,50 +8,75 @@
  * Caching stores allocate L3 lines and evict the co-runner's working
  * set ("double cache miss"); non-temporal stores bypass the cache
  * and leave only memory-bandwidth contention.
+ *
+ * Expected shape (paper): caching stores cost up to ~27% (omnetpp)
+ * while non-temporal stores cut that to a few percent of residual
+ * memory-traffic overhead. The in-kernel daemon is further
+ * rate-limited (10K pages/s), making real interference
+ * proportionally smaller.
  */
 
 #include "bench_common.hh"
 #include "cache/cache.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
-int
-main()
+namespace {
+
+// Co-runner profiles: working set vs the 30MB L3, access rate,
+// locality. The first two model suite averages, the rest the
+// paper's named cache-sensitive applications.
+constexpr struct
 {
-    setLogQuiet(true);
-    banner("Figure 10: pre-zeroing interference at 1GB/s, caching vs "
-           "non-temporal stores",
-           "HawkEye (ASPLOS'19), Figure 10");
+    const char *name;
+    std::uint64_t wssBytes;
+    double accessesPerSec;
+    double locality;
+} kWorkloads[] = {
+    {"NPB(avg)", 64ull << 20, 150e6, 0.4},
+    {"PARSEC(avg)", 48ull << 20, 120e6, 0.5},
+    {"omnetpp", 24ull << 20, 250e6, 0.2},
+    {"xalancbmk", 20ull << 20, 220e6, 0.3},
+    {"mcf", 40ull << 20, 200e6, 0.2},
+    {"cactusADM", 28ull << 20, 160e6, 0.5},
+    {"canneal", 36ull << 20, 180e6, 0.1},
+    {"streamcluster", 12ull << 20, 140e6, 0.7},
+};
 
-    // Co-runner profiles: working set vs the 30MB L3, access rate,
-    // locality. The first two model suite averages, the rest the
-    // paper's named cache-sensitive applications.
-    const cache::InterferenceWorkload workloads[] = {
-        {"NPB(avg)", 64ull << 20, 150e6, 0.4},
-        {"PARSEC(avg)", 48ull << 20, 120e6, 0.5},
-        {"omnetpp", 24ull << 20, 250e6, 0.2},
-        {"xalancbmk", 20ull << 20, 220e6, 0.3},
-        {"mcf", 40ull << 20, 200e6, 0.2},
-        {"cactusADM", 28ull << 20, 160e6, 0.5},
-        {"canneal", 36ull << 20, 180e6, 0.1},
-        {"streamcluster", 12ull << 20, 140e6, 0.7},
-    };
-
-    printRow({"Workload", "Caching(%)", "NonTemporal(%)"}, 18);
-    for (const auto &w : workloads) {
-        const auto cached = cache::runInterference(
-            w, 1e9, /*non_temporal=*/false, Rng(7));
-        const auto nt = cache::runInterference(
-            w, 1e9, /*non_temporal=*/true, Rng(7));
-        printRow({w.name, fmt(cached.overheadPct, 1),
-                  fmt(nt.overheadPct, 1)},
-                 18);
+harness::RunOutput
+run(const harness::RunContext &ctx)
+{
+    const std::string &wl_name = ctx.param("workload");
+    cache::InterferenceWorkload w{};
+    for (const auto &k : kWorkloads) {
+        if (wl_name == k.name)
+            w = {k.name, k.wssBytes, k.accessesPerSec, k.locality};
     }
-    std::printf(
-        "\nExpected shape (paper): caching stores cost up to ~27%% "
-        "(omnetpp) while non-temporal stores cut that to a few "
-        "percent of residual memory-traffic overhead. The in-kernel "
-        "daemon is further rate-limited (10K pages/s), making real "
-        "interference proportionally smaller.\n");
-    return 0;
+    const bool non_temporal = ctx.param("stores") == "non-temporal";
+    const auto res = cache::runInterference(w, 1e9, non_temporal,
+                                            Rng(ctx.seed()));
+
+    harness::RunOutput out;
+    out.scalar("overhead_pct", res.overheadPct);
+    return out;
 }
+
+} // namespace
+
+namespace bench {
+
+void
+registerFig10PrezeroInterference(harness::Registry &reg)
+{
+    reg.add("fig10_prezero_interference",
+            "Fig 10: pre-zeroing interference at 1GB/s, caching vs "
+            "non-temporal stores")
+        .axis("workload",
+              {"NPB(avg)", "PARSEC(avg)", "omnetpp", "xalancbmk",
+               "mcf", "cactusADM", "canneal", "streamcluster"})
+        .axis("stores", {"caching", "non-temporal"})
+        .run(run);
+}
+
+} // namespace bench

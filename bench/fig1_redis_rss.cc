@@ -14,9 +14,16 @@
  * HawkEye's bloat recovery detects the zero-filled baseline pages
  * inside re-promoted huge pages, demotes and dedups them, and P3
  * completes.
+ *
+ * Expected shape (paper): Linux and Ingens hit the memory limit
+ * (OOM) with substantial bloat (only 20GB / 28GB of 48GB useful at
+ * full scale); HawkEye recovers bloat via zero-page dedup and
+ * completes the full dataset. The RSS timeline is the
+ * "p1.rss_pages" series of each run.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
@@ -24,26 +31,15 @@ namespace {
 
 constexpr std::uint64_t kScale = 8;
 
-struct RunResult
-{
-    std::string policy;
-    TimeSeries rss;
-    bool oom = false;
-    double oomTimeSec = 0.0;
-    double usefulGbAtEnd = 0.0;
-    double peakRssGb = 0.0;
-    bool completed = false;
-};
-
-RunResult
-run(const std::string &policy_name)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(48) / kScale;
-    cfg.seed = 42;
+    cfg.seed = ctx.seed();
     cfg.metricsPeriod = msec(500);
     sim::System sys(cfg);
-    sys.setPolicy(makePolicy(policy_name));
+    sys.setPolicy(makePolicy(ctx.param("policy")));
 
     workload::KvConfig kc;
     kc.arenaBytes = GiB(13);
@@ -73,69 +69,34 @@ run(const std::string &policy_name)
         &proc.workload());
     sys.runUntilAllDone(sec(700));
 
-    RunResult r;
-    r.policy = policy_name;
-    r.rss = sys.metrics().series("p1.rss_pages");
-    r.oom = proc.oomKilled();
-    r.oomTimeSec = static_cast<double>(proc.finishedAt()) / 1e9;
-    r.usefulGbAtEnd =
-        static_cast<double>(kv->liveBytes()) / (1ull << 30);
-    r.peakRssGb = r.rss.peak() * kPageSize / (1ull << 30);
-    r.completed = proc.finished() && !proc.oomKilled();
-    return r;
-}
-
-double
-rssAt(const RunResult &r, double t_sec)
-{
-    double v = 0.0;
-    for (const auto &p : r.rss.points()) {
-        if (static_cast<double>(p.time) / 1e9 > t_sec)
-            break;
-        v = p.value;
-    }
-    return v * kPageSize / (1ull << 30);
+    harness::RunOutput out;
+    const TimeSeries &rss = sys.metrics().series("p1.rss_pages");
+    out.scalar("oom", proc.oomKilled() ? 1.0 : 0.0);
+    out.scalar("oom_time_s",
+               static_cast<double>(proc.finishedAt()) / 1e9);
+    out.scalar("useful_gb",
+               static_cast<double>(kv->liveBytes()) / (1ull << 30));
+    out.scalar("peak_rss_gb",
+               rss.peak() * kPageSize / (1ull << 30));
+    out.scalar("completed",
+               proc.finished() && !proc.oomKilled() ? 1.0 : 0.0);
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
+    return out;
 }
 
 } // namespace
 
-int
-main()
+namespace bench {
+
+void
+registerFig1RedisRss(harness::Registry &reg)
 {
-    setLogQuiet(true);
-    banner("Figure 1: Redis RSS across insert/delete/insert phases "
-           "(1/8 scale, 6GB machine)",
-           "HawkEye (ASPLOS'19), Figure 1 / Section 2.1");
-
-    std::vector<RunResult> results;
-    for (const std::string p :
-         {"Linux-2MB", "Ingens-50%", "HawkEye-G"}) {
-        results.push_back(run(p));
-    }
-
-    std::printf("\nRSS (GB) over time:\n");
-    printRow({"t(s)", results[0].policy, results[1].policy,
-              results[2].policy});
-    for (double t = 0; t <= 400.0; t += 20.0) {
-        printRow({fmt(t, 0), fmt(rssAt(results[0], t), 2),
-                  fmt(rssAt(results[1], t), 2),
-                  fmt(rssAt(results[2], t), 2)});
-    }
-
-    std::printf("\nOutcome:\n");
-    printRow({"Policy", "OOM?", "UsefulData(GB)", "PeakRSS(GB)"},
-             16);
-    for (const auto &r : results) {
-        printRow({r.policy,
-                  r.oom ? "OOM@" + fmt(r.oomTimeSec, 0) + "s"
-                        : (r.completed ? "completed" : "running"),
-                  fmt(r.usefulGbAtEnd, 2), fmt(r.peakRssGb, 2)},
-                 16);
-    }
-    std::printf(
-        "\nExpected shape (paper): Linux and Ingens hit the memory "
-        "limit (OOM) with substantial bloat (only 20GB / 28GB of 48GB "
-        "useful at full scale); HawkEye recovers bloat via zero-page "
-        "dedup and completes the full dataset.\n");
-    return 0;
+    reg.add("fig1_redis_rss",
+            "Fig 1: Redis RSS across insert/delete/insert phases "
+            "(1/8 scale, 6GB machine)")
+        .axis("policy", {"Linux-2MB", "Ingens-50%", "HawkEye-G"})
+        .run(run);
 }
+
+} // namespace bench

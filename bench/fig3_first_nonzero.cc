@@ -6,9 +6,15 @@
  * This is the property that makes HawkEye's bloat-recovery scan cost
  * proportional to the amount of *bloat*, not to memory size: an
  * in-use page is rejected after ~10 bytes on average.
+ *
+ * Expected shape (paper): 9.11 bytes average over 56 workloads; only
+ * ~10 bytes need to be scanned to reject an in-use page, vs 4096 for
+ * a bloat page.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
+#include "mem/content.hh"
 
 using namespace bench;
 
@@ -25,60 +31,66 @@ profileMean(double zero_prefix_prob, double mean_prefix, Rng rng)
     return sum / kPages;
 }
 
+/** Per-suite content-profile knobs (see file comment). */
+struct Suite
+{
+    const char *name;
+    int workloads;
+    double zeroPrefixProb;
+    double meanPrefix;
+};
+
+constexpr Suite kSuites[] = {
+    {"SPEC-CPU2006", 19, 0.30, 20.0},
+    {"PARSEC", 13, 0.25, 18.0},
+    {"Biobench", 9, 0.40, 28.0},
+    {"NPB", 9, 0.50, 30.0},
+    {"CloudSuite", 6, 0.20, 15.0},
+};
+
+harness::RunOutput
+run(const harness::RunContext &ctx)
+{
+    const Suite *suite = nullptr;
+    for (const Suite &s : kSuites) {
+        if (ctx.param("suite") == s.name)
+            suite = &s;
+    }
+    HS_ASSERT(suite != nullptr, "unknown suite");
+
+    Rng rng(ctx.seed());
+    double suite_sum = 0.0;
+    for (int w = 0; w < suite->workloads; w++) {
+        // Per-workload jitter around the suite profile.
+        const double p =
+            suite->zeroPrefixProb * (0.7 + 0.6 * rng.uniform());
+        const double m =
+            suite->meanPrefix * (0.7 + 0.6 * rng.uniform());
+        suite_sum += profileMean(p, m, rng.fork());
+    }
+
+    harness::RunOutput out;
+    out.scalar("workloads", suite->workloads);
+    out.scalar("avg_first_nonzero_bytes",
+               suite_sum / suite->workloads);
+    return out;
+}
+
 } // namespace
 
-int
-main()
+namespace bench {
+
+void
+registerFig3FirstNonZero(harness::Registry &reg)
 {
-    setLogQuiet(true);
-    banner("Figure 3: average distance to the first non-zero byte "
-           "(4KB in-use pages)",
-           "HawkEye (ASPLOS'19), Figure 3");
-
-    // 56 content profiles spread over the paper's suites. The knobs
-    // model how each family lays out data: numeric HPC arrays have
-    // short zero prefixes (little-endian doubles), pointer-rich
-    // workloads start with non-zero bytes almost immediately.
-    struct Suite
-    {
-        const char *name;
-        int workloads;
-        double zeroPrefixProb;
-        double meanPrefix;
-    };
-    const Suite suites[] = {
-        {"SPEC-CPU2006", 19, 0.30, 20.0},
-        {"PARSEC", 13, 0.25, 18.0},
-        {"Biobench", 9, 0.40, 28.0},
-        {"NPB", 9, 0.50, 30.0},
-        {"CloudSuite", 6, 0.20, 15.0},
-    };
-
-    Rng rng(1234);
-    printRow({"Suite", "Workloads", "AvgFirstNonZero(B)"}, 20);
-    double total = 0.0;
-    int count = 0;
-    for (const Suite &s : suites) {
-        double suite_sum = 0.0;
-        for (int w = 0; w < s.workloads; w++) {
-            // Per-workload jitter around the suite profile.
-            const double p =
-                s.zeroPrefixProb * (0.7 + 0.6 * rng.uniform());
-            const double m =
-                s.meanPrefix * (0.7 + 0.6 * rng.uniform());
-            const double mean = profileMean(p, m, rng.fork());
-            suite_sum += mean;
-            total += mean;
-            count++;
-        }
-        printRow({s.name, fmtInt(s.workloads),
-                  fmt(suite_sum / s.workloads, 2)},
-                 20);
-    }
-    std::printf("\nOverall average over %d workloads: %.2f bytes\n",
-                count, total / count);
-    std::printf("Paper: 9.11 bytes average over 56 workloads; only "
-                "~10 bytes need to be scanned to reject an in-use "
-                "page, vs 4096 for a bloat page.\n");
-    return 0;
+    std::vector<std::string> names;
+    for (const Suite &s : kSuites)
+        names.push_back(s.name);
+    reg.add("fig3_first_nonzero",
+            "Fig 3: average distance to the first non-zero byte "
+            "(4KB in-use pages)")
+        .axis("suite", std::move(names))
+        .run(run);
 }
+
+} // namespace bench

@@ -8,29 +8,29 @@
  * *which* regions they promote first. HawkEye's access-coverage
  * ordering reaches the hot regions (high VAs for Graph500/XSBench)
  * long before the sequential low-to-high scans of Linux and Ingens.
+ *
+ * Expected shape (paper): HawkEye variants recover from the
+ * fragmented state fastest (up to ~22% speedup over Linux/Ingens on
+ * these workloads) and save far more execution time per promotion
+ * (HawkEye-PMU up to 44x Linux on XSBench). Speedup and
+ * saved-per-promotion derive from the Linux-4KB rows of the report.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
 namespace {
 
-struct RunOut
-{
-    double runtimeSec;
-    std::uint64_t promotions;
-    double mmuPct;
-};
-
-RunOut
-run(const std::string &policy_name, const std::string &wl_name)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
-    cfg.seed = 1234;
+    cfg.seed = ctx.seed();
     sim::System sys(cfg);
-    sys.setPolicy(makePolicy(policy_name));
+    sys.setPolicy(makePolicy(ctx.param("policy")));
     // "We fragment the memory initially by reading several files."
     sys.fragmentMemoryMovable(1.0, 64);
     // Promotion rate scaled with runtime so the promotion phase
@@ -38,6 +38,7 @@ run(const std::string &policy_name, const std::string &wl_name)
     sys.costs().promotionsPerSec = 5.0;
 
     const workload::Scale s{8};
+    const std::string &wl_name = ctx.param("workload");
     std::unique_ptr<workload::Workload> wl;
     if (wl_name == "Graph500")
         wl = workload::makeGraph500(sys.rng().fork(), s, 150);
@@ -48,51 +49,31 @@ run(const std::string &policy_name, const std::string &wl_name)
     auto &proc = sys.addProcess(wl_name, std::move(wl));
     sys.runUntilAllDone(sec(1200));
 
-    RunOut out;
-    out.runtimeSec = static_cast<double>(proc.runtime()) / 1e9;
-    out.promotions = sys.policy().promotions();
-    out.mmuPct = proc.mmuOverheadPct();
+    harness::RunOutput out;
+    out.scalar("runtime_s",
+               static_cast<double>(proc.runtime()) / 1e9);
+    out.scalar("promotions",
+               static_cast<double>(sys.policy().promotions()));
+    out.scalar("mmu_pct", proc.mmuOverheadPct());
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
     return out;
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Figure 5: speedup and time saved per huge-page promotion "
-           "after fragmentation (1/8 scale)",
-           "HawkEye (ASPLOS'19), Figure 5");
+namespace bench {
 
-    for (const std::string wl : {"Graph500", "XSBench", "cg.D"}) {
-        const RunOut base = run("Linux-4KB", wl);
-        std::printf("\n%s (no-promotion baseline: %.1fs, MMU %.1f%%)\n",
-                    wl.c_str(), base.runtimeSec, base.mmuPct);
-        printRow({"Policy", "Time(s)", "Speedup", "Promos",
-                  "SavedPerPromo(ms)"},
-                 18);
-        for (const std::string pol :
-             {"Linux-2MB", "Ingens-90%", "HawkEye-PMU",
-              "HawkEye-G"}) {
-            const RunOut r = run(pol, wl);
-            const double saved = base.runtimeSec - r.runtimeSec;
-            const double per_promo =
-                r.promotions
-                    ? saved * 1e3 / static_cast<double>(r.promotions)
-                    : 0.0;
-            printRow({pol, fmt(r.runtimeSec, 1),
-                      fmt(base.runtimeSec / r.runtimeSec, 3),
-                      fmtInt(r.promotions), fmt(per_promo, 2)},
-                     18);
-        }
-    }
-    std::printf(
-        "\nExpected shape (paper): HawkEye variants recover from the "
-        "fragmented state fastest (up to ~22%% speedup; 13%%/12%%/6%% "
-        "over Linux and Ingens on these three workloads), and save "
-        "far more execution time per promotion (HawkEye-PMU up to "
-        "44x Linux on XSBench) because they promote hot regions "
-        "first and stop when overheads vanish.\n");
-    return 0;
+void
+registerFig5PromotionEfficiency(harness::Registry &reg)
+{
+    reg.add("fig5_promotion_efficiency",
+            "Fig 5: speedup and time saved per promotion after "
+            "fragmentation (1/8 scale)")
+        .axis("workload", {"Graph500", "XSBench", "cg.D"})
+        .axis("policy", {"Linux-4KB", "Linux-2MB", "Ingens-90%",
+                         "HawkEye-PMU", "HawkEye-G"})
+        .run(run);
 }
+
+} // namespace bench

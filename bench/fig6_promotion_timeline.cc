@@ -8,101 +8,66 @@
  * their VA space, so the sequential low-to-high promotion of Linux
  * and Ingens pays off late; HawkEye's access-coverage ordering pays
  * off almost immediately.
+ *
+ * Expected shape (paper): HawkEye's overhead collapses within the
+ * first third of the run (hot regions first), while Linux/Ingens
+ * still show high overheads late; huge-page counts grow at similar
+ * rates (same promotion budget) — the difference is WHICH regions
+ * get promoted. The timelines are the "p1.mmu_overhead" and
+ * "p1.huge_pages" series of each run.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
 namespace {
 
-struct Timeline
-{
-    TimeSeries mmu;
-    TimeSeries huge;
-};
-
-Timeline
-run(const std::string &policy_name, const std::string &wl_name)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
-    cfg.seed = 77;
+    cfg.seed = ctx.seed();
     cfg.metricsPeriod = sec(1);
     sim::System sys(cfg);
-    sys.setPolicy(makePolicy(policy_name));
+    sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 64);
     sys.costs().promotionsPerSec = 5.0;
 
     const workload::Scale s{8};
-    auto wl = wl_name == "Graph500"
+    auto wl = ctx.param("workload") == "Graph500"
                   ? workload::makeGraph500(sys.rng().fork(), s, 150)
                   : workload::makeXSBench(sys.rng().fork(), s, 150);
-    sys.addProcess(wl_name, std::move(wl));
+    auto &proc = sys.addProcess(ctx.param("workload"), std::move(wl));
     sys.runUntilAllDone(sec(1200));
 
-    Timeline t;
-    t.mmu = sys.metrics().series("p1.mmu_overhead");
-    t.huge = sys.metrics().series("p1.huge_pages");
-    return t;
-}
-
-double
-at(const TimeSeries &s, double t_sec)
-{
-    double v = 0.0;
-    for (const auto &p : s.points()) {
-        if (static_cast<double>(p.time) / 1e9 > t_sec)
-            break;
-        v = p.value;
-    }
-    return v;
+    harness::RunOutput out;
+    out.scalar("runtime_s",
+               static_cast<double>(proc.runtime()) / 1e9);
+    out.scalar("final_huge_pages",
+               static_cast<double>(
+                   proc.space().pageTable().mappedHugePages()));
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
+    return out;
 }
 
 } // namespace
 
-int
-main()
+namespace bench {
+
+void
+registerFig6PromotionTimeline(harness::Registry &reg)
 {
-    setLogQuiet(true);
-    banner("Figure 6: promotion timelines after fragmentation "
-           "(1/8 scale)",
-           "HawkEye (ASPLOS'19), Figure 6");
-
-    const std::vector<std::string> policies = {
-        "Linux-2MB", "Ingens-90%", "HawkEye-PMU", "HawkEye-G"};
-
-    for (const std::string wl : {"Graph500", "XSBench"}) {
-        std::vector<Timeline> lines;
-        for (const auto &p : policies)
-            lines.push_back(run(p, wl));
-
-        std::printf("\n%s — MMU overhead (%%) over time:\n",
-                    wl.c_str());
-        printRow({"t(s)", "Linux", "Ingens", "HawkEye-PMU",
-                  "HawkEye-G"});
-        for (double t = 10; t <= 150.0; t += 10.0) {
-            printRow({fmt(t, 0), fmt(at(lines[0].mmu, t), 1),
-                      fmt(at(lines[1].mmu, t), 1),
-                      fmt(at(lines[2].mmu, t), 1),
-                      fmt(at(lines[3].mmu, t), 1)});
-        }
-        std::printf("\n%s — allocated huge pages over time:\n",
-                    wl.c_str());
-        printRow({"t(s)", "Linux", "Ingens", "HawkEye-PMU",
-                  "HawkEye-G"});
-        for (double t = 10; t <= 150.0; t += 10.0) {
-            printRow({fmt(t, 0), fmt(at(lines[0].huge, t), 0),
-                      fmt(at(lines[1].huge, t), 0),
-                      fmt(at(lines[2].huge, t), 0),
-                      fmt(at(lines[3].huge, t), 0)});
-        }
-    }
-    std::printf(
-        "\nExpected shape (paper): HawkEye's overhead collapses "
-        "within the first third of the run (hot regions first), while "
-        "Linux/Ingens still show high overheads late; huge-page "
-        "counts grow at similar rates (same promotion budget) — the "
-        "difference is WHICH regions get promoted.\n");
-    return 0;
+    reg.add("fig6_promotion_timeline",
+            "Fig 6: promotion timelines after fragmentation "
+            "(1/8 scale)")
+        .axis("workload", {"Graph500", "XSBench"})
+        .axis("policy", {"Linux-2MB", "Ingens-90%", "HawkEye-PMU",
+                         "HawkEye-G"})
+        .run(run);
 }
+
+} // namespace bench

@@ -8,34 +8,35 @@
  * Ingens splits contiguity proportionally but scans low-to-high VAs,
  * missing the hot regions. HawkEye promotes the globally hottest
  * regions round-robin across instances: fair AND fast.
+ *
+ * Expected shape (paper, Table 5): Linux ~1.02-1.06x average speedup
+ * over Linux-4KB (one instance served at a time, imbalanced mid-run
+ * MMU overheads), Ingens ~1.00-1.02x, HawkEye ~1.13-1.15x with
+ * balanced overheads across the three instances. Speedups derive
+ * from the Linux-4KB rows.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
 namespace {
 
-struct InstanceOut
-{
-    std::vector<double> runtimeSec;
-    /** MMU overhead of each instance halfway through the run. */
-    std::vector<double> midMmuPct;
-};
-
-InstanceOut
-run(const std::string &policy_name, const std::string &wl_name)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
-    cfg.seed = 31;
+    cfg.seed = ctx.seed();
     cfg.metricsPeriod = sec(1);
     sim::System sys(cfg);
-    sys.setPolicy(makePolicy(policy_name));
+    sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 64);
     sys.costs().promotionsPerSec = 8.0;
 
     const workload::Scale s{12};
+    const std::string &wl_name = ctx.param("workload");
     for (int i = 0; i < 3; i++) {
         auto wl = wl_name == "Graph500"
                       ? workload::makeGraph500(sys.rng().fork(), s,
@@ -47,65 +48,48 @@ run(const std::string &policy_name, const std::string &wl_name)
     }
     sys.runUntilAllDone(sec(1200));
 
-    InstanceOut out;
+    harness::RunOutput out;
+    int i = 0;
     for (auto &proc : sys.processes()) {
-        out.runtimeSec.push_back(
-            static_cast<double>(proc->runtime()) / 1e9);
-        const auto &mmu = sys.metrics().series(
-            "p" + std::to_string(proc->pid()) + ".mmu_overhead");
+        i++;
+        std::string runtime_name = "runtime_s_";
+        runtime_name += std::to_string(i);
+        out.scalar(runtime_name,
+                   static_cast<double>(proc->runtime()) / 1e9);
+        // MMU overhead of the instance halfway through the run.
+        std::string mmu_name = "p";
+        mmu_name += std::to_string(proc->pid());
+        mmu_name += ".mmu_overhead";
+        const auto &mmu = sys.metrics().series(mmu_name);
         double mid = 0.0;
         for (const auto &pt : mmu.points()) {
             if (static_cast<double>(pt.time) / 1e9 > 60.0)
                 break;
             mid = pt.value;
         }
-        out.midMmuPct.push_back(mid);
+        std::string mid_name = "mmu_at_60s_";
+        mid_name += std::to_string(i);
+        out.scalar(mid_name, mid);
     }
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
     return out;
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Table 5 / Figure 7: three identical instances, "
-           "fragmented start (1/12 scale)",
-           "HawkEye (ASPLOS'19), Table 5 and Figure 7");
+namespace bench {
 
-    for (const std::string wl : {"Graph500", "XSBench"}) {
-        const InstanceOut base = run("Linux-4KB", wl);
-        const double base_avg = (base.runtimeSec[0] +
-                                 base.runtimeSec[1] +
-                                 base.runtimeSec[2]) /
-                                3.0;
-        std::printf("\n%s x3 (Linux-4KB baseline avg %.0fs):\n",
-                    wl.c_str(), base_avg);
-        printRow({"Policy", "T1(s)", "T2(s)", "T3(s)", "AvgSpeedup",
-                  "MMU@60s 1/2/3"},
-                 15);
-        for (const std::string pol :
-             {"Linux-2MB", "Ingens-90%", "HawkEye-PMU",
-              "HawkEye-G"}) {
-            const InstanceOut r = run(pol, wl);
-            const double avg = (r.runtimeSec[0] + r.runtimeSec[1] +
-                                r.runtimeSec[2]) /
-                               3.0;
-            printRow({pol, fmt(r.runtimeSec[0], 0),
-                      fmt(r.runtimeSec[1], 0),
-                      fmt(r.runtimeSec[2], 0),
-                      fmt(base_avg / avg, 3),
-                      fmt(r.midMmuPct[0], 0) + "/" +
-                          fmt(r.midMmuPct[1], 0) + "/" +
-                          fmt(r.midMmuPct[2], 0)},
-                     15);
-        }
-    }
-    std::printf(
-        "\nExpected shape (paper, Table 5): Linux ~1.02-1.06x (one "
-        "instance at a time, imbalanced mid-run MMU overheads), "
-        "Ingens ~1.00-1.02x, HawkEye ~1.13-1.15x with balanced "
-        "overheads across the three instances.\n");
-    return 0;
+void
+registerFig7Table5Identical(harness::Registry &reg)
+{
+    reg.add("fig7_table5_identical",
+            "Table 5 / Fig 7: three identical instances, fragmented "
+            "start (1/12 scale)")
+        .axis("workload", {"Graph500", "XSBench"})
+        .axis("policy", {"Linux-4KB", "Linux-2MB", "Ingens-90%",
+                         "HawkEye-PMU", "HawkEye-G"})
+        .run(run);
 }
+
+} // namespace bench

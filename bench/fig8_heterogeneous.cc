@@ -9,27 +9,36 @@
  * *larger* (but TLB-insensitive) Redis. HawkEye allocates to the
  * process with the highest (measured or estimated) MMU overhead,
  * regardless of order or size.
+ *
+ * Expected shape (paper): Linux helps the sensitive app only in the
+ * order where it launches first — launched second, Linux wastes the
+ * huge pages on Redis. Ingens favours Redis in both orders
+ * (proportional share + uniform Redis accesses). HawkEye delivers
+ * 15-60% regardless of order. HawkEye-PMU tracks HawkEye-G closely
+ * here (single sensitive process), so only the G variant runs.
+ * Speedups derive from the Linux-4KB rows at matching order.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
 namespace {
 
-double
-run(const std::string &policy_name, const std::string &wl_name,
-    bool sensitive_first)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(8);
-    cfg.seed = 55;
+    cfg.seed = ctx.seed();
     sim::System sys(cfg);
-    sys.setPolicy(makePolicy(policy_name));
+    sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 64);
     sys.costs().promotionsPerSec = 8.0;
 
     const workload::Scale s{12};
+    const std::string &wl_name = ctx.param("workload");
     auto mkSensitive = [&]() -> std::unique_ptr<workload::Workload> {
         if (wl_name == "Graph500")
             return workload::makeGraph500(sys.rng().fork(), s, 120);
@@ -38,7 +47,7 @@ run(const std::string &policy_name, const std::string &wl_name,
         return workload::makeNpb("cg", sys.rng().fork(), s, 120);
     };
     sim::Process *sensitive = nullptr;
-    if (sensitive_first) {
+    if (ctx.param("order") == "sensitive-first") {
         sensitive = &sys.addProcess(wl_name, mkSensitive());
         sys.addProcess("redis", workload::makeRedisLight(
                                     sys.rng().fork(), s, 1e6));
@@ -48,42 +57,31 @@ run(const std::string &policy_name, const std::string &wl_name,
         sensitive = &sys.addProcess(wl_name, mkSensitive());
     }
     sys.runUntilAllDone(sec(1200));
-    return static_cast<double>(sensitive->runtime()) / 1e9;
+
+    harness::RunOutput out;
+    out.scalar("sensitive_runtime_s",
+               static_cast<double>(sensitive->runtime()) / 1e9);
+    out.scalar("sensitive_mmu_pct", sensitive->mmuOverheadPct());
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
+    return out;
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Figure 8: TLB-sensitive apps vs a lightly loaded Redis, "
-           "both launch orders (1/12 scale)",
-           "HawkEye (ASPLOS'19), Figure 8");
+namespace bench {
 
-    for (const std::string wl : {"Graph500", "cg.D"}) {
-        const double base_b = run("Linux-4KB", wl, true);
-        const double base_a = run("Linux-4KB", wl, false);
-        std::printf("\n%s speedup over baseline pages "
-                    "(Before = %s launched first):\n",
-                    wl.c_str(), wl.c_str());
-        printRow({"Policy", "Before", "After"}, 16);
-        // HawkEye-PMU tracks HawkEye-G closely here (single sensitive
-        // process); we run the G variant to keep the sweep fast.
-        for (const std::string pol :
-             {"Linux-2MB", "Ingens-90%", "HawkEye-G"}) {
-            const double before = run(pol, wl, true);
-            const double after = run(pol, wl, false);
-            printRow({pol, fmt(base_b / before, 3),
-                      fmt(base_a / after, 3)},
-                     16);
-        }
-    }
-    std::printf(
-        "\nExpected shape (paper): Linux helps the sensitive app only "
-        "in the (Before) order — in (After) it wastes huge pages on "
-        "Redis. Ingens favours Redis in both orders (proportional "
-        "share + uniform Redis accesses). HawkEye delivers 15-60%% "
-        "regardless of order.\n");
-    return 0;
+void
+registerFig8Heterogeneous(harness::Registry &reg)
+{
+    reg.add("fig8_heterogeneous",
+            "Fig 8: TLB-sensitive apps vs a lightly loaded Redis, "
+            "both launch orders (1/12 scale)")
+        .axis("workload", {"Graph500", "cg.D"})
+        .axis("policy",
+              {"Linux-4KB", "Linux-2MB", "Ingens-90%", "HawkEye-G"})
+        .axis("order", {"sensitive-first", "redis-first"})
+        .run(run);
 }
+
+} // namespace bench

@@ -4,51 +4,35 @@
  * touch-one-byte-per-page microbenchmark (~100GB of allocation in
  * the paper; scaled 1/8 here).
  *
- * Columns reproduce the paper's five configurations:
+ * The config axis reproduces the paper's five configurations:
  *   Linux-4KB / Linux-2MB (sync zeroing), Ingens-90% (async
  *   promotion), and the no-page-zeroing variants, realized in
  *   HawkSim as HawkEye's async pre-zeroed free lists (4KB and 2MB).
+ *
+ * Expected shape (paper): Linux-2MB cuts faults ~512x vs Linux-4KB
+ * but pays ~465us per fault; Ingens keeps base-page fault counts
+ * (slowest overall); async pre-zeroing (HawkEye-2MB) gets few
+ * faults AND low latency -> fastest.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
 namespace {
 
-struct Result
-{
-    std::string config;
-    std::uint64_t faults;
-    double totalFaultSec;
-    double avgFaultUs;
-    double totalSec;
-};
-
-Result
-run(const std::string &config)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
     // Keep the paper's memory:buffer ratio (96GB : 10GB, here /8):
     // most allocations can then come from boot-zeroed / pre-zeroed
     // free lists, as on the authors' testbed.
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(12);
-    cfg.seed = 101;
+    cfg.seed = ctx.seed();
     sim::System sys(cfg);
-
-    std::unique_ptr<policy::HugePagePolicy> pol;
-    if (config == "HawkEye-4KB") {
-        // Pre-zeroing without huge pages: base faults from the zero
-        // lists ("no page-zeroing Linux-4KB" in Table 1).
-        core::HawkEyeConfig c;
-        c.faultHuge = false;
-        pol = std::make_unique<core::HawkEyePolicy>(c);
-    } else if (config == "HawkEye-2MB") {
-        pol = std::make_unique<core::HawkEyePolicy>();
-    } else {
-        pol = makePolicy(config);
-    }
-    sys.setPolicy(std::move(pol));
+    sys.setPolicy(makePolicy(ctx.param("config")));
 
     // 10GB buffer touched one byte per page, x10 runs => 100GB of
     // allocations (scaled 1/8: 1.25GB x 10).
@@ -61,43 +45,35 @@ run(const std::string &config)
                      "touch", lc, sys.rng().fork()));
     sys.runUntilAllDone(sec(4000));
 
-    Result r;
-    r.config = config;
-    r.faults = proc.pageFaults();
-    r.totalFaultSec = static_cast<double>(proc.faultTime()) / 1e9;
-    r.avgFaultUs = proc.pageFaults()
-                       ? static_cast<double>(proc.faultTime()) / 1e3 /
-                             static_cast<double>(proc.pageFaults())
-                       : 0.0;
-    r.totalSec = static_cast<double>(proc.runtime()) / 1e9;
-    return r;
+    harness::RunOutput out;
+    out.scalar("faults", static_cast<double>(proc.pageFaults()));
+    out.scalar("fault_time_s",
+               static_cast<double>(proc.faultTime()) / 1e9);
+    out.scalar("avg_fault_us",
+               proc.pageFaults()
+                   ? static_cast<double>(proc.faultTime()) / 1e3 /
+                         static_cast<double>(proc.pageFaults())
+                   : 0.0);
+    out.scalar("total_s",
+               static_cast<double>(proc.runtime()) / 1e9);
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
+    return out;
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Table 1: page-fault cost of the linear-touch "
-           "microbenchmark (1/8 scale)",
-           "HawkEye (ASPLOS'19), Table 1");
+namespace bench {
 
-    printRow({"Config", "#Faults", "FaultTime(s)", "AvgFault(us)",
-              "Total(s)"});
-    printRow({"------", "-------", "------------", "------------",
-              "--------"});
-    for (const std::string config :
-         {"Linux-4KB", "Linux-2MB", "Ingens-90%", "HawkEye-4KB",
-          "HawkEye-2MB"}) {
-        const Result r = run(config);
-        printRow({r.config, fmtInt(r.faults), fmt(r.totalFaultSec, 1),
-                  fmt(r.avgFaultUs, 2), fmt(r.totalSec, 1)});
-    }
-    std::printf(
-        "\nExpected shape (paper): Linux-2MB cuts faults ~512x vs "
-        "Linux-4KB but pays ~465us per fault; Ingens keeps base-page "
-        "fault counts (slowest overall); async pre-zeroing (HawkEye-"
-        "2MB) gets few faults AND low latency -> fastest.\n");
-    return 0;
+void
+registerTable1FaultLatency(harness::Registry &reg)
+{
+    reg.add("table1_fault_latency",
+            "Table 1: page-fault cost of the linear-touch "
+            "microbenchmark (1/8 scale)")
+        .axis("config", {"Linux-4KB", "Linux-2MB", "Ingens-90%",
+                         "HawkEye-4KB", "HawkEye-2MB"})
+        .run(run);
 }
+
+} // namespace bench

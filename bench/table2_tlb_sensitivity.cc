@@ -4,109 +4,83 @@
  * actually TLB-sensitive (> 3% speedup from huge pages).
  *
  * Each of the 79 catalogued profiles runs once with base pages and
- * once with transparent huge pages; the classification is measured
- * through the TLB model, then compared against the paper's counts.
+ * once with transparent huge pages; an app is TLB-sensitive when the
+ * 4kb/2mb ratio of steady_runtime_s exceeds 1.03. The
+ * paper_sensitive scalar carries the paper's own classification for
+ * the agreement count.
+ *
+ * Expected shape (paper): 15 of 79 applications (<20%) gain more
+ * than 3% from huge pages — huge pages matter a lot, but only to a
+ * minority of applications, which is why fair allocation should
+ * equalize MMU overheads, not huge page counts.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 #include "workload/suite.hh"
-
-#include <map>
 
 using namespace bench;
 
 namespace {
 
-double
-run(const workload::SuiteApp &app, bool thp)
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
+    const std::string &app_name = ctx.param("app");
+    const auto catalog = workload::table2Catalog();
+    const workload::SuiteApp *app = nullptr;
+    for (const auto &a : catalog) {
+        if (a.name == app_name)
+            app = &a;
+    }
+    HS_ASSERT(app, "unknown table2 app '", app_name, "'");
+
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(4);
-    cfg.seed = 7;
+    cfg.seed = ctx.seed();
     cfg.metricsPeriod = 0;
     sim::System sys(cfg);
     policy::LinuxConfig lc;
-    lc.thp = thp;
+    lc.thp = ctx.param("pages") == "2mb";
     sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>(lc));
-    workload::StreamConfig wc = app.config;
+    workload::StreamConfig wc = app->config;
     // Scale the profile 1/2 to keep the sweep fast; ratios survive.
     wc.footprintBytes /= 2;
     wc.wssBytes /= 2;
-    sys.addProcess(app.name,
+    sys.addProcess(app->name,
                    std::make_unique<workload::StreamWorkload>(
-                       app.name, wc, sys.rng().fork()));
+                       app->name, wc, sys.rng().fork()));
     sys.runUntilAllDone(sec(300));
+    const auto &proc = *sys.processes()[0];
+
+    harness::RunOutput out;
     // Classify on steady-state execution: exclude allocation-phase
     // fault latency (Table 2 is about translation overheads, not the
     // Table 1 fault-path effects).
-    const auto &proc = *sys.processes()[0];
-    return static_cast<double>(proc.runtime() - proc.faultTime()) /
-           1e9;
+    out.scalar("steady_runtime_s",
+               static_cast<double>(proc.runtime() - proc.faultTime()) /
+                   1e9);
+    out.scalar("paper_sensitive", app->paperSensitive ? 1.0 : 0.0);
+    out.simTimeNs = sys.now();
+    return out;
 }
 
 } // namespace
 
-int
-main()
+namespace bench {
+
+void
+registerTable2TlbSensitivity(harness::Registry &reg)
 {
-    setLogQuiet(true);
-    banner("Table 2: TLB-sensitive applications per suite "
-           "(measured speedup > 3%)",
-           "HawkEye (ASPLOS'19), Table 2");
-
-    struct SuiteCount
-    {
-        int total = 0;
-        int sensitive = 0;
-        int paperSensitive = 0;
-        int agree = 0;
-        std::string sensitiveNames;
-    };
-    std::map<std::string, SuiteCount> counts;
-
-    const auto catalog = workload::table2Catalog();
-    for (const auto &app : catalog) {
-        const double t4k = run(app, false);
-        const double t2m = run(app, true);
-        const double speedup = t4k / t2m;
-        const bool sensitive = speedup > 1.03;
-        SuiteCount &c = counts[app.suite];
-        c.total++;
-        if (sensitive) {
-            c.sensitive++;
-            if (!c.sensitiveNames.empty())
-                c.sensitiveNames += ", ";
-            c.sensitiveNames += app.name;
-        }
-        if (app.paperSensitive)
-            c.paperSensitive++;
-        if (sensitive == app.paperSensitive)
-            c.agree++;
-    }
-
-    printRow({"Suite", "Total", "Sens.", "Paper", "Agree"}, 12);
-    int total = 0, sens = 0, paper = 0, agree = 0;
-    for (const auto &[suite, c] : counts) {
-        printRow({suite, fmtInt(c.total), fmtInt(c.sensitive),
-                  fmtInt(c.paperSensitive), fmtInt(c.agree)},
-                 12);
-        total += c.total;
-        sens += c.sensitive;
-        paper += c.paperSensitive;
-        agree += c.agree;
-    }
-    printRow({"Total", fmtInt(total), fmtInt(sens), fmtInt(paper),
-              fmtInt(agree)},
-             12);
-    std::printf("\nMeasured TLB-sensitive applications:\n");
-    for (const auto &[suite, c] : counts)
-        std::printf("  %-12s %s\n", suite.c_str(),
-                    c.sensitiveNames.c_str());
-    std::printf(
-        "\nExpected shape (paper): 15 of 79 applications (<20%%) "
-        "gain more than 3%% from huge pages — huge pages matter a "
-        "lot, but only to a minority of applications, which is why "
-        "fair allocation should equalize MMU overheads, not huge "
-        "page counts.\n");
-    return 0;
+    std::vector<std::string> apps;
+    for (const auto &a : workload::table2Catalog())
+        apps.push_back(a.name);
+    reg.add("table2_tlb_sensitivity",
+            "Table 2: TLB-sensitive applications per suite "
+            "(measured speedup > 3%)")
+        .axis("app", apps)
+        .axis("pages", {"4kb", "2mb"})
+        .run(run);
 }
+
+} // namespace bench

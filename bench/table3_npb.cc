@@ -6,32 +6,38 @@
  *
  * mg.D has a ~24GB WSS but walks sequentially (prefetch hides walk
  * latency); cg.D has a ~8GB WSS of random gathers and suffers ~39%
- * walk cycles. The "virtual" columns run the same profiles under a
- * nested (2-D) translation configuration.
+ * walk cycles. The "virtual" rows run the same profiles under a
+ * nested (2-D) translation configuration. Speedups derive from the
+ * pages=4kb rows at matching translation.
+ *
+ * miss_pct is the TLB miss rate of the sampled access stream;
+ * sampling sparsity inflates it uniformly — compare across rows,
+ * not against the paper's per-instruction rates.
+ *
+ * Expected shape (paper): cg.D (small-ish WSS, random) has by far
+ * the highest overhead (~39% cycles, 1.62x native / 2.7x virtual
+ * speedup); mg.D (largest WSS, sequential) has ~1%; virtualized
+ * speedups exceed native ones (nested walks amplify translation
+ * costs).
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
 namespace {
 
-struct Out
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
-    double missPct4k;
-    double cycles4k;
-    double cycles2m;
-    double speedupNative;
-    double speedupVirtual;
-};
+    const std::string &which = ctx.param("workload");
+    const bool thp = ctx.param("pages") == "2mb";
+    const bool virt = ctx.param("translation") == "virtual";
 
-double
-runOne(const std::string &which, bool thp, bool virt,
-       double *mmu_pct, double *miss_pct)
-{
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
-    cfg.seed = 5;
+    cfg.seed = ctx.seed();
     sim::System sys(cfg);
     policy::LinuxConfig lc;
     lc.thp = thp;
@@ -43,69 +49,43 @@ runOne(const std::string &which, bool thp, bool virt,
                               tlb::TlbConfig::haswellVirtualized())
              : sys.addProcess(which, std::move(wl));
     sys.runUntilAllDone(sec(600));
-    if (mmu_pct)
-        *mmu_pct = proc.mmuOverheadPct();
-    if (miss_pct)
-        *miss_pct = proc.counters().missRate() * 100.0;
-    return static_cast<double>(proc.runtime()) / 1e9;
-}
 
-Out
-run(const std::string &which)
-{
-    Out o{};
-    double t4k_n =
-        runOne(which, false, false, &o.cycles4k, &o.missPct4k);
-    double t2m_n = runOne(which, true, false, &o.cycles2m, nullptr);
-    double t4k_v = runOne(which, false, true, nullptr, nullptr);
-    double t2m_v = runOne(which, true, true, nullptr, nullptr);
-    o.speedupNative = t4k_n / t2m_n;
-    o.speedupVirtual = t4k_v / t2m_v;
-    return o;
+    harness::RunOutput out;
+    out.scalar("runtime_s",
+               static_cast<double>(proc.runtime()) / 1e9);
+    out.scalar("mmu_pct", proc.mmuOverheadPct());
+    out.scalar("miss_pct", proc.counters().missRate() * 100.0);
+    // Configured footprints at paper scale, for the table's RSS/WSS
+    // columns (identical across the pages/translation axes).
+    auto probe =
+        workload::makeNpb(which, Rng(1), workload::Scale{1}, 1);
+    out.scalar("rss_gb",
+               static_cast<double>(probe->config().footprintBytes) /
+                   (1ull << 30));
+    out.scalar("wss_gb",
+               static_cast<double>(
+                   probe->config().wssBytes
+                       ? probe->config().wssBytes
+                       : probe->config().footprintBytes) /
+                   (1ull << 30));
+    out.simTimeNs = sys.now();
+    return out;
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Table 3: NPB profiles — WSS does not predict MMU "
-           "overhead (1/8 scale)",
-           "HawkEye (ASPLOS'19), Table 3");
+namespace bench {
 
-    printRow({"Workload", "RSS", "WSS", "miss/acc*", "cyc%-4K",
-              "cyc%-2M", "native", "virtual"},
-             11);
-    for (const std::string which :
-         {"bt", "sp", "lu", "mg", "cg", "ft", "ua"}) {
-        // Report configured footprints at paper scale for context.
-        auto probe = workload::makeNpb(which, Rng(1),
-                                       workload::Scale{1}, 1);
-        const double rss_gb =
-            static_cast<double>(probe->config().footprintBytes) /
-            (1ull << 30);
-        const double wss_gb =
-            static_cast<double>(probe->config().wssBytes
-                                    ? probe->config().wssBytes
-                                    : probe->config().footprintBytes) /
-            (1ull << 30);
-        const Out o = run(which);
-        printRow({which + ".D", fmt(rss_gb, 0) + "GB",
-                  fmt(wss_gb, 0) + "GB", fmt(o.missPct4k, 2),
-                  fmt(o.cycles4k, 2), fmt(o.cycles2m, 2),
-                  fmt(o.speedupNative, 2), fmt(o.speedupVirtual, 2)},
-                 11);
-    }
-    std::printf(
-        "\n(*) miss/acc is the TLB miss rate of the sampled access "
-        "stream; sampling sparsity inflates it uniformly — compare "
-        "across rows, not against the paper's per-instruction "
-        "rates.\n"
-        "Expected shape (paper): cg.D (small-ish WSS, random) has "
-        "by far the highest overhead (~39%% cycles, 1.62x native / "
-        "2.7x virtual speedup); mg.D (largest WSS, sequential) has "
-        "~1%%; virtualized speedups exceed native ones (nested "
-        "walks amplify translation costs).\n");
-    return 0;
+void
+registerTable3Npb(harness::Registry &reg)
+{
+    reg.add("table3_npb",
+            "Table 3: NPB profiles — WSS does not predict MMU "
+            "overhead (1/8 scale)")
+        .axis("workload", {"bt", "sp", "lu", "mg", "cg", "ft", "ua"})
+        .axis("pages", {"4kb", "2mb"})
+        .axis("translation", {"native", "virtual"})
+        .run(run);
 }
+
+} // namespace bench

@@ -7,10 +7,18 @@
  * khugepaged); Ingens-90% avoids it but pays base-page overheads;
  * Ingens-50% behaves like Linux; HawkEye is self-tuning: full
  * huge-page throughput with no memory pressure, and recovered memory
- * under pressure.
+ * under pressure. Table 7 studies the utilization threshold itself,
+ * so the Ingens variants run with fixed (non-FMFI-adaptive)
+ * thresholds, as the paper's text describes.
+ *
+ * Expected shape (paper): Linux-2MB and Ingens-50% keep ~2x the
+ * memory of Linux-4KB/Ingens-90% for ~7% more throughput; HawkEye
+ * matches the fast configs without pressure and sheds the bloat
+ * (memory drops to the 4KB level) under pressure.
  */
 
 #include "bench_common.hh"
+#include "experiments.hh"
 
 using namespace bench;
 
@@ -18,34 +26,20 @@ namespace {
 
 constexpr std::uint64_t kScale = 8;
 
-struct Out
+harness::RunOutput
+run(const harness::RunContext &ctx)
 {
-    double memGb;
-    double throughputKops;
-};
+    const std::string &config = ctx.param("config");
+    const bool memory_pressure = config == "HawkEye-pressure";
+    const std::string policy_name =
+        (config == "HawkEye" || memory_pressure) ? "HawkEye-2MB"
+                                                 : config;
 
-Out
-run(const std::string &policy_name, bool memory_pressure)
-{
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(48) / kScale;
-    cfg.seed = 9;
+    cfg.seed = ctx.seed();
     sim::System sys(cfg);
-    if (policy_name == "HawkEye") {
-        sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
-    } else if (policy_name == "Ingens-90%" ||
-               policy_name == "Ingens-50%") {
-        // Table 7 studies the utilization threshold itself, so the
-        // Ingens variants run with fixed (non-FMFI-adaptive)
-        // thresholds, as the paper's text describes.
-        policy::IngensConfig ic;
-        ic.utilThreshold =
-            policy_name == "Ingens-90%" ? 0.90 : 0.50;
-        ic.alwaysConservative = true;
-        sys.setPolicy(std::make_unique<policy::IngensPolicy>(ic));
-    } else {
-        sys.setPolicy(makePolicy(policy_name));
-    }
+    sys.setPolicy(makePolicy(policy_name));
 
     workload::KvConfig kc;
     kc.arenaBytes = GiB(8);
@@ -85,53 +79,31 @@ run(const std::string &policy_name, bool memory_pressure)
     const TimeNs t0 = sys.now();
     sys.run(sec(60));
     const double ops = static_cast<double>(proc.windowOps());
-    const double secs =
-        static_cast<double>(sys.now() - t0) / 1e9;
+    const double secs = static_cast<double>(sys.now() - t0) / 1e9;
 
-    Out out;
-    out.memGb = static_cast<double>(proc.space().rssPages()) *
-                kPageSize / (1ull << 30);
-    out.throughputKops = ops / secs / 1e3;
+    harness::RunOutput out;
+    out.scalar("mem_gb", static_cast<double>(proc.space().rssPages()) *
+                             kPageSize / (1ull << 30));
+    out.scalar("kops", ops / secs / 1e3);
+    out.simTimeNs = sys.now();
+    out.metrics = std::move(sys.metrics());
     return out;
 }
 
 } // namespace
 
-int
-main()
-{
-    setLogQuiet(true);
-    banner("Table 7: Redis memory vs throughput under bloat "
-           "(1/8 scale)",
-           "HawkEye (ASPLOS'19), Table 7");
+namespace bench {
 
-    printRow({"Kernel", "SelfTuning", "Memory(GB)", "Kops/s"}, 26);
-    struct Row
-    {
-        const char *policy;
-        const char *label;
-        bool pressure;
-        const char *selfTuning;
-    };
-    const Row rows[] = {
-        {"Linux-4KB", "Linux-4KB", false, "No"},
-        {"Linux-2MB", "Linux-2MB", false, "No"},
-        {"Ingens-90%", "Ingens-90%", false, "No"},
-        {"Ingens-50%", "Ingens-50%", false, "No"},
-        {"HawkEye", "HawkEye (no pressure)", false, "Yes"},
-        {"HawkEye", "HawkEye (mem pressure)", true, "Yes"},
-    };
-    for (const Row &row : rows) {
-        const Out o = run(row.policy, row.pressure);
-        printRow({row.label, row.selfTuning, fmt(o.memGb, 2),
-                  fmt(o.throughputKops, 1)},
-                 26);
-    }
-    std::printf(
-        "\nExpected shape (paper): Linux-2MB and Ingens-50%% keep "
-        "~2x the memory of Linux-4KB/Ingens-90%% for ~7%% more "
-        "throughput; HawkEye matches the fast configs without "
-        "pressure and sheds the bloat (memory drops to the 4KB "
-        "level) under pressure.\n");
-    return 0;
+void
+registerTable7RedisBloat(harness::Registry &reg)
+{
+    reg.add("table7_redis_bloat",
+            "Table 7: Redis memory vs throughput under bloat "
+            "(1/8 scale)")
+        .axis("config",
+              {"Linux-4KB", "Linux-2MB", "Ingens-90%-fixed",
+               "Ingens-50%-fixed", "HawkEye", "HawkEye-pressure"})
+        .run(run);
 }
+
+} // namespace bench

@@ -1,21 +1,24 @@
 /**
  * @file
  * Replay a memory trace against a chosen policy and dump the metrics
- * time series as CSV.
+ * time series as CSV (or harness-report JSON with --json).
  *
- *   $ ./trace_replay [trace-file [policy]]
+ *   $ ./trace_replay [trace-file [policy [--json]]]
  *
  * With no arguments a built-in demonstration trace is replayed under
  * HawkEye. Policies: linux4k linux2m freebsd ingens hawkeye
- * hawkeye-pmu. CSV goes to stdout after the summary (redirect it for
- * plotting).
+ * hawkeye-pmu. Output goes to stdout after the summary (redirect it
+ * for plotting); --json emits the same "metrics" object the
+ * hawksim_bench reports use, so one set of tooling reads both.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "harness/runner.hh"
 #include "hawksim.hh"
 #include "workload/trace.hh"
 
@@ -60,6 +63,11 @@ int
 main(int argc, char **argv)
 {
     setLogQuiet(true);
+    bool json = false;
+    if (argc > 1 && std::strcmp(argv[argc - 1], "--json") == 0) {
+        json = true;
+        argc--;
+    }
     std::string policy = argc > 2 ? argv[2] : "hawkeye";
 
     sim::SystemConfig cfg;
@@ -93,6 +101,10 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(proc.pageFaults()),
                  static_cast<double>(proc.faultTime()) / 1e6,
                  proc.mmuOverheadPct());
-    sys.metrics().writeCsv(std::cout);
+    if (json)
+        std::cout << harness::metricsToJson(sys.metrics()).dumpPretty()
+                  << "\n";
+    else
+        sys.metrics().writeCsv(std::cout);
     return 0;
 }

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Collision-free packing of a (pid, page/region index) pair into one
+ * 64-bit map key.
+ *
+ * Several subsystems index per-process page state in flat hash maps
+ * (swap marks, FreeBSD reservations, bloat-recovery scan sets). The
+ * historical idiom `(uint64(pid) << 40) ^ vpn` let a large index
+ * alias another pid's entry: any vpn with bits above bit 39 XORs
+ * into the pid field. pageKey() packs instead of mixing — pid in the
+ * high 16 bits, the 48-bit index below it — so distinct inputs can
+ * never collide.
+ */
+
+#ifndef HAWKSIM_BASE_PAGE_KEY_HH
+#define HAWKSIM_BASE_PAGE_KEY_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace hawksim {
+
+/** Number of low bits reserved for the page/region index. */
+constexpr unsigned kPageKeyIndexBits = 48;
+/** Mask of the index field. */
+constexpr std::uint64_t kPageKeyIndexMask =
+    (1ull << kPageKeyIndexBits) - 1;
+
+/**
+ * Pack @p pid and a page or huge-region index @p vpn into a unique
+ * 64-bit key. x86-64 canonical user VAs give 48-bit vpns at most
+ * (36 bits of page number + slack), and simulated pids are small
+ * positive integers, so both asserts are invariants, not limits.
+ */
+inline std::uint64_t
+pageKey(std::int32_t pid, std::uint64_t vpn)
+{
+    HS_ASSERT(pid >= 0 && pid < (1 << 16),
+              "pageKey pid out of range: ", pid);
+    HS_ASSERT((vpn & ~kPageKeyIndexMask) == 0,
+              "pageKey index wider than 48 bits: ", vpn);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+            << kPageKeyIndexBits) |
+           (vpn & kPageKeyIndexMask);
+}
+
+} // namespace hawksim
+
+#endif // HAWKSIM_BASE_PAGE_KEY_HH

@@ -3,24 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "base/page_key.hh"
 #include "mem/content.hh"
 #include "sim/process.hh"
 #include "sim/system.hh"
 
 namespace hawksim::core {
-
-namespace {
-
-/** Key mixing pid into the region id for the scanned set. */
-std::uint64_t
-scanKey(std::int32_t pid, std::uint64_t region)
-{
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
-            << 40) ^
-           region;
-}
-
-} // namespace
 
 void
 BloatRecovery::periodic(sim::System &sys, TimeNs dt,
@@ -64,14 +52,14 @@ BloatRecovery::periodic(sim::System &sys, TimeNs dt,
         std::vector<std::uint64_t> targets;
         proc->space().forEachEligibleRegion([&](std::uint64_t r) {
             if (proc->space().pageTable().isHuge(r) &&
-                !scanned_.count(scanKey(proc->pid(), r))) {
+                !scanned_.count(pageKey(proc->pid(), r))) {
                 targets.push_back(r);
             }
         });
         for (std::uint64_t region : targets) {
             if (scan_budget_ <= 0.0)
                 return;
-            scanned_.insert(scanKey(proc->pid(), region));
+            scanned_.insert(pageKey(proc->pid(), region));
             scanRegion(sys, *proc, region);
             if (sys.phys().usedFraction() < low_) {
                 active_ = false;

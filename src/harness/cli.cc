@@ -1,0 +1,187 @@
+#include "harness/cli.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "harness/runner.hh"
+
+namespace hawksim::harness {
+
+namespace {
+
+void
+printUsage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "  --list           list experiments and grid sizes, then exit\n"
+        "  --filter SUBSTR  run only grid points whose experiment name\n"
+        "                   or \"name/label\" contains SUBSTR\n"
+        "  --jobs N         worker threads (default: all cores);\n"
+        "                   the report is identical for any N\n"
+        "  --seed S         master seed (default 42)\n"
+        "  --out FILE       canonical JSON report\n"
+        "                   (default results/bench.json)\n"
+        "  --profile FILE   also write wall-clock profile JSON\n"
+        "  --pretty         indent the report\n"
+        "  --quiet          no per-run progress on stderr\n"
+        "  --help           this text\n",
+        argv0);
+}
+
+bool
+parseUint(const char *s, std::uint64_t &out)
+{
+    const char *end = s + std::strlen(s);
+    auto res = std::from_chars(s, end, out);
+    return res.ec == std::errc() && res.ptr == end;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         p.parent_path().c_str(),
+                         ec.message().c_str());
+            return false;
+        }
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    os << content;
+    return os.good();
+}
+
+} // namespace
+
+int
+runCli(int argc, char **argv, Registry &reg)
+{
+    RunnerOptions opts;
+    opts.verbose = true;
+    bool list = false;
+    bool pretty = false;
+    std::string out_path = "results/bench.json";
+    std::string profile_path;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--filter") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            opts.filter = v;
+        } else if (arg == "--jobs") {
+            const char *v = value();
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n)) {
+                std::fprintf(stderr, "bad --jobs value\n");
+                return 2;
+            }
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--seed") {
+            const char *v = value();
+            std::uint64_t s = 0;
+            if (!v || !parseUint(v, s)) {
+                std::fprintf(stderr, "bad --seed value\n");
+                return 2;
+            }
+            opts.masterSeed = s;
+        } else if (arg == "--out") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            out_path = v;
+        } else if (arg == "--profile") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            profile_path = v;
+        } else if (arg == "--pretty") {
+            pretty = true;
+        } else if (arg == "--quiet") {
+            opts.verbose = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            printUsage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (list) {
+        std::uint64_t total = 0;
+        for (const auto &exp : reg.experiments()) {
+            std::uint64_t matching = 0;
+            for (const RunPoint &pt : exp->expand()) {
+                if (Runner::matches(opts.filter, pt))
+                    matching++;
+            }
+            total += matching;
+            std::printf("%-28s %4llu/%llu points  %s\n",
+                        exp->name().c_str(),
+                        static_cast<unsigned long long>(matching),
+                        static_cast<unsigned long long>(
+                            exp->gridSize()),
+                        exp->description().c_str());
+        }
+        std::printf("total: %llu grid points%s\n",
+                    static_cast<unsigned long long>(total),
+                    opts.filter.empty()
+                        ? ""
+                        : (" (filter: " + opts.filter + ")").c_str());
+        return 0;
+    }
+
+    setLogQuiet(true);
+    Runner runner(opts);
+    const Report report = runner.run(reg);
+    if (report.runs.empty()) {
+        std::fprintf(stderr,
+                     "no grid points matched filter '%s'\n",
+                     opts.filter.c_str());
+        return 1;
+    }
+
+    const Json json = report.toJson();
+    if (!writeFile(out_path,
+                   pretty ? json.dumpPretty() : json.dump()))
+        return 1;
+    if (!profile_path.empty() &&
+        !writeFile(profile_path, report.profileJson().dumpPretty()))
+        return 1;
+
+    std::printf("%zu runs in %.1f s (wall), report: %s\n",
+                report.runs.size(), report.totalWallMs / 1e3,
+                out_path.c_str());
+    return 0;
+}
+
+} // namespace hawksim::harness

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Command-line front end of the experiment harness.
+ *
+ * `hawksim_bench` usage:
+ *
+ *   hawksim_bench [--list] [--filter SUBSTR] [--jobs N] [--seed S]
+ *                 [--out FILE] [--profile FILE] [--pretty] [--quiet]
+ *
+ * The canonical JSON report (deterministic for a given seed/filter,
+ * independent of --jobs) is written to --out
+ * (default results/bench.json); wall-clock profiling, which *does*
+ * vary run to run, goes to --profile when requested.
+ */
+
+#ifndef HAWKSIM_HARNESS_CLI_HH
+#define HAWKSIM_HARNESS_CLI_HH
+
+#include "harness/experiment.hh"
+
+namespace hawksim::harness {
+
+/** Run the CLI against @p reg; returns the process exit code. */
+int runCli(int argc, char **argv, Registry &reg);
+
+} // namespace hawksim::harness
+
+#endif // HAWKSIM_HARNESS_CLI_HH

@@ -1,0 +1,101 @@
+#include "harness/experiment.hh"
+
+#include "base/logging.hh"
+
+namespace hawksim::harness {
+
+const std::string &
+RunPoint::param(std::string_view axis) const
+{
+    for (const auto &[k, v] : params) {
+        if (k == axis)
+            return v;
+    }
+    HS_FATAL("experiment ", experiment, " has no axis '",
+             std::string(axis), "'");
+}
+
+std::string
+RunPoint::label() const
+{
+    std::string out;
+    for (const auto &[k, v] : params) {
+        if (!out.empty())
+            out.push_back(' ');
+        out += k;
+        out.push_back('=');
+        out += v;
+    }
+    return out;
+}
+
+Experiment &
+Experiment::axis(std::string axis_name,
+                 std::vector<std::string> values)
+{
+    HS_ASSERT(!values.empty(), "axis '", axis_name,
+              "' of experiment ", name_, " has no values");
+    for (const Axis &a : axes_) {
+        HS_ASSERT(a.name != axis_name, "duplicate axis '", axis_name,
+                  "' in experiment ", name_);
+    }
+    axes_.push_back({std::move(axis_name), std::move(values)});
+    return *this;
+}
+
+std::uint64_t
+Experiment::gridSize() const
+{
+    std::uint64_t n = 1;
+    for (const Axis &a : axes_)
+        n *= a.values.size();
+    return n;
+}
+
+std::vector<RunPoint>
+Experiment::expand() const
+{
+    const std::uint64_t n = gridSize();
+    std::vector<RunPoint> points;
+    points.reserve(n);
+    for (std::uint64_t i = 0; i < n; i++) {
+        RunPoint pt;
+        pt.experiment = name_;
+        pt.index = i;
+        // Mixed-radix decomposition: last axis fastest.
+        std::uint64_t rem = i;
+        pt.params.resize(axes_.size());
+        for (std::size_t a = axes_.size(); a-- > 0;) {
+            const Axis &ax = axes_[a];
+            pt.params[a] = {ax.name,
+                            ax.values[rem % ax.values.size()]};
+            rem /= ax.values.size();
+        }
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+Experiment &
+Registry::add(std::string name, std::string description)
+{
+    for (const auto &e : experiments_) {
+        HS_ASSERT(e->name() != name, "duplicate experiment '", name,
+                  "'");
+    }
+    experiments_.push_back(std::make_unique<Experiment>(
+        std::move(name), std::move(description)));
+    return *experiments_.back();
+}
+
+Experiment *
+Registry::find(std::string_view name)
+{
+    for (const auto &e : experiments_) {
+        if (e->name() == name)
+            return e.get();
+    }
+    return nullptr;
+}
+
+} // namespace hawksim::harness

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Experiment registry for the harness: named experiments over a
+ * (policy × workload × config × seed) grid.
+ *
+ * A bench registers an Experiment with ordered axes and a run
+ * function; the harness expands the cartesian product into RunPoints
+ * (first axis slowest, lexicographic), derives a deterministic seed
+ * per point, and executes points across a thread pool. The run
+ * function builds its own sim::System from the RunContext and returns
+ * the run's Metrics plus named scalar results.
+ */
+
+#ifndef HAWKSIM_HARNESS_EXPERIMENT_HH
+#define HAWKSIM_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/metrics.hh"
+
+namespace hawksim::harness {
+
+/** One grid dimension: an axis name and its values. */
+struct Axis
+{
+    std::string name;
+    std::vector<std::string> values;
+};
+
+/** One expanded grid point of an experiment. */
+struct RunPoint
+{
+    std::string experiment;
+    /** Index of this point within the experiment's expanded grid. */
+    std::uint64_t index = 0;
+    /** (axis, value) pairs in axis declaration order. */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Value of @p axis; fatal if the axis does not exist. */
+    const std::string &param(std::string_view axis) const;
+    /** "axis=value axis=value" in axis order. */
+    std::string label() const;
+};
+
+/** Everything a run function gets to see. */
+class RunContext
+{
+  public:
+    RunContext(const RunPoint &point, std::uint64_t seed)
+        : point_(point), seed_(seed)
+    {}
+
+    const RunPoint &point() const { return point_; }
+    /** Deterministically derived seed for this grid point. */
+    std::uint64_t seed() const { return seed_; }
+    const std::string &
+    param(std::string_view axis) const
+    {
+        return point_.param(axis);
+    }
+
+  private:
+    const RunPoint &point_;
+    std::uint64_t seed_;
+};
+
+/** What a run returns: time series, events and scalar results. */
+struct RunOutput
+{
+    /** Moved out of the run's System (leave empty if none). */
+    sim::Metrics metrics;
+    /** Named scalar results in insertion order. */
+    std::vector<std::pair<std::string, double>> scalars;
+    /** Final simulated time of the run. */
+    TimeNs simTimeNs = 0;
+
+    void
+    scalar(std::string name, double v)
+    {
+        scalars.emplace_back(std::move(name), v);
+    }
+};
+
+using RunFn = std::function<RunOutput(const RunContext &)>;
+
+class Experiment
+{
+  public:
+    Experiment(std::string name, std::string description)
+        : name_(std::move(name)), description_(std::move(description))
+    {}
+
+    /** Append a grid axis. Returns *this for chaining. */
+    Experiment &
+    axis(std::string axis_name, std::vector<std::string> values);
+
+    /** Install the run function. Returns *this for chaining. */
+    Experiment &
+    run(RunFn fn)
+    {
+        fn_ = std::move(fn);
+        return *this;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return description_; }
+    const std::vector<Axis> &axes() const { return axes_; }
+    const RunFn &runFn() const { return fn_; }
+
+    /** Number of grid points (product of axis sizes; 1 if no axes). */
+    std::uint64_t gridSize() const;
+
+    /**
+     * Expand the grid in deterministic order: the first declared
+     * axis varies slowest, the last fastest.
+     */
+    std::vector<RunPoint> expand() const;
+
+  private:
+    std::string name_;
+    std::string description_;
+    std::vector<Axis> axes_;
+    RunFn fn_;
+};
+
+/** Ordered collection of registered experiments. */
+class Registry
+{
+  public:
+    /** Register a new experiment; fatal on duplicate names. */
+    Experiment &add(std::string name, std::string description);
+
+    Experiment *find(std::string_view name);
+    const std::vector<std::unique_ptr<Experiment>> &experiments() const
+    {
+        return experiments_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Experiment>> experiments_;
+};
+
+} // namespace hawksim::harness
+
+#endif // HAWKSIM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,418 @@
+#include "harness/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hawksim::harness {
+
+namespace {
+
+const Json kNullJson{};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(std::string &out, double v, bool is_int,
+             std::int64_t iv)
+{
+    if (is_int) {
+        char buf[32];
+        auto res = std::to_chars(buf, buf + sizeof(buf), iv);
+        out.append(buf, res.ptr);
+        return;
+    }
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null (deterministic and lossy by
+        // design — series should not contain non-finite samples).
+        out += "null";
+        return;
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+} // namespace
+
+const Json &
+Json::operator[](std::string_view key) const
+{
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return v;
+    }
+    return kNullJson;
+}
+
+bool
+Json::contains(std::string_view key) const
+{
+    for (const auto &[k, v] : members_) {
+        (void)v;
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+    switch (type_) {
+      case Type::kNull: out += "null"; break;
+      case Type::kBool: out += bool_ ? "true" : "false"; break;
+      case Type::kNumber: appendNumber(out, num_, is_int_, int_); break;
+      case Type::kString: appendEscaped(out, str_); break;
+      case Type::kArray:
+        out.push_back('[');
+        for (std::size_t i = 0; i < items_.size(); i++) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            newline(depth);
+        out.push_back(']');
+        break;
+      case Type::kObject:
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); i++) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            appendEscaped(out, members_[i].first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out, 0, 0);
+    return out;
+}
+
+std::string
+Json::dumpPretty() const
+{
+    std::string out;
+    dumpTo(out, 2, 0);
+    out.push_back('\n');
+    return out;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (type_ != o.type_)
+        return false;
+    switch (type_) {
+      case Type::kNull: return true;
+      case Type::kBool: return bool_ == o.bool_;
+      case Type::kNumber:
+        if (is_int_ && o.is_int_)
+            return int_ == o.int_;
+        return num_ == o.num_;
+      case Type::kString: return str_ == o.str_;
+      case Type::kArray: return items_ == o.items_;
+      case Type::kObject: return members_ == o.members_;
+    }
+    return false;
+}
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            pos++;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            pos++;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        pos++;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                pos++;
+                return true;
+            }
+            if (c == '\\') {
+                pos++;
+                if (pos >= text.size())
+                    return fail("bad escape");
+                switch (text[pos]) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'u': {
+                    if (pos + 4 >= text.size())
+                        return fail("bad \\u escape");
+                    unsigned v = 0;
+                    for (int i = 1; i <= 4; i++) {
+                        char h = text[pos + i];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // Reports only escape control bytes; encode the
+                    // code point as UTF-8 for completeness.
+                    if (v < 0x80) {
+                        out.push_back(static_cast<char>(v));
+                    } else if (v < 0x800) {
+                        out.push_back(
+                            static_cast<char>(0xc0 | (v >> 6)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (v & 0x3f)));
+                    } else {
+                        out.push_back(
+                            static_cast<char>(0xe0 | (v >> 12)));
+                        out.push_back(static_cast<char>(
+                            0x80 | ((v >> 6) & 0x3f)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (v & 0x3f)));
+                    }
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+                pos++;
+            } else {
+                out.push_back(c);
+                pos++;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Json(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Json(false);
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            pos++;
+            out = Json::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                pos++;
+                return true;
+            }
+            while (true) {
+                Json item;
+                if (!parseValue(item))
+                    return false;
+                out.push(std::move(item));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    pos++;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '{') {
+            pos++;
+            out = Json::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                pos++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                out.set(std::move(key), std::move(value));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    pos++;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        // Number: find its extent, try integer first, then double.
+        const std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E')) {
+            pos++;
+        }
+        if (pos == start)
+            return fail("unexpected character");
+        const std::string_view tok = text.substr(start, pos - start);
+        std::int64_t iv = 0;
+        auto ires =
+            std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+        if (ires.ec == std::errc() &&
+            ires.ptr == tok.data() + tok.size()) {
+            out = Json(iv);
+            return true;
+        }
+        double dv = 0.0;
+        auto dres =
+            std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+        if (dres.ec != std::errc() ||
+            dres.ptr != tok.data() + tok.size())
+            return fail("bad number");
+        out = Json(dv);
+        return true;
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(std::string_view text, std::string *error)
+{
+    Parser p{text, 0, {}};
+    Json out;
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return Json();
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing characters at offset " +
+                     std::to_string(p.pos);
+        return Json();
+    }
+    if (error)
+        error->clear();
+    return out;
+}
+
+} // namespace hawksim::harness

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal JSON value type for harness reports.
+ *
+ * The harness needs machine-readable, *byte-deterministic* output:
+ * objects keep insertion order (reports are built in a fixed order),
+ * and numbers serialize through std::to_chars shortest round-trip
+ * form, so the same doubles always print the same bytes on any
+ * libstdc++. A small recursive-descent parser covers the round-trip
+ * tests and downstream tooling; it is not a general-purpose
+ * validating parser.
+ */
+
+#ifndef HAWKSIM_HARNESS_JSON_HH
+#define HAWKSIM_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hawksim::harness {
+
+class Json
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Json() : type_(Type::kNull) {}
+    Json(std::nullptr_t) : type_(Type::kNull) {}
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(double v) : type_(Type::kNumber), num_(v) {}
+    Json(std::int64_t v)
+        : type_(Type::kNumber), num_(static_cast<double>(v)),
+          int_(v), is_int_(true)
+    {}
+    Json(std::uint64_t v)
+        : type_(Type::kNumber), num_(static_cast<double>(v)),
+          int_(static_cast<std::int64_t>(v)), is_int_(true)
+    {}
+    Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+    Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+    Json(const char *s) : type_(Type::kString), str_(s) {}
+    Json(std::string_view s) : type_(Type::kString), str_(s) {}
+
+    static Json array() { Json j; j.type_ = Type::kArray; return j; }
+    static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isObject() const { return type_ == Type::kObject; }
+    bool isArray() const { return type_ == Type::kArray; }
+
+    bool asBool() const { return bool_; }
+    double asDouble() const { return num_; }
+    std::int64_t
+    asInt() const
+    {
+        return is_int_ ? int_ : static_cast<std::int64_t>(num_);
+    }
+    std::uint64_t
+    asUint() const
+    {
+        return static_cast<std::uint64_t>(asInt());
+    }
+    const std::string &asString() const { return str_; }
+
+    /** Array access. */
+    std::vector<Json> &items() { return items_; }
+    const std::vector<Json> &items() const { return items_; }
+    void push(Json v) { items_.push_back(std::move(v)); }
+    std::size_t size() const { return items_.size(); }
+    const Json &at(std::size_t i) const { return items_.at(i); }
+
+    /** Object access (insertion-ordered). */
+    std::vector<std::pair<std::string, Json>> &members()
+    {
+        return members_;
+    }
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+    void
+    set(std::string key, Json v)
+    {
+        members_.emplace_back(std::move(key), std::move(v));
+    }
+    /** Lookup by key; returns a shared null when absent. */
+    const Json &operator[](std::string_view key) const;
+    bool contains(std::string_view key) const;
+
+    /** Serialize compactly (no whitespace). Deterministic. */
+    std::string dump() const;
+    /** Serialize with 2-space indentation. Deterministic. */
+    std::string dumpPretty() const;
+
+    /**
+     * Parse a JSON document. Returns a null value and sets @p error
+     * (when non-null) on malformed input.
+     */
+    static Json parse(std::string_view text,
+                      std::string *error = nullptr);
+
+    bool operator==(const Json &o) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    bool is_int_ = false;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace hawksim::harness
+
+#endif // HAWKSIM_HARNESS_JSON_HH

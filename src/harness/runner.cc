@@ -1,0 +1,215 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "base/logging.hh"
+#include "harness/seed.hh"
+
+namespace hawksim::harness {
+
+Json
+metricsToJson(const sim::Metrics &m)
+{
+    Json out = Json::object();
+    Json events = Json::array();
+    for (const auto &ev : m.events()) {
+        Json e = Json::object();
+        e.set("t", Json(static_cast<std::int64_t>(ev.time)));
+        e.set("what", Json(ev.what));
+        events.push(std::move(e));
+    }
+    out.set("events", std::move(events));
+    Json series = Json::object();
+    for (auto id : m.sortedIds()) {
+        const TimeSeries &ts = m.series(id);
+        Json t = Json::array();
+        Json v = Json::array();
+        for (const auto &p : ts.points()) {
+            t.push(Json(static_cast<std::int64_t>(p.time)));
+            v.push(Json(p.value));
+        }
+        Json one = Json::object();
+        one.set("t", std::move(t));
+        one.set("v", std::move(v));
+        series.set(ts.name(), std::move(one));
+    }
+    out.set("series", std::move(series));
+    return out;
+}
+
+sim::Metrics
+metricsFromJson(const Json &j)
+{
+    sim::Metrics m;
+    for (const auto &[name, ser] : j["series"].members()) {
+        const auto id = m.seriesId(name);
+        const Json &t = ser["t"];
+        const Json &v = ser["v"];
+        HS_ASSERT(t.size() == v.size(),
+                  "series ", name, " t/v length mismatch");
+        for (std::size_t i = 0; i < t.size(); i++) {
+            m.record(id, static_cast<TimeNs>(t.at(i).asInt()),
+                     v.at(i).asDouble());
+        }
+    }
+    for (const auto &ev : j["events"].items()) {
+        m.event(static_cast<TimeNs>(ev["t"].asInt()),
+                ev["what"].asString());
+    }
+    return m;
+}
+
+Json
+Report::toJson() const
+{
+    Json out = Json::object();
+    out.set("schema", Json("hawksim-bench-report/v1"));
+    out.set("master_seed", Json(masterSeed));
+    out.set("run_count", Json(static_cast<std::int64_t>(runs.size())));
+    Json jruns = Json::array();
+    for (const RunRecord &r : runs) {
+        Json jr = Json::object();
+        jr.set("experiment", Json(r.point.experiment));
+        jr.set("index",
+               Json(static_cast<std::int64_t>(r.point.index)));
+        Json params = Json::object();
+        for (const auto &[k, v] : r.point.params)
+            params.set(k, Json(v));
+        jr.set("params", std::move(params));
+        jr.set("seed", Json(r.seed));
+        jr.set("sim_time_ns",
+               Json(static_cast<std::int64_t>(r.output.simTimeNs)));
+        Json scalars = Json::object();
+        for (const auto &[k, v] : r.output.scalars)
+            scalars.set(k, Json(v));
+        jr.set("scalars", std::move(scalars));
+        jr.set("metrics", metricsToJson(r.output.metrics));
+        jruns.push(std::move(jr));
+    }
+    out.set("runs", std::move(jruns));
+    return out;
+}
+
+Json
+Report::profileJson() const
+{
+    Json out = Json::object();
+    out.set("schema", Json("hawksim-bench-profile/v1"));
+    out.set("total_wall_ms", Json(totalWallMs));
+    Json jruns = Json::array();
+    for (const RunRecord &r : runs) {
+        Json jr = Json::object();
+        jr.set("experiment", Json(r.point.experiment));
+        jr.set("index",
+               Json(static_cast<std::int64_t>(r.point.index)));
+        jr.set("wall_ms", Json(r.wallMs));
+        jr.set("sim_time_ns",
+               Json(static_cast<std::int64_t>(r.output.simTimeNs)));
+        jruns.push(std::move(jr));
+    }
+    out.set("runs", std::move(jruns));
+    return out;
+}
+
+bool
+Runner::matches(const std::string &filter, const RunPoint &point)
+{
+    if (filter.empty())
+        return true;
+    if (point.experiment.find(filter) != std::string::npos)
+        return true;
+    const std::string full = point.experiment + "/" + point.label();
+    return full.find(filter) != std::string::npos;
+}
+
+Report
+Runner::run(const Registry &reg) const
+{
+    struct Job
+    {
+        const Experiment *experiment;
+        RunPoint point;
+        std::uint64_t seed;
+    };
+    std::vector<Job> jobs;
+    for (const auto &exp : reg.experiments()) {
+        HS_ASSERT(exp->runFn() != nullptr, "experiment ",
+                  exp->name(), " has no run function");
+        for (RunPoint &pt : exp->expand()) {
+            const std::uint64_t seed =
+                deriveSeed(opts_.masterSeed, pt.experiment, pt.index);
+            if (!matches(opts_.filter, pt))
+                continue;
+            jobs.push_back({exp.get(), std::move(pt), seed});
+        }
+    }
+
+    Report report;
+    report.masterSeed = opts_.masterSeed;
+    report.runs.resize(jobs.size());
+
+    unsigned jobCount = opts_.jobs;
+    if (jobCount == 0) {
+        jobCount = std::thread::hardware_concurrency();
+        if (jobCount == 0)
+            jobCount = 1;
+    }
+    jobCount = static_cast<unsigned>(
+        std::min<std::size_t>(jobCount, std::max<std::size_t>(
+                                            jobs.size(), 1)));
+
+    const auto sweep_start = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex io_mutex;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const Job &job = jobs[i];
+            const auto t0 = std::chrono::steady_clock::now();
+            RunContext ctx(job.point, job.seed);
+            RunRecord &rec = report.runs[i];
+            rec.point = job.point;
+            rec.seed = job.seed;
+            rec.output = job.experiment->runFn()(ctx);
+            rec.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opts_.verbose) {
+                std::lock_guard<std::mutex> lock(io_mutex);
+                std::fprintf(stderr, "[%zu/%zu] %s %s (%.0f ms)\n",
+                             finished, jobs.size(),
+                             job.point.experiment.c_str(),
+                             job.point.label().c_str(), rec.wallMs);
+            }
+        }
+    };
+
+    if (jobCount <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobCount);
+        for (unsigned t = 0; t < jobCount; t++)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    report.totalWallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - sweep_start)
+            .count();
+    return report;
+}
+
+} // namespace hawksim::harness

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * Expands every registered experiment into grid points, executes them
+ * across a std::thread pool, and assembles a Report whose canonical
+ * JSON is byte-identical for any --jobs value: per-point seeds are
+ * derived from (master seed, experiment name, grid index) only, each
+ * run owns its System, and results are emitted in expansion order
+ * regardless of completion order. Wall-clock profiling is kept out of
+ * the canonical report (it is the one thing that legitimately varies
+ * between runs) and exposed separately.
+ */
+
+#ifndef HAWKSIM_HARNESS_RUNNER_HH
+#define HAWKSIM_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/json.hh"
+
+namespace hawksim::harness {
+
+struct RunnerOptions
+{
+    /** Worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
+    /** Master seed every per-run seed derives from. */
+    std::uint64_t masterSeed = 42;
+    /**
+     * Substring filter; a point runs if this occurs in its
+     * experiment name or in "name/label". Empty = run everything.
+     */
+    std::string filter;
+    /** Progress lines on stderr. */
+    bool verbose = false;
+};
+
+/** One executed grid point. */
+struct RunRecord
+{
+    RunPoint point;
+    std::uint64_t seed = 0;
+    RunOutput output;
+    /** Host wall-clock of this run (profiling only, not canonical). */
+    double wallMs = 0.0;
+};
+
+struct Report
+{
+    std::uint64_t masterSeed = 0;
+    std::vector<RunRecord> runs;
+    /** Total host wall-clock of the sweep. */
+    double totalWallMs = 0.0;
+
+    /**
+     * Canonical machine-readable report: deterministic for a given
+     * (registry, master seed, filter), independent of --jobs.
+     */
+    Json toJson() const;
+    /** Wall-clock profile (non-deterministic; separate artifact). */
+    Json profileJson() const;
+};
+
+/** Serialize one run's Metrics (series sorted by name + events). */
+Json metricsToJson(const sim::Metrics &m);
+/** Rebuild Metrics from metricsToJson output (round-trip). */
+sim::Metrics metricsFromJson(const Json &j);
+
+class Runner
+{
+  public:
+    explicit Runner(RunnerOptions opts) : opts_(opts) {}
+
+    /** Execute all matching grid points of @p reg. */
+    Report run(const Registry &reg) const;
+
+    /** Does @p point pass the options' filter? */
+    static bool matches(const std::string &filter,
+                        const RunPoint &point);
+
+  private:
+    RunnerOptions opts_;
+};
+
+} // namespace hawksim::harness
+
+#endif // HAWKSIM_HARNESS_RUNNER_HH

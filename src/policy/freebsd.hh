@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "base/page_key.hh"
 #include "policy/common.hh"
 #include "policy/policy.hh"
 
@@ -59,10 +60,7 @@ class FreeBsdPolicy : public HugePagePolicy
     static std::uint64_t
     key(std::int32_t pid, std::uint64_t region)
     {
-        return (static_cast<std::uint64_t>(
-                    static_cast<std::uint32_t>(pid))
-                << 40) ^
-               region;
+        return pageKey(pid, region);
     }
 
     /** Free the unmapped frames of a reservation and drop it. */

@@ -4,16 +4,25 @@
  *
  * Benches pull series like "p0.rss_pages" or "sys.free_frames" out of
  * the recorder after a run and print the paper's figures from them.
+ *
+ * Series names are interned: seriesId() resolves a name to a dense
+ * handle once, and the per-sample record(SeriesId, ...) path is a
+ * plain vector index — no string hashing or heap traffic per tick.
+ * The string-keyed record() overload remains for one-off callers.
  */
 
 #ifndef HAWKSIM_SIM_METRICS_HH
 #define HAWKSIM_SIM_METRICS_HH
 
-#include <map>
+#include <algorithm>
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 
@@ -29,14 +38,38 @@ struct SimEvent
 class Metrics
 {
   public:
+    /** Dense handle of an interned series name. */
+    using SeriesId = std::uint32_t;
+
+    /**
+     * Intern @p name and return its stable handle. The first call
+     * creates the (empty) series; later calls return the same id.
+     */
+    SeriesId
+    seriesId(std::string_view name)
+    {
+        auto it = index_.find(name);
+        if (it != index_.end())
+            return it->second;
+        const auto id = static_cast<SeriesId>(series_.size());
+        series_.emplace_back(std::string(name));
+        index_.emplace(series_.back().name(), id);
+        return id;
+    }
+
+    /** Append a sample through a pre-resolved handle (hot path). */
+    void
+    record(SeriesId id, TimeNs t, double v)
+    {
+        HS_ASSERT(id < series_.size(), "bad series id ", id);
+        series_[id].record(t, v);
+    }
+
     /** Append a sample to the named series (created on first use). */
     void
-    record(const std::string &series, TimeNs t, double v)
+    record(std::string_view series, TimeNs t, double v)
     {
-        auto it = series_.find(series);
-        if (it == series_.end())
-            it = series_.emplace(series, TimeSeries(series)).first;
-        it->second.record(t, v);
+        record(seriesId(series), t, v);
     }
 
     void
@@ -47,22 +80,43 @@ class Metrics
 
     /** Fetch a series; returns an empty one if never recorded. */
     const TimeSeries &
-    series(const std::string &name) const
+    series(std::string_view name) const
     {
         static const TimeSeries empty;
-        auto it = series_.find(name);
-        return it == series_.end() ? empty : it->second;
+        auto it = index_.find(name);
+        return it == index_.end() ? empty : series_[it->second];
     }
 
-    bool has(const std::string &name) const
+    /** Fetch an interned series by handle. */
+    const TimeSeries &
+    series(SeriesId id) const
     {
-        return series_.count(name) != 0;
+        HS_ASSERT(id < series_.size(), "bad series id ", id);
+        return series_[id];
     }
 
-    const std::map<std::string, TimeSeries> &all() const
+    bool has(std::string_view name) const
     {
-        return series_;
+        return index_.find(name) != index_.end();
     }
+
+    /** All series in interning (creation) order. */
+    const std::vector<TimeSeries> &all() const { return series_; }
+
+    /** Indices of all series, sorted by name (stable output order). */
+    std::vector<SeriesId>
+    sortedIds() const
+    {
+        std::vector<SeriesId> ids(series_.size());
+        for (SeriesId i = 0; i < ids.size(); i++)
+            ids[i] = i;
+        std::sort(ids.begin(), ids.end(),
+                  [this](SeriesId a, SeriesId b) {
+                      return series_[a].name() < series_[b].name();
+                  });
+        return ids;
+    }
+
     const std::vector<SimEvent> &events() const { return events_; }
 
     /**
@@ -73,16 +127,32 @@ class Metrics
     writeCsv(std::ostream &os) const
     {
         os << "series,time_ns,value\n";
-        for (const auto &[name, ts] : series_) {
+        for (SeriesId id : sortedIds()) {
+            const TimeSeries &ts = series_[id];
             for (const auto &p : ts.points()) {
-                os << name << ',' << p.time << ',' << p.value
+                os << ts.name() << ',' << p.time << ',' << p.value
                    << '\n';
             }
         }
     }
 
   private:
-    std::map<std::string, TimeSeries> series_;
+    /** Heterogeneous string hashing so lookups take string_view. */
+    struct NameHash
+    {
+        using is_transparent = void;
+        std::size_t
+        operator()(std::string_view s) const
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
+    std::vector<TimeSeries> series_;
+    /** Name -> handle (keys owned; series_ reallocates freely). */
+    std::unordered_map<std::string, SeriesId, NameHash,
+                       std::equal_to<>>
+        index_;
     std::vector<SimEvent> events_;
 };
 

@@ -1,12 +1,16 @@
 #include "sim/system.hh"
 
 #include "base/logging.hh"
+#include "base/page_key.hh"
 
 namespace hawksim::sim {
 
 System::System(SystemConfig cfg)
     : cfg_(cfg), phys_(cfg.memoryBytes, cfg.bootMemoryZeroed),
-      compactor_(phys_), swap_(), rng_(cfg.seed)
+      compactor_(phys_), swap_(), rng_(cfg.seed),
+      sid_free_frames_(metrics_.seriesId("sys.free_frames")),
+      sid_used_fraction_(metrics_.seriesId("sys.used_fraction")),
+      sid_fmfi9_(metrics_.seriesId("sys.fmfi9"))
 {}
 
 System::~System() = default;
@@ -35,6 +39,13 @@ System::addProcess(const std::string &name,
     processes_.push_back(std::make_unique<Process>(
         next_pid_++, name, *this, std::move(wl), tlb_cfg));
     Process &proc = *processes_.back();
+    std::string p = "p";
+    p += std::to_string(proc.pid());
+    proc_sids_.emplace(
+        proc.pid(),
+        ProcSeriesIds{metrics_.seriesId(p + ".rss_pages"),
+                      metrics_.seriesId(p + ".huge_pages"),
+                      metrics_.seriesId(p + ".mmu_overhead")});
     proc.start(now_);
     policy_->onProcessStart(*this, proc);
     return proc;
@@ -164,24 +175,12 @@ System::allocHugeBlock(std::int32_t pid, mem::ZeroPref pref,
     return blk;
 }
 
-namespace {
-
-std::uint64_t
-swapKey(std::int32_t pid, Vpn vpn)
-{
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
-            << 40) ^
-           vpn;
-}
-
-} // namespace
-
 TimeNs
 System::swapInIfNeeded(std::int32_t pid, Vpn vpn)
 {
     if (swapped_.empty())
         return 0;
-    auto it = swapped_.find(swapKey(pid, vpn));
+    auto it = swapped_.find(pageKey(pid, vpn));
     if (it == swapped_.end())
         return 0;
     const TimeNs latency = swap_.swapIn(1);
@@ -252,7 +251,7 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
                     const mem::Frame &f = phys_.frame(t.pfn);
                     if (f.isShared() || f.mapCount != 1)
                         continue; // KSM pages are not swap targets
-                    swapped_[swapKey(proc.pid(), vpn)] = f.content;
+                    swapped_[pageKey(proc.pid(), vpn)] = f.content;
                     swapped_count_++;
                     space.unmapAndFreeBase(vpn);
                     if (cost)
@@ -287,22 +286,22 @@ System::pageMoved(Pfn from, Pfn to)
 void
 System::recordMetrics()
 {
-    metrics_.record("sys.free_frames", now_,
+    metrics_.record(sid_free_frames_, now_,
                     static_cast<double>(phys_.freeFrames()));
-    metrics_.record("sys.used_fraction", now_, phys_.usedFraction());
-    metrics_.record("sys.fmfi9", now_,
+    metrics_.record(sid_used_fraction_, now_, phys_.usedFraction());
+    metrics_.record(sid_fmfi9_, now_,
                     phys_.buddy().fragIndex(kHugePageOrder));
     for (auto &proc : processes_) {
         if (proc->finished())
             continue;
-        const std::string p = "p" + std::to_string(proc->pid());
-        metrics_.record(p + ".rss_pages", now_,
+        const ProcSeriesIds &sids = proc_sids_.at(proc->pid());
+        metrics_.record(sids.rss, now_,
                         static_cast<double>(proc->space().rssPages()));
         metrics_.record(
-            p + ".huge_pages", now_,
+            sids.huge, now_,
             static_cast<double>(
                 proc->space().pageTable().mappedHugePages()));
-        metrics_.record(p + ".mmu_overhead", now_,
+        metrics_.record(sids.mmu, now_,
                         proc->windowMmuOverheadPct());
     }
 }

@@ -130,6 +130,14 @@ class System : public mem::PageMover
     void recordMetrics();
     void releaseProcessMemory(Process &proc);
 
+    /** Pre-resolved metric series handles for one process. */
+    struct ProcSeriesIds
+    {
+        Metrics::SeriesId rss;
+        Metrics::SeriesId huge;
+        Metrics::SeriesId mmu;
+    };
+
     SystemConfig cfg_;
     mem::PhysicalMemory phys_;
     mem::Compactor compactor_;
@@ -139,11 +147,16 @@ class System : public mem::PageMover
     std::vector<std::unique_ptr<Process>> processes_;
     Rng rng_;
     Metrics metrics_;
+    /** Interned handles for the per-sample metrics hot path. */
+    Metrics::SeriesId sid_free_frames_;
+    Metrics::SeriesId sid_used_fraction_;
+    Metrics::SeriesId sid_fmfi9_;
+    std::unordered_map<std::int32_t, ProcSeriesIds> proc_sids_;
     TimeNs now_ = 0;
     TimeNs next_metrics_ = 0;
     std::int32_t next_pid_ = 1;
     bool swap_enabled_ = false;
-    /** Swapped-out pages: key (pid<<40 ^ vpn) -> saved content. */
+    /** Swapped-out pages: pageKey(pid, vpn) -> saved content. */
     std::unordered_map<std::uint64_t, mem::PageContent> swapped_;
     std::uint64_t swapped_count_ = 0;
     /** Per-process clock hand for reclaim (region index). */

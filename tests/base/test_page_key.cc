@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "base/page_key.hh"
+
+namespace hawksim {
+namespace {
+
+TEST(PageKey, PacksPidHighAndVpnLow)
+{
+    EXPECT_EQ(pageKey(0, 0), 0u);
+    EXPECT_EQ(pageKey(1, 0), std::uint64_t{1} << kPageKeyIndexBits);
+    EXPECT_EQ(pageKey(0, 123), 123u);
+    EXPECT_EQ(pageKey(7, kPageKeyIndexMask),
+              (std::uint64_t{7} << kPageKeyIndexBits) |
+                  kPageKeyIndexMask);
+}
+
+TEST(PageKey, OldXorSchemeCollisionsDoNotAlias)
+{
+    // Regression: the old key was (pid << 40) ^ vpn, where vpns of
+    // 2^40 pages (4TB address space) and beyond bled into the pid
+    // bits. These pairs collided under the old scheme:
+    //   oldKey(1, 0)       == oldKey(2, 3 << 40)
+    //   oldKey(1, 1 << 40) == oldKey(0, 0)  (pid XORed away)
+    auto oldKey = [](std::int32_t pid, std::uint64_t vpn) {
+        return (static_cast<std::uint64_t>(pid) << 40) ^ vpn;
+    };
+    ASSERT_EQ(oldKey(1, 0), oldKey(2, std::uint64_t{3} << 40));
+    ASSERT_EQ(oldKey(1, std::uint64_t{1} << 40), oldKey(0, 0));
+
+    EXPECT_NE(pageKey(1, 0), pageKey(2, std::uint64_t{3} << 40));
+    EXPECT_NE(pageKey(1, std::uint64_t{1} << 40), pageKey(0, 0));
+}
+
+TEST(PageKey, InjectiveOverPidVpnSample)
+{
+    std::set<std::uint64_t> keys;
+    std::size_t n = 0;
+    for (std::int32_t pid : {0, 1, 2, 255, 65535}) {
+        for (std::uint64_t vpn :
+             {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{512},
+              std::uint64_t{1} << 40, (std::uint64_t{1} << 41) + 7,
+              kPageKeyIndexMask}) {
+            keys.insert(pageKey(pid, vpn));
+            n++;
+        }
+    }
+    EXPECT_EQ(keys.size(), n);
+}
+
+TEST(PageKeyDeathTest, RejectsOutOfRangeInputs)
+{
+    EXPECT_DEATH(pageKey(-1, 0), "pid out of range");
+    EXPECT_DEATH(pageKey(1 << 16, 0), "pid out of range");
+    EXPECT_DEATH(pageKey(0, kPageKeyIndexMask + 1), "48 bits");
+}
+
+} // namespace
+} // namespace hawksim

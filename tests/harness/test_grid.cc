@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+
+namespace hawksim::harness {
+namespace {
+
+RunOutput
+noopRun(const RunContext &)
+{
+    return {};
+}
+
+TEST(Grid, SizeIsProductOfAxes)
+{
+    Registry reg;
+    auto &e = reg.add("e", "d")
+                  .axis("a", {"1", "2", "3"})
+                  .axis("b", {"x", "y"})
+                  .run(noopRun);
+    EXPECT_EQ(e.gridSize(), 6u);
+    EXPECT_EQ(e.expand().size(), 6u);
+}
+
+TEST(Grid, NoAxesExpandsToOnePoint)
+{
+    Registry reg;
+    auto &e = reg.add("e", "d").run(noopRun);
+    EXPECT_EQ(e.gridSize(), 1u);
+    const auto pts = e.expand();
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].index, 0u);
+    EXPECT_TRUE(pts[0].params.empty());
+}
+
+TEST(Grid, FirstAxisVariesSlowest)
+{
+    Registry reg;
+    auto &e = reg.add("e", "d")
+                  .axis("pol", {"A", "B"})
+                  .axis("wl", {"u", "v", "w"})
+                  .run(noopRun);
+    const auto pts = e.expand();
+    ASSERT_EQ(pts.size(), 6u);
+    const char *expect[][2] = {{"A", "u"}, {"A", "v"}, {"A", "w"},
+                               {"B", "u"}, {"B", "v"}, {"B", "w"}};
+    for (std::size_t i = 0; i < pts.size(); i++) {
+        EXPECT_EQ(pts[i].index, i);
+        EXPECT_EQ(pts[i].param("pol"), expect[i][0]);
+        EXPECT_EQ(pts[i].param("wl"), expect[i][1]);
+    }
+}
+
+TEST(Grid, LabelListsAxesInDeclarationOrder)
+{
+    Registry reg;
+    auto &e = reg.add("e", "d")
+                  .axis("pol", {"A"})
+                  .axis("wl", {"u"})
+                  .run(noopRun);
+    EXPECT_EQ(e.expand()[0].label(), "pol=A wl=u");
+}
+
+TEST(Grid, FilterMatchesNameAndLabel)
+{
+    RunPoint pt;
+    pt.experiment = "fig5_promotion_efficiency";
+    pt.params = {{"policy", "HawkEye-G"}};
+    EXPECT_TRUE(Runner::matches("", pt));
+    EXPECT_TRUE(Runner::matches("fig5", pt));
+    EXPECT_TRUE(Runner::matches("policy=HawkEye-G", pt));
+    EXPECT_TRUE(Runner::matches("fig5_promotion_efficiency/policy",
+                                pt));
+    EXPECT_FALSE(Runner::matches("fig6", pt));
+    EXPECT_FALSE(Runner::matches("policy=Linux", pt));
+}
+
+TEST(Grid, RegistryFindsByName)
+{
+    Registry reg;
+    reg.add("one", "d").run(noopRun);
+    reg.add("two", "d").run(noopRun);
+    ASSERT_NE(reg.find("two"), nullptr);
+    EXPECT_EQ(reg.find("two")->name(), "two");
+    EXPECT_EQ(reg.find("three"), nullptr);
+    EXPECT_EQ(reg.experiments().size(), 2u);
+}
+
+} // namespace
+} // namespace hawksim::harness

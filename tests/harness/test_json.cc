@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "harness/json.hh"
+#include "harness/runner.hh"
+#include "sim/metrics.hh"
+
+namespace hawksim::harness {
+namespace {
+
+TEST(Json, DumpScalars)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+    EXPECT_EQ(Json(std::uint64_t{42}).dump(), "42");
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersStayIntegers)
+{
+    // 2^53+1 is not representable as a double; the int64 path must
+    // carry it exactly (sim_time_ns values get this large).
+    const std::int64_t big = (std::int64_t{1} << 53) + 1;
+    Json j(big);
+    EXPECT_EQ(j.asInt(), big);
+    EXPECT_EQ(j.dump(), "9007199254740993");
+    const Json back = Json::parse(j.dump());
+    EXPECT_EQ(back.asInt(), big);
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j(std::string("a\"b\\c\n\t\x01"));
+    const std::string s = j.dump();
+    const Json back = Json::parse(s);
+    EXPECT_EQ(back.asString(), j.asString());
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zeta", Json(1));
+    obj.set("alpha", Json(2));
+    EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2}");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    const std::string doc =
+        "{\"a\":[1,2.5,null,true,\"x\"],\"b\":{\"c\":-3}}";
+    std::string err;
+    const Json j = Json::parse(doc, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j.dump(), doc);
+    EXPECT_EQ(j["a"].size(), 5u);
+    EXPECT_EQ(j["b"]["c"].asInt(), -3);
+    EXPECT_TRUE(j["missing"].isNull());
+    EXPECT_FALSE(j.contains("missing"));
+}
+
+TEST(Json, ParseUnicodeEscape)
+{
+    const Json j = Json::parse("\"\\u00e9\\u0041\"");
+    EXPECT_EQ(j.asString(), "\xc3\xa9"
+                            "A");
+}
+
+TEST(Json, ParseErrorsReported)
+{
+    std::string err;
+    const Json j = Json::parse("{\"a\":", &err);
+    EXPECT_TRUE(j.isNull());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, DoubleFormattingIsShortestRoundTrip)
+{
+    // std::to_chars shortest form: 0.1 prints as "0.1", not
+    // "0.10000000000000001" — and survives a round-trip exactly.
+    EXPECT_EQ(Json(0.1).dump(), "0.1");
+    const double v = 1.0 / 3.0;
+    EXPECT_EQ(Json::parse(Json(v).dump()).asDouble(), v);
+}
+
+TEST(Json, MetricsRoundTrip)
+{
+    sim::Metrics m;
+    const auto rss = m.seriesId("p1.rss_pages");
+    const auto mmu = m.seriesId("p1.mmu_overhead");
+    m.record(rss, 1'000'000, 512.0);
+    m.record(rss, 2'000'000, 1024.0);
+    m.record(mmu, 1'000'000, 0.35);
+    m.event(1'500'000, "oom");
+
+    const Json j = metricsToJson(m);
+    sim::Metrics back = metricsFromJson(j);
+    // The canonical JSON of the rebuilt Metrics must be identical.
+    EXPECT_EQ(metricsToJson(back).dump(), j.dump());
+    EXPECT_EQ(back.series("p1.rss_pages").points().size(), 2u);
+    EXPECT_EQ(back.series("p1.mmu_overhead").points()[0].value, 0.35);
+    ASSERT_EQ(back.events().size(), 1u);
+    EXPECT_EQ(back.events()[0].what, "oom");
+}
+
+} // namespace
+} // namespace hawksim::harness

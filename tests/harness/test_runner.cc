@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.hh"
+#include "harness/runner.hh"
+#include "harness/seed.hh"
+
+namespace hawksim::harness {
+namespace {
+
+/**
+ * Synthetic experiment: cheap, seed-dependent, and records metrics —
+ * enough surface to notice any scheduling-dependent result routing.
+ */
+void
+registerSynthetic(Registry &reg)
+{
+    reg.add("synthetic", "thread-pool determinism probe")
+        .axis("alpha", {"a", "b", "c", "d"})
+        .axis("beta", {"x", "y", "z"})
+        .run([](const RunContext &ctx) {
+            Rng rng(ctx.seed());
+            RunOutput out;
+            double acc = 0;
+            for (int i = 0; i < 1000; i++)
+                acc += rng.uniform();
+            out.scalar("acc", acc);
+            out.scalar("alpha_len",
+                       static_cast<double>(ctx.param("alpha").size()));
+            const auto sid = out.metrics.seriesId("probe");
+            for (int i = 0; i < 10; i++)
+                out.metrics.record(sid, i * 1000, rng.uniform());
+            out.simTimeNs = 10'000;
+            return out;
+        });
+}
+
+Report
+runWith(unsigned jobs, const std::string &filter = "")
+{
+    Registry reg;
+    registerSynthetic(reg);
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.masterSeed = 42;
+    opts.filter = filter;
+    return Runner(opts).run(reg);
+}
+
+TEST(Runner, SerialAndParallelReportsAreByteIdentical)
+{
+    const Report serial = runWith(1);
+    const Report parallel = runWith(8);
+    ASSERT_EQ(serial.runs.size(), 12u);
+    ASSERT_EQ(parallel.runs.size(), 12u);
+    EXPECT_EQ(serial.toJson().dump(), parallel.toJson().dump());
+}
+
+TEST(Runner, ResultsArriveInExpansionOrder)
+{
+    const Report r = runWith(8);
+    for (std::size_t i = 0; i < r.runs.size(); i++)
+        EXPECT_EQ(r.runs[i].point.index, i);
+    // First axis slowest: runs 0..2 are alpha=a with beta=x,y,z.
+    EXPECT_EQ(r.runs[0].point.param("beta"), "x");
+    EXPECT_EQ(r.runs[1].point.param("beta"), "y");
+    EXPECT_EQ(r.runs[2].point.param("alpha"), "a");
+    EXPECT_EQ(r.runs[3].point.param("alpha"), "b");
+}
+
+TEST(Runner, SeedsMatchDerivationAndFilterKeepsThem)
+{
+    const Report all = runWith(2);
+    for (const auto &rec : all.runs) {
+        EXPECT_EQ(rec.seed, deriveSeed(42, "synthetic",
+                                       rec.point.index));
+    }
+    // Filtering away points must not re-seed the survivors.
+    const Report filtered = runWith(2, "alpha=c");
+    ASSERT_EQ(filtered.runs.size(), 3u);
+    for (const auto &rec : filtered.runs) {
+        EXPECT_EQ(rec.point.param("alpha"), "c");
+        EXPECT_EQ(rec.seed, deriveSeed(42, "synthetic",
+                                       rec.point.index));
+    }
+}
+
+TEST(Runner, MasterSeedChangesResults)
+{
+    Registry reg;
+    registerSynthetic(reg);
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.masterSeed = 43;
+    const Report r43 = Runner(opts).run(reg);
+    const Report r42 = runWith(1);
+    EXPECT_NE(r42.toJson().dump(), r43.toJson().dump());
+    // But the profile schema carries wall clock, which never belongs
+    // in the canonical report.
+    EXPECT_EQ(r42.toJson().dump().find("wall_ms"), std::string::npos);
+}
+
+TEST(Runner, ReportJsonSchema)
+{
+    const Report r = runWith(4, "alpha=a beta=x");
+    ASSERT_EQ(r.runs.size(), 1u);
+    const Json j = r.toJson();
+    EXPECT_EQ(j["schema"].asString(), "hawksim-bench-report/v1");
+    EXPECT_EQ(j["master_seed"].asUint(), 42u);
+    EXPECT_EQ(j["run_count"].asInt(), 1);
+    const Json &run = j["runs"].at(0);
+    EXPECT_EQ(run["experiment"].asString(), "synthetic");
+    EXPECT_EQ(run["params"]["alpha"].asString(), "a");
+    EXPECT_EQ(run["sim_time_ns"].asInt(), 10'000);
+    EXPECT_TRUE(run["scalars"].contains("acc"));
+    EXPECT_EQ(run["metrics"]["series"]["probe"]["t"].size(), 10u);
+}
+
+} // namespace
+} // namespace hawksim::harness

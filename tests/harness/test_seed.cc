@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/seed.hh"
+
+namespace hawksim::harness {
+namespace {
+
+TEST(SeedDerivation, DeterministicAcrossCalls)
+{
+    const auto a = deriveSeed(42, "fig5_promotion_efficiency", 3);
+    const auto b = deriveSeed(42, "fig5_promotion_efficiency", 3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SeedDerivation, DependsOnMasterSeed)
+{
+    EXPECT_NE(deriveSeed(42, "exp", 0), deriveSeed(43, "exp", 0));
+}
+
+TEST(SeedDerivation, DependsOnExperimentName)
+{
+    EXPECT_NE(deriveSeed(42, "exp_a", 0), deriveSeed(42, "exp_b", 0));
+}
+
+TEST(SeedDerivation, DependsOnIndex)
+{
+    EXPECT_NE(deriveSeed(42, "exp", 0), deriveSeed(42, "exp", 1));
+}
+
+TEST(SeedDerivation, NoCollisionsAcrossRealisticGrid)
+{
+    // 16 experiments x 512 indices x a few master seeds must give
+    // distinct seeds: a collision would make two runs share RNG
+    // streams and silently correlate their results.
+    std::set<std::uint64_t> seen;
+    std::size_t n = 0;
+    for (std::uint64_t master : {0ull, 1ull, 42ull}) {
+        for (int e = 0; e < 16; e++) {
+            std::string name = "exp_";
+            name += std::to_string(e);
+            for (std::uint64_t i = 0; i < 512; i++) {
+                seen.insert(deriveSeed(master, name, i));
+                n++;
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), n);
+}
+
+TEST(SeedDerivation, KnownValuesStable)
+{
+    // Pin the derivation: changing it re-seeds every experiment and
+    // invalidates all recorded reports, so it must be deliberate.
+    EXPECT_EQ(deriveSeed(42, "fig3_first_nonzero", 0),
+              deriveSeed(42, "fig3_first_nonzero", 0));
+    const auto s = deriveSeed(0, "", 0);
+    EXPECT_EQ(s, splitmix64(splitmix64(fnv1a(""))));
+}
+
+} // namespace
+} // namespace hawksim::harness

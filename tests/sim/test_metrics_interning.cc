@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/metrics.hh"
+
+namespace hawksim::sim {
+namespace {
+
+TEST(MetricsInterning, SameNameSameId)
+{
+    Metrics m;
+    const auto a = m.seriesId("p1.rss_pages");
+    const auto b = m.seriesId("p1.rss_pages");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(m.seriesId("p2.rss_pages"), a);
+}
+
+TEST(MetricsInterning, IdsStayValidAsSeriesGrow)
+{
+    // Regression for the series-name stability requirement: handles
+    // resolved early must keep addressing the same-named series after
+    // many more series are interned (the backing vector reallocates).
+    Metrics m;
+    const auto first = m.seriesId("first");
+    for (int i = 0; i < 1000; i++) {
+        std::string filler = "filler_";
+        filler += std::to_string(i);
+        m.seriesId(filler);
+    }
+    m.record(first, 5, 1.0);
+    EXPECT_EQ(m.series("first").points().size(), 1u);
+    EXPECT_EQ(m.series(first).name(), "first");
+    EXPECT_EQ(m.seriesId("first"), first);
+}
+
+TEST(MetricsInterning, HandleAndNamePathsAreEquivalent)
+{
+    Metrics byId;
+    const auto id = byId.seriesId("s");
+    byId.record(id, 1, 2.0);
+    byId.record(id, 3, 4.0);
+
+    Metrics byName;
+    byName.record("s", 1, 2.0);
+    byName.record("s", 3, 4.0);
+
+    std::ostringstream a, b;
+    byId.writeCsv(a);
+    byName.writeCsv(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(MetricsInterning, AllInCreationOrderSortedIdsByName)
+{
+    Metrics m;
+    m.seriesId("zeta");
+    m.seriesId("alpha");
+    m.seriesId("mid");
+    ASSERT_EQ(m.all().size(), 3u);
+    EXPECT_EQ(m.all()[0].name(), "zeta");
+    EXPECT_EQ(m.all()[2].name(), "mid");
+    const auto ids = m.sortedIds();
+    EXPECT_EQ(m.series(ids[0]).name(), "alpha");
+    EXPECT_EQ(m.series(ids[1]).name(), "mid");
+    EXPECT_EQ(m.series(ids[2]).name(), "zeta");
+}
+
+TEST(MetricsInterning, UnknownSeriesLookupIsEmptyNotCreated)
+{
+    Metrics m;
+    EXPECT_EQ(m.series("ghost").points().size(), 0u);
+    EXPECT_FALSE(m.has("ghost"));
+    EXPECT_EQ(m.all().size(), 0u);
+}
+
+} // namespace
+} // namespace hawksim::sim

@@ -50,6 +50,7 @@ runSpinup(const harness::RunContext &ctx,
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     // Dirty boot memory so pre-zeroing actually matters.
     cfg.bootMemoryZeroed = false;
     sim::System sys(cfg);
@@ -65,6 +66,7 @@ runSpinup(const harness::RunContext &ctx,
     out.scalar("runtime_s",
                static_cast<double>(proc.runtime()) / 1e9);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }
@@ -76,6 +78,7 @@ runHotspot(const harness::RunContext &ctx,
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(4);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
     sys.fragmentMemoryMovable(1.0, 64);
@@ -96,6 +99,7 @@ runHotspot(const harness::RunContext &ctx,
     out.scalar("runtime_s",
                static_cast<double>(proc.runtime()) / 1e9);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

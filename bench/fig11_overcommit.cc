@@ -39,6 +39,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig host_cfg;
     host_cfg.memoryBytes = GiB(6);
     host_cfg.seed = ctx.seed();
+    host_cfg.trace = ctx.trace();
     const bool hawkeye = mode == "hawkeye";
     // Guest pre-zeroing must keep up with the churn rate.
     host_cfg.costs.zeroDaemonPagesPerSec = 100'000.0;
@@ -143,6 +144,7 @@ run(const harness::RunContext &ctx)
     out.scalar("host_swap_outs",
                static_cast<double>(
                    vs.host().swap().totalSwappedOut()));
+    out.captureObs(vs.host());
     return out;
 }
 

@@ -37,6 +37,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(48) / kScale;
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     cfg.metricsPeriod = msec(500);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
@@ -81,6 +82,7 @@ run(const harness::RunContext &ctx)
     out.scalar("completed",
                proc.finished() && !proc.oomKilled() ? 1.0 : 0.0);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

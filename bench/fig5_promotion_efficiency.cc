@@ -29,6 +29,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     // "We fragment the memory initially by reading several files."
@@ -56,6 +57,7 @@ run(const harness::RunContext &ctx)
                static_cast<double>(sys.policy().promotions()));
     out.scalar("mmu_pct", proc.mmuOverheadPct());
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

@@ -30,6 +30,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     cfg.metricsPeriod = sec(1);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
@@ -50,6 +51,7 @@ run(const harness::RunContext &ctx)
                static_cast<double>(
                    proc.space().pageTable().mappedHugePages()));
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

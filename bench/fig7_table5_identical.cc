@@ -29,6 +29,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     cfg.metricsPeriod = sec(1);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
@@ -72,6 +73,7 @@ run(const harness::RunContext &ctx)
         out.scalar(mid_name, mid);
     }
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

@@ -32,6 +32,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(8);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 64);
@@ -63,6 +64,7 @@ run(const harness::RunContext &ctx)
                static_cast<double>(sensitive->runtime()) / 1e9);
     out.scalar("sensitive_mmu_pct", sensitive->mmuOverheadPct());
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

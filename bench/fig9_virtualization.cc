@@ -57,6 +57,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig host_cfg;
     host_cfg.memoryBytes = GiB(12);
     host_cfg.seed = ctx.seed();
+    host_cfg.trace = ctx.trace();
     virt::VirtualSystem vs(host_cfg,
                            makePolicy(he_host ? "HawkEye-G"
                                               : "Linux-2MB"));
@@ -105,6 +106,7 @@ run(const harness::RunContext &ctx)
     out.scalar("app_runtime_s",
                static_cast<double>(app->runtime()) / 1e9);
     out.scalar("single_vm", single_vm ? 1.0 : 0.0);
+    out.captureObs(vs.host());
     return out;
 }
 

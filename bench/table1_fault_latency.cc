@@ -31,6 +31,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(12);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("config")));
 
@@ -57,6 +58,7 @@ run(const harness::RunContext &ctx)
     out.scalar("total_s",
                static_cast<double>(proc.runtime()) / 1e9);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

@@ -38,6 +38,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(4);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     cfg.metricsPeriod = 0;
     sim::System sys(cfg);
     policy::LinuxConfig lc;
@@ -62,6 +63,7 @@ run(const harness::RunContext &ctx)
                    1e9);
     out.scalar("paper_sensitive", app->paperSensitive ? 1.0 : 0.0);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     return out;
 }
 

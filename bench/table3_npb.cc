@@ -38,6 +38,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     policy::LinuxConfig lc;
     lc.thp = thp;
@@ -69,6 +70,7 @@ run(const harness::RunContext &ctx)
                        : probe->config().footprintBytes) /
                    (1ull << 30));
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     return out;
 }
 

@@ -38,6 +38,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(48) / kScale;
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(policy_name));
 
@@ -86,6 +87,7 @@ run(const harness::RunContext &ctx)
                              kPageSize / (1ull << 30));
     out.scalar("kops", ops / secs / 1e3);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

@@ -36,6 +36,7 @@ run(const harness::RunContext &ctx)
     sim::SystemConfig cfg;
     cfg.memoryBytes = GiB(96) / s.div;
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("config")));
 
@@ -83,6 +84,7 @@ run(const harness::RunContext &ctx)
         out.scalar("kops", static_cast<double>(proc->opsCompleted()) /
                                runtime / 1e3);
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

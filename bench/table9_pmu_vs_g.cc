@@ -35,6 +35,7 @@ run(const harness::RunContext &ctx)
     // existence while both workloads are resident.
     cfg.memoryBytes = set == "random+sequential" ? GiB(6) : GiB(9);
     cfg.seed = ctx.seed();
+    cfg.trace = ctx.trace();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 48);
@@ -65,6 +66,7 @@ run(const harness::RunContext &ctx)
     out.scalar("mmu1_pct", p1->mmuOverheadPct());
     out.scalar("mmu2_pct", p2->mmuOverheadPct());
     out.simTimeNs = sys.now();
+    out.captureObs(sys);
     out.metrics = std::move(sys.metrics());
     return out;
 }

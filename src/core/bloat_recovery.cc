@@ -22,10 +22,14 @@ BloatRecovery::periodic(sim::System &sys, TimeNs dt,
         stats_.activations++;
         scanned_.clear();
         sys.metrics().event(sys.now(), "bloat-recovery activated");
+        sys.tracer().instant(obs::Cat::kBloat, "activate", -1,
+                             sys.now());
     }
     if (used < low_) {
         active_ = false;
         sys.metrics().event(sys.now(), "bloat-recovery deactivated");
+        sys.tracer().instant(obs::Cat::kBloat, "deactivate", -1,
+                             sys.now());
         return;
     }
 
@@ -65,6 +69,8 @@ BloatRecovery::periodic(sim::System &sys, TimeNs dt,
                 active_ = false;
                 sys.metrics().event(sys.now(),
                                     "bloat-recovery deactivated");
+                sys.tracer().instant(obs::Cat::kBloat, "deactivate",
+                                     -1, sys.now());
                 return;
             }
         }
@@ -78,18 +84,29 @@ BloatRecovery::scanRegion(sim::System &sys, sim::Process &proc,
     auto &space = proc.space();
     const Vpn base = region << 9;
     stats_.regionsScanned++;
+    obs::TraceScope scope(sys.tracer(), obs::Cat::kBloat,
+                          "scan_region", proc.pid(), sys.now());
 
     // First pass: count zero-filled base pages, paying the scan cost.
     unsigned zero_pages = 0;
+    std::uint64_t bytes = 0;
     for (unsigned i = 0; i < kPagesPerHuge; i++) {
         vm::Translation t = space.pageTable().lookup(base + i);
         const mem::PageContent &c = sys.phys().frame(t.pfn).content;
         const std::uint64_t cost = mem::zeroScanCostBytes(c);
         stats_.bytesScanned += cost;
+        bytes += cost;
         scan_budget_ -= static_cast<double>(cost);
         if (c.isZero())
             zero_pages++;
     }
+    // Daemon time: bytes scanned at the configured scan bandwidth.
+    const auto scan_ns = static_cast<TimeNs>(
+        static_cast<double>(bytes) / rate_ * 1e9);
+    sys.cost().charge(obs::Subsys::kBloatDaemon, scan_ns);
+    scope.arg("region", static_cast<std::int64_t>(region));
+    scope.arg("zero_pages", zero_pages);
+    scope.dur(scan_ns);
     if (zero_pages < zero_threshold_)
         return;
 
@@ -97,6 +114,8 @@ BloatRecovery::scanRegion(sim::System &sys, sim::Process &proc,
     // page; in-use zero pages may be dedup'd too (correct under COW).
     space.demoteRegion(region);
     stats_.hugeDemoted++;
+    sys.cost().count(obs::Counter::kSplits);
+    std::uint64_t deduped = 0;
     for (unsigned i = 0; i < kPagesPerHuge; i++) {
         vm::Translation t = space.pageTable().lookup(base + i);
         const mem::Frame &f = sys.phys().frame(t.pfn);
@@ -105,8 +124,11 @@ BloatRecovery::scanRegion(sim::System &sys, sim::Process &proc,
         if (f.content.isZero()) {
             space.dedupZeroPage(base + i);
             stats_.pagesDeduped++;
+            deduped++;
         }
     }
+    sys.cost().count(obs::Counter::kDedupedPages, deduped);
+    scope.arg("deduped", static_cast<std::int64_t>(deduped));
     if (on_demote_)
         on_demote_(proc, region);
 }

@@ -164,6 +164,10 @@ HawkEyePolicy::promoteNext(sim::System &sys)
                             /*prefer_zero=*/false)
              .has_value()) {
         st.map.update(*region, 0.0); // put back; retry later
+        sys.tracer().instant(
+            obs::Cat::kPromote, "promote_defer", victim->pid(),
+            sys.now(),
+            {{"region", static_cast<std::int64_t>(*region)}});
         return false;
     }
     promotions_++;

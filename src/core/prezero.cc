@@ -10,10 +10,11 @@ AsyncZeroDaemon::periodic(sim::System &sys, TimeNs dt)
 {
     budget_ += rate_ * static_cast<double>(dt) / 1e9;
     auto &buddy = sys.phys().buddy();
+    std::uint64_t pages = 0, blocks = 0;
     while (budget_ >= 1.0) {
         auto blk = buddy.takeNonZeroBlock(mem::BuddyAllocator::kMaxOrder);
         if (!blk)
-            return; // nothing dirty left
+            break; // nothing dirty left
         for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
             mem::Frame &f = sys.phys().frame(p);
             f.content = mem::PageContent::zero();
@@ -25,7 +26,20 @@ AsyncZeroDaemon::periodic(sim::System &sys, TimeNs dt)
         budget_ -= static_cast<double>(blk->pages());
         stats_.pagesZeroed += blk->pages();
         stats_.blocksZeroed++;
+        pages += blk->pages();
+        blocks++;
     }
+    if (pages == 0)
+        return;
+    // Daemon time spent: pages / rate seconds of the zeroing thread.
+    const auto work_ns = static_cast<TimeNs>(
+        static_cast<double>(pages) / rate_ * 1e9);
+    sys.cost().count(obs::Counter::kZeroedPages, pages);
+    sys.cost().charge(obs::Subsys::kZeroDaemon, work_ns);
+    sys.tracer().complete(
+        obs::Cat::kZero, "prezero_batch", -1, sys.now(), work_ns,
+        {{"pages", static_cast<std::int64_t>(pages)},
+         {"blocks", static_cast<std::int64_t>(blocks)}});
 }
 
 } // namespace hawksim::core

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "base/logging.hh"
@@ -29,6 +30,12 @@ printUsage(const char *argv0)
         "  --out FILE       canonical JSON report\n"
         "                   (default results/bench.json)\n"
         "  --profile FILE   also write wall-clock profile JSON\n"
+        "  --trace FILE     write a Chrome trace_event JSON of every\n"
+        "                   run (open in ui.perfetto.dev); identical\n"
+        "                   for any --jobs\n"
+        "  --trace-filter C comma-separated event categories to trace\n"
+        "                   (fault,promote,demote,zero,bloat,compact,\n"
+        "                   reclaim,tlb,proc; default: all)\n"
         "  --pretty         indent the report\n"
         "  --quiet          no per-run progress on stderr\n"
         "  --help           this text\n",
@@ -78,6 +85,7 @@ runCli(int argc, char **argv, Registry &reg)
     bool pretty = false;
     std::string out_path = "results/bench.json";
     std::string profile_path;
+    std::string trace_path;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -122,6 +130,30 @@ runCli(int argc, char **argv, Registry &reg)
             if (!v)
                 return 2;
             profile_path = v;
+        } else if (arg == "--trace") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            trace_path = v;
+        } else if (arg == "--trace-filter") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            auto mask = obs::parseCatMask(v);
+            if (!mask) {
+                std::fprintf(
+                    stderr,
+                    "bad --trace-filter '%s'; valid categories: ",
+                    v);
+                for (unsigned c = 0; c < obs::kCatCount; c++) {
+                    std::fprintf(stderr, "%s%s", c ? "," : "",
+                                 obs::catName(
+                                     static_cast<obs::Cat>(c)));
+                }
+                std::fprintf(stderr, "\n");
+                return 2;
+            }
+            opts.trace.mask = *mask;
         } else if (arg == "--pretty") {
             pretty = true;
         } else if (arg == "--quiet") {
@@ -161,6 +193,7 @@ runCli(int argc, char **argv, Registry &reg)
     }
 
     setLogQuiet(true);
+    opts.trace.enabled = !trace_path.empty();
     Runner runner(opts);
     const Report report = runner.run(reg);
     if (report.runs.empty()) {
@@ -177,6 +210,16 @@ runCli(int argc, char **argv, Registry &reg)
     if (!profile_path.empty() &&
         !writeFile(profile_path, report.profileJson().dumpPretty()))
         return 1;
+    if (!trace_path.empty()) {
+        std::string trace;
+        {
+            std::ostringstream os;
+            report.writeTrace(os);
+            trace = os.str();
+        }
+        if (!writeFile(trace_path, trace))
+            return 1;
+    }
 
     std::printf("%zu runs in %.1f s (wall), report: %s\n",
                 report.runs.size(), report.totalWallMs / 1e3,

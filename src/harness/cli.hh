@@ -5,12 +5,17 @@
  * `hawksim_bench` usage:
  *
  *   hawksim_bench [--list] [--filter SUBSTR] [--jobs N] [--seed S]
- *                 [--out FILE] [--profile FILE] [--pretty] [--quiet]
+ *                 [--out FILE] [--profile FILE] [--trace FILE]
+ *                 [--trace-filter CATS] [--pretty] [--quiet]
  *
  * The canonical JSON report (deterministic for a given seed/filter,
  * independent of --jobs) is written to --out
  * (default results/bench.json); wall-clock profiling, which *does*
- * vary run to run, goes to --profile when requested.
+ * vary run to run, goes to --profile when requested. --trace writes
+ * a Chrome trace_event / Perfetto JSON of every run's simulated
+ * events (open it in ui.perfetto.dev); like the report, it is
+ * byte-identical for any --jobs value. Parent directories of all
+ * output paths are created as needed.
  */
 
 #ifndef HAWKSIM_HARNESS_CLI_HH

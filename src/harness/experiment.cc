@@ -1,8 +1,23 @@
 #include "harness/experiment.hh"
 
 #include "base/logging.hh"
+#include "sim/system.hh"
 
 namespace hawksim::harness {
+
+const obs::TraceConfig &
+RunContext::trace() const
+{
+    static const obs::TraceConfig kDisabled;
+    return trace_ ? *trace_ : kDisabled;
+}
+
+void
+RunOutput::captureObs(sim::System &sys)
+{
+    trace = sys.tracer().drain();
+    cost = sys.cost();
+}
 
 const std::string &
 RunPoint::param(std::string_view axis) const

@@ -23,7 +23,13 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/cost_account.hh"
+#include "obs/trace.hh"
 #include "sim/metrics.hh"
+
+namespace hawksim::sim {
+class System;
+} // namespace hawksim::sim
 
 namespace hawksim::harness {
 
@@ -53,13 +59,20 @@ struct RunPoint
 class RunContext
 {
   public:
-    RunContext(const RunPoint &point, std::uint64_t seed)
-        : point_(point), seed_(seed)
+    RunContext(const RunPoint &point, std::uint64_t seed,
+               const obs::TraceConfig *trace = nullptr)
+        : point_(point), seed_(seed), trace_(trace)
     {}
 
     const RunPoint &point() const { return point_; }
     /** Deterministically derived seed for this grid point. */
     std::uint64_t seed() const { return seed_; }
+    /**
+     * Trace configuration the harness wants for this run (disabled
+     * unless the user passed --trace). Benches copy it into their
+     * SystemConfig and call RunOutput::captureObs before returning.
+     */
+    const obs::TraceConfig &trace() const;
     const std::string &
     param(std::string_view axis) const
     {
@@ -69,6 +82,7 @@ class RunContext
   private:
     const RunPoint &point_;
     std::uint64_t seed_;
+    const obs::TraceConfig *trace_;
 };
 
 /** What a run returns: time series, events and scalar results. */
@@ -80,12 +94,19 @@ struct RunOutput
     std::vector<std::pair<std::string, double>> scalars;
     /** Final simulated time of the run. */
     TimeNs simTimeNs = 0;
+    /** Drained trace events (empty unless tracing was enabled). */
+    std::vector<obs::TraceEvent> trace;
+    /** Per-subsystem cost accounting of the run (always captured). */
+    obs::CostAccounting cost;
 
     void
     scalar(std::string name, double v)
     {
         scalars.emplace_back(std::move(name), v);
     }
+
+    /** Capture trace events + cost accounting from a finished run. */
+    void captureObs(sim::System &sys);
 };
 
 using RunFn = std::function<RunOutput(const RunContext &)>;

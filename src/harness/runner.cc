@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <ostream>
 #include <thread>
 
 #include "base/logging.hh"
 #include "harness/seed.hh"
+#include "obs/perfetto.hh"
 
 namespace hawksim::harness {
 
@@ -64,6 +66,41 @@ metricsFromJson(const Json &j)
 }
 
 Json
+costToJson(const obs::CostAccounting &cost)
+{
+    Json out = Json::object();
+    out.set("total_ns",
+            Json(static_cast<std::int64_t>(cost.totalNs())));
+    Json subsys = Json::object();
+    for (unsigned s = 0; s < obs::kSubsysCount; s++) {
+        const auto sub = static_cast<obs::Subsys>(s);
+        subsys.set(obs::subsysName(sub),
+                   Json(static_cast<std::int64_t>(
+                       cost.subsysNs(sub))));
+    }
+    out.set("subsys_ns", std::move(subsys));
+    Json counters = Json::object();
+    for (unsigned c = 0; c < obs::kCounterCount; c++) {
+        const auto ctr = static_cast<obs::Counter>(c);
+        counters.set(obs::counterName(ctr),
+                     Json(static_cast<std::int64_t>(
+                         cost.counter(ctr))));
+    }
+    out.set("counters", std::move(counters));
+    const obs::LatencyHistogram &h = cost.faultLatency();
+    Json lat = Json::object();
+    lat.set("count", Json(static_cast<std::int64_t>(h.count())));
+    lat.set("min", Json(static_cast<std::int64_t>(h.minimum())));
+    lat.set("max", Json(static_cast<std::int64_t>(h.maximum())));
+    lat.set("mean", Json(h.mean()));
+    lat.set("p50", Json(h.quantile(0.50)));
+    lat.set("p95", Json(h.quantile(0.95)));
+    lat.set("p99", Json(h.quantile(0.99)));
+    out.set("fault_latency_ns", std::move(lat));
+    return out;
+}
+
+Json
 Report::toJson() const
 {
     Json out = Json::object();
@@ -87,6 +124,7 @@ Report::toJson() const
         for (const auto &[k, v] : r.output.scalars)
             scalars.set(k, Json(v));
         jr.set("scalars", std::move(scalars));
+        jr.set("cost", costToJson(r.output.cost));
         jr.set("metrics", metricsToJson(r.output.metrics));
         jruns.push(std::move(jr));
     }
@@ -113,6 +151,22 @@ Report::profileJson() const
     }
     out.set("runs", std::move(jruns));
     return out;
+}
+
+void
+Report::writeTrace(std::ostream &os) const
+{
+    obs::PerfettoWriter w(os);
+    for (std::size_t i = 0; i < runs.size(); i++) {
+        const RunRecord &r = runs[i];
+        const auto pid = static_cast<std::uint32_t>(i + 1);
+        w.beginProcess(pid, r.point.experiment + "/" +
+                                r.point.label());
+        w.runSpan(pid, r.output.simTimeNs);
+        for (const obs::TraceEvent &ev : r.output.trace)
+            w.event(pid, ev);
+    }
+    w.finish();
 }
 
 bool
@@ -174,7 +228,7 @@ Runner::run(const Registry &reg) const
                 return;
             const Job &job = jobs[i];
             const auto t0 = std::chrono::steady_clock::now();
-            RunContext ctx(job.point, job.seed);
+            RunContext ctx(job.point, job.seed, &opts_.trace);
             RunRecord &rec = report.runs[i];
             rec.point = job.point;
             rec.seed = job.seed;

@@ -16,11 +16,13 @@
 #define HAWKSIM_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/json.hh"
+#include "obs/trace.hh"
 
 namespace hawksim::harness {
 
@@ -37,6 +39,12 @@ struct RunnerOptions
     std::string filter;
     /** Progress lines on stderr. */
     bool verbose = false;
+    /**
+     * Per-run trace configuration (disabled by default). The CLI
+     * enables it when --trace is given; the drained events land in
+     * each RunRecord and are exported with Report::writeTrace.
+     */
+    obs::TraceConfig trace;
 };
 
 /** One executed grid point. */
@@ -63,7 +71,16 @@ struct Report
     Json toJson() const;
     /** Wall-clock profile (non-deterministic; separate artifact). */
     Json profileJson() const;
+    /**
+     * Chrome trace_event / Perfetto JSON of every run's trace events
+     * (one Perfetto process per run, in expansion order). Like
+     * toJson, the output is byte-identical for any --jobs value.
+     */
+    void writeTrace(std::ostream &os) const;
 };
+
+/** Serialize one run's cost accounting (always-on observability). */
+Json costToJson(const obs::CostAccounting &cost);
 
 /** Serialize one run's Metrics (series sorted by name + events). */
 Json metricsToJson(const sim::Metrics &m);

@@ -32,6 +32,10 @@
 #include "mem/compaction.hh"
 #include "mem/phys.hh"
 #include "mem/swap.hh"
+#include "obs/cost_account.hh"
+#include "obs/perfetto.hh"
+#include "obs/probe.hh"
+#include "obs/trace.hh"
 #include "policy/freebsd.hh"
 #include "policy/ingens.hh"
 #include "policy/linux_thp.hh"

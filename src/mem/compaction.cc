@@ -26,12 +26,38 @@ Compactor::movableCost(Pfn region_start) const
 }
 
 CompactionResult
-Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate)
+Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate,
+                      TimeNs now, TimeNs migrate_cost_per_page)
 {
     CompactionResult res;
     const std::uint64_t regions = phys_.totalFrames() / kPagesPerHuge;
     if (regions == 0)
         return res;
+    // The scope observes whatever this attempt ends up doing; cost
+    // attribution happens at the bottom once the outcome is known.
+    std::optional<obs::TraceScope> scope;
+    if (obs_ && obs_->tracer.wants(obs::Cat::kCompact))
+        scope.emplace(obs_->tracer, obs::Cat::kCompact, "compact", -1,
+                      now);
+    const auto record = [&]() {
+        if (obs_) {
+            obs_->cost.count(obs::Counter::kMigratedPages,
+                             res.pagesMigrated);
+            obs_->cost.charge(
+                obs::Subsys::kCompaction,
+                static_cast<TimeNs>(res.pagesMigrated) *
+                    migrate_cost_per_page);
+        }
+        if (scope) {
+            scope->arg("migrated",
+                       static_cast<std::int64_t>(res.pagesMigrated));
+            scope->arg("scanned",
+                       static_cast<std::int64_t>(res.regionsScanned));
+            scope->arg("success", res.success ? 1 : 0);
+            scope->dur(static_cast<TimeNs>(res.pagesMigrated) *
+                       migrate_cost_per_page);
+        }
+    };
 
     // Pick the cheapest compactable region in a bounded scan window
     // from the cursor (a full sweep would be O(memory) per call).
@@ -61,6 +87,7 @@ Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate)
         // Move past the unpromising window so the next call makes
         // progress instead of rescanning the same regions.
         cursor_ = (cursor_ + window) % regions;
+        record();
         return res;
     }
     cursor_ = (*best / kPagesPerHuge + 1) % regions;
@@ -91,6 +118,7 @@ Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate)
         if (!dst) {
             // Out of memory for migration: abort, leaving the region
             // partially compacted (already-moved pages stay moved).
+            record();
             return res;
         }
         // Copy content and fix metadata/mappings.
@@ -110,6 +138,7 @@ Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate)
     res.success = phys_.buddy().isFreeBlockStart(start) ||
                   phys_.frame(start).isFree();
     res.regionPfn = start;
+    record();
     return res;
 }
 

@@ -24,6 +24,7 @@
 #include "base/rng.hh"
 #include "base/types.hh"
 #include "mem/phys.hh"
+#include "obs/probe.hh"
 
 namespace hawksim::mem {
 
@@ -53,15 +54,22 @@ class Compactor
   public:
     explicit Compactor(PhysicalMemory &phys) : phys_(phys) {}
 
+    /** Attach the owning system's observability probe. */
+    void setProbe(obs::Probe *probe) { obs_ = probe; }
+
     /**
      * Try to produce one free huge-page (order-9) block by migrating
      * movable frames out of the cheapest candidate region.
      *
      * @param mover receives page-moved notifications for PT fixups
      * @param max_migrate give up on regions needing more moves
+     * @param now sim time stamped onto trace events
+     * @param migrate_cost_per_page per-page cost for attribution
      */
     CompactionResult compactOne(PageMover &mover,
-                                std::uint64_t max_migrate = 256);
+                                std::uint64_t max_migrate = 256,
+                                TimeNs now = 0,
+                                TimeNs migrate_cost_per_page = 0);
 
     /** Total pages migrated over the object's lifetime. */
     std::uint64_t totalMigrated() const { return total_migrated_; }
@@ -75,6 +83,7 @@ class Compactor
     std::optional<std::uint64_t> movableCost(Pfn region_start) const;
 
     PhysicalMemory &phys_;
+    obs::Probe *obs_ = nullptr;
     std::uint64_t total_migrated_ = 0;
     /** Rotating scan cursor (huge-region index) for fairness. */
     std::uint64_t cursor_ = 0;

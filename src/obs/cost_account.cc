@@ -1,0 +1,84 @@
+#include "obs/cost_account.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace hawksim::obs {
+
+namespace {
+
+constexpr const char *kSubsysNames[kSubsysCount] = {
+    "fault_path", "promote_daemon", "zero_daemon", "bloat_daemon",
+    "compaction", "reclaim", "tlb_walk",
+};
+
+constexpr const char *kCounterNames[kCounterCount] = {
+    "faults",        "huge_faults",     "cow_faults",
+    "swap_ins",      "promotions",      "splits",
+    "migrated_pages", "zeroed_pages",   "deduped_pages",
+    "reclaimed_pages", "resv_broken",
+};
+
+} // namespace
+
+const char *
+subsysName(Subsys s)
+{
+    const auto i = static_cast<unsigned>(s);
+    HS_ASSERT(i < kSubsysCount, "bad subsystem ", i);
+    return kSubsysNames[i];
+}
+
+const char *
+counterName(Counter c)
+{
+    const auto i = static_cast<unsigned>(c);
+    HS_ASSERT(i < kCounterCount, "bad counter ", i);
+    return kCounterNames[i];
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return static_cast<double>(minimum());
+    if (q >= 1.0)
+        return static_cast<double>(maximum());
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kBuckets; b++) {
+        if (counts_[b] == 0)
+            continue;
+        const double before = static_cast<double>(cum);
+        cum += counts_[b];
+        if (static_cast<double>(cum) < target)
+            continue;
+        // Interpolate within [lo, hi) = [2^(b-1), 2^b), then clamp
+        // to the observed range: the bucket bounds can stick out past
+        // the true extremes, and a p99 above the recorded maximum
+        // would be absurd in a report.
+        const double lo = b == 0 ? 0.0
+                                 : static_cast<double>(1ull << (b - 1));
+        const double hi = static_cast<double>(1ull << b);
+        const double frac =
+            (target - before) / static_cast<double>(counts_[b]);
+        const double v = lo + frac * (hi - lo);
+        return std::clamp(v, static_cast<double>(minimum()),
+                          static_cast<double>(maximum()));
+    }
+    return static_cast<double>(maximum());
+}
+
+TimeNs
+CostAccounting::totalNs() const
+{
+    TimeNs total = 0;
+    for (TimeNs v : ns_)
+        total += v;
+    return total;
+}
+
+} // namespace hawksim::obs

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Per-subsystem cost accounting for one simulated run.
+ *
+ * Attributes every nanosecond of simulated MM work to the subsystem
+ * that spent it (fault path vs. each background daemon), keeps event
+ * counters (promotions, splits, migrations, zeroed pages, ...) and a
+ * log-bucketed fault-latency histogram whose p50/p95/p99 the harness
+ * surfaces per run. Unlike tracing this is always on: it is a handful
+ * of array increments per event, and its output is deterministic, so
+ * every harness report carries a cost block.
+ */
+
+#ifndef HAWKSIM_OBS_COST_ACCOUNT_HH
+#define HAWKSIM_OBS_COST_ACCOUNT_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace hawksim::obs {
+
+/** Who spent the simulated time. */
+enum class Subsys : std::uint8_t
+{
+    kFaultPath,     //!< synchronous fault handling (incl. swap-in)
+    kPromoteDaemon, //!< khugepaged-style promotion work
+    kZeroDaemon,    //!< async pre-zeroing thread
+    kBloatDaemon,   //!< bloat-recovery scanning and dedup
+    kCompaction,    //!< page migration (direct and kcompactd)
+    kReclaim,       //!< reclaim / swap device time
+    kTlbWalk,       //!< hardware page-walk time
+};
+
+constexpr unsigned kSubsysCount = 7;
+
+/** Stable snake_case name ("fault_path", "zero_daemon", ...). */
+const char *subsysName(Subsys s);
+
+/** What happened, countwise. */
+enum class Counter : std::uint8_t
+{
+    kFaults,         //!< page faults serviced
+    kHugeFaults,     //!< ... of which mapped a huge page
+    kCowFaults,      //!< COW breaks
+    kSwapIns,        //!< major faults served from swap
+    kPromotions,     //!< regions promoted to huge mappings
+    kSplits,         //!< huge mappings demoted/split
+    kMigratedPages,  //!< base pages moved by compaction
+    kZeroedPages,    //!< pages zeroed by the async daemon
+    kDedupedPages,   //!< zero pages deduplicated by bloat recovery
+    kReclaimedPages, //!< pages evicted to swap
+    kResvBroken,     //!< FreeBSD-style reservations broken
+};
+
+constexpr unsigned kCounterCount = 11;
+
+/** Stable snake_case name ("faults", "migrated_pages", ...). */
+const char *counterName(Counter c);
+
+/**
+ * Log2-bucketed latency histogram: bucket b holds values in
+ * [2^(b-1), 2^b) ns, so the ns..ms range fits in 48 buckets with
+ * bounded relative error. Quantiles interpolate linearly inside a
+ * bucket; exact min/max/sum are tracked alongside.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr unsigned kBuckets = 48;
+
+    void
+    add(TimeNs v)
+    {
+        const std::uint64_t ns = v > 0 ? static_cast<std::uint64_t>(v)
+                                       : 0;
+        unsigned b = ns == 0 ? 0
+                             : static_cast<unsigned>(
+                                   std::bit_width(ns));
+        if (b >= kBuckets)
+            b = kBuckets - 1;
+        counts_[b]++;
+        total_++;
+        sum_ += ns;
+        if (total_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return total_; }
+    TimeNs minimum() const { return total_ ? min_ : 0; }
+    TimeNs maximum() const { return max_; }
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /** Approximate value below which fraction @p q of samples lie. */
+    double quantile(double q) const;
+
+    std::uint64_t bucket(unsigned b) const { return counts_.at(b); }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    TimeNs min_ = 0;
+    TimeNs max_ = 0;
+};
+
+class CostAccounting
+{
+  public:
+    /** Attribute @p ns of simulated work to @p s. */
+    void
+    charge(Subsys s, TimeNs ns)
+    {
+        if (ns > 0)
+            ns_[static_cast<unsigned>(s)] += ns;
+    }
+
+    /** Bump @p c by @p n. */
+    void
+    count(Counter c, std::uint64_t n = 1)
+    {
+        counters_[static_cast<unsigned>(c)] += n;
+    }
+
+    /** Record one serviced fault (latency + counters + histogram). */
+    void
+    fault(TimeNs latency, bool huge)
+    {
+        count(Counter::kFaults);
+        if (huge)
+            count(Counter::kHugeFaults);
+        charge(Subsys::kFaultPath, latency);
+        fault_latency_.add(latency);
+    }
+
+    TimeNs
+    subsysNs(Subsys s) const
+    {
+        return ns_[static_cast<unsigned>(s)];
+    }
+
+    std::uint64_t
+    counter(Counter c) const
+    {
+        return counters_[static_cast<unsigned>(c)];
+    }
+
+    const LatencyHistogram &faultLatency() const
+    {
+        return fault_latency_;
+    }
+
+    /** Sum of all attributed simulated time. */
+    TimeNs totalNs() const;
+
+  private:
+    std::array<TimeNs, kSubsysCount> ns_{};
+    std::array<std::uint64_t, kCounterCount> counters_{};
+    LatencyHistogram fault_latency_;
+};
+
+} // namespace hawksim::obs
+
+#endif // HAWKSIM_OBS_COST_ACCOUNT_HH

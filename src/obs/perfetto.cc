@@ -1,0 +1,157 @@
+#include "obs/perfetto.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace hawksim::obs {
+
+namespace {
+
+/** The run-level span track inside each process. */
+constexpr std::uint32_t kRunTid = 0;
+
+} // namespace
+
+PerfettoWriter::PerfettoWriter(std::ostream &os) : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+std::uint32_t
+PerfettoWriter::tid(const TraceEvent &ev)
+{
+    // Kernel/system events (pid -1) map to tracks 1..32; process p
+    // to tracks of slot p+1. +1 keeps tid 0 free for the run span.
+    const std::uint32_t slot =
+        ev.pid < 0 ? 0 : static_cast<std::uint32_t>(ev.pid) + 1;
+    return slot * (kCatCount + 1) + static_cast<std::uint32_t>(ev.cat) +
+           1;
+}
+
+void
+PerfettoWriter::beginRecord()
+{
+    HS_ASSERT(!finished_, "write after finish()");
+    if (!first_)
+        os_ << ',';
+    first_ = false;
+    os_ << '\n';
+}
+
+void
+PerfettoWriter::writeEscaped(std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os_ << "\\\"";
+            break;
+          case '\\':
+            os_ << "\\\\";
+            break;
+          case '\n':
+            os_ << "\\n";
+            break;
+          case '\t':
+            os_ << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os_ << buf;
+            } else {
+                os_ << c;
+            }
+        }
+    }
+}
+
+void
+PerfettoWriter::writeMicros(TimeNs ns)
+{
+    if (ns < 0)
+        ns = 0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                  static_cast<int>(ns % 1000));
+    os_ << buf;
+}
+
+void
+PerfettoWriter::beginProcess(std::uint32_t pid, std::string_view name)
+{
+    beginRecord();
+    os_ << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    writeEscaped(name);
+    os_ << "\"}}";
+}
+
+void
+PerfettoWriter::runSpan(std::uint32_t pid, TimeNs dur)
+{
+    if (named_.insert({pid, kRunTid}).second) {
+        beginRecord();
+        os_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << kRunTid
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"run\"}}";
+    }
+    beginRecord();
+    os_ << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << kRunTid
+        << ",\"ts\":0.000,\"dur\":";
+    writeMicros(dur);
+    os_ << ",\"cat\":\"proc\",\"name\":\"run\"}";
+}
+
+void
+PerfettoWriter::threadNameIfNew(std::uint32_t pid, std::uint32_t t,
+                                const TraceEvent *ev)
+{
+    if (!named_.insert({pid, t}).second)
+        return;
+    beginRecord();
+    os_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << t
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (ev->pid < 0)
+        os_ << "kernel/";
+    else
+        os_ << 'p' << ev->pid << '/';
+    os_ << catName(ev->cat) << "\"}}";
+}
+
+void
+PerfettoWriter::event(std::uint32_t pid, const TraceEvent &ev)
+{
+    const std::uint32_t t = tid(ev);
+    threadNameIfNew(pid, t, &ev);
+    beginRecord();
+    os_ << "{\"ph\":\"" << (ev.dur > 0 ? 'X' : 'i') << "\",\"pid\":"
+        << pid << ",\"tid\":" << t << ",\"ts\":";
+    writeMicros(ev.ts);
+    if (ev.dur > 0) {
+        os_ << ",\"dur\":";
+        writeMicros(ev.dur);
+    } else {
+        os_ << ",\"s\":\"t\"";
+    }
+    os_ << ",\"cat\":\"" << catName(ev.cat) << "\",\"name\":\""
+        << ev.name << "\",\"args\":{\"seq\":" << ev.seq;
+    for (unsigned i = 0; i < ev.argCount(); i++)
+        os_ << ",\"" << ev.args[i].key << "\":" << ev.args[i].value;
+    os_ << "}}";
+}
+
+void
+PerfettoWriter::finish()
+{
+    HS_ASSERT(!finished_, "double finish()");
+    finished_ = true;
+    os_ << "\n]}\n";
+}
+
+} // namespace hawksim::obs

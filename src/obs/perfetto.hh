@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Chrome trace_event ("Trace Event Format") JSON exporter.
+ *
+ * Serializes TraceEvents into the JSON array format that
+ * ui.perfetto.dev and chrome://tracing load directly. One simulated
+ * run maps to one Perfetto "process"; inside it, each (sim process,
+ * category) pair gets its own named thread track, so fault-path
+ * activity, daemon activity and per-process activity land on
+ * separate swimlanes.
+ *
+ * Output is byte-deterministic: timestamps are the events' simulated
+ * nanoseconds rendered as fixed-point microseconds (Perfetto's native
+ * unit) with integer arithmetic, and records are written in the order
+ * supplied by the caller. No wall clock, no float formatting.
+ */
+
+#ifndef HAWKSIM_OBS_PERFETTO_HH
+#define HAWKSIM_OBS_PERFETTO_HH
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "obs/trace.hh"
+
+namespace hawksim::obs {
+
+class PerfettoWriter
+{
+  public:
+    /** Writes the document header immediately. */
+    explicit PerfettoWriter(std::ostream &os);
+
+    /**
+     * Start a new trace process (one simulated run): emits its
+     * process_name metadata record. @p pid must be unique per run.
+     */
+    void beginProcess(std::uint32_t pid, std::string_view name);
+
+    /**
+     * The run-level span: one event covering the whole simulated
+     * duration of the run, on a dedicated "run" track.
+     */
+    void runSpan(std::uint32_t pid, TimeNs dur);
+
+    /** Emit one trace event into process @p pid. */
+    void event(std::uint32_t pid, const TraceEvent &ev);
+
+    /** Close the document. No writes allowed afterwards. */
+    void finish();
+
+  private:
+    /** Track id of a (sim pid, category) pair within one process. */
+    static std::uint32_t tid(const TraceEvent &ev);
+    void threadNameIfNew(std::uint32_t pid, std::uint32_t tid,
+                         const TraceEvent *ev);
+    void beginRecord();
+    void writeEscaped(std::string_view s);
+    /** ns rendered as microseconds with 3 decimals (ns precision). */
+    void writeMicros(TimeNs ns);
+
+    std::ostream &os_;
+    bool first_ = true;
+    bool finished_ = false;
+    /** (perfetto pid, tid) pairs already given a thread_name. */
+    std::set<std::pair<std::uint32_t, std::uint32_t>> named_;
+};
+
+} // namespace hawksim::obs
+
+#endif // HAWKSIM_OBS_PERFETTO_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The observability probe a simulated System carries: one Tracer
+ * (opt-in event stream) plus one CostAccounting (always-on cost
+ * attribution). Instrumented components receive a Probe pointer or
+ * reach it through the System, keeping hot-path plumbing to a single
+ * indirection.
+ */
+
+#ifndef HAWKSIM_OBS_PROBE_HH
+#define HAWKSIM_OBS_PROBE_HH
+
+#include "obs/cost_account.hh"
+#include "obs/trace.hh"
+
+namespace hawksim::obs {
+
+struct Probe
+{
+    Tracer tracer;
+    CostAccounting cost;
+};
+
+} // namespace hawksim::obs
+
+#endif // HAWKSIM_OBS_PROBE_HH

@@ -1,0 +1,92 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace hawksim::obs {
+
+namespace {
+
+constexpr const char *kCatNames[kCatCount] = {
+    "fault", "promote", "demote", "zero", "bloat",
+    "compact", "reclaim", "tlb", "proc",
+};
+
+} // namespace
+
+const char *
+catName(Cat c)
+{
+    const auto i = static_cast<unsigned>(c);
+    HS_ASSERT(i < kCatCount, "bad trace category ", i);
+    return kCatNames[i];
+}
+
+std::optional<Cat>
+catFromName(std::string_view name)
+{
+    for (unsigned i = 0; i < kCatCount; i++) {
+        if (name == kCatNames[i])
+            return static_cast<Cat>(i);
+    }
+    return std::nullopt;
+}
+
+std::optional<CatMask>
+parseCatMask(std::string_view csv)
+{
+    if (csv.empty())
+        return kAllCats;
+    CatMask mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = std::min(csv.find(',', pos),
+                                           csv.size());
+        const std::string_view item = csv.substr(pos, comma - pos);
+        if (!item.empty()) {
+            const auto cat = catFromName(item);
+            if (!cat)
+                return std::nullopt;
+            mask |= catBit(*cat);
+        }
+        pos = comma + 1;
+    }
+    return mask == 0 ? kAllCats : mask;
+}
+
+void
+Tracer::emit(Cat cat, const char *name, std::int32_t pid, TimeNs ts,
+             TimeNs dur, const TraceArg *args, std::size_t nargs)
+{
+    TraceEvent ev;
+    ev.seq = seq_++;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.cat = cat;
+    ev.pid = pid;
+    ev.name = name;
+    for (std::size_t n = 0; n < nargs && n < kMaxTraceArgs; n++)
+        ev.args[n] = args[n];
+    if (ring_.size() < capacity_) {
+        ring_.push_back(ev);
+    } else {
+        ring_[head_] = ev;
+        head_ = (head_ + 1) % capacity_;
+    }
+}
+
+std::vector<TraceEvent>
+Tracer::drain()
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // head_ is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); i++)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    ring_.clear();
+    head_ = 0;
+    return out;
+}
+
+} // namespace hawksim::obs

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Deterministic simulation-time tracing.
+ *
+ * A Tracer collects typed events from the hot paths of one run —
+ * page faults, promotions/demotions, pre-zeroing, bloat recovery,
+ * compaction, reclaim — into a bounded ring buffer. Events carry the
+ * *simulated* timestamp, a simulated duration and a stable sequence
+ * number; wall clock never appears, so the event stream of a run is
+ * byte-identical no matter how many harness workers ran beside it.
+ *
+ * Cost model of the disabled path: every emit function first tests a
+ * single bool that is false by default; arguments are plain integers
+ * and names are static strings, so a disabled tracer performs no
+ * formatting, hashing or allocation. Builds can additionally define
+ * HAWKSIM_NO_TRACING to compile every emit into nothing.
+ */
+
+#ifndef HAWKSIM_OBS_TRACE_HH
+#define HAWKSIM_OBS_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace hawksim::obs {
+
+/** Event category: one per traced subsystem/hot path. */
+enum class Cat : std::uint8_t
+{
+    kFault,   //!< page-fault path (base, huge, COW, swap-in)
+    kPromote, //!< huge-page promotion (daemons and in-place)
+    kDemote,  //!< huge-page splits (bloat recovery, reclaim)
+    kZero,    //!< async pre-zeroing daemon
+    kBloat,   //!< bloat-recovery scans and dedup
+    kCompact, //!< compaction (direct and kcompactd)
+    kReclaim, //!< reclaim / swap
+    kTlb,     //!< TLB walk batches
+    kProc,    //!< process lifecycle
+};
+
+constexpr unsigned kCatCount = 9;
+
+/** Stable lower-case name of a category ("fault", "promote", ...). */
+const char *catName(Cat c);
+/** Inverse of catName; nullopt for unknown names. */
+std::optional<Cat> catFromName(std::string_view name);
+
+/** Bitmask over categories. */
+using CatMask = std::uint32_t;
+
+constexpr CatMask
+catBit(Cat c)
+{
+    return CatMask{1} << static_cast<unsigned>(c);
+}
+
+constexpr CatMask kAllCats = (CatMask{1} << kCatCount) - 1;
+
+/**
+ * Parse a comma-separated category list ("fault,compact") into a
+ * mask. Empty input means all categories. Returns nullopt on any
+ * unknown name.
+ */
+std::optional<CatMask> parseCatMask(std::string_view csv);
+
+/** One integer-valued event argument (key is a static string). */
+struct TraceArg
+{
+    const char *key = nullptr;
+    std::int64_t value = 0;
+};
+
+constexpr std::size_t kMaxTraceArgs = 4;
+
+/** One trace event. POD; name/arg keys must be static strings. */
+struct TraceEvent
+{
+    /** Stable per-tracer sequence number (emission order). */
+    std::uint64_t seq = 0;
+    /** Simulated begin time. */
+    TimeNs ts = 0;
+    /** Simulated duration (0 = instant event). */
+    TimeNs dur = 0;
+    Cat cat = Cat::kFault;
+    /** Simulated pid the event belongs to; -1 = kernel/system. */
+    std::int32_t pid = -1;
+    const char *name = nullptr;
+    std::array<TraceArg, kMaxTraceArgs> args{};
+
+    unsigned
+    argCount() const
+    {
+        unsigned n = 0;
+        while (n < kMaxTraceArgs && args[n].key != nullptr)
+            n++;
+        return n;
+    }
+};
+
+/** Tracer configuration, carried in sim::SystemConfig. */
+struct TraceConfig
+{
+    bool enabled = false;
+    CatMask mask = kAllCats;
+    /** Ring capacity in events; the oldest events are overwritten. */
+    std::size_t capacity = 1 << 16;
+};
+
+class Tracer
+{
+  public:
+    Tracer() = default;
+    explicit Tracer(const TraceConfig &cfg)
+        : enabled_(cfg.enabled && cfg.capacity > 0), mask_(cfg.mask),
+          capacity_(cfg.capacity)
+    {}
+
+    /** The single-branch hot-path guard. */
+    bool enabled() const { return enabled_; }
+    /** Should events of @p c be recorded? */
+    bool
+    wants(Cat c) const
+    {
+#ifdef HAWKSIM_NO_TRACING
+        (void)c;
+        return false;
+#else
+        return enabled_ && (mask_ & catBit(c)) != 0;
+#endif
+    }
+
+    /** Emit a complete (spanning) event. */
+    void
+    complete(Cat cat, const char *name, std::int32_t pid, TimeNs ts,
+             TimeNs dur,
+             std::initializer_list<TraceArg> args = {})
+    {
+        if (!wants(cat))
+            return;
+        emit(cat, name, pid, ts, dur, args.begin(), args.size());
+    }
+
+    /** Emit a complete event from an argument array. */
+    void
+    complete(Cat cat, const char *name, std::int32_t pid, TimeNs ts,
+             TimeNs dur, const TraceArg *args, std::size_t nargs)
+    {
+        if (!wants(cat))
+            return;
+        emit(cat, name, pid, ts, dur, args, nargs);
+    }
+
+    /** Emit an instant event. */
+    void
+    instant(Cat cat, const char *name, std::int32_t pid, TimeNs ts,
+            std::initializer_list<TraceArg> args = {})
+    {
+        if (!wants(cat))
+            return;
+        emit(cat, name, pid, ts, 0, args.begin(), args.size());
+    }
+
+    /** Events currently buffered, oldest first (seq order). */
+    std::vector<TraceEvent> drain();
+
+    /** Total events accepted (including ones the ring dropped). */
+    std::uint64_t emitted() const { return seq_; }
+    /** Events overwritten by ring wrap-around. */
+    std::uint64_t
+    dropped() const
+    {
+        return seq_ - std::min<std::uint64_t>(seq_, ring_.size());
+    }
+
+  private:
+    void emit(Cat cat, const char *name, std::int32_t pid, TimeNs ts,
+              TimeNs dur, const TraceArg *args, std::size_t nargs);
+
+    bool enabled_ = false;
+    CatMask mask_ = kAllCats;
+    std::size_t capacity_ = 1 << 16;
+    /** Ring storage; grows to capacity_, then wraps at head_. */
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * RAII span: captures the sim time at construction and emits one
+ * complete event at scope exit. The simulated duration defaults to 0
+ * (the sim clock does not advance inside a tick) — callers that know
+ * the simulated cost of the work set it explicitly.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(Tracer &t, Cat cat, const char *name, std::int32_t pid,
+               TimeNs now)
+        : tracer_(t.wants(cat) ? &t : nullptr), cat_(cat),
+          name_(name), pid_(pid), ts_(now)
+    {}
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Is this scope recording? Lets callers skip arg computation. */
+    bool live() const { return tracer_ != nullptr; }
+
+    /** Attach an integer argument (silently ignored beyond 4). */
+    void
+    arg(const char *key, std::int64_t value)
+    {
+        if (!tracer_ || nargs_ >= kMaxTraceArgs)
+            return;
+        args_[nargs_++] = {key, value};
+    }
+
+    /** Set the simulated duration of the span. */
+    void dur(TimeNs d) { dur_ = d; }
+
+    ~TraceScope()
+    {
+        if (!tracer_)
+            return;
+        tracer_->complete(cat_, name_, pid_, ts_, dur_, args_.data(),
+                          nargs_);
+    }
+
+  private:
+    Tracer *tracer_;
+    Cat cat_;
+    const char *name_;
+    std::int32_t pid_;
+    TimeNs ts_;
+    TimeNs dur_ = 0;
+    std::array<TraceArg, kMaxTraceArgs> args_{};
+    std::size_t nargs_ = 0;
+};
+
+} // namespace hawksim::obs
+
+#endif // HAWKSIM_OBS_TRACE_HH

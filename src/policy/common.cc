@@ -139,6 +139,13 @@ promoteOne(sim::System &sys, sim::Process &proc, std::uint64_t region,
     // are virtual page numbers, and lookups re-resolve page size
     // through the page table, so stale base-page entries simply age
     // out (hardware uses targeted invlpg, not a full flush).
+    sys.cost().count(obs::Counter::kPromotions);
+    sys.cost().charge(obs::Subsys::kPromoteDaemon, cost);
+    sys.tracer().complete(
+        obs::Cat::kPromote, "promote", proc.pid(), sys.now(), cost,
+        {{"region", static_cast<std::int64_t>(region)},
+         {"copied", static_cast<std::int64_t>(copied)},
+         {"pop", static_cast<std::int64_t>(pop)}});
     return cost;
 }
 

@@ -52,6 +52,12 @@ FreeBsdPolicy::onFault(sim::System &sys, sim::Process &proc, Vpn vpn)
                 resv_.erase(it);
                 promotions_++;
                 out.huge = true;
+                sys.cost().count(obs::Counter::kPromotions);
+                sys.tracer().instant(
+                    obs::Cat::kPromote, "promote_inplace",
+                    proc.pid(), sys.now(),
+                    {{"region",
+                      static_cast<std::int64_t>(region)}});
             }
             return out;
         }
@@ -71,6 +77,9 @@ FreeBsdPolicy::breakReservation(sim::System &sys, std::uint64_t k)
     auto it = resv_.find(k);
     if (it == resv_.end())
         return;
+    sys.cost().count(obs::Counter::kResvBroken);
+    sys.tracer().instant(obs::Cat::kPromote, "resv_break",
+                         it->second.pid, sys.now());
     const Pfn block = it->second.block;
     for (Pfn p = block; p < block + kPagesPerHuge; p++) {
         mem::Frame &f = sys.phys().frame(p);

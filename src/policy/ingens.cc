@@ -160,8 +160,13 @@ IngensPolicy::periodic(sim::System &sys)
                                region)) {
                 continue;
             }
-            if (!promoteOne(sys, *proc, region).has_value())
-                return; // no contiguity available this round
+            if (!promoteOne(sys, *proc, region).has_value()) {
+                // No contiguity available this round.
+                sys.tracer().instant(obs::Cat::kPromote,
+                                     "promote_stall", proc->pid(),
+                                     sys.now());
+                return;
+            }
             promotions_++;
             state_[proc->pid()].promoted++;
             promote_budget_ -= 1.0;

@@ -102,6 +102,9 @@ LinuxThpPolicy::periodic(sim::System &sys)
         } else {
             // No contiguity even after compaction: back off this
             // round.
+            sys.tracer().instant(obs::Cat::kPromote,
+                                 "khugepaged_backoff", proc->pid(),
+                                 sys.now());
             break;
         }
     }

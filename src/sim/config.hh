@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "base/types.hh"
+#include "obs/trace.hh"
 
 namespace hawksim::sim {
 
@@ -101,6 +102,8 @@ struct SystemConfig
     std::uint64_t seed = 42;
     /** Metrics sampling period (0 disables). */
     TimeNs metricsPeriod = msec(100);
+    /** Event tracing (off by default; cost accounting is always on). */
+    obs::TraceConfig trace;
     CostParams costs;
 };
 

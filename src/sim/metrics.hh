@@ -15,6 +15,7 @@
 #define HAWKSIM_SIM_METRICS_HH
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -122,16 +123,24 @@ class Metrics
     /**
      * Export every series in long CSV form (series,time_ns,value) —
      * directly loadable by pandas/R for plotting the figures.
+     * Values use shortest round-trip formatting (std::to_chars), so
+     * parsing the CSV recovers every double bit-exactly; the default
+     * ostream precision (6 significant digits) silently corrupted
+     * large counters and ns-scale timestamps.
      */
     void
     writeCsv(std::ostream &os) const
     {
         os << "series,time_ns,value\n";
+        char buf[64];
         for (SeriesId id : sortedIds()) {
             const TimeSeries &ts = series_[id];
             for (const auto &p : ts.points()) {
-                os << ts.name() << ',' << p.time << ',' << p.value
-                   << '\n';
+                const auto res = std::to_chars(
+                    buf, buf + sizeof(buf), p.value);
+                os << ts.name() << ',' << p.time << ',';
+                os.write(buf, res.ptr - buf);
+                os << '\n';
             }
         }
     }

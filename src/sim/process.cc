@@ -47,13 +47,16 @@ Process::tick(TimeNs dt)
             vm::Translation t = space_.pageTable().lookup(vpn);
             if (t.present) {
                 if (t.entry.cow() && chunk.faultsAreWrites) {
-                    cost += sys_.policy().onCowFault(sys_, *this, vpn);
-                    cow_faults_++;
+                    const TimeNs c =
+                        sys_.policy().onCowFault(sys_, *this, vpn);
+                    recordCowFault(vpn, c);
+                    cost += c;
                 }
                 continue;
             }
             policy::FaultOutcome out =
                 sys_.policy().onFault(sys_, *this, vpn);
+            recordFault(vpn, out);
             page_faults_++;
             fault_time_ += out.latency;
             cost += out.latency;
@@ -72,6 +75,7 @@ Process::tick(TimeNs dt)
                 if (!t.present) {
                     policy::FaultOutcome out =
                         sys_.policy().onFault(sys_, *this, vpn);
+                    recordFault(vpn, out);
                     page_faults_++;
                     fault_time_ += out.latency;
                     cost += out.latency;
@@ -84,8 +88,10 @@ Process::tick(TimeNs dt)
                     t = space_.pageTable().lookup(vpn);
                 }
                 if (t.entry.cow()) {
-                    cost += sys_.policy().onCowFault(sys_, *this, vpn);
-                    cow_faults_++;
+                    const TimeNs c =
+                        sys_.policy().onCowFault(sys_, *this, vpn);
+                    recordCowFault(vpn, c);
+                    cost += c;
                     t = space_.pageTable().lookup(vpn);
                 }
                 sys_.phys().writeFrame(t.pfn, content);
@@ -105,7 +111,16 @@ Process::tick(TimeNs dt)
             tlb::TlbBatchResult res =
                 tlb_.simulate(space_.pageTable(), chunk.sample,
                               chunk.sequentiality, scale);
-            cost += costs.cyclesToNs(res.walkCycles);
+            const TimeNs walk_ns = costs.cyclesToNs(res.walkCycles);
+            cost += walk_ns;
+            sys_.cost().charge(obs::Subsys::kTlbWalk, walk_ns);
+            sys_.tracer().complete(
+                obs::Cat::kTlb, "tlb_batch", pid_, sys_.now(),
+                walk_ns,
+                {{"accesses",
+                  static_cast<std::int64_t>(chunk.accessCount)},
+                 {"walk_cycles",
+                  static_cast<std::int64_t>(res.walkCycles)}});
         }
 
         // Releases (MADV_DONTNEED).
@@ -126,6 +141,33 @@ Process::tick(TimeNs dt)
     }
     if (avail < 0)
         debt_ = -avail;
+}
+
+void
+Process::recordFault(Vpn vpn, const policy::FaultOutcome &out)
+{
+    sys_.cost().fault(out.latency, out.huge);
+    sys_.tracer().complete(
+        obs::Cat::kFault, out.huge ? "fault_huge" : "fault", pid_,
+        sys_.now(), out.latency,
+        {{"vpn", static_cast<std::int64_t>(vpn)},
+         {"pages", static_cast<std::int64_t>(out.pagesMapped)},
+         {"oom", out.oom ? 1 : 0}});
+    if (out.oom) {
+        sys_.tracer().instant(obs::Cat::kProc, "oom_kill", pid_,
+                              sys_.now());
+    }
+}
+
+void
+Process::recordCowFault(Vpn vpn, TimeNs cost)
+{
+    cow_faults_++;
+    sys_.cost().count(obs::Counter::kCowFaults);
+    sys_.cost().charge(obs::Subsys::kFaultPath, cost);
+    sys_.tracer().complete(obs::Cat::kFault, "cow_break", pid_,
+                           sys_.now(), cost,
+                           {{"vpn", static_cast<std::int64_t>(vpn)}});
 }
 
 double

@@ -23,6 +23,10 @@
 #include "vm/address_space.hh"
 #include "workload/workload.hh"
 
+namespace hawksim::policy {
+struct FaultOutcome;
+} // namespace hawksim::policy
+
 namespace hawksim::sim {
 
 class System;
@@ -95,6 +99,11 @@ class Process
   private:
     void
     chargeCycles(Cycles c);
+
+    /** Account + trace one serviced page fault. */
+    void recordFault(Vpn vpn, const policy::FaultOutcome &out);
+    /** Account + trace one COW break. */
+    void recordCowFault(Vpn vpn, TimeNs cost);
 
     std::int32_t pid_;
     std::string name_;

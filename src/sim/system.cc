@@ -6,12 +6,15 @@
 namespace hawksim::sim {
 
 System::System(SystemConfig cfg)
-    : cfg_(cfg), phys_(cfg.memoryBytes, cfg.bootMemoryZeroed),
+    : cfg_(cfg), obs_{obs::Tracer(cfg.trace), obs::CostAccounting{}},
+      phys_(cfg.memoryBytes, cfg.bootMemoryZeroed),
       compactor_(phys_), swap_(), rng_(cfg.seed),
       sid_free_frames_(metrics_.seriesId("sys.free_frames")),
       sid_used_fraction_(metrics_.seriesId("sys.used_fraction")),
       sid_fmfi9_(metrics_.seriesId("sys.fmfi9"))
-{}
+{
+    compactor_.setProbe(&obs_);
+}
 
 System::~System() = default;
 
@@ -47,6 +50,8 @@ System::addProcess(const std::string &name,
                       metrics_.seriesId(p + ".huge_pages"),
                       metrics_.seriesId(p + ".mmu_overhead")});
     proc.start(now_);
+    obs_.tracer.instant(obs::Cat::kProc, "process_start", proc.pid(),
+                        now_);
     policy_->onProcessStart(*this, proc);
     return proc;
 }
@@ -92,8 +97,12 @@ System::tick()
                 phys_.buddy().fragIndex(kHugePageOrder) < 0.10) {
                 break;
             }
-            if (!compactor_.compactOne(*this).success)
+            if (!compactor_
+                     .compactOne(*this, 256, now_,
+                                 cfg_.costs.migratePerPage)
+                     .success) {
                 break;
+            }
         }
     }
     // OS background work (policy daemons are on their own cores).
@@ -103,6 +112,9 @@ System::tick()
         const bool was_finished = proc->finished();
         proc->tick(cfg_.tickQuantum);
         if (!was_finished && proc->finished()) {
+            obs_.tracer.instant(obs::Cat::kProc, "process_exit",
+                                proc->pid(), now_,
+                                {{"oom", proc->oomKilled() ? 1 : 0}});
             releaseProcessMemory(*proc);
             policy_->onProcessExit(*this, *proc);
         }
@@ -188,6 +200,10 @@ System::swapInIfNeeded(std::int32_t pid, Vpn vpn)
     // the saved content is dropped with the mark.
     swapped_.erase(it);
     swapped_count_--;
+    obs_.cost.count(obs::Counter::kSwapIns);
+    obs_.tracer.complete(obs::Cat::kReclaim, "swap_in", pid, now_,
+                         latency,
+                         {{"vpn", static_cast<std::int64_t>(vpn)}});
     return latency;
 }
 
@@ -197,6 +213,9 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
     std::uint64_t freed = 0;
     if (processes_.empty())
         return 0;
+    obs::TraceScope scope(obs_.tracer, obs::Cat::kReclaim, "reclaim",
+                          -1, now_);
+    TimeNs device_ns = 0;
     // Second-chance clock sweep, round-robin across processes.
     std::size_t stale_procs = 0;
     while (freed < pages && stale_procs < processes_.size() * 3) {
@@ -233,8 +252,14 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
                 h++;
                 if (pt.population(region) == 0)
                     continue;
-                if (pt.isHuge(region))
+                if (pt.isHuge(region)) {
                     space.demoteRegion(region); // split THP
+                    obs_.cost.count(obs::Counter::kSplits);
+                    obs_.tracer.instant(
+                        obs::Cat::kDemote, "split", proc.pid(), now_,
+                        {{"region",
+                          static_cast<std::int64_t>(region)}});
+                }
                 const Vpn base = region << 9;
                 for (unsigned i = 0;
                      i < kPagesPerHuge && freed < pages; i++) {
@@ -254,8 +279,7 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
                     swapped_[pageKey(proc.pid(), vpn)] = f.content;
                     swapped_count_++;
                     space.unmapAndFreeBase(vpn);
-                    if (cost)
-                        *cost += swap_.swapOut(1);
+                    device_ns += swap_.swapOut(1);
                     freed++;
                     evicted_any = true;
                 }
@@ -267,6 +291,13 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
         else
             stale_procs = 0;
     }
+    if (cost)
+        *cost += device_ns;
+    obs_.cost.count(obs::Counter::kReclaimedPages, freed);
+    obs_.cost.charge(obs::Subsys::kReclaim, device_ns);
+    scope.arg("requested", static_cast<std::int64_t>(pages));
+    scope.arg("freed", static_cast<std::int64_t>(freed));
+    scope.dur(device_ns);
     return freed;
 }
 

@@ -18,6 +18,7 @@
 #include "base/rng.hh"
 #include "base/types.hh"
 #include "mem/compaction.hh"
+#include "obs/probe.hh"
 #include "mem/phys.hh"
 #include "mem/swap.hh"
 #include "policy/policy.hh"
@@ -78,6 +79,10 @@ class System : public mem::PageMover
     mem::SwapDevice &swap() { return swap_; }
     policy::HugePagePolicy &policy() { return *policy_; }
     Metrics &metrics() { return metrics_; }
+    /** Observability: tracer + cost accounting of this run. */
+    obs::Probe &obs() { return obs_; }
+    obs::Tracer &tracer() { return obs_.tracer; }
+    obs::CostAccounting &cost() { return obs_.cost; }
     Rng &rng() { return rng_; }
     const SystemConfig &config() const { return cfg_; }
     const CostParams &costs() const { return cfg_.costs; }
@@ -139,6 +144,7 @@ class System : public mem::PageMover
     };
 
     SystemConfig cfg_;
+    obs::Probe obs_;
     mem::PhysicalMemory phys_;
     mem::Compactor compactor_;
     mem::SwapDevice swap_;

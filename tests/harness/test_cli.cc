@@ -1,0 +1,125 @@
+/** @file CLI front-end tests: output-path handling and flag errors. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+#include "harness/json.hh"
+#include "harness/runner.hh"
+
+namespace hawksim::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+void
+registerTiny(Registry &reg)
+{
+    reg.add("tiny", "cli probe").axis("k", {"1", "2"}).run(
+        [](const RunContext &ctx) {
+            RunOutput out;
+            out.scalar("k", std::stod(ctx.param("k")));
+            out.simTimeNs = 1000;
+            return out;
+        });
+}
+
+/** Run the CLI with the given extra args inside a scratch dir. */
+int
+cli(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "hawksim_bench");
+    args.insert(args.end(), {"--quiet", "--jobs", "1"});
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    Registry reg;
+    registerTiny(reg);
+    return runCli(static_cast<int>(argv.size()), argv.data(), reg);
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::string s{std::istreambuf_iterator<char>(is),
+                  std::istreambuf_iterator<char>()};
+    return s;
+}
+
+class CliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        scratch_ = fs::temp_directory_path() / "hawksim_cli_test";
+        fs::remove_all(scratch_);
+    }
+
+    void TearDown() override { fs::remove_all(scratch_); }
+
+    fs::path scratch_;
+};
+
+TEST_F(CliTest, CreatesMissingParentDirsForAllOutputs)
+{
+    const fs::path out = scratch_ / "a" / "b" / "report.json";
+    const fs::path prof = scratch_ / "c" / "profile.json";
+    const fs::path trace = scratch_ / "d" / "e" / "trace.json";
+    ASSERT_EQ(cli({"--out", out.string(), "--profile", prof.string(),
+                   "--trace", trace.string()}),
+              0);
+    for (const fs::path &p : {out, prof, trace}) {
+        ASSERT_TRUE(fs::exists(p)) << p;
+        std::string err;
+        Json::parse(slurp(p), &err);
+        EXPECT_TRUE(err.empty()) << p << ": " << err;
+    }
+}
+
+TEST_F(CliTest, BareFilenameOutNeedsNoParentDir)
+{
+    // Regression guard: a path with no directory component must not
+    // trip the parent-creation logic.
+    const fs::path cwd = fs::current_path();
+    fs::create_directories(scratch_);
+    fs::current_path(scratch_);
+    const int rc = cli({"--out", "report.json"});
+    fs::current_path(cwd);
+    EXPECT_EQ(rc, 0);
+    EXPECT_TRUE(fs::exists(scratch_ / "report.json"));
+}
+
+TEST_F(CliTest, RejectsUnknownTraceFilterCategory)
+{
+    const fs::path trace = scratch_ / "trace.json";
+    EXPECT_EQ(cli({"--trace", trace.string(), "--trace-filter",
+                   "bogus"}),
+              2);
+    EXPECT_FALSE(fs::exists(trace));
+}
+
+TEST_F(CliTest, TraceFilterLimitsCategories)
+{
+    const fs::path trace = scratch_ / "trace.json";
+    const fs::path out = scratch_ / "report.json";
+    ASSERT_EQ(cli({"--out", out.string(), "--trace", trace.string(),
+                   "--trace-filter", "proc"}),
+              0);
+    std::string err;
+    const Json j = Json::parse(slurp(trace), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    for (const Json &e : j["traceEvents"].items()) {
+        if (e["ph"].asString() == "M" || e["tid"].asInt() == 0)
+            continue; // metadata and run spans are category-less
+        EXPECT_EQ(e["cat"].asString(), "proc");
+    }
+}
+
+} // namespace
+} // namespace hawksim::harness

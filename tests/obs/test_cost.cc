@@ -1,0 +1,119 @@
+/** @file Cost accounting + latency histogram unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "obs/cost_account.hh"
+
+using namespace hawksim;
+using namespace hawksim::obs;
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.minimum(), 0);
+    EXPECT_EQ(h.maximum(), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, TracksExactMinMaxMeanCount)
+{
+    LatencyHistogram h;
+    h.add(100);
+    h.add(200);
+    h.add(700);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.minimum(), 100);
+    EXPECT_EQ(h.maximum(), 700);
+    EXPECT_NEAR(h.mean(), 1000.0 / 3.0, 1e-9);
+}
+
+TEST(LatencyHistogram, BucketBoundaries)
+{
+    LatencyHistogram h;
+    // bit_width: 2048 -> bucket 12 ([2048, 4096)); 2047 -> bucket 11.
+    h.add(2047);
+    h.add(2048);
+    EXPECT_EQ(h.bucket(11), 1u);
+    EXPECT_EQ(h.bucket(12), 1u);
+    h.add(0);
+    EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(LatencyHistogram, QuantilesInterpolateWithinBucket)
+{
+    LatencyHistogram h;
+    // Two samples sharing bucket 12 = [2048, 4096): the median
+    // interpolates across the bucket, staying inside [min, max].
+    h.add(2100);
+    h.add(4000);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2048 + 0.5 * 2048);
+    EXPECT_GE(h.quantile(0.95), h.quantile(0.50));
+    // Exact extremes bypass interpolation.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4000.0);
+}
+
+TEST(LatencyHistogram, QuantilesNeverEscapeObservedRange)
+{
+    // Every sample is identical: bucket interpolation would report
+    // p95 = 3993.6 > max without the clamp to [min, max].
+    LatencyHistogram h;
+    for (int i = 0; i < 1000; i++)
+        h.add(3500);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3500.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 3500.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 3500.0);
+}
+
+TEST(LatencyHistogram, QuantileOrdersAcrossBuckets)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 90; i++)
+        h.add(1000); // bucket 10
+    for (int i = 0; i < 10; i++)
+        h.add(1'000'000); // bucket 20
+    EXPECT_LT(h.quantile(0.5), 2048.0);
+    EXPECT_GT(h.quantile(0.95), 100'000.0);
+}
+
+TEST(CostAccounting, ChargeAndCountAccumulate)
+{
+    CostAccounting c;
+    c.charge(Subsys::kCompaction, 100);
+    c.charge(Subsys::kCompaction, 50);
+    c.charge(Subsys::kReclaim, 7);
+    c.charge(Subsys::kZeroDaemon, 0); // no-op
+    EXPECT_EQ(c.subsysNs(Subsys::kCompaction), 150);
+    EXPECT_EQ(c.subsysNs(Subsys::kReclaim), 7);
+    EXPECT_EQ(c.subsysNs(Subsys::kZeroDaemon), 0);
+    EXPECT_EQ(c.totalNs(), 157);
+
+    c.count(Counter::kPromotions);
+    c.count(Counter::kMigratedPages, 512);
+    EXPECT_EQ(c.counter(Counter::kPromotions), 1u);
+    EXPECT_EQ(c.counter(Counter::kMigratedPages), 512u);
+    EXPECT_EQ(c.counter(Counter::kSplits), 0u);
+}
+
+TEST(CostAccounting, FaultUpdatesCountersChargeAndHistogram)
+{
+    CostAccounting c;
+    c.fault(3500, false);
+    c.fault(465'000, true);
+    EXPECT_EQ(c.counter(Counter::kFaults), 2u);
+    EXPECT_EQ(c.counter(Counter::kHugeFaults), 1u);
+    EXPECT_EQ(c.subsysNs(Subsys::kFaultPath), 468'500);
+    EXPECT_EQ(c.faultLatency().count(), 2u);
+    EXPECT_EQ(c.faultLatency().minimum(), 3500);
+    EXPECT_EQ(c.faultLatency().maximum(), 465'000);
+}
+
+TEST(CostAccounting, NamesAreStableSnakeCase)
+{
+    EXPECT_STREQ(subsysName(Subsys::kFaultPath), "fault_path");
+    EXPECT_STREQ(subsysName(Subsys::kTlbWalk), "tlb_walk");
+    EXPECT_STREQ(counterName(Counter::kFaults), "faults");
+    EXPECT_STREQ(counterName(Counter::kResvBroken), "resv_broken");
+}

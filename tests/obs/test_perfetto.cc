@@ -1,0 +1,145 @@
+/** @file Perfetto/Chrome trace_event exporter tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "harness/json.hh"
+#include "obs/perfetto.hh"
+
+using namespace hawksim;
+using namespace hawksim::obs;
+using hawksim::harness::Json;
+
+namespace {
+
+TraceEvent
+makeEvent(std::uint64_t seq, TimeNs ts, TimeNs dur, Cat cat,
+          std::int32_t pid, const char *name)
+{
+    TraceEvent ev;
+    ev.seq = seq;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.cat = cat;
+    ev.pid = pid;
+    ev.name = name;
+    return ev;
+}
+
+} // namespace
+
+TEST(Perfetto, EmptyDocumentIsValidJson)
+{
+    std::ostringstream os;
+    PerfettoWriter w(os);
+    w.finish();
+    std::string err;
+    const Json j = Json::parse(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j["displayTimeUnit"].asString(), "ns");
+    EXPECT_EQ(j["traceEvents"].size(), 0u);
+}
+
+TEST(Perfetto, DocumentSchemaAndEventFields)
+{
+    std::ostringstream os;
+    PerfettoWriter w(os);
+    w.beginProcess(1, "exp/label=a");
+    w.runSpan(1, 2'000'000);
+    TraceEvent ev = makeEvent(5, 1500, 2500, Cat::kFault, 3, "fault");
+    ev.args[0] = {"vpn", 42};
+    w.event(1, ev);
+    w.event(1, makeEvent(6, 3000, 0, Cat::kProc, -1, "tick"));
+    w.finish();
+
+    std::string err;
+    const Json j = Json::parse(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const Json &events = j["traceEvents"];
+    // process_name meta, run thread meta, run span, fault thread
+    // meta, fault event, kernel/proc thread meta, instant.
+    ASSERT_EQ(events.size(), 7u);
+
+    EXPECT_EQ(events.at(0)["ph"].asString(), "M");
+    EXPECT_EQ(events.at(0)["name"].asString(), "process_name");
+    EXPECT_EQ(events.at(0)["args"]["name"].asString(), "exp/label=a");
+
+    const Json &span = events.at(2);
+    EXPECT_EQ(span["ph"].asString(), "X");
+    EXPECT_EQ(span["tid"].asInt(), 0);
+    EXPECT_DOUBLE_EQ(span["dur"].asDouble(), 2000.0); // us
+
+    const Json &meta = events.at(3);
+    EXPECT_EQ(meta["name"].asString(), "thread_name");
+    EXPECT_EQ(meta["args"]["name"].asString(), "p3/fault");
+
+    const Json &fault = events.at(4);
+    EXPECT_EQ(fault["ph"].asString(), "X");
+    EXPECT_EQ(fault["pid"].asInt(), 1);
+    EXPECT_EQ(fault["cat"].asString(), "fault");
+    EXPECT_EQ(fault["name"].asString(), "fault");
+    EXPECT_DOUBLE_EQ(fault["ts"].asDouble(), 1.5);  // 1500ns
+    EXPECT_DOUBLE_EQ(fault["dur"].asDouble(), 2.5); // 2500ns
+    EXPECT_EQ(fault["args"]["seq"].asInt(), 5);
+    EXPECT_EQ(fault["args"]["vpn"].asInt(), 42);
+
+    const Json &kmeta = events.at(5);
+    EXPECT_EQ(kmeta["args"]["name"].asString(), "kernel/proc");
+
+    const Json &instant = events.at(6);
+    EXPECT_EQ(instant["ph"].asString(), "i");
+    EXPECT_EQ(instant["s"].asString(), "t");
+}
+
+TEST(Perfetto, TrackIdsSeparatePidAndCategory)
+{
+    const auto t1 = makeEvent(0, 0, 0, Cat::kFault, -1, "a");
+    const auto t2 = makeEvent(0, 0, 0, Cat::kProc, -1, "a");
+    const auto t3 = makeEvent(0, 0, 0, Cat::kFault, 0, "a");
+    const auto t4 = makeEvent(0, 0, 0, Cat::kFault, 1, "a");
+    std::ostringstream os;
+    PerfettoWriter w(os);
+    w.event(1, t1);
+    w.event(1, t2);
+    w.event(1, t3);
+    w.event(1, t4);
+    w.finish();
+    std::string err;
+    const Json j = Json::parse(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::set<std::int64_t> tids;
+    for (const Json &e : j["traceEvents"].items()) {
+        if (e["ph"].asString() == "i")
+            tids.insert(e["tid"].asInt());
+    }
+    EXPECT_EQ(tids.size(), 4u); // all distinct, none on tid 0
+    EXPECT_FALSE(tids.count(0));
+}
+
+TEST(Perfetto, EscapesControlAndQuoteCharacters)
+{
+    std::ostringstream os;
+    PerfettoWriter w(os);
+    w.beginProcess(1, "a\"b\\c\nd\te\x01f");
+    w.finish();
+    std::string err;
+    const Json j = Json::parse(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j["traceEvents"].at(0)["args"]["name"].asString(),
+              "a\"b\\c\nd\te\x01f");
+}
+
+TEST(Perfetto, TimestampsAreFixedPointMicroseconds)
+{
+    std::ostringstream os;
+    PerfettoWriter w(os);
+    w.event(1, makeEvent(0, 1, 123'456'789, Cat::kZero, -1, "z"));
+    w.finish();
+    const std::string text = os.str();
+    // 1ns -> 0.001us, 123456789ns -> 123456.789us: exact digits, no
+    // scientific notation or float rounding.
+    EXPECT_NE(text.find("\"ts\":0.001"), std::string::npos);
+    EXPECT_NE(text.find("\"dur\":123456.789"), std::string::npos);
+}

@@ -1,0 +1,187 @@
+/** @file Tracer / TraceScope / category-mask unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace hawksim;
+using namespace hawksim::obs;
+
+namespace {
+
+TraceConfig
+enabledConfig(std::size_t capacity = 1 << 16,
+              CatMask mask = kAllCats)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.capacity = capacity;
+    cfg.mask = mask;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TraceCat, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < kCatCount; i++) {
+        const auto c = static_cast<Cat>(i);
+        const auto back = catFromName(catName(c));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, c);
+    }
+    EXPECT_FALSE(catFromName("nope").has_value());
+}
+
+TEST(TraceCat, ParseMask)
+{
+    EXPECT_EQ(parseCatMask(""), kAllCats);
+    EXPECT_EQ(parseCatMask("fault"), catBit(Cat::kFault));
+    EXPECT_EQ(parseCatMask("fault,compact"),
+              catBit(Cat::kFault) | catBit(Cat::kCompact));
+    EXPECT_EQ(parseCatMask("fault,,compact"),
+              catBit(Cat::kFault) | catBit(Cat::kCompact));
+    EXPECT_FALSE(parseCatMask("fault,bogus").has_value());
+    EXPECT_FALSE(parseCatMask("Fault").has_value()); // case-sensitive
+}
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing)
+{
+    Tracer t;
+    EXPECT_FALSE(t.enabled());
+    EXPECT_FALSE(t.wants(Cat::kFault));
+    t.complete(Cat::kFault, "fault", 1, 100, 10);
+    t.instant(Cat::kProc, "x", -1, 0);
+    EXPECT_EQ(t.emitted(), 0u);
+    EXPECT_TRUE(t.drain().empty());
+}
+
+TEST(Tracer, MaskFiltersCategories)
+{
+    Tracer t(enabledConfig(16, catBit(Cat::kCompact)));
+    EXPECT_TRUE(t.wants(Cat::kCompact));
+    EXPECT_FALSE(t.wants(Cat::kFault));
+    t.complete(Cat::kFault, "fault", 1, 0, 1);
+    t.complete(Cat::kCompact, "compact", -1, 0, 1);
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].cat, Cat::kCompact);
+}
+
+TEST(Tracer, SequenceAndFieldsAreStable)
+{
+    Tracer t(enabledConfig());
+    t.complete(Cat::kFault, "fault", 3, 1000, 50,
+               {{"vpn", 42}, {"pages", 512}});
+    t.instant(Cat::kProc, "exit", 7, 2000);
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[0].ts, 1000);
+    EXPECT_EQ(events[0].dur, 50);
+    EXPECT_EQ(events[0].pid, 3);
+    EXPECT_STREQ(events[0].name, "fault");
+    ASSERT_EQ(events[0].argCount(), 2u);
+    EXPECT_STREQ(events[0].args[0].key, "vpn");
+    EXPECT_EQ(events[0].args[0].value, 42);
+    EXPECT_EQ(events[1].seq, 1u);
+    EXPECT_EQ(events[1].dur, 0);
+}
+
+TEST(Tracer, RingWrapsKeepingNewestOldestFirst)
+{
+    Tracer t(enabledConfig(4));
+    for (int i = 0; i < 6; i++)
+        t.instant(Cat::kProc, "e", -1, i * 10);
+    EXPECT_EQ(t.emitted(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 4u);
+    // Events 0 and 1 were overwritten; 2..5 remain, oldest first.
+    for (std::size_t i = 0; i < 4; i++) {
+        EXPECT_EQ(events[i].seq, i + 2);
+        EXPECT_EQ(events[i].ts, static_cast<TimeNs>((i + 2) * 10));
+    }
+}
+
+TEST(Tracer, DrainClearsAndSeqKeepsCounting)
+{
+    Tracer t(enabledConfig(8));
+    t.instant(Cat::kProc, "a", -1, 0);
+    ASSERT_EQ(t.drain().size(), 1u);
+    EXPECT_TRUE(t.drain().empty());
+    t.instant(Cat::kProc, "b", -1, 1);
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].seq, 1u); // global order survives drains
+}
+
+TEST(Tracer, IdenticalInputsGiveIdenticalStreams)
+{
+    const auto emitAll = [](Tracer &t) {
+        for (int i = 0; i < 100; i++) {
+            t.complete(Cat::kZero, "batch", -1, i * 7, i,
+                       {{"pages", i}});
+        }
+        return t.drain();
+    };
+    Tracer a(enabledConfig(64)), b(enabledConfig(64));
+    const auto ea = emitAll(a);
+    const auto eb = emitAll(b);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); i++) {
+        EXPECT_EQ(ea[i].seq, eb[i].seq);
+        EXPECT_EQ(ea[i].ts, eb[i].ts);
+        EXPECT_EQ(ea[i].dur, eb[i].dur);
+    }
+}
+
+TEST(TraceScope, EmitsOnDestructionWithArgsAndDur)
+{
+    Tracer t(enabledConfig());
+    {
+        TraceScope scope(t, Cat::kReclaim, "reclaim", -1, 500);
+        ASSERT_TRUE(scope.live());
+        scope.arg("requested", 64);
+        scope.arg("freed", 32);
+        scope.dur(1234);
+    }
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].ts, 500);
+    EXPECT_EQ(events[0].dur, 1234);
+    ASSERT_EQ(events[0].argCount(), 2u);
+    EXPECT_STREQ(events[0].args[1].key, "freed");
+    EXPECT_EQ(events[0].args[1].value, 32);
+}
+
+TEST(TraceScope, DeadWhenDisabledOrMasked)
+{
+    Tracer off;
+    {
+        TraceScope scope(off, Cat::kFault, "f", 1, 0);
+        EXPECT_FALSE(scope.live());
+        scope.arg("ignored", 1);
+    }
+    EXPECT_EQ(off.emitted(), 0u);
+
+    Tracer masked(enabledConfig(16, catBit(Cat::kZero)));
+    {
+        TraceScope scope(masked, Cat::kFault, "f", 1, 0);
+        EXPECT_FALSE(scope.live());
+    }
+    EXPECT_EQ(masked.emitted(), 0u);
+}
+
+TEST(TraceScope, ExtraArgsBeyondCapacityAreDropped)
+{
+    Tracer t(enabledConfig());
+    {
+        TraceScope scope(t, Cat::kProc, "p", -1, 0);
+        for (int i = 0; i < 10; i++)
+            scope.arg("k", i);
+    }
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].argCount(), kMaxTraceArgs);
+}

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <iterator>
+#include <sstream>
+#include <string>
+
 #include "sim/metrics.hh"
 
 using namespace hawksim;
@@ -51,4 +56,47 @@ TEST(Metrics, AllEnumeratesSeries)
     m.record("a", 0, 1.0);
     m.record("b", 0, 2.0);
     EXPECT_EQ(m.all().size(), 2u);
+}
+
+TEST(Metrics, WriteCsvRoundTripsDoublesBitExactly)
+{
+    // Regression: writeCsv used the default ostream precision (6
+    // significant digits), so large counters and values with no short
+    // decimal form came back corrupted from the CSV.
+    const double values[] = {
+        123456789012345.0,           // > 6 significant digits
+        0.1 + 0.2,                   // not exactly representable
+        1.0 / 3.0,                   // needs 17 digits
+        -9.87654321e-12,             // small magnitude, negative
+        18446744073709551615.0,      // 2^64 - 1 rounded up
+        3.0,                         // short form stays short
+    };
+    Metrics m;
+    for (std::size_t i = 0; i < std::size(values); i++)
+        m.record("v", static_cast<TimeNs>(i), values[i]);
+
+    std::ostringstream os;
+    m.writeCsv(os);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "series,time_ns,value");
+    for (const double expect : values) {
+        ASSERT_TRUE(std::getline(is, line));
+        const auto comma = line.rfind(',');
+        ASSERT_NE(comma, std::string::npos);
+        const double parsed =
+            std::strtod(line.c_str() + comma + 1, nullptr);
+        EXPECT_EQ(parsed, expect) << line;
+    }
+    EXPECT_FALSE(std::getline(is, line)); // nothing trailing
+}
+
+TEST(Metrics, WriteCsvShortValuesStayHumanReadable)
+{
+    Metrics m;
+    m.record("s", 1000, 3.0);
+    std::ostringstream os;
+    m.writeCsv(os);
+    EXPECT_EQ(os.str(), "series,time_ns,value\ns,1000,3\n");
 }

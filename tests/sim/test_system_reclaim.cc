@@ -1,0 +1,163 @@
+/**
+ * @file
+ * System::reclaimPages / swapInIfNeeded behavior: second-chance
+ * accessed bits, THP split on eviction, and the swap round-trip
+ * contract (swap-in latency is charged; content is restored by the
+ * caller's rewrite after the refault maps a fresh frame).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+std::unique_ptr<sim::System>
+makeSys(std::uint64_t mem = MiB(64))
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = mem;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    sys->enableSwap(true);
+    return sys;
+}
+
+std::unique_ptr<workload::StreamWorkload>
+idleStream(std::uint64_t bytes)
+{
+    workload::StreamConfig wc;
+    wc.footprintBytes = bytes;
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    return std::make_unique<workload::StreamWorkload>("w", wc,
+                                                      Rng(1));
+}
+
+/** First VPN of a fully VMA-covered huge region of @p proc. */
+Vpn
+alignedStart(sim::Process &proc)
+{
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    return (vpnToHugeRegion(addrToVpn(base)) + 1) << kHugePageOrder;
+}
+
+/** Map @p n base pages at @p start, each to a fresh frame. */
+void
+mapPages(sim::System &sys, sim::Process &proc, Vpn start, unsigned n,
+         std::uint64_t flags)
+{
+    for (unsigned i = 0; i < n; i++) {
+        auto blk = sys.phys().allocBlock(0, proc.pid(),
+                                         mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(start + i, blk->pfn, flags);
+    }
+}
+
+} // namespace
+
+TEST(SystemReclaim, SecondChanceSparesRecentlyAccessedPages)
+{
+    auto sys = makeSys();
+    auto &proc = sys->addProcess("w", idleStream(MiB(32)));
+    auto &pt = proc.space().pageTable();
+    const Vpn start = alignedStart(proc);
+    mapPages(*sys, proc, start, 8, vm::kPteAccessed);
+
+    // All 8 are accessed: the first pass only clears the bits, the
+    // second evicts — lowest VPNs first — until the quota is met.
+    TimeNs cost = 0;
+    EXPECT_EQ(sys->reclaimPages(4, &cost), 4u);
+    EXPECT_GT(cost, 0);
+    for (unsigned i = 0; i < 4; i++)
+        EXPECT_FALSE(pt.lookup(start + i).present) << i;
+    for (unsigned i = 4; i < 8; i++) {
+        ASSERT_TRUE(pt.lookup(start + i).present) << i;
+        // Survivors spent their first chance.
+        EXPECT_FALSE(pt.lookup(start + i).entry.accessed()) << i;
+    }
+
+    // Re-touch one survivor: the next sweep must skip it and take a
+    // cold page instead.
+    pt.leafEntry(start + 4)->setFlag(vm::kPteAccessed);
+    EXPECT_EQ(sys->reclaimPages(1, &cost), 1u);
+    EXPECT_TRUE(pt.lookup(start + 4).present);
+    EXPECT_FALSE(pt.lookup(start + 5).present);
+    EXPECT_EQ(sys->swappedPages(), 5u);
+}
+
+TEST(SystemReclaim, HugeMappingIsSplitBeforeEviction)
+{
+    auto sys = makeSys();
+    auto &proc = sys->addProcess("w", idleStream(MiB(32)));
+    auto &pt = proc.space().pageTable();
+    const Vpn start = alignedStart(proc);
+    const std::uint64_t region = vpnToHugeRegion(start);
+
+    auto blk = sys->phys().allocBlock(kHugePageOrder, proc.pid(),
+                                      mem::ZeroPref::kAny);
+    ASSERT_TRUE(blk.has_value());
+    proc.space().mapHugeRegion(region, blk->pfn,
+                               vm::kPteAccessed | vm::kPteDirty);
+    ASSERT_TRUE(pt.isHuge(region));
+
+    TimeNs cost = 0;
+    EXPECT_EQ(sys->reclaimPages(8, &cost), 8u);
+    // Reclaim works at base-page granularity: the THP was demoted,
+    // not swapped out wholesale.
+    EXPECT_FALSE(pt.isHuge(region));
+    EXPECT_GE(sys->cost().counter(obs::Counter::kSplits), 1u);
+    EXPECT_EQ(sys->swappedPages(), 8u);
+    EXPECT_EQ(pt.population(region), kPagesPerHuge - 8);
+}
+
+TEST(SystemReclaim, SwapRoundTripRestoresContentViaRewrite)
+{
+    auto sys = makeSys();
+    auto &proc = sys->addProcess("w", idleStream(MiB(32)));
+    auto &pt = proc.space().pageTable();
+    const Vpn start = alignedStart(proc);
+    mapPages(*sys, proc, start, 8, 0); // cold: evictable immediately
+
+    std::vector<mem::PageContent> contents;
+    for (unsigned i = 0; i < 8; i++) {
+        mem::PageContent c;
+        c.hash = 0xbeef0000 + i;
+        c.firstNonZero = static_cast<std::uint16_t>(i);
+        contents.push_back(c);
+        sys->phys().writeFrame(pt.lookup(start + i).pfn, c);
+    }
+
+    // Evict only half so the region stays populated and the refault
+    // takes the base-page path.
+    TimeNs cost = 0;
+    ASSERT_EQ(sys->reclaimPages(4, &cost), 4u);
+    ASSERT_EQ(sys->swappedPages(), 4u);
+    const Vpn victim = start + 2;
+    ASSERT_FALSE(pt.lookup(victim).present);
+
+    // Refault: swap-in latency is charged and the mark consumed.
+    const auto out = sys->policy().onFault(*sys, proc, victim);
+    EXPECT_GE(out.latency, sys->swap().config().readLatency);
+    EXPECT_EQ(sys->swappedPages(), 3u);
+    EXPECT_EQ(sys->cost().counter(obs::Counter::kSwapIns), 1u);
+    const vm::Translation t = pt.lookup(victim);
+    ASSERT_TRUE(t.present);
+
+    // Documented contract: the fresh frame's content comes from the
+    // faulting writer, not the swap store. After the rewrite the
+    // round trip is lossless.
+    sys->phys().writeFrame(t.pfn, contents[2]);
+    EXPECT_TRUE(sys->phys().frame(t.pfn).content == contents[2]);
+
+    // Untouched survivors kept their content all along.
+    const vm::Translation s = pt.lookup(start + 6);
+    ASSERT_TRUE(s.present);
+    EXPECT_TRUE(sys->phys().frame(s.pfn).content == contents[6]);
+}

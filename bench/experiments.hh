@@ -10,6 +10,7 @@
 #ifndef HAWKSIM_BENCH_EXPERIMENTS_HH
 #define HAWKSIM_BENCH_EXPERIMENTS_HH
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
 
 namespace bench {
@@ -33,6 +34,14 @@ void registerAblationHawkEye(hawksim::harness::Registry &reg);
 
 /** Register every experiment above. */
 void registerAllExperiments(hawksim::harness::Registry &reg);
+
+/**
+ * `--wallclock` micro-driver (perf_hotpath.cc): real ns per simulated
+ * access over the table2 grid, cache on vs. off. Not a registry
+ * experiment — wall-clock numbers must never enter the canonical
+ * report.
+ */
+int runWallclockHotpath(const hawksim::harness::WallclockMode &mode);
 
 } // namespace bench
 

@@ -45,5 +45,7 @@ main(int argc, char **argv)
 {
     hawksim::harness::Registry reg;
     bench::registerAllExperiments(reg);
-    return hawksim::harness::runCli(argc, argv, reg);
+    hawksim::harness::WallclockMode wallclock;
+    wallclock.run = bench::runWallclockHotpath;
+    return hawksim::harness::runCli(argc, argv, reg, &wallclock);
 }

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * `hawksim_bench --wallclock` — wall-clock cost of the simulator's
+ * translation hot path.
+ *
+ * Every other number the bench emits is *simulated* time; this mode
+ * measures the real ns the simulator spends per simulated access,
+ * which is the quantity the translation cache and the fused
+ * `lookupAndTouch` walk exist to shrink. The driver replays the
+ * table2 TLB-sensitivity grid (79 application profiles x {4kb, 2mb})
+ * against a bare PageTable + TlbModel — no System, no daemons — so
+ * the measurement isolates exactly the `TlbModel::simulate` path that
+ * dominates full-system runs.
+ *
+ * Two metrics are timed per grid point, each interleaved
+ * cached/uncached per repetition to cancel machine drift (the
+ * uncached variant disables the cache at runtime; that path is the
+ * seed's literal two-walk lookup-then-touch sequence, equivalent to a
+ * -DHAWKSIM_NO_TCACHE build):
+ *
+ *   - walk:     the translation hot path alone — `lookupAndTouch`
+ *               over the access stream. This is the code the cache
+ *               and the fused API exist to accelerate, and the
+ *               headline speedup number.
+ *   - simulate: the full `TlbModel::simulate` batch (translation plus
+ *               TLB-hierarchy bookkeeping), i.e. the end-to-end cost
+ *               of one simulated access in a system run.
+ *
+ * Min and median ns-per-access for both variants of both metrics go
+ * to BENCH_PR3.json. Wall-clock numbers vary run to run — only the
+ * cached/uncached *ratio* is meaningful across machines.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "experiments.hh"
+#include "harness/cli.hh"
+#include "harness/json.hh"
+#include "hawksim.hh"
+#include "workload/suite.hh"
+
+using namespace hawksim;
+
+namespace {
+
+/** Accesses per timed repetition (sample batch x iterations). */
+constexpr std::size_t kBatchSamples = 4096;
+constexpr std::size_t kBatchIters = 16;
+
+/** Footprint cap: the driver measures translation, not setup. */
+constexpr std::uint64_t kMaxPages = 32768; // 128 MiB of 4KB pages
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+/**
+ * One grid point: an application profile mapped at one page size,
+ * plus its pre-generated deterministic access stream.
+ */
+struct HotpathPoint
+{
+    std::string app;
+    bool huge = false;
+    vm::PageTable pt;
+    std::vector<tlb::AccessSample> batch;
+    double sequentiality = 0.0;
+
+    HotpathPoint(const workload::SuiteApp &a, bool huge_pages,
+                 std::uint64_t seed)
+        : app(a.name), huge(huge_pages)
+    {
+        const workload::StreamConfig &cfg = a.config;
+        const std::uint64_t pages = std::clamp<std::uint64_t>(
+            cfg.footprintBytes / kPageSize, 512, kMaxPages);
+        std::uint64_t wss_pages =
+            cfg.wssBytes ? cfg.wssBytes / kPageSize : pages;
+        wss_pages = std::clamp<std::uint64_t>(wss_pages, 1, pages);
+
+        // Map the footprint; frame numbers are irrelevant here.
+        const Vpn base = addrToVpn(GiB(256));
+        if (huge) {
+            for (Vpn v = base; v < base + pages; v += kPagesPerHuge)
+                pt.mapHuge(v, v, 0);
+        } else {
+            for (Vpn v = base; v < base + pages; v++)
+                pt.mapBase(v, v, 0);
+        }
+
+        // A stream shaped by the profile: sequential component,
+        // Zipf skew and per-region coverage, like StreamWorkload.
+        Rng rng(seed);
+        std::uint64_t seq_pos = 0;
+        batch.reserve(kBatchSamples);
+        for (std::size_t i = 0; i < kBatchSamples; i++) {
+            std::uint64_t idx;
+            if (rng.chance(cfg.sequentialFraction))
+                idx = seq_pos++ % wss_pages;
+            else if (cfg.zipfS > 0.0)
+                idx = rng.zipf(wss_pages, cfg.zipfS);
+            else
+                idx = rng.below(wss_pages);
+            if (cfg.coveragePages < 512)
+                idx = (idx & ~511ull) | (idx & 511) % cfg.coveragePages;
+            batch.push_back({base + idx, rng.chance(0.3)});
+        }
+        sequentiality = cfg.sequentialFraction;
+    }
+
+    /** Translation hot path alone: ns per lookupAndTouch. */
+    double
+    timeWalkRep()
+    {
+        std::uint64_t sink = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t it = 0; it < kBatchIters; it++) {
+            for (const auto &a : batch)
+                sink += pt.lookupAndTouch(a.vpn, a.write).pfn;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return perAccessNs(t0, t1, sink);
+    }
+
+    /** Full TLB batch: ns per simulated access end to end. */
+    double
+    timeSimulateRep()
+    {
+        tlb::TlbModel tlb; // fresh TLB: every rep does identical work
+        std::uint64_t sink = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t it = 0; it < kBatchIters; it++) {
+            sink += tlb.simulate(pt, batch, sequentiality).walkCycles;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return perAccessNs(t0, t1, sink);
+    }
+
+  private:
+    static double
+    perAccessNs(std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1,
+                std::uint64_t sink)
+    {
+        // Keep the result observable so the loop cannot be elided.
+        static volatile std::uint64_t g_sink = 0;
+        g_sink = g_sink + sink;
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0)
+                .count());
+        return ns /
+               static_cast<double>(kBatchSamples * kBatchIters);
+    }
+};
+
+} // namespace
+
+namespace bench {
+
+int
+runWallclockHotpath(const hawksim::harness::WallclockMode &mode)
+{
+    const auto catalog = workload::table2Catalog();
+    const bool compiled_in =
+        vm::PageTable::translationCacheCompiledIn();
+
+    harness::Json points = harness::Json::array();
+    std::vector<double> walk_c_medians, walk_u_medians;
+    std::vector<double> sim_c_medians, sim_u_medians;
+
+    std::size_t done = 0;
+    const std::size_t total = catalog.size() * 2;
+    for (const auto &app : catalog) {
+        for (const bool huge : {false, true}) {
+            HotpathPoint point(app, huge,
+                               0x9e3779b9 + done * 0x85ebca77);
+            // Warm-up rep (page-table flag writes, cache fill).
+            vm::PageTable::setTranslationCacheEnabled(true);
+            point.timeWalkRep();
+            point.timeSimulateRep();
+            std::vector<double> walk_c, walk_u, sim_c, sim_u;
+            for (unsigned r = 0; r < mode.repeat; r++) {
+                vm::PageTable::setTranslationCacheEnabled(true);
+                walk_c.push_back(point.timeWalkRep());
+                sim_c.push_back(point.timeSimulateRep());
+                vm::PageTable::setTranslationCacheEnabled(false);
+                walk_u.push_back(point.timeWalkRep());
+                sim_u.push_back(point.timeSimulateRep());
+            }
+            vm::PageTable::setTranslationCacheEnabled(true);
+
+            const double wc_med = median(walk_c);
+            const double wu_med = median(walk_u);
+            const double sc_med = median(sim_c);
+            const double su_med = median(sim_u);
+            walk_c_medians.push_back(wc_med);
+            walk_u_medians.push_back(wu_med);
+            sim_c_medians.push_back(sc_med);
+            sim_u_medians.push_back(su_med);
+
+            harness::Json p = harness::Json::object();
+            p.set("app", app.name);
+            p.set("pages", huge ? "2mb" : "4kb");
+            p.set("walk_cached_ns_min",
+                  *std::min_element(walk_c.begin(), walk_c.end()));
+            p.set("walk_cached_ns_median", wc_med);
+            p.set("walk_uncached_ns_min",
+                  *std::min_element(walk_u.begin(), walk_u.end()));
+            p.set("walk_uncached_ns_median", wu_med);
+            p.set("walk_speedup_median", wu_med / wc_med);
+            p.set("simulate_cached_ns_median", sc_med);
+            p.set("simulate_uncached_ns_median", su_med);
+            p.set("simulate_speedup_median", su_med / sc_med);
+            points.push(std::move(p));
+
+            done++;
+            if (!mode.quiet && done % 20 == 0) {
+                std::fprintf(stderr, "wallclock: %zu/%zu points\n",
+                             done, total);
+            }
+        }
+    }
+
+    const double wc_grid = median(walk_c_medians);
+    const double wu_grid = median(walk_u_medians);
+    const double sc_grid = median(sim_c_medians);
+    const double su_grid = median(sim_u_medians);
+
+    harness::Json root = harness::Json::object();
+    root.set("schema", "hawksim-wallclock/v1");
+    root.set("bench", "perf_hotpath");
+    root.set("grid", "table2_tlb_sensitivity");
+    root.set("repeat", static_cast<std::uint64_t>(mode.repeat));
+    root.set("accesses_per_rep",
+             static_cast<std::uint64_t>(kBatchSamples * kBatchIters));
+    root.set("tcache_compiled_in", compiled_in);
+    harness::Json summary = harness::Json::object();
+    summary.set("walk_cached_ns_per_access_median", wc_grid);
+    summary.set("walk_uncached_ns_per_access_median", wu_grid);
+    summary.set("walk_speedup_median", wu_grid / wc_grid);
+    summary.set("simulate_cached_ns_per_access_median", sc_grid);
+    summary.set("simulate_uncached_ns_per_access_median", su_grid);
+    summary.set("simulate_speedup_median", su_grid / sc_grid);
+    root.set("summary", std::move(summary));
+    root.set("points", std::move(points));
+
+    std::ofstream os(mode.out,
+                     std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     mode.out.c_str());
+        return 1;
+    }
+    os << root.dumpPretty() << "\n";
+    if (!os.good())
+        return 1;
+
+    std::printf("wallclock hot path (%zu points, repeat %u):\n"
+                "  walk:     cached %.1f ns/access, uncached %.1f "
+                "ns/access (%.2fx)\n"
+                "  simulate: cached %.1f ns/access, uncached %.1f "
+                "ns/access (%.2fx)\n"
+                "report: %s\n",
+                total, mode.repeat, wc_grid, wu_grid,
+                wu_grid / wc_grid, sc_grid, su_grid, su_grid / sc_grid,
+                mode.out.c_str());
+    if (!compiled_in) {
+        std::printf("note: built with HAWKSIM_NO_TCACHE; both "
+                    "variants ran the uncached path\n");
+    }
+    return 0;
+}
+
+} // namespace bench

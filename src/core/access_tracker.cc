@@ -42,14 +42,16 @@ AccessTracker::readPhase(sim::Process &proc)
 {
     auto &pt = proc.space().pageTable();
     proc.space().forEachEligibleRegion([&](std::uint64_t region) {
-        const unsigned pop = pt.population(region);
-        if (pop == 0) {
+        // One walk + one PT scan per region (population, accessed
+        // count and huge-ness all come from the same leaf node).
+        const vm::PageTable::RegionView rv = pt.regionView(region);
+        if (rv.population == 0) {
             regions_.erase(region);
             return;
         }
         RegionStat &st = regions_[region];
-        st.lastSample = pt.accessedCount(region);
-        st.isHuge = pt.isHuge(region);
+        st.lastSample = rv.accessed;
+        st.isHuge = rv.huge;
         st.ema.update(static_cast<double>(st.lastSample));
         if (hook_)
             hook_(region, st.ema.value(), st.lastSample, st.isHuge);

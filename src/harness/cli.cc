@@ -38,6 +38,11 @@ printUsage(const char *argv0)
         "                   reclaim,tlb,proc; default: all)\n"
         "  --pretty         indent the report\n"
         "  --quiet          no per-run progress on stderr\n"
+        "  --wallclock      run the wall-clock hot-path benchmark\n"
+        "                   instead of the experiment grid; writes\n"
+        "                   BENCH_PR3.json (override with --out)\n"
+        "  --repeat N       wallclock: timed repetitions per point\n"
+        "                   (default 5; min/median are reported)\n"
         "  --help           this text\n",
         argv0);
 }
@@ -77,12 +82,16 @@ writeFile(const std::string &path, const std::string &content)
 } // namespace
 
 int
-runCli(int argc, char **argv, Registry &reg)
+runCli(int argc, char **argv, Registry &reg,
+       const WallclockMode *wallclock)
 {
     RunnerOptions opts;
     opts.verbose = true;
     bool list = false;
     bool pretty = false;
+    bool wallclock_mode = false;
+    bool out_set = false;
+    std::uint64_t repeat = 5;
     std::string out_path = "results/bench.json";
     std::string profile_path;
     std::string trace_path;
@@ -125,6 +134,15 @@ runCli(int argc, char **argv, Registry &reg)
             if (!v)
                 return 2;
             out_path = v;
+            out_set = true;
+        } else if (arg == "--wallclock") {
+            wallclock_mode = true;
+        } else if (arg == "--repeat") {
+            const char *v = value();
+            if (!v || !parseUint(v, repeat) || repeat == 0) {
+                std::fprintf(stderr, "bad --repeat value\n");
+                return 2;
+            }
         } else if (arg == "--profile") {
             const char *v = value();
             if (!v)
@@ -166,6 +184,22 @@ runCli(int argc, char **argv, Registry &reg)
             printUsage(argv[0]);
             return 2;
         }
+    }
+
+    if (wallclock_mode) {
+        if (!wallclock || !wallclock->run) {
+            std::fprintf(stderr,
+                         "--wallclock is not supported by this "
+                         "binary\n");
+            return 2;
+        }
+        WallclockMode mode = *wallclock;
+        mode.repeat = static_cast<unsigned>(repeat);
+        if (out_set)
+            mode.out = out_path;
+        mode.quiet = !opts.verbose;
+        setLogQuiet(true);
+        return mode.run(mode);
     }
 
     if (list) {

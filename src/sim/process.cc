@@ -37,8 +37,8 @@ Process::tick(TimeNs dt)
     TimeNs avail = dt - debt_;
     debt_ = 0;
     while (avail > 0 && !finished_) {
-        workload::WorkChunk chunk =
-            workload_->next(*this, std::min(avail, dt));
+        workload_->next(*this, std::min(avail, dt), chunk_);
+        const workload::WorkChunk &chunk = chunk_;
         TimeNs cost = chunk.compute;
 
         // Fault handling: touch pages in order, going through the OS
@@ -54,48 +54,31 @@ Process::tick(TimeNs dt)
                 }
                 continue;
             }
-            policy::FaultOutcome out =
-                sys_.policy().onFault(sys_, *this, vpn);
-            recordFault(vpn, out);
-            page_faults_++;
-            fault_time_ += out.latency;
-            cost += out.latency;
-            if (out.oom) {
-                oom_ = true;
-                sys_.metrics().event(sys_.now(),
-                                     name_ + ": OOM killed");
+            if (!faultIn(vpn, cost))
                 break;
-            }
         }
 
-        // Content writes (drive zero-scan / dedup behaviour).
+        // Content writes (drive zero-scan / dedup behaviour). The
+        // fused walk translates and sets accessed+dirty in one pass;
+        // a COW entry touched just before its break is unobservable
+        // (breakCow installs fresh accessed|dirty flags anyway).
         if (!oom_) {
             for (const auto &[vpn, content] : chunk.writes) {
-                vm::Translation t = space_.pageTable().lookup(vpn);
+                vm::Translation t =
+                    space_.pageTable().lookupAndTouch(vpn, true);
                 if (!t.present) {
-                    policy::FaultOutcome out =
-                        sys_.policy().onFault(sys_, *this, vpn);
-                    recordFault(vpn, out);
-                    page_faults_++;
-                    fault_time_ += out.latency;
-                    cost += out.latency;
-                    if (out.oom) {
-                        oom_ = true;
-                        sys_.metrics().event(sys_.now(),
-                                             name_ + ": OOM killed");
+                    if (!faultIn(vpn, cost))
                         break;
-                    }
-                    t = space_.pageTable().lookup(vpn);
+                    t = space_.pageTable().lookupAndTouch(vpn, true);
                 }
                 if (t.entry.cow()) {
                     const TimeNs c =
                         sys_.policy().onCowFault(sys_, *this, vpn);
                     recordCowFault(vpn, c);
                     cost += c;
-                    t = space_.pageTable().lookup(vpn);
+                    t = space_.pageTable().lookupAndTouch(vpn, true);
                 }
                 sys_.phys().writeFrame(t.pfn, content);
-                space_.pageTable().touch(vpn, true);
             }
         }
 
@@ -141,6 +124,22 @@ Process::tick(TimeNs dt)
     }
     if (avail < 0)
         debt_ = -avail;
+}
+
+bool
+Process::faultIn(Vpn vpn, TimeNs &cost)
+{
+    policy::FaultOutcome out = sys_.policy().onFault(sys_, *this, vpn);
+    recordFault(vpn, out);
+    page_faults_++;
+    fault_time_ += out.latency;
+    cost += out.latency;
+    if (out.oom) {
+        oom_ = true;
+        sys_.metrics().event(sys_.now(), name_ + ": OOM killed");
+        return false;
+    }
+    return true;
 }
 
 void

@@ -100,6 +100,14 @@ class Process
     void
     chargeCycles(Cycles c);
 
+    /**
+     * Service one page fault through the OS policy: record it,
+     * account latency into @p cost, and mark the process OOM-killed
+     * when the policy says so. Returns false on OOM (callers stop
+     * touching memory for the rest of the chunk).
+     */
+    bool faultIn(Vpn vpn, TimeNs &cost);
+
     /** Account + trace one serviced page fault. */
     void recordFault(Vpn vpn, const policy::FaultOutcome &out);
     /** Account + trace one COW break. */
@@ -127,6 +135,9 @@ class Process
 
     tlb::PerfCounters window_snapshot_;
     std::uint64_t window_ops_snapshot_ = 0;
+
+    /** Reused across ticks so chunk vectors keep their capacity. */
+    workload::WorkChunk chunk_;
 };
 
 } // namespace hawksim::sim

@@ -26,12 +26,14 @@ SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways)
 {
     HS_ASSERT(entries > 0 && ways > 0 && entries % ways == 0,
               "bad TLB geometry: ", entries, "/", ways);
+    if ((sets_ & (sets_ - 1)) == 0)
+        mask_ = sets_ - 1;
 }
 
 bool
 SetAssocTlb::lookup(std::uint64_t key)
 {
-    const unsigned set = static_cast<unsigned>(mix(key) % sets_);
+    const unsigned set = setOf(mix(key));
     Way *base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
     for (unsigned w = 0; w < ways_; w++) {
         if (base[w].valid && base[w].key == key) {
@@ -45,7 +47,7 @@ SetAssocTlb::lookup(std::uint64_t key)
 void
 SetAssocTlb::insert(std::uint64_t key)
 {
-    const unsigned set = static_cast<unsigned>(mix(key) % sets_);
+    const unsigned set = setOf(mix(key));
     Way *base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
     Way *victim = &base[0];
     for (unsigned w = 0; w < ways_; w++) {
@@ -126,11 +128,10 @@ TlbModel::simulate(vm::PageTable &pt,
         1.0 - cfg_.sequentialOverlap * sequentiality;
 
     for (const auto &a : batch) {
-        vm::Translation t = pt.lookup(a.vpn);
+        vm::Translation t = pt.lookupAndTouch(a.vpn, a.write);
         if (!t.present)
             continue; // engine faults first; stale samples are skipped
         accesses++;
-        pt.touch(a.vpn, a.write);
         double walk = 0.0;
         if (t.huge) {
             const std::uint64_t region = a.vpn >> 9;
@@ -173,15 +174,20 @@ TlbModel::simulate(vm::PageTable &pt,
         std::llround(static_cast<double>(accesses) * scale));
     res.misses = static_cast<std::uint64_t>(
         std::llround(static_cast<double>(misses) * scale));
-    res.walkCycles = static_cast<Cycles>(
-        std::llround((load_walk + store_walk) * scale));
+    // Round the load and store walk cycles separately and derive the
+    // batch total from the same split, so the per-batch result always
+    // equals exactly what lands in the counters (rounding the sum
+    // instead can drift +/-1 cycle from the counter deltas).
+    const auto load_cycles = static_cast<std::uint64_t>(
+        std::llround(load_walk * scale));
+    const auto store_cycles = static_cast<std::uint64_t>(
+        std::llround(store_walk * scale));
+    res.walkCycles = static_cast<Cycles>(load_cycles + store_cycles);
 
     counters_.tlbAccesses += res.accesses;
     counters_.tlbMisses += res.misses;
-    counters_.dtlbLoadWalkCycles += static_cast<std::uint64_t>(
-        std::llround(load_walk * scale));
-    counters_.dtlbStoreWalkCycles += static_cast<std::uint64_t>(
-        std::llround(store_walk * scale));
+    counters_.dtlbLoadWalkCycles += load_cycles;
+    counters_.dtlbStoreWalkCycles += store_cycles;
     return res;
 }
 

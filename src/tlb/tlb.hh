@@ -59,8 +59,24 @@ class SetAssocTlb
         bool valid = false;
     };
 
+    /**
+     * Set index for @p key. All standard geometries have
+     * power-of-two set counts, where `h % sets == h & (sets - 1)`
+     * bit-for-bit; the mask form avoids a hardware divide on the
+     * simulator's hottest path. Odd set counts fall back to the
+     * division, so the mapping is identical either way.
+     */
+    unsigned
+    setOf(std::uint64_t hash) const
+    {
+        if (mask_ != 0 || sets_ == 1)
+            return static_cast<unsigned>(hash & mask_);
+        return static_cast<unsigned>(hash % sets_);
+    }
+
     unsigned sets_;
     unsigned ways_;
+    std::uint64_t mask_ = 0; //!< sets_ - 1 when sets_ is a power of 2
     std::uint64_t tick_ = 0;
     std::vector<Way> ways_storage_;
 };

@@ -27,12 +27,12 @@ class TapWorkload : public workload::Workload
         return inner_->runsToCompletion();
     }
 
-    workload::WorkChunk
-    next(sim::Process &proc, TimeNs max_compute) override
+    void
+    next(sim::Process &proc, TimeNs max_compute,
+         workload::WorkChunk &chunk) override
     {
-        workload::WorkChunk c = inner_->next(proc, max_compute);
-        (vm_->*hook_)(proc, c);
-        return c;
+        inner_->next(proc, max_compute, chunk);
+        (vm_->*hook_)(proc, chunk);
     }
 
   private:
@@ -70,12 +70,13 @@ VmBackingWorkload::pushTouch(Vpn gpa_page)
         pending_touches_.push_back(gpa_page);
 }
 
-workload::WorkChunk
-VmBackingWorkload::next(sim::Process &proc, TimeNs max_compute)
+void
+VmBackingWorkload::next(sim::Process &proc, TimeNs max_compute,
+                        workload::WorkChunk &chunk)
 {
     (void)proc;
     (void)max_compute;
-    workload::WorkChunk chunk;
+    chunk.reset();
     const Vpn base_vpn = addrToVpn(base_);
     std::uint64_t drained = 0;
     while (!pending_faults_.empty() && drained < 4096) {
@@ -99,7 +100,6 @@ VmBackingWorkload::next(sim::Process &proc, TimeNs max_compute)
     // VM-exit handling cost for the drained events.
     chunk.compute = std::max<TimeNs>(
         usec(1), static_cast<TimeNs>(drained) * 200);
-    return chunk;
 }
 
 VirtualMachine::VirtualMachine(

@@ -51,8 +51,8 @@ class VmBackingWorkload : public workload::Workload
 
     std::string name() const override { return name_; }
     void init(sim::Process &proc) override;
-    workload::WorkChunk next(sim::Process &proc,
-                             TimeNs max_compute) override;
+    void next(sim::Process &proc, TimeNs max_compute,
+              workload::WorkChunk &chunk) override;
     bool runsToCompletion() const override { return false; }
 
     Addr baseAddr() const { return base_; }

@@ -4,6 +4,8 @@
 
 namespace hawksim::vm {
 
+bool PageTable::tcache_runtime_enabled_ = true;
+
 PageTable::Node *
 PageTable::pdNode(Vpn vpn, bool create)
 {
@@ -29,11 +31,42 @@ PageTable::pdNode(Vpn vpn, bool create)
 const PageTable::Node *
 PageTable::pdNodeConst(Vpn vpn) const
 {
-    const Node *l3 = &root_;
-    const Node *l2 = l3->children[idxL3(vpn)].get();
+    return walkPd(vpn);
+}
+
+PageTable::Node *
+PageTable::walkPd(Vpn vpn) const
+{
+    auto *self = const_cast<PageTable *>(this);
+    Node *l2 = self->root_.children[idxL3(vpn)].get();
     if (!l2)
         return nullptr;
     return l2->children[idxL2(vpn)].get();
+}
+
+PageTable::Node *
+PageTable::pdFast(Vpn vpn) const
+{
+#ifndef HAWKSIM_NO_TCACHE
+    if (tcache_runtime_enabled_) {
+        const std::uint64_t pd_key = (vpn >> 18) + 1;
+        if (last_pd_.tag == pd_key && last_pd_.epoch == epoch_)
+            return last_pd_.pd;
+        const std::uint64_t region = vpn >> 9;
+        CacheSlot &slot = tcache_[region & (kTCacheSlots - 1)];
+        if (slot.tag == region + 1 && slot.epoch == epoch_) {
+            last_pd_ = {pd_key, epoch_, slot.pd};
+            return slot.pd;
+        }
+        Node *pd = walkPd(vpn);
+        if (pd) {
+            slot = {region + 1, epoch_, pd};
+            last_pd_ = {pd_key, epoch_, pd};
+        }
+        return pd;
+    }
+#endif
+    return walkPd(vpn);
 }
 
 void
@@ -54,6 +87,7 @@ PageTable::mapBase(Vpn vpn, Pfn pfn, std::uint64_t flags)
     pt->entries[i0] = Pte::make(pfn, flags | kPtePresent).raw();
     pt->used++;
     base_pages_++;
+    bumpEpoch();
 }
 
 void
@@ -69,6 +103,7 @@ PageTable::mapHuge(Vpn vpn, Pfn block_pfn, std::uint64_t flags)
         Pte::make(block_pfn, flags | kPtePresent | kPteHuge).raw();
     pd->used++;
     huge_pages_++;
+    bumpEpoch();
 }
 
 Pte
@@ -90,6 +125,7 @@ PageTable::unmapBase(Vpn vpn)
         pd->children[i1].reset();
         pd->used--;
     }
+    bumpEpoch();
     return old;
 }
 
@@ -105,6 +141,7 @@ PageTable::unmapHuge(Vpn vpn)
     pd->entries[i1] = 0;
     pd->used--;
     huge_pages_--;
+    bumpEpoch();
     return old;
 }
 
@@ -116,6 +153,7 @@ PageTable::remapBase(Vpn vpn, Pfn new_pfn)
     HS_ASSERT(e && !is_huge, "remapBase of unmapped/huge vpn ", vpn);
     const std::uint64_t flags = e->raw() & 0xfff;
     *e = Pte::make(new_pfn, flags);
+    bumpEpoch();
 }
 
 std::vector<std::pair<Vpn, Pte>>
@@ -143,6 +181,7 @@ PageTable::promote(Vpn vpn, Pfn block_pfn)
                           .raw();
     pd->used++;
     huge_pages_++;
+    bumpEpoch();
     return old;
 }
 
@@ -168,6 +207,7 @@ PageTable::demote(Vpn vpn)
     }
     pt->used = 512;
     base_pages_ += 512;
+    bumpEpoch();
     return old;
 }
 
@@ -175,7 +215,7 @@ Translation
 PageTable::lookup(Vpn vpn) const
 {
     Translation t;
-    const Node *pd = pdNodeConst(vpn);
+    const Node *pd = pdFast(vpn);
     if (!pd)
         return t;
     const unsigned i1 = idxL1(vpn);
@@ -212,11 +252,54 @@ PageTable::touch(Vpn vpn, bool write)
     return true;
 }
 
+Translation
+PageTable::lookupAndTouch(Vpn vpn, bool write)
+{
+    if (!translationCacheEnabled()) {
+        // Reference path: the seed's exact two-walk sequence. The CI
+        // bit-identity check compares this against the fused walk.
+        Translation t = lookup(vpn);
+        if (t.present)
+            touch(vpn, write);
+        return t;
+    }
+    const std::uint64_t touch_flags =
+        write ? (kPteAccessed | kPteDirty)
+              : std::uint64_t{kPteAccessed};
+    Translation t;
+    Node *pd = pdFast(vpn);
+    if (!pd)
+        return t;
+    const unsigned i1 = idxL1(vpn);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge()) {
+        t.present = true;
+        t.huge = true;
+        t.pfn = pd_entry.pfn() + idxL0(vpn);
+        t.entry = pd_entry; // pre-touch snapshot
+        pd->entries[i1] = pd_entry.raw() | touch_flags;
+        return t;
+    }
+    Node *pt = pd->children[i1].get();
+    if (!pt)
+        return t;
+    std::uint64_t &raw = pt->entries[idxL0(vpn)];
+    Pte e(raw);
+    if (!e.present())
+        return t;
+    t.present = true;
+    t.huge = false;
+    t.pfn = e.pfn();
+    t.entry = e; // pre-touch snapshot
+    raw |= touch_flags;
+    return t;
+}
+
 void
 PageTable::clearAccessed(std::uint64_t region)
 {
     const Vpn base = region << 9;
-    Node *pd = pdNode(base, false);
+    Node *pd = pdFast(base);
     if (!pd)
         return;
     const unsigned i1 = idxL1(base);
@@ -242,7 +325,7 @@ unsigned
 PageTable::accessedCount(std::uint64_t region) const
 {
     const Vpn base = region << 9;
-    const Node *pd = pdNodeConst(base);
+    const Node *pd = pdFast(base);
     if (!pd)
         return 0;
     const unsigned i1 = idxL1(base);
@@ -265,7 +348,7 @@ unsigned
 PageTable::population(std::uint64_t region) const
 {
     const Vpn base = region << 9;
-    const Node *pd = pdNodeConst(base);
+    const Node *pd = pdFast(base);
     if (!pd)
         return 0;
     const unsigned i1 = idxL1(base);
@@ -280,11 +363,39 @@ bool
 PageTable::isHuge(std::uint64_t region) const
 {
     const Vpn base = region << 9;
-    const Node *pd = pdNodeConst(base);
+    const Node *pd = pdFast(base);
     if (!pd)
         return false;
     Pte e(pd->entries[idxL1(base)]);
     return e.present() && e.huge();
+}
+
+PageTable::RegionView
+PageTable::regionView(std::uint64_t region) const
+{
+    RegionView view;
+    const Vpn base = region << 9;
+    const Node *pd = pdFast(base);
+    if (!pd)
+        return view;
+    const unsigned i1 = idxL1(base);
+    Pte pd_entry(pd->entries[i1]);
+    if (pd_entry.present() && pd_entry.huge()) {
+        view.population = 512;
+        view.accessed = pd_entry.accessed() ? 512 : 0;
+        view.huge = true;
+        return view;
+    }
+    const Node *pt = pd->children[i1].get();
+    if (!pt)
+        return view;
+    view.population = pt->used;
+    for (auto raw : pt->entries) {
+        Pte e(raw);
+        if (e.present() && e.accessed())
+            view.accessed++;
+    }
+    return view;
 }
 
 void
@@ -325,7 +436,7 @@ PageTable::forEachLeaf(
 Pte *
 PageTable::leafEntry(Vpn vpn, bool *is_huge)
 {
-    Node *pd = pdNode(vpn, false);
+    Node *pd = pdFast(vpn);
     if (!pd)
         return nullptr;
     const unsigned i1 = idxL1(vpn);

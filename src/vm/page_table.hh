@@ -7,6 +7,32 @@
  * maintains population counts per 2MB region so huge-page policies can
  * query utilization in O(1), and supports the promotion/demotion
  * primitives (replace a PT with a huge leaf and vice versa).
+ *
+ * Simulator-side translation cache
+ * --------------------------------
+ * Every sampled access costs a software radix walk, and the hot paths
+ * (TLB simulation, content writes, access-bit sampling) walk the same
+ * handful of PD nodes over and over. The table therefore keeps a
+ * behavior-invisible cache of walk results:
+ *
+ *   - a structural *epoch* counter, bumped by every mutation that
+ *     creates, destroys or retargets leaf entries (mapBase/mapHuge/
+ *     unmapBase/unmapHuge/remapBase/promote/demote — madvise unmaps
+ *     go through these);
+ *   - a flat direct-mapped `region -> PD node` cache plus a one-entry
+ *     last-PD slot, each tagged with the epoch at fill time.
+ *
+ * A stale entry is detected by epoch compare and simply re-walked, so
+ * cached and uncached execution are bit-identical: the cache stores
+ * only node *handles*; entry words (present/huge/accessed/dirty bits)
+ * are always read live through them. `lookup`, `touch`,
+ * `clearAccessed`, `accessedCount`, `population`, `isHuge`,
+ * `regionView` and `leafEntry` all consult the cache before walking.
+ *
+ * Compile with -DHAWKSIM_NO_TCACHE to remove the cache entirely (CI
+ * compares reports of both builds byte-for-byte), or flip the
+ * process-wide runtime switch (used by `hawksim_bench --wallclock` to
+ * measure both variants in one process).
  */
 
 #ifndef HAWKSIM_VM_PAGE_TABLE_HH
@@ -72,6 +98,15 @@ class PageTable
      * the leaf entry mapping @p vpn. Returns false if unmapped.
      */
     bool touch(Vpn vpn, bool write);
+    /**
+     * Fused lookup + touch in a single walk: translate @p vpn and, if
+     * present, set accessed (and dirty for writes) on the leaf entry.
+     * The returned Translation snapshots the entry *before* the touch,
+     * exactly as a `lookup()` followed by `touch()` would observe it.
+     * With the translation cache disabled this decays to that
+     * two-walk reference sequence.
+     */
+    Translation lookupAndTouch(Vpn vpn, bool write);
     /** Clear accessed bits for every leaf entry in a 2MB region. */
     void clearAccessed(std::uint64_t region);
     /**
@@ -87,6 +122,18 @@ class PageTable
     unsigned population(std::uint64_t region) const;
     /** True if the region is covered by a huge leaf. */
     bool isHuge(std::uint64_t region) const;
+    /** Population, accessed count and hugeness of one region. */
+    struct RegionView
+    {
+        unsigned population = 0;
+        unsigned accessed = 0;
+        bool huge = false;
+    };
+    /**
+     * All three region statistics from a single walk + PT scan —
+     * what the access-bit tracker reads every sample window.
+     */
+    RegionView regionView(std::uint64_t region) const;
     /// @}
 
     /** @name Aggregate counters */
@@ -111,6 +158,40 @@ class PageTable
     /** Mutable leaf entry access for in-place flag edits (OS use). */
     Pte *leafEntry(Vpn vpn, bool *is_huge = nullptr);
 
+    /** @name Translation-cache introspection and control */
+    /// @{
+    /**
+     * Structural mutation epoch; cache entries tagged with an older
+     * epoch are ignored. Exposed for tests and diagnostics.
+     */
+    std::uint64_t translationEpoch() const { return epoch_; }
+    /** True unless compiled with -DHAWKSIM_NO_TCACHE. */
+    static constexpr bool
+    translationCacheCompiledIn()
+    {
+#ifdef HAWKSIM_NO_TCACHE
+        return false;
+#else
+        return true;
+#endif
+    }
+    /**
+     * Process-wide runtime switch (default on). Only flipped between
+     * measurement phases by the wall-clock harness; never toggle it
+     * while simulations are running on other threads.
+     */
+    static void
+    setTranslationCacheEnabled(bool on)
+    {
+        tcache_runtime_enabled_ = on;
+    }
+    static bool
+    translationCacheEnabled()
+    {
+        return translationCacheCompiledIn() && tcache_runtime_enabled_;
+    }
+    /// @}
+
   private:
     struct Node
     {
@@ -129,9 +210,38 @@ class PageTable
     Node *pdNode(Vpn vpn, bool create);
     const Node *pdNodeConst(Vpn vpn) const;
 
+    /**
+     * Read-only walk to the PD node. The const_cast is sound: the
+     * walk itself never mutates, and callers that write through the
+     * returned node are non-const methods of this table.
+     */
+    Node *walkPd(Vpn vpn) const;
+    /** walkPd through the translation cache (when enabled). */
+    Node *pdFast(Vpn vpn) const;
+    /** Record a structural mutation: invalidates all cached slots. */
+    void bumpEpoch() { epoch_++; }
+
     Node root_;
     std::uint64_t base_pages_ = 0;
     std::uint64_t huge_pages_ = 0;
+
+    /** Structural epoch; starts at 1 so a zero tag is never valid. */
+    std::uint64_t epoch_ = 1;
+    static bool tcache_runtime_enabled_;
+
+#ifndef HAWKSIM_NO_TCACHE
+    struct CacheSlot
+    {
+        std::uint64_t tag = 0; //!< key + 1; 0 = empty
+        std::uint64_t epoch = 0;
+        Node *pd = nullptr;
+    };
+    static constexpr std::uint64_t kTCacheSlots = 1024; // power of 2
+    /** Direct-mapped region -> PD node cache, epoch-validated. */
+    mutable std::array<CacheSlot, kTCacheSlots> tcache_{};
+    /** Last PD node seen, keyed by vpn >> 18 (one PD = 1GB of VA). */
+    mutable CacheSlot last_pd_{};
+#endif
 };
 
 } // namespace hawksim::vm

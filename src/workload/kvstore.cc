@@ -45,14 +45,15 @@ KeyValueStoreWorkload::allocValue(std::uint64_t value_bytes)
     return Value{start, pages};
 }
 
-WorkChunk
-KeyValueStoreWorkload::next(sim::Process &proc, TimeNs max_compute)
+void
+KeyValueStoreWorkload::next(sim::Process &proc, TimeNs max_compute,
+                            WorkChunk &chunk)
 {
     (void)proc;
-    WorkChunk chunk;
+    chunk.reset();
     if (phase_ >= cfg_.phases.size()) {
         chunk.done = true;
-        return chunk;
+        return;
     }
     const KvPhase &ph = cfg_.phases[phase_];
     auto advancePhase = [&] {
@@ -191,7 +192,6 @@ KeyValueStoreWorkload::next(sim::Process &proc, TimeNs max_compute)
     }
     if (phase_ >= cfg_.phases.size())
         chunk.done = true;
-    return chunk;
 }
 
 } // namespace hawksim::workload

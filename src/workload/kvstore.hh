@@ -83,7 +83,8 @@ class KeyValueStoreWorkload : public Workload
 
     std::string name() const override { return name_; }
     void init(sim::Process &proc) override;
-    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+    void next(sim::Process &proc, TimeNs max_compute,
+              WorkChunk &chunk) override;
     bool
     runsToCompletion() const override
     {

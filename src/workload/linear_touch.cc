@@ -16,14 +16,15 @@ LinearTouchWorkload::init(sim::Process &proc)
                                    : 0;
 }
 
-WorkChunk
-LinearTouchWorkload::next(sim::Process &proc, TimeNs max_compute)
+void
+LinearTouchWorkload::next(sim::Process &proc, TimeNs max_compute,
+                          WorkChunk &chunk)
 {
     (void)max_compute;
-    WorkChunk chunk;
+    chunk.reset();
     if (iter_ >= cfg_.iterations) {
         chunk.done = true;
-        return chunk;
+        return;
     }
 
     const Vpn base_vpn = addrToVpn(base_);
@@ -70,7 +71,6 @@ LinearTouchWorkload::next(sim::Process &proc, TimeNs max_compute)
             chunk.done = true;
     }
     (void)proc;
-    return chunk;
 }
 
 } // namespace hawksim::workload

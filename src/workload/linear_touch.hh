@@ -50,7 +50,8 @@ class LinearTouchWorkload : public Workload
 
     std::string name() const override { return name_; }
     void init(sim::Process &proc) override;
-    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+    void next(sim::Process &proc, TimeNs max_compute,
+              WorkChunk &chunk) override;
 
     std::uint64_t touchesDone() const { return total_touched_; }
 

@@ -55,11 +55,12 @@ StreamWorkload::drawPage()
     return base_vpn + page;
 }
 
-WorkChunk
-StreamWorkload::next(sim::Process &proc, TimeNs max_compute)
+void
+StreamWorkload::next(sim::Process &proc, TimeNs max_compute,
+                     WorkChunk &chunk)
 {
     (void)proc;
-    WorkChunk chunk;
+    chunk.reset();
 
     // Phase 1: touch the whole footprint (allocation phase).
     if (cfg_.initTouchAll && init_pos_ < pages_) {
@@ -78,7 +79,7 @@ StreamWorkload::next(sim::Process &proc, TimeNs max_compute)
             static_cast<TimeNs>(batch) * cfg_.initWorkPerPage;
         chunk.accessCount = batch;
         chunk.sequentiality = 1.0;
-        return chunk;
+        return;
     }
 
     // Phase 2: steady-state access stream.
@@ -90,7 +91,7 @@ StreamWorkload::next(sim::Process &proc, TimeNs max_compute)
         static_cast<TimeNs>(std::max(remaining, 0.0) * 1e9));
     if (compute <= 0) {
         chunk.done = true;
-        return chunk;
+        return;
     }
     chunk.compute = compute;
     const double secs = static_cast<double>(compute) / 1e9;
@@ -110,7 +111,6 @@ StreamWorkload::next(sim::Process &proc, TimeNs max_compute)
     work_done_ += secs;
     if (cfg_.workSeconds > 0.0 && work_done_ >= cfg_.workSeconds)
         chunk.done = true;
-    return chunk;
 }
 
 } // namespace hawksim::workload

@@ -70,7 +70,8 @@ class StreamWorkload : public Workload
 
     std::string name() const override { return name_; }
     void init(sim::Process &proc) override;
-    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+    void next(sim::Process &proc, TimeNs max_compute,
+              WorkChunk &chunk) override;
     bool
     runsToCompletion() const override
     {

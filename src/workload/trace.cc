@@ -112,13 +112,14 @@ TraceWorkload::regionOf(const std::string &name) const
     return it->second;
 }
 
-WorkChunk
-TraceWorkload::next(sim::Process &proc, TimeNs max_compute)
+void
+TraceWorkload::next(sim::Process &proc, TimeNs max_compute,
+                    WorkChunk &chunk)
 {
-    WorkChunk chunk;
+    chunk.reset();
     if (pc_ >= ops_.size()) {
         chunk.done = true;
-        return chunk;
+        return;
     }
     const TraceOp &op = ops_[pc_];
     auto finishOp = [&] {
@@ -215,7 +216,6 @@ TraceWorkload::next(sim::Process &proc, TimeNs max_compute)
     chunk.opsCompleted = 1;
     if (pc_ >= ops_.size())
         chunk.done = true;
-    return chunk;
 }
 
 } // namespace hawksim::workload

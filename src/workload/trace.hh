@@ -79,7 +79,8 @@ class TraceWorkload : public Workload
 
     std::string name() const override { return name_; }
     void init(sim::Process &proc) override;
-    WorkChunk next(sim::Process &proc, TimeNs max_compute) override;
+    void next(sim::Process &proc, TimeNs max_compute,
+              WorkChunk &chunk) override;
 
     std::size_t opsRemaining() const { return ops_.size() - pc_; }
 

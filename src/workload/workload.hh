@@ -74,6 +74,28 @@ struct WorkChunk
     std::uint64_t opsCompleted = 0;
     /** Set when the workload has finished all its work. */
     bool done = false;
+
+    /**
+     * Return the chunk to its default-constructed state while keeping
+     * the vectors' capacity, so the engine can hand the same chunk to
+     * Workload::next() every quantum without re-allocating the
+     * buffers in the inner simulation loop.
+     */
+    void
+    reset()
+    {
+        compute = 0;
+        faults.clear();
+        faultsAreWrites = true;
+        writes.clear();
+        accessCount = 0;
+        sample.clear();
+        touches.clear();
+        sequentiality = 0.0;
+        frees.clear();
+        opsCompleted = 0;
+        done = false;
+    }
 };
 
 class Workload
@@ -87,10 +109,13 @@ class Workload
     virtual void init(sim::Process &proc) = 0;
 
     /**
-     * Produce the next quantum. @p max_compute bounds the chunk's
-     * compute time (the engine's tick granularity).
+     * Produce the next quantum into @p chunk (reset() by the callee
+     * first, so buffers are reused across calls). @p max_compute
+     * bounds the chunk's compute time (the engine's tick
+     * granularity).
      */
-    virtual WorkChunk next(sim::Process &proc, TimeNs max_compute) = 0;
+    virtual void next(sim::Process &proc, TimeNs max_compute,
+                      WorkChunk &chunk) = 0;
 
     /**
      * Hint for experiments: does this workload run to completion

@@ -187,6 +187,34 @@ TEST(TlbModel, ScalingExtrapolatesCounts)
                 static_cast<double>(r.misses));
 }
 
+TEST(TlbModel, WalkCyclesMatchCounterDeltasExactly)
+{
+    // Regression: walkCycles used to round the load+store sum while
+    // the counters rounded load and store separately, so the batch
+    // result could drift +/-1 cycle from the counter deltas at
+    // fractional scales. Both must come from the same split rounding.
+    vm::PageTable pt;
+    mapRange(pt, 1 << 16, false);
+    TlbModel m;
+    Rng rng(11);
+    for (int batch_no = 0; batch_no < 50; batch_no++) {
+        std::vector<AccessSample> batch;
+        for (int i = 0; i < 500; i++)
+            batch.push_back({rng.below(1 << 16), i % 3 == 0});
+        const std::uint64_t before =
+            m.counters().dtlbLoadWalkCycles +
+            m.counters().dtlbStoreWalkCycles;
+        // Odd fractional scales make llround differences visible.
+        const double scale = 1.0 + 0.137 * batch_no;
+        auto r = m.simulate(pt, batch, 0.3, scale);
+        const std::uint64_t after =
+            m.counters().dtlbLoadWalkCycles +
+            m.counters().dtlbStoreWalkCycles;
+        ASSERT_EQ(r.walkCycles, after - before)
+            << "batch " << batch_no << " scale " << scale;
+    }
+}
+
 TEST(TlbModel, FlushDropsTranslations)
 {
     vm::PageTable pt;

@@ -68,11 +68,72 @@ TEST(StreamWorkload, CoverageRestrictionLimitsPagesPerRegion)
                                                         Rng(1)));
     auto *stream = static_cast<workload::StreamWorkload *>(
         &proc.workload());
-    auto chunk = stream->next(proc, msec(10));
+    workload::WorkChunk chunk;
+    stream->next(proc, msec(10), chunk);
     for (const auto &s : chunk.sample)
         EXPECT_LT(s.vpn & 511, 8u);
     for (Vpn v : chunk.touches)
         EXPECT_LT(v & 511, 8u);
+}
+
+TEST(WorkChunk, ResetClearsStateAndKeepsCapacity)
+{
+    workload::WorkChunk chunk;
+    chunk.compute = 123;
+    chunk.faults = {1, 2, 3};
+    chunk.faultsAreWrites = false;
+    chunk.accessCount = 99;
+    chunk.sample = {{4, true}};
+    chunk.touches = {5, 6};
+    chunk.sequentiality = 0.7;
+    chunk.frees = {{4096, 4096}};
+    chunk.opsCompleted = 2;
+    chunk.done = true;
+    const std::size_t faults_cap = chunk.faults.capacity();
+    const std::size_t touches_cap = chunk.touches.capacity();
+
+    chunk.reset();
+    EXPECT_EQ(chunk.compute, 0);
+    EXPECT_TRUE(chunk.faults.empty());
+    EXPECT_TRUE(chunk.faultsAreWrites);
+    EXPECT_EQ(chunk.accessCount, 0u);
+    EXPECT_TRUE(chunk.sample.empty());
+    EXPECT_TRUE(chunk.touches.empty());
+    EXPECT_EQ(chunk.sequentiality, 0.0);
+    EXPECT_TRUE(chunk.frees.empty());
+    EXPECT_EQ(chunk.opsCompleted, 0u);
+    EXPECT_FALSE(chunk.done);
+    // The buffers must be reusable without re-allocation.
+    EXPECT_EQ(chunk.faults.capacity(), faults_cap);
+    EXPECT_EQ(chunk.touches.capacity(), touches_cap);
+}
+
+TEST(WorkChunk, ReusedAcrossNextCallsWithoutStaleState)
+{
+    // The engine hands the same chunk to every next() call; a
+    // workload must fully overwrite it (via reset) so nothing leaks
+    // from one quantum into the following one.
+    WlFixture f;
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(8);
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    auto &proc = f.sys->addProcess(
+        "s", std::make_unique<workload::StreamWorkload>("s", wc,
+                                                        Rng(1)));
+    auto *stream = static_cast<workload::StreamWorkload *>(
+        &proc.workload());
+    workload::WorkChunk chunk;
+    // Poison the chunk; next() must start from a clean slate.
+    chunk.done = true;
+    chunk.compute = 777;
+    chunk.faults = {999999};
+    chunk.frees = {{0, 4096}};
+    stream->next(proc, msec(10), chunk);
+    EXPECT_FALSE(chunk.done);
+    for (Vpn v : chunk.faults)
+        EXPECT_NE(v, 999999u);
+    EXPECT_TRUE(chunk.frees.empty());
 }
 
 TEST(LinearTouch, FaultCountMatchesPages)

@@ -51,6 +51,7 @@ runSpinup(const harness::RunContext &ctx,
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     // Dirty boot memory so pre-zeroing actually matters.
     cfg.bootMemoryZeroed = false;
     sim::System sys(cfg);
@@ -79,6 +80,7 @@ runHotspot(const harness::RunContext &ctx,
     cfg.memoryBytes = GiB(4);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
     sys.fragmentMemoryMovable(1.0, 64);

@@ -38,6 +38,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(48) / kScale;
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     cfg.metricsPeriod = msec(500);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));

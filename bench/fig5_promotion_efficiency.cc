@@ -30,6 +30,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     // "We fragment the memory initially by reading several files."

@@ -30,6 +30,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     cfg.metricsPeriod = sec(1);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));

@@ -33,6 +33,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(8);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 64);

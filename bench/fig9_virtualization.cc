@@ -58,6 +58,7 @@ run(const harness::RunContext &ctx)
     host_cfg.memoryBytes = GiB(12);
     host_cfg.seed = ctx.seed();
     host_cfg.trace = ctx.trace();
+    host_cfg.fault = ctx.fault();
     virt::VirtualSystem vs(host_cfg,
                            makePolicy(he_host ? "HawkEye-G"
                                               : "Linux-2MB"));

@@ -39,6 +39,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(4);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     cfg.metricsPeriod = 0;
     sim::System sys(cfg);
     policy::LinuxConfig lc;

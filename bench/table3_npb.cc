@@ -39,6 +39,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(6);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     policy::LinuxConfig lc;
     lc.thp = thp;

@@ -39,6 +39,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(48) / kScale;
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(policy_name));
 

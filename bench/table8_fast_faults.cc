@@ -37,6 +37,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = GiB(96) / s.div;
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("config")));
 

@@ -36,6 +36,7 @@ run(const harness::RunContext &ctx)
     cfg.memoryBytes = set == "random+sequential" ? GiB(6) : GiB(9);
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
+    cfg.fault = ctx.fault();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 48);

@@ -77,18 +77,26 @@ main(int argc, char **argv)
     sys.setPolicy(makePolicy(policy));
 
     std::unique_ptr<workload::TraceWorkload> wl;
-    if (argc > 1) {
-        std::ifstream f(argv[1]);
-        if (!f) {
-            std::fprintf(stderr, "cannot open trace '%s'\n", argv[1]);
-            return 1;
+    try {
+        if (argc > 1) {
+            std::ifstream f(argv[1]);
+            if (!f) {
+                std::fprintf(stderr, "cannot open trace '%s'\n",
+                             argv[1]);
+                return 1;
+            }
+            std::vector<workload::TraceOp> ops =
+                workload::parseTrace(f, argv[1]);
+            wl = std::make_unique<workload::TraceWorkload>(
+                "trace", std::move(ops), sys.rng().fork());
+        } else {
+            std::istringstream demo(kDemoTrace);
+            wl = workload::TraceWorkload::fromStream(
+                "demo", demo, sys.rng().fork());
         }
-        wl = workload::TraceWorkload::fromStream("trace", f,
-                                                 sys.rng().fork());
-    } else {
-        std::istringstream demo(kDemoTrace);
-        wl = workload::TraceWorkload::fromStream("demo", demo,
-                                                 sys.rng().fork());
+    } catch (const workload::TraceError &e) {
+        std::fprintf(stderr, "malformed trace: %s\n", e.what());
+        return 1;
     }
     auto &proc = sys.addProcess("trace", std::move(wl));
     sys.runUntilAllDone(sec(3600));

@@ -15,6 +15,15 @@ AsyncZeroDaemon::periodic(sim::System &sys, TimeNs dt)
         auto blk = buddy.takeNonZeroBlock(mem::BuddyAllocator::kMaxOrder);
         if (!blk)
             break; // nothing dirty left
+        // Chaos: the zeroing pass over this block fails — put it
+        // back un-zeroed. The budget is still consumed (the daemon
+        // spent its time), which also guarantees the loop advances.
+        if (fault::faultAt(sys.faultInjector(),
+                           fault::Site::kPrezero)) {
+            buddy.free(blk->pfn, blk->order, /*zeroed=*/false);
+            budget_ -= static_cast<double>(blk->pages());
+            continue;
+        }
         for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
             mem::Frame &f = sys.phys().frame(p);
             f.content = mem::PageContent::zero();

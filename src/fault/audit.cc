@@ -1,0 +1,337 @@
+#include "fault/audit.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/page_key.hh"
+#include "base/types.hh"
+#include "mem/phys.hh"
+#include "sim/process.hh"
+#include "sim/system.hh"
+#include "vm/page_table.hh"
+
+namespace hawksim::fault {
+
+namespace {
+
+constexpr const char *kViolationNames[] = {
+    "pte-pfn-range",      "pte-free-frame",   "pte-owner",
+    "frame-refcount",     "frame-leak",       "buddy-overlap",
+    "buddy-misaligned",   "buddy-uncoalesced","buddy-zero-dirty",
+    "buddy-counter-drift","buddy-flag-mismatch",
+    "huge-misaligned",    "huge-shadow",      "pt-counter-drift",
+    "tlb-incoherent",     "swap-mapped-slot", "swap-orphan",
+    "swap-counter-drift",
+};
+
+/**
+ * Cross-check every live PTE against the frame table, then sweep the
+ * frame table for refcount drift and leaked frames.
+ */
+void
+auditFrames(sim::System &sys, AuditReport &rep)
+{
+    mem::PhysicalMemory &phys = sys.phys();
+    const std::uint64_t frames = phys.totalFrames();
+    std::vector<std::uint64_t> expected(frames, 0);
+
+    for (auto &procp : sys.processes()) {
+        sim::Process &proc = *procp;
+        const auto pid = proc.pid();
+        const vm::PageTable &pt = proc.space().pageTable();
+        pt.forEachLeaf([&](Vpn vpn, const vm::Pte &e, bool huge) {
+            const std::uint64_t n = huge ? kPagesPerHuge : 1;
+            const Pfn pfn = e.pfn();
+            if (pfn + n > frames) {
+                HS_AUDIT_CHECK(rep, ViolationClass::kPtePfnRange,
+                               pfn + n <= frames, "pid ", pid,
+                               " vpn ", vpn, " pfn ", pfn);
+                return;
+            }
+            for (Pfn p = pfn; p < pfn + n; p++) {
+                const mem::Frame &f = phys.frame(p);
+                expected[p]++;
+                HS_AUDIT_CHECK(rep, ViolationClass::kPteFreeFrame,
+                               !f.isFree(), "pid ", pid, " vpn ", vpn,
+                               " pfn ", p);
+                if (!f.isFree() && !f.isShared() && !e.zeroPage()) {
+                    HS_AUDIT_CHECK(rep, ViolationClass::kPteOwner,
+                                   f.ownerPid == pid, "pid ", pid,
+                                   " vpn ", vpn, " pfn ", p,
+                                   " owner ", f.ownerPid);
+                }
+            }
+        });
+    }
+
+    for (Pfn p = 0; p < frames; p++) {
+        const mem::Frame &f = phys.frame(p);
+        if (f.isFree()) {
+            HS_AUDIT_CHECK(rep, ViolationClass::kFrameRefcount,
+                           expected[p] == 0, "free pfn ", p,
+                           " has ", expected[p], " PTE refs");
+            continue;
+        }
+        HS_AUDIT_CHECK(rep, ViolationClass::kFrameRefcount,
+                       f.mapCount == expected[p], "pfn ", p,
+                       " mapCount ", f.mapCount, " PTE refs ",
+                       expected[p], " owner ", f.ownerPid);
+        // Reserved frames (FreeBSD reservations) are legitimately
+        // allocated ahead of being mapped; kernel-owned frames
+        // (fragmenter pins, file cache, the zero page) have no PTEs.
+        if (f.ownerPid >= 0 && f.mapCount == 0 && !f.isReserved()) {
+            HS_AUDIT_CHECK(rep, ViolationClass::kFrameLeak, false,
+                           "pfn ", p, " owner ", f.ownerPid,
+                           " allocated but unmapped");
+        }
+    }
+}
+
+/** Free lists: disjoint, aligned, coalesced, zero-list really zero. */
+void
+auditBuddy(sim::System &sys, AuditReport &rep)
+{
+    mem::PhysicalMemory &phys = sys.phys();
+    const mem::BuddyAllocator &buddy = phys.buddy();
+    const std::uint64_t frames = phys.totalFrames();
+
+    struct Blk
+    {
+        Pfn pfn;
+        unsigned order;
+        bool zeroed;
+    };
+    std::vector<Blk> blocks;
+    std::uint64_t free_pages = 0;
+    std::uint64_t zero_pages = 0;
+    buddy.forEachFreeBlock([&](Pfn pfn, unsigned order, bool zeroed) {
+        blocks.push_back({pfn, order, zeroed});
+        free_pages += 1ull << order;
+        if (zeroed)
+            zero_pages += 1ull << order;
+        HS_AUDIT_CHECK(rep, ViolationClass::kBuddyMisaligned,
+                       (pfn & ((1ull << order) - 1)) == 0, "pfn ",
+                       pfn, " order ", order);
+        HS_AUDIT_CHECK(rep, ViolationClass::kBuddyOverlap,
+                       pfn + (1ull << order) <= frames, "pfn ", pfn,
+                       " order ", order, " past end of memory");
+        if (zeroed) {
+            for (Pfn p = pfn;
+                 p < std::min<std::uint64_t>(pfn + (1ull << order),
+                                             frames);
+                 p++) {
+                HS_AUDIT_CHECK(rep, ViolationClass::kBuddyZeroDirty,
+                               phys.frame(p).content.isZero(),
+                               "pfn ", p, " on zero list order ",
+                               order);
+            }
+        }
+    });
+
+    std::sort(blocks.begin(), blocks.end(),
+              [](const Blk &a, const Blk &b) { return a.pfn < b.pfn; });
+    for (std::size_t i = 1; i < blocks.size(); i++) {
+        const Blk &prev = blocks[i - 1];
+        const Blk &cur = blocks[i];
+        HS_AUDIT_CHECK(rep, ViolationClass::kBuddyOverlap,
+                       prev.pfn + (1ull << prev.order) <= cur.pfn,
+                       "blocks at pfn ", prev.pfn, "/", cur.pfn,
+                       " orders ", prev.order, "/", cur.order);
+    }
+    // Same-order free buddies must have been coalesced (free() always
+    // merges them, even across the zero / non-zero list split).
+    for (const Blk &b : blocks) {
+        if (b.order >= mem::BuddyAllocator::kMaxOrder)
+            continue;
+        const Pfn buddy_pfn = b.pfn ^ (1ull << b.order);
+        if (b.pfn < buddy_pfn) {
+            const bool merged_missed = std::binary_search(
+                blocks.begin(), blocks.end(),
+                Blk{buddy_pfn, 0, false},
+                [&](const Blk &x, const Blk &y) {
+                    return x.pfn < y.pfn;
+                });
+            if (merged_missed) {
+                auto it = std::lower_bound(
+                    blocks.begin(), blocks.end(), buddy_pfn,
+                    [](const Blk &x, Pfn v) { return x.pfn < v; });
+                HS_AUDIT_CHECK(rep,
+                               ViolationClass::kBuddyUncoalesced,
+                               it->order != b.order, "buddies at pfn ",
+                               b.pfn, "/", buddy_pfn, " order ",
+                               b.order, " left unmerged");
+            }
+        }
+    }
+
+    HS_AUDIT_CHECK(rep, ViolationClass::kBuddyCounterDrift,
+                   free_pages == buddy.freePages(), "lists hold ",
+                   free_pages, " pages, counter says ",
+                   buddy.freePages());
+    HS_AUDIT_CHECK(rep, ViolationClass::kBuddyCounterDrift,
+                   zero_pages == buddy.freeZeroPages(),
+                   "zero lists hold ", zero_pages,
+                   " pages, counter says ", buddy.freeZeroPages());
+
+    // Frame free-flag vs free-list membership, both directions.
+    std::vector<bool> covered(frames, false);
+    for (const Blk &b : blocks) {
+        for (Pfn p = b.pfn;
+             p < std::min<std::uint64_t>(b.pfn + (1ull << b.order),
+                                         frames);
+             p++)
+            covered[p] = true;
+    }
+    for (Pfn p = 0; p < frames; p++) {
+        if (covered[p] != phys.frame(p).isFree()) {
+            HS_AUDIT_CHECK(rep, ViolationClass::kBuddyFlagMismatch,
+                           false, "pfn ", p, " free-flag ",
+                           phys.frame(p).isFree(),
+                           " on-free-list ", covered[p]);
+        }
+    }
+}
+
+/** Page-table structure: alignment, shadows, counters. */
+void
+auditPageTables(sim::System &sys, AuditReport &rep)
+{
+    for (auto &procp : sys.processes()) {
+        sim::Process &proc = *procp;
+        const auto pid = proc.pid();
+        proc.space().pageTable().auditStructure(
+            [&](const char *tag, Vpn vpn, std::uint64_t value) {
+                const std::string_view t(tag);
+                if (t == "huge-shadow") {
+                    HS_AUDIT_CHECK(rep, ViolationClass::kHugeShadow,
+                                   false, "pid ", pid, " region vpn ",
+                                   vpn, " has a PT node (", value,
+                                   " live 4K entries) under a huge "
+                                   "leaf");
+                } else if (t == "huge-misaligned") {
+                    HS_AUDIT_CHECK(rep,
+                                   ViolationClass::kHugeMisaligned,
+                                   false, "pid ", pid, " region vpn ",
+                                   vpn, " block pfn ", value);
+                } else {
+                    HS_AUDIT_CHECK(rep,
+                                   ViolationClass::kPtCounterDrift,
+                                   false, "pid ", pid, " ", tag,
+                                   " at vpn ", vpn, " recount ",
+                                   value);
+                }
+            });
+    }
+}
+
+/**
+ * TLB entries recorded at the page table's current structural epoch
+ * must agree with it; older entries are benignly stale (the model
+ * ages them out instead of shooting them down).
+ */
+void
+auditTlbs(sim::System &sys, AuditReport &rep)
+{
+    for (auto &procp : sys.processes()) {
+        sim::Process &proc = *procp;
+        tlb::TlbModel &tlb = proc.tlb();
+        if (!tlb.auditLogEnabled())
+            continue;
+        const vm::PageTable &pt = proc.space().pageTable();
+        const std::uint64_t epoch = pt.translationEpoch();
+        for (const auto &[region, e] : tlb.auditLog2m()) {
+            if (e != epoch)
+                continue;
+            HS_AUDIT_CHECK(rep, ViolationClass::kTlbIncoherent,
+                           pt.isHuge(region), "pid ", proc.pid(),
+                           " 2M TLB entry for region ", region,
+                           " but PT mapping is not huge");
+        }
+        for (const auto &[vpn, e] : tlb.auditLog4k()) {
+            if (e != epoch)
+                continue;
+            const vm::Translation t = pt.lookup(vpn);
+            HS_AUDIT_CHECK(rep, ViolationClass::kTlbIncoherent,
+                           t.present && !t.huge, "pid ", proc.pid(),
+                           " 4K TLB entry for vpn ", vpn,
+                           " but PT mapping is ",
+                           t.present ? "huge" : "absent");
+        }
+    }
+}
+
+/** Swap slots: singly-owned, by a live process, counters coherent. */
+void
+auditSwap(sim::System &sys, AuditReport &rep)
+{
+    std::uint64_t entries = 0;
+    for (const auto &[key, content] : sys.swappedMap()) {
+        entries++;
+        const auto pid =
+            static_cast<std::int32_t>(key >> kPageKeyIndexBits);
+        const Vpn vpn = key & kPageKeyIndexMask;
+        sim::Process *proc = sys.findProcess(pid);
+        if (proc == nullptr || proc->finished()) {
+            HS_AUDIT_CHECK(rep, ViolationClass::kSwapOrphan, false,
+                           "slot for pid ", pid, " vpn ", vpn,
+                           " but the process is gone");
+            continue;
+        }
+        const vm::Translation t =
+            proc->space().pageTable().lookup(vpn);
+        HS_AUDIT_CHECK(rep, ViolationClass::kSwapMappedSlot,
+                       !t.present, "pid ", pid, " vpn ", vpn,
+                       " is swapped out and mapped at once");
+    }
+    HS_AUDIT_CHECK(rep, ViolationClass::kSwapCounterDrift,
+                   entries == sys.swappedPages(), "map holds ",
+                   entries, " slots, counter says ",
+                   sys.swappedPages());
+    HS_AUDIT_CHECK(rep, ViolationClass::kSwapCounterDrift,
+                   entries == sys.swap().usedPages(), "map holds ",
+                   entries, " slots, device says ",
+                   sys.swap().usedPages());
+}
+
+} // namespace
+
+const char *
+violationName(ViolationClass c)
+{
+    const auto i = static_cast<unsigned>(c);
+    HS_ASSERT(i < std::size(kViolationNames),
+              "bad violation class: ", i);
+    return kViolationNames[i];
+}
+
+std::string
+AuditReport::summary(std::size_t max_lines) const
+{
+    std::string out;
+    std::size_t n = 0;
+    for (const auto &v : violations) {
+        if (n++ == max_lines) {
+            out += detail::concat("... and ", violations.size() - n + 1,
+                                  " more\n");
+            break;
+        }
+        out += detail::concat("[", violationName(v.cls), "] ",
+                              v.detail, "\n");
+    }
+    return out;
+}
+
+AuditReport
+Auditor::audit(sim::System &sys) const
+{
+    AuditReport rep;
+    auditFrames(sys, rep);
+    auditBuddy(sys, rep);
+    auditPageTables(sys, rep);
+    auditTlbs(sys, rep);
+    auditSwap(sys, rep);
+    audits_run_++;
+    return rep;
+}
+
+} // namespace hawksim::fault

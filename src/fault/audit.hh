@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-structure invariant auditor.
+ *
+ * The Auditor walks a sim::System and cross-checks the load-bearing
+ * invariants that tie the page tables, frame table, buddy allocator,
+ * TLB model and swap state together. It never mutates anything and
+ * never panics — it returns an AuditReport listing every violation,
+ * so tests can assert on exact violation classes and chaos runs can
+ * fail loudly with a full diagnosis.
+ *
+ * Checks are opt-in at runtime (`--audit-every N`, audit-on-fault,
+ * end-of-run) and cost nothing when not invoked, so they stay
+ * compiled into Release builds — that is what HS_AUDIT_CHECK is for,
+ * as opposed to HS_ASSERT which guards programming errors on hot
+ * paths.
+ */
+
+#ifndef HAWKSIM_FAULT_AUDIT_HH
+#define HAWKSIM_FAULT_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace hawksim::sim {
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::fault {
+
+/** Exact class of a detected invariant violation. */
+enum class ViolationClass : std::uint8_t
+{
+    // PTE <-> frame table
+    kPtePfnRange,    //!< mapped PTE points outside physical memory
+    kPteFreeFrame,   //!< mapped PTE points at a buddy-free frame
+    kPteOwner,       //!< exclusive frame owned by a different pid
+    kFrameRefcount,  //!< frame mapCount != live PTE references
+    kFrameLeak,      //!< allocated process frame with no mapping
+    // Buddy allocator
+    kBuddyOverlap,     //!< free blocks overlap / run past memory end
+    kBuddyMisaligned,  //!< free block not naturally aligned
+    kBuddyUncoalesced, //!< two same-order free buddies left unmerged
+    kBuddyZeroDirty,   //!< zero-list frame with non-zero content
+    kBuddyCounterDrift,//!< free-page counters disagree with the lists
+    kBuddyFlagMismatch,//!< frame free-flag vs free-list membership
+    // Page-table structure
+    kHugeMisaligned, //!< huge leaf's block pfn not 512-aligned
+    kHugeShadow,     //!< live 4K entries underneath a huge leaf
+    kPtCounterDrift, //!< page-table node/global counters drifted
+    // TLB coherence
+    kTlbIncoherent, //!< current-epoch TLB entry contradicts the PT
+    // Swap
+    kSwapMappedSlot,  //!< swap slot for a page still mapped in the PT
+    kSwapOrphan,      //!< swap slot owned by a dead/unknown process
+    kSwapCounterDrift,//!< swap bookkeeping counters disagree
+};
+
+/** Stable name of a violation class ("pte-free-frame", ...). */
+const char *violationName(ViolationClass c);
+
+struct Violation
+{
+    ViolationClass cls;
+    std::string detail;
+};
+
+struct AuditReport
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+    bool
+    has(ViolationClass c) const
+    {
+        for (const auto &v : violations)
+            if (v.cls == c)
+                return true;
+        return false;
+    }
+    std::uint64_t
+    count(ViolationClass c) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &v : violations)
+            if (v.cls == c)
+                n++;
+        return n;
+    }
+    /** One line per violation, for logs and panic messages. */
+    std::string summary(std::size_t max_lines = 16) const;
+};
+
+/**
+ * Record a violation when @p cond is false. Unlike HS_ASSERT this
+ * never aborts and is always compiled in — audits are opt-in at
+ * runtime, so Release performance is unaffected while audits are off.
+ */
+#define HS_AUDIT_CHECK(report, cls, cond, ...)                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            (report).violations.push_back(::hawksim::fault::Violation{\
+                (cls),                                                \
+                ::hawksim::detail::concat(                            \
+                    "check failed: " #cond ": ",                      \
+                    ::hawksim::detail::concat(__VA_ARGS__))});        \
+        }                                                             \
+    } while (0)
+
+class Auditor
+{
+  public:
+    /** Run every invariant family over @p sys. */
+    AuditReport audit(sim::System &sys) const;
+
+    /** Number of audits run over this object's lifetime. */
+    std::uint64_t auditsRun() const { return audits_run_; }
+
+  private:
+    mutable std::uint64_t audits_run_ = 0;
+};
+
+} // namespace hawksim::fault
+
+#endif // HAWKSIM_FAULT_AUDIT_HH

@@ -1,0 +1,90 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "harness/seed.hh"
+#include "obs/probe.hh"
+
+namespace hawksim::fault {
+
+namespace {
+
+constexpr const char *kSiteNames[kSiteCount] = {
+    "buddy-alloc", "alloc-specific", "compact-move", "swap-out",
+    "swap-in",     "prezero",        "promote-copy",
+};
+
+} // namespace
+
+const char *
+siteName(Site s)
+{
+    const auto i = static_cast<unsigned>(s);
+    HS_ASSERT(i < kSiteCount, "bad fault site: ", i);
+    return kSiteNames[i];
+}
+
+std::optional<Site>
+siteFromName(std::string_view name)
+{
+    for (unsigned i = 0; i < kSiteCount; i++)
+        if (name == kSiteNames[i])
+            return static_cast<Site>(i);
+    return std::nullopt;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed,
+                             const FaultConfig &cfg)
+    : cfg_(cfg)
+{
+    // Each site gets its own hash chain so the decision for
+    // occurrence n of one site is uncorrelated with the decisions of
+    // every other site at the same index.
+    for (unsigned i = 0; i < kSiteCount; i++) {
+        const std::uint64_t salt = harness::fnv1a(kSiteNames[i]);
+        site_base_[i] = harness::splitmix64(seed ^ salt);
+    }
+}
+
+bool
+FaultInjector::shouldFail(Site s)
+{
+    const auto i = static_cast<unsigned>(s);
+    HS_ASSERT(i < kSiteCount, "bad fault site: ", i);
+    const std::uint64_t n = ++stats_[i].probes; // occurrence, 1-based
+
+    bool fail = false;
+    if (!cfg_.script.empty()) {
+        for (const auto &[site, occ] : cfg_.script) {
+            if (site == s && occ == n) {
+                fail = true;
+                break;
+            }
+        }
+    } else {
+        const double rate = cfg_.effectiveRate(s);
+        if (rate > 0.0) {
+            const std::uint64_t h =
+                harness::splitmix64(site_base_[i] + n);
+            // Top 53 bits -> uniform double in [0,1).
+            const double u =
+                static_cast<double>(h >> 11) * 0x1.0p-53;
+            fail = u < rate;
+        }
+    }
+
+    if (fail) {
+        stats_[i].injected++;
+        pending_audit_ = true;
+        if (probe_ != nullptr && clock_) {
+            probe_->tracer.instant(
+                obs::Cat::kChaos, "fault_injected", -1, clock_(),
+                {{"site", static_cast<std::int64_t>(i)},
+                 {"occurrence", static_cast<std::int64_t>(n)}});
+        }
+    }
+    return fail;
+}
+
+} // namespace hawksim::fault

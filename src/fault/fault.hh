@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos testing.
+ *
+ * A FaultInjector decides, per *fault site*, whether a given probe
+ * should fail. Decisions are pure functions of (seed, site,
+ * occurrence index): the n-th probe of a site fails or succeeds the
+ * same way no matter how many harness workers run beside it, which
+ * keeps chaos runs byte-identical across `--jobs`.
+ *
+ * Cost model of the disabled path mirrors obs::Tracer: every
+ * instrumented site tests one pointer (`fault::faultAt(fi_, site)`
+ * with fi_ == nullptr) and does nothing else — no hashing, no
+ * counters, no allocation. Sites only pay for bookkeeping when an
+ * injector is installed.
+ */
+
+#ifndef HAWKSIM_FAULT_FAULT_HH
+#define HAWKSIM_FAULT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace hawksim::obs {
+struct Probe;
+} // namespace hawksim::obs
+
+namespace hawksim::fault {
+
+/** One instrumented failure point in the memory-management stack. */
+enum class Site : std::uint8_t
+{
+    kBuddyAlloc,    //!< buddy allocation of order >= 1
+    kAllocSpecific, //!< targeted allocation (compaction destinations)
+    kCompactMove,   //!< one page migration inside compactOne
+    kSwapOut,       //!< writing one page to the swap device
+    kSwapIn,        //!< reading one page back from swap
+    kPrezero,       //!< pre-zero daemon zeroing one buddy block
+    kPromoteCopy,   //!< the copy step of a huge-page promotion
+};
+
+constexpr unsigned kSiteCount = 7;
+
+/** Stable lower-case name of a site ("buddy-alloc", ...). */
+const char *siteName(Site s);
+/** Inverse of siteName; nullopt for unknown names. */
+std::optional<Site> siteFromName(std::string_view name);
+
+/**
+ * Fault-injection and audit configuration, carried in
+ * sim::SystemConfig next to the TraceConfig.
+ */
+struct FaultConfig
+{
+    /** Global per-probe failure probability in [0,1]. */
+    double rate = 0.0;
+    /** Per-site override; negative means "inherit the global rate". */
+    std::array<double, kSiteCount> siteRate{
+        -1.0, -1.0, -1.0, -1.0, -1.0, -1.0, -1.0,
+    };
+    /**
+     * Scripted schedule: (site, occurrence) pairs that must fail,
+     * 1-based — {kBuddyAlloc, 3} fails the third order>=1 buddy
+     * allocation probe. A non-empty script disables probabilistic
+     * injection entirely.
+     */
+    std::vector<std::pair<Site, std::uint64_t>> script;
+    /**
+     * Let sustained reclaim failure kill the largest-RSS process
+     * instead of OOM-killing the faulting process itself. Off by
+     * default: several experiments (fig1, overcommit) depend on the
+     * historical self-kill semantics.
+     */
+    bool oomKiller = false;
+    /** Run the invariant auditor every N ticks (0 = never). */
+    std::uint64_t auditEvery = 0;
+    /** Run the auditor after every injected fault. */
+    bool auditOnFault = false;
+
+    bool
+    injectionEnabled() const
+    {
+        if (!script.empty())
+            return true;
+        if (rate > 0.0)
+            return true;
+        for (double r : siteRate)
+            if (r > 0.0)
+                return true;
+        return false;
+    }
+
+    bool
+    auditingEnabled() const
+    {
+        return auditEvery > 0 || auditOnFault;
+    }
+
+    double
+    effectiveRate(Site s) const
+    {
+        const double r = siteRate[static_cast<unsigned>(s)];
+        return r >= 0.0 ? r : rate;
+    }
+};
+
+/** Per-site probe/injection tallies. */
+struct SiteStats
+{
+    std::uint64_t probes = 0;
+    std::uint64_t injected = 0;
+};
+
+/**
+ * Tallies of graceful-degradation events. These never enter the
+ * canonical reports (that would break byte-identity of non-chaos
+ * runs); chaos tests and the trace stream read them instead.
+ */
+struct DegradationStats
+{
+    /** Huge-page faults that fell back to a 4K mapping. */
+    std::uint64_t hugeFallbacks = 0;
+    /** Promotions deferred because the copy step failed. */
+    std::uint64_t deferredPromotions = 0;
+    /** Compaction passes aborted mid-migration. */
+    std::uint64_t abortedCompactions = 0;
+    /** Reclaim sweeps cut short by a full/faulted swap device. */
+    std::uint64_t reclaimShortfalls = 0;
+    /** Processes killed by the OOM killer (not self-inflicted). */
+    std::uint64_t oomKills = 0;
+};
+
+/**
+ * The decision engine. Deterministic: whether probe n of site s
+ * fails depends only on (seed, s, n).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(std::uint64_t seed, const FaultConfig &cfg);
+
+    /**
+     * The probe: should the current occurrence of @p s fail?
+     * Advances the site's occurrence counter either way.
+     */
+    bool shouldFail(Site s);
+
+    /** Install a probe + clock so injections emit Cat::kChaos. */
+    void
+    attachTrace(obs::Probe *probe, std::function<TimeNs()> clock)
+    {
+        probe_ = probe;
+        clock_ = std::move(clock);
+    }
+
+    /** True once at least one fault has been injected since the
+     *  last takePendingAudit() call (drives --audit-on-fault). */
+    bool
+    takePendingAudit()
+    {
+        const bool p = pending_audit_;
+        pending_audit_ = false;
+        return p;
+    }
+
+    const FaultConfig &config() const { return cfg_; }
+    const SiteStats &stats(Site s) const
+    {
+        return stats_[static_cast<unsigned>(s)];
+    }
+    std::uint64_t
+    totalInjected() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : stats_)
+            n += s.injected;
+        return n;
+    }
+
+    DegradationStats &degradation() { return degradation_; }
+    const DegradationStats &degradation() const { return degradation_; }
+
+  private:
+    FaultConfig cfg_;
+    /** Per-site base for the hash chain (seed ⊕ site salt, mixed). */
+    std::array<std::uint64_t, kSiteCount> site_base_{};
+    std::array<SiteStats, kSiteCount> stats_{};
+    DegradationStats degradation_;
+    bool pending_audit_ = false;
+    obs::Probe *probe_ = nullptr;
+    std::function<TimeNs()> clock_;
+};
+
+/**
+ * The zero-cost site guard. Instrumented code holds a
+ * `FaultInjector *` that is null unless injection was configured:
+ *
+ *     if (fault::faultAt(fault_, fault::Site::kBuddyAlloc))
+ *         return std::nullopt;
+ */
+inline bool
+faultAt(FaultInjector *fi, Site s)
+{
+    return fi != nullptr && fi->shouldFail(s);
+}
+
+} // namespace hawksim::fault
+
+#endif // HAWKSIM_FAULT_FAULT_HH

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "fault/fault.hh"
 #include "harness/runner.hh"
 
 namespace hawksim::harness {
@@ -36,6 +38,19 @@ printUsage(const char *argv0)
         "  --trace-filter C comma-separated event categories to trace\n"
         "                   (fault,promote,demote,zero,bloat,compact,\n"
         "                   reclaim,tlb,proc; default: all)\n"
+        "  --chaos          enable fault injection + invariant audits\n"
+        "                   + the deterministic OOM killer (default\n"
+        "                   rate 0.01 unless --fault-rate or\n"
+        "                   --fault-script is given); the report is\n"
+        "                   still identical for any --jobs\n"
+        "  --fault-rate R   per-probe injection probability in [0,1]\n"
+        "                   (implies --chaos)\n"
+        "  --fault-script F scripted injection: lines of\n"
+        "                   \"<site> <occurrence>\" (1-based), e.g.\n"
+        "                   \"buddy-alloc 3\"; disables probabilistic\n"
+        "                   injection (implies --chaos)\n"
+        "  --audit-every N  run the invariant auditor every N ticks\n"
+        "                   (0 = only at end of run / after faults)\n"
         "  --pretty         indent the report\n"
         "  --quiet          no per-run progress on stderr\n"
         "  --wallclock      run the wall-clock hot-path benchmark\n"
@@ -53,6 +68,62 @@ parseUint(const char *s, std::uint64_t &out)
     const char *end = s + std::strlen(s);
     auto res = std::from_chars(s, end, out);
     return res.ec == std::errc() && res.ptr == end;
+}
+
+bool
+parseProbability(const char *s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s, &end);
+    return end && *end == '\0' && end != s && out >= 0.0 &&
+           out <= 1.0;
+}
+
+/**
+ * Parse a fault script: one "<site> <occurrence>" pair per line,
+ * occurrences 1-based; '#' starts a comment, blank lines ignored.
+ */
+bool
+loadFaultScript(const std::string &path, fault::FaultConfig &cfg)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open fault script %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        lineno++;
+        std::istringstream ls(line);
+        std::string tok;
+        if (!(ls >> tok) || tok[0] == '#')
+            continue;
+        const auto site = fault::siteFromName(tok);
+        if (!site) {
+            std::fprintf(stderr,
+                         "%s:%d: unknown fault site '%s'; valid: ",
+                         path.c_str(), lineno, tok.c_str());
+            for (unsigned s = 0; s < fault::kSiteCount; s++) {
+                std::fprintf(stderr, "%s%s", s ? "," : "",
+                             fault::siteName(
+                                 static_cast<fault::Site>(s)));
+            }
+            std::fprintf(stderr, "\n");
+            return false;
+        }
+        std::uint64_t occ = 0;
+        if (!(ls >> occ) || occ == 0) {
+            std::fprintf(stderr,
+                         "%s:%d: bad occurrence (1-based integer "
+                         "required)\n",
+                         path.c_str(), lineno);
+            return false;
+        }
+        cfg.script.emplace_back(*site, occ);
+    }
+    return true;
 }
 
 bool
@@ -95,6 +166,8 @@ runCli(int argc, char **argv, Registry &reg,
     std::string out_path = "results/bench.json";
     std::string profile_path;
     std::string trace_path;
+    bool chaos = false;
+    bool rate_set = false;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -172,6 +245,33 @@ runCli(int argc, char **argv, Registry &reg,
                 return 2;
             }
             opts.trace.mask = *mask;
+        } else if (arg == "--chaos") {
+            chaos = true;
+        } else if (arg == "--fault-rate") {
+            const char *v = value();
+            double r = 0.0;
+            if (!v || !parseProbability(v, r)) {
+                std::fprintf(stderr,
+                             "bad --fault-rate value (need a number "
+                             "in [0,1])\n");
+                return 2;
+            }
+            opts.fault.rate = r;
+            rate_set = true;
+            chaos = true;
+        } else if (arg == "--fault-script") {
+            const char *v = value();
+            if (!v || !loadFaultScript(v, opts.fault))
+                return 2;
+            chaos = true;
+        } else if (arg == "--audit-every") {
+            const char *v = value();
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n)) {
+                std::fprintf(stderr, "bad --audit-every value\n");
+                return 2;
+            }
+            opts.fault.auditEvery = n;
         } else if (arg == "--pretty") {
             pretty = true;
         } else if (arg == "--quiet") {
@@ -184,6 +284,16 @@ runCli(int argc, char **argv, Registry &reg,
             printUsage(argv[0]);
             return 2;
         }
+    }
+
+    if (chaos) {
+        // Chaos mode: inject (default rate 0.01 unless the user was
+        // specific), audit after every injected fault, and let the
+        // deterministic OOM killer engage instead of self-kills.
+        if (!rate_set && opts.fault.script.empty())
+            opts.fault.rate = 0.01;
+        opts.fault.auditOnFault = true;
+        opts.fault.oomKiller = true;
     }
 
     if (wallclock_mode) {

@@ -12,6 +12,13 @@ RunContext::trace() const
     return trace_ ? *trace_ : kDisabled;
 }
 
+const fault::FaultConfig &
+RunContext::fault() const
+{
+    static const fault::FaultConfig kDisabled;
+    return fault_ ? *fault_ : kDisabled;
+}
+
 void
 RunOutput::captureObs(sim::System &sys)
 {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "fault/fault.hh"
 #include "obs/cost_account.hh"
 #include "obs/trace.hh"
 #include "sim/metrics.hh"
@@ -60,8 +61,9 @@ class RunContext
 {
   public:
     RunContext(const RunPoint &point, std::uint64_t seed,
-               const obs::TraceConfig *trace = nullptr)
-        : point_(point), seed_(seed), trace_(trace)
+               const obs::TraceConfig *trace = nullptr,
+               const fault::FaultConfig *fault = nullptr)
+        : point_(point), seed_(seed), trace_(trace), fault_(fault)
     {}
 
     const RunPoint &point() const { return point_; }
@@ -73,6 +75,12 @@ class RunContext
      * SystemConfig and call RunOutput::captureObs before returning.
      */
     const obs::TraceConfig &trace() const;
+    /**
+     * Fault-injection / audit configuration (inert unless the user
+     * passed --chaos or its friends). Benches copy it into their
+     * SystemConfig next to trace().
+     */
+    const fault::FaultConfig &fault() const;
     const std::string &
     param(std::string_view axis) const
     {
@@ -83,6 +91,7 @@ class RunContext
     const RunPoint &point_;
     std::uint64_t seed_;
     const obs::TraceConfig *trace_;
+    const fault::FaultConfig *fault_;
 };
 
 /** What a run returns: time series, events and scalar results. */

@@ -228,7 +228,8 @@ Runner::run(const Registry &reg) const
                 return;
             const Job &job = jobs[i];
             const auto t0 = std::chrono::steady_clock::now();
-            RunContext ctx(job.point, job.seed, &opts_.trace);
+            RunContext ctx(job.point, job.seed, &opts_.trace,
+                           &opts_.fault);
             RunRecord &rec = report.runs[i];
             rec.point = job.point;
             rec.seed = job.seed;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "harness/experiment.hh"
 #include "harness/json.hh"
 #include "obs/trace.hh"
@@ -45,6 +46,14 @@ struct RunnerOptions
      * each RunRecord and are exported with Report::writeTrace.
      */
     obs::TraceConfig trace;
+    /**
+     * Per-run fault-injection + audit configuration (inert by
+     * default). The CLI fills it from --chaos / --fault-rate /
+     * --fault-script / --audit-every; injection decisions derive
+     * from each run's own seed, so the report stays byte-identical
+     * for any --jobs value.
+     */
+    fault::FaultConfig fault;
 };
 
 /** One executed grid point. */

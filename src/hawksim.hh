@@ -28,6 +28,8 @@
 #include "core/bloat_recovery.hh"
 #include "core/hawkeye.hh"
 #include "core/prezero.hh"
+#include "fault/audit.hh"
+#include "fault/fault.hh"
 #include "mem/buddy.hh"
 #include "mem/compaction.hh"
 #include "mem/phys.hh"
@@ -36,6 +38,7 @@
 #include "obs/perfetto.hh"
 #include "obs/probe.hh"
 #include "obs/trace.hh"
+#include "policy/common.hh"
 #include "policy/freebsd.hh"
 #include "policy/ingens.hh"
 #include "policy/linux_thp.hh"

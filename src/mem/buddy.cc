@@ -62,6 +62,11 @@ std::optional<BuddyBlock>
 BuddyAllocator::alloc(unsigned order, ZeroPref pref)
 {
     HS_ASSERT(order <= kMaxOrder, "order too large: ", order);
+    // Chaos: only multi-page allocations fail (order-0 allocations
+    // failing would starve base faults, which isn't the scenario the
+    // paper's fallback ladder is about).
+    if (order >= 1 && fault::faultAt(fault_, fault::Site::kBuddyAlloc))
+        return std::nullopt;
     const bool first_zero = (pref == ZeroPref::kPreferZero);
     for (unsigned o = order; o <= kMaxOrder; o++) {
         std::optional<BuddyBlock> blk = popBlock(o, first_zero);
@@ -85,6 +90,8 @@ std::optional<BuddyBlock>
 BuddyAllocator::allocSpecific(Pfn pfn)
 {
     HS_ASSERT(pfn < frames_, "pfn out of range: ", pfn);
+    if (fault::faultAt(fault_, fault::Site::kAllocSpecific))
+        return std::nullopt;
     // Find the free block containing this pfn, smallest order first.
     for (unsigned o = 0; o <= kMaxOrder; o++) {
         const Pfn start = pfn & ~((1ull << o) - 1);
@@ -161,6 +168,18 @@ BuddyAllocator::takeNonZeroBlock(unsigned max_order)
         return blk;
     }
     return std::nullopt;
+}
+
+void
+BuddyAllocator::forEachFreeBlock(
+    const std::function<void(Pfn, unsigned, bool)> &fn) const
+{
+    for (unsigned o = 0; o <= kMaxOrder; o++) {
+        for (Pfn pfn : freeZero_[o])
+            fn(pfn, o, true);
+        for (Pfn pfn : freeNonZero_[o])
+            fn(pfn, o, false);
+    }
 }
 
 std::uint64_t

@@ -20,11 +20,13 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
 #include <unordered_map>
 
 #include "base/types.hh"
+#include "fault/fault.hh"
 
 namespace hawksim::mem {
 
@@ -108,10 +110,20 @@ class BuddyAllocator
     {
         return blockInfo_.count(pfn) != 0;
     }
+    /**
+     * Enumerate every free block (start pfn, order, zeroed) in
+     * ascending pfn order within each (order, zero-ness) list. The
+     * fault::Auditor walks this to check disjointness/coalescing.
+     */
+    void forEachFreeBlock(
+        const std::function<void(Pfn, unsigned, bool)> &fn) const;
     /// @}
 
     /** Validate internal consistency; panics on corruption (tests). */
     void checkConsistency() const;
+
+    /** Install (or clear) the chaos fault injector. */
+    void setFaultInjector(fault::FaultInjector *fi) { fault_ = fi; }
 
   private:
     struct BlockInfo
@@ -145,6 +157,8 @@ class BuddyAllocator
     std::unordered_map<Pfn, BlockInfo> blockInfo_;
     std::uint64_t freePages_ = 0;
     std::uint64_t freeZeroPages_ = 0;
+    /** Chaos probe; null (free) unless fault injection is on. */
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace hawksim::mem

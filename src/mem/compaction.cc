@@ -98,6 +98,13 @@ Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate,
         Frame &src = phys_.frame(p);
         if (src.isFree())
             continue;
+        // Chaos: a failed migration aborts the pass gracefully, the
+        // same way running out of destination frames does.
+        if (fault::faultAt(fault_, fault::Site::kCompactMove)) {
+            fault_->degradation().abortedCompactions++;
+            record();
+            return res;
+        }
         // Find a destination outside the target region.
         std::vector<BuddyBlock> rejects;
         std::optional<BuddyBlock> dst;

@@ -23,6 +23,7 @@
 
 #include "base/rng.hh"
 #include "base/types.hh"
+#include "fault/fault.hh"
 #include "mem/phys.hh"
 #include "obs/probe.hh"
 
@@ -57,6 +58,9 @@ class Compactor
     /** Attach the owning system's observability probe. */
     void setProbe(obs::Probe *probe) { obs_ = probe; }
 
+    /** Install (or clear) the chaos fault injector. */
+    void setFaultInjector(fault::FaultInjector *fi) { fault_ = fi; }
+
     /**
      * Try to produce one free huge-page (order-9) block by migrating
      * movable frames out of the cheapest candidate region.
@@ -84,6 +88,7 @@ class Compactor
 
     PhysicalMemory &phys_;
     obs::Probe *obs_ = nullptr;
+    fault::FaultInjector *fault_ = nullptr;
     std::uint64_t total_migrated_ = 0;
     /** Rotating scan cursor (huge-region index) for fairness. */
     std::uint64_t cursor_ = 0;

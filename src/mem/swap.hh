@@ -73,6 +73,16 @@ class SwapDevice
         return cost(n, cfg_.readLatency);
     }
 
+    /**
+     * Release @p pages of swap slots without reading them back (the
+     * owning process exited). Free, like a TRIM/discard.
+     */
+    void
+    discard(std::uint64_t pages)
+    {
+        used_pages_ -= std::min(pages, used_pages_);
+    }
+
     std::uint64_t totalSwappedOut() const { return total_out_; }
     std::uint64_t totalSwappedIn() const { return total_in_; }
     const Config &config() const { return cfg_; }

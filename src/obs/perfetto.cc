@@ -25,10 +25,15 @@ PerfettoWriter::tid(const TraceEvent &ev)
 {
     // Kernel/system events (pid -1) map to tracks 1..32; process p
     // to tracks of slot p+1. +1 keeps tid 0 free for the run span.
+    // The stride is a fixed constant (not kCatCount) so adding a
+    // category does not renumber every existing track in old traces.
+    constexpr std::uint32_t kTidStride = 10;
+    static_assert(kCatCount <= kTidStride,
+                  "tid slots exhausted; widen kTidStride (renumbers "
+                  "all trace tracks)");
     const std::uint32_t slot =
         ev.pid < 0 ? 0 : static_cast<std::uint32_t>(ev.pid) + 1;
-    return slot * (kCatCount + 1) + static_cast<std::uint32_t>(ev.cat) +
-           1;
+    return slot * kTidStride + static_cast<std::uint32_t>(ev.cat) + 1;
 }
 
 void

@@ -10,7 +10,7 @@ namespace {
 
 constexpr const char *kCatNames[kCatCount] = {
     "fault", "promote", "demote", "zero", "bloat",
-    "compact", "reclaim", "tlb", "proc",
+    "compact", "reclaim", "tlb", "proc", "chaos",
 };
 
 } // namespace

@@ -41,9 +41,10 @@ enum class Cat : std::uint8_t
     kReclaim, //!< reclaim / swap
     kTlb,     //!< TLB walk batches
     kProc,    //!< process lifecycle
+    kChaos,   //!< injected faults (fault::FaultInjector)
 };
 
-constexpr unsigned kCatCount = 9;
+constexpr unsigned kCatCount = 10;
 
 /** Stable lower-case name of a category ("fault", "promote", ...). */
 const char *catName(Cat c);

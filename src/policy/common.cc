@@ -47,6 +47,15 @@ faultBase(sim::System &sys, sim::Process &proc, Vpn vpn, ZeroMode mode)
         sys.reclaimPages(64, &out.latency);
         blk = sys.phys().allocBlock(0, proc.pid(), prefFor(mode));
     }
+    if (!blk && sys.oomKillerEnabled()) {
+        // Sustained reclaim failure: kill the largest-RSS process
+        // (the kernel's ladder) instead of the faulting one — unless
+        // the faulting process *is* the largest consumer, in which
+        // case the historical self-OOM below is the right outcome.
+        const std::int32_t victim = sys.oomKillVictim(proc.pid());
+        if (victim >= 0 && victim != proc.pid())
+            blk = sys.phys().allocBlock(0, proc.pid(), prefFor(mode));
+    }
     if (!blk) {
         out.oom = true;
         return out;
@@ -73,6 +82,11 @@ faultHuge(sim::System &sys, sim::Process &proc, Vpn vpn, ZeroMode mode,
                                   allow_compact, &compact_cost,
                                   /*max_migrate=*/16);
     if (!blk) {
+        // Graceful degradation: a huge fault that cannot get a 2MB
+        // block (including an injected allocation failure) falls
+        // back to mapping one 4KB page, like the paper's allocator.
+        if (fault::FaultInjector *fi = sys.faultInjector())
+            fi->degradation().hugeFallbacks++;
         FaultOutcome out = faultBase(sys, proc, vpn, mode);
         out.latency += compact_cost;
         return out;
@@ -121,6 +135,19 @@ promoteOne(sim::System &sys, sim::Process &proc, std::uint64_t region,
                                   /*allow_compact=*/true, &cost);
     if (!blk)
         return std::nullopt;
+    // Chaos: a failed promotion copy releases the block and defers
+    // the promotion; the region stays 4K-mapped and the daemon will
+    // retry on a later pass.
+    if (fault::FaultInjector *fi = sys.faultInjector();
+        fault::faultAt(fi, fault::Site::kPromoteCopy)) {
+        sys.phys().freeBlock(blk->pfn, kHugePageOrder);
+        fi->degradation().deferredPromotions++;
+        sys.tracer().instant(
+            obs::Cat::kPromote, "promote_deferred", proc.pid(),
+            sys.now(),
+            {{"region", static_cast<std::int64_t>(region)}});
+        return std::nullopt;
+    }
     // Tail pages that had no prior mapping must read as zero; if the
     // block came pre-zeroed they already do, otherwise the daemon
     // zeroes them (cheap relative to the copy, charged via zero2m

@@ -18,6 +18,8 @@
 #include <cstdint>
 
 #include "base/types.hh"
+#include "fault/fault.hh"
+#include "mem/swap.hh"
 #include "obs/trace.hh"
 
 namespace hawksim::sim {
@@ -104,6 +106,10 @@ struct SystemConfig
     TimeNs metricsPeriod = msec(100);
     /** Event tracing (off by default; cost accounting is always on). */
     obs::TraceConfig trace;
+    /** Chaos fault injection + invariant audits (off by default). */
+    fault::FaultConfig fault;
+    /** Swap device geometry (capacity, latencies). */
+    mem::SwapDevice::Config swap{};
     CostParams costs;
 };
 

@@ -51,6 +51,19 @@ class Process
      */
     void chargeExternal(TimeNs t) { debt_ += t; }
 
+    /**
+     * Terminate this process as a victim of the system OOM killer.
+     * The caller (System::oomKillVictim) does the exit plumbing —
+     * memory release, swap-slot discard, policy notification.
+     */
+    void
+    killedByOom(TimeNs now)
+    {
+        oom_ = true;
+        finished_ = true;
+        finished_at_ = now;
+    }
+
     /** @name Identity and components */
     /// @{
     std::int32_t pid() const { return pid_; }

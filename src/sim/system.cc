@@ -8,12 +8,20 @@ namespace hawksim::sim {
 System::System(SystemConfig cfg)
     : cfg_(cfg), obs_{obs::Tracer(cfg.trace), obs::CostAccounting{}},
       phys_(cfg.memoryBytes, cfg.bootMemoryZeroed),
-      compactor_(phys_), swap_(), rng_(cfg.seed),
+      compactor_(phys_), swap_(cfg.swap), rng_(cfg.seed),
       sid_free_frames_(metrics_.seriesId("sys.free_frames")),
       sid_used_fraction_(metrics_.seriesId("sys.used_fraction")),
       sid_fmfi9_(metrics_.seriesId("sys.fmfi9"))
 {
     compactor_.setProbe(&obs_);
+    if (cfg_.fault.injectionEnabled()) {
+        fault_injector_ = std::make_unique<fault::FaultInjector>(
+            cfg_.seed, cfg_.fault);
+        fault_injector_->attachTrace(&obs_,
+                                     [this] { return now_; });
+        phys_.buddy().setFaultInjector(fault_injector_.get());
+        compactor_.setFaultInjector(fault_injector_.get());
+    }
 }
 
 System::~System() = default;
@@ -49,6 +57,8 @@ System::addProcess(const std::string &name,
         ProcSeriesIds{metrics_.seriesId(p + ".rss_pages"),
                       metrics_.seriesId(p + ".huge_pages"),
                       metrics_.seriesId(p + ".mmu_overhead")});
+    if (cfg_.fault.auditingEnabled())
+        proc.tlb().setAuditLog(true);
     proc.start(now_);
     obs_.tracer.instant(obs::Cat::kProc, "process_start", proc.pid(),
                         now_);
@@ -116,6 +126,7 @@ System::tick()
                                 proc->pid(), now_,
                                 {{"oom", proc->oomKilled() ? 1 : 0}});
             releaseProcessMemory(*proc);
+            dropSwapSlots(proc->pid());
             policy_->onProcessExit(*this, *proc);
         }
     }
@@ -123,6 +134,17 @@ System::tick()
     if (cfg_.metricsPeriod > 0 && now_ >= next_metrics_) {
         recordMetrics();
         next_metrics_ = now_ + cfg_.metricsPeriod;
+    }
+    tick_no_++;
+    if (cfg_.fault.auditingEnabled()) {
+        bool want = cfg_.fault.auditEvery > 0 &&
+                    tick_no_ % cfg_.fault.auditEvery == 0;
+        if (cfg_.fault.auditOnFault && fault_injector_ &&
+            fault_injector_->takePendingAudit()) {
+            want = true;
+        }
+        if (want)
+            runAuditOrDie("periodic");
     }
 }
 
@@ -132,12 +154,15 @@ System::run(TimeNs duration)
     const TimeNs end = now_ + duration;
     while (now_ < end)
         tick();
+    if (cfg_.fault.auditingEnabled())
+        runAuditOrDie("end-of-run");
 }
 
 void
 System::runUntilAllDone(TimeNs limit)
 {
     const TimeNs end = now_ + limit;
+    bool timed_out = true;
     while (now_ < end) {
         bool all_done = true;
         for (auto &proc : processes_) {
@@ -147,11 +172,16 @@ System::runUntilAllDone(TimeNs limit)
                 break;
             }
         }
-        if (all_done)
-            return;
+        if (all_done) {
+            timed_out = false;
+            break;
+        }
         tick();
     }
-    HS_WARN("runUntilAllDone hit the time limit");
+    if (timed_out)
+        HS_WARN("runUntilAllDone hit the time limit");
+    if (cfg_.fault.auditingEnabled())
+        runAuditOrDie("end-of-run");
 }
 
 Process *
@@ -195,7 +225,12 @@ System::swapInIfNeeded(std::int32_t pid, Vpn vpn)
     auto it = swapped_.find(pageKey(pid, vpn));
     if (it == swapped_.end())
         return 0;
-    const TimeNs latency = swap_.swapIn(1);
+    TimeNs latency = 0;
+    // Chaos: a failed device read is retried; the page still comes
+    // back, the fault just pays for the extra attempt.
+    if (fault::faultAt(fault_injector_.get(), fault::Site::kSwapIn))
+        latency += swap_.config().readLatency;
+    latency += swap_.swapIn(1);
     // Content restoration happens when the caller remaps + rewrites;
     // the saved content is dropped with the mark.
     swapped_.erase(it);
@@ -216,9 +251,11 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
     obs::TraceScope scope(obs_.tracer, obs::Cat::kReclaim, "reclaim",
                           -1, now_);
     TimeNs device_ns = 0;
+    bool swap_full = false;
     // Second-chance clock sweep, round-robin across processes.
     std::size_t stale_procs = 0;
-    while (freed < pages && stale_procs < processes_.size() * 3) {
+    while (freed < pages && !swap_full &&
+           stale_procs < processes_.size() * 3) {
         Process &proc =
             *processes_[reclaim_rr_ % processes_.size()];
         reclaim_rr_++;
@@ -243,10 +280,12 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
         const std::size_t window =
             std::min<std::size_t>(regions.size(), 64);
         std::uint64_t h = hand;
-        for (int pass = 0; pass < 2 && freed < pages; pass++) {
+        for (int pass = 0; pass < 2 && freed < pages && !swap_full;
+             pass++) {
             h = hand;
             for (std::size_t step = 0;
-                 step < window && freed < pages; step++) {
+                 step < window && freed < pages && !swap_full;
+                 step++) {
                 const std::uint64_t region =
                     regions[h % regions.size()];
                 h++;
@@ -276,10 +315,26 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
                     const mem::Frame &f = phys_.frame(t.pfn);
                     if (f.isShared() || f.mapCount != 1)
                         continue; // KSM pages are not swap targets
+                    // Chaos: a failed device write leaves the page
+                    // resident; the sweep moves on.
+                    if (fault::faultAt(fault_injector_.get(),
+                                       fault::Site::kSwapOut)) {
+                        continue;
+                    }
+                    // Write the slot *before* unmapping: a full
+                    // device must not free the page, or the count
+                    // returned to the caller would be a lie (the
+                    // old optimistic-count bug).
+                    std::uint64_t wrote = 0;
+                    const TimeNs write_ns = swap_.swapOut(1, &wrote);
+                    if (wrote == 0) {
+                        swap_full = true;
+                        break;
+                    }
+                    device_ns += write_ns;
                     swapped_[pageKey(proc.pid(), vpn)] = f.content;
                     swapped_count_++;
                     space.unmapAndFreeBase(vpn);
-                    device_ns += swap_.swapOut(1);
                     freed++;
                     evicted_any = true;
                 }
@@ -293,10 +348,14 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
     }
     if (cost)
         *cost += device_ns;
+    if ((swap_full || freed < pages) && fault_injector_)
+        fault_injector_->degradation().reclaimShortfalls++;
     obs_.cost.count(obs::Counter::kReclaimedPages, freed);
     obs_.cost.charge(obs::Subsys::kReclaim, device_ns);
     scope.arg("requested", static_cast<std::int64_t>(pages));
     scope.arg("freed", static_cast<std::int64_t>(freed));
+    if (swap_full)
+        scope.arg("swap_full", 1);
     scope.dur(device_ns);
     return freed;
 }
@@ -346,6 +405,77 @@ System::releaseProcessMemory(Process &proc)
         starts.push_back(start);
     for (Addr s : starts)
         space.munmap(s);
+}
+
+void
+System::dropSwapSlots(std::int32_t pid)
+{
+    if (swapped_.empty())
+        return;
+    std::uint64_t dropped = 0;
+    for (auto it = swapped_.begin(); it != swapped_.end();) {
+        if (static_cast<std::int32_t>(it->first >>
+                                      kPageKeyIndexBits) == pid) {
+            it = swapped_.erase(it);
+            dropped++;
+        } else {
+            ++it;
+        }
+    }
+    swapped_count_ -= dropped;
+    swap_.discard(dropped);
+}
+
+fault::AuditReport
+System::auditNow()
+{
+    return auditor_.audit(*this);
+}
+
+void
+System::runAuditOrDie(const char *why)
+{
+    const fault::AuditReport rep = auditNow();
+    if (!rep.ok()) {
+        HS_PANIC("invariant audit failed (", why, ", tick ", tick_no_,
+                 ", ", rep.violations.size(), " violations):\n",
+                 rep.summary());
+    }
+}
+
+std::int32_t
+System::oomKillVictim(std::int32_t requester)
+{
+    Process *victim = nullptr;
+    for (auto &proc : processes_) {
+        if (proc->finished())
+            continue;
+        if (!victim ||
+            proc->space().rssPages() > victim->space().rssPages()) {
+            victim = proc.get();
+        }
+    }
+    if (victim == nullptr)
+        return -1;
+    if (victim->pid() == requester) {
+        // The faulting process is itself the largest consumer; the
+        // caller falls through to the historical self-OOM path.
+        return victim->pid();
+    }
+    // Do the full exit plumbing here: the tick loop's exit-transition
+    // check may already be past the victim this tick.
+    victim->killedByOom(now_);
+    oom_kills_++;
+    if (fault_injector_)
+        fault_injector_->degradation().oomKills++;
+    metrics_.event(now_, victim->name() +
+                             ": killed by OOM killer (largest RSS)");
+    obs_.tracer.instant(obs::Cat::kProc, "process_exit",
+                        victim->pid(), now_, {{"oom", 1}});
+    releaseProcessMemory(*victim);
+    dropSwapSlots(victim->pid());
+    policy_->onProcessExit(*this, *victim);
+    return victim->pid();
 }
 
 } // namespace hawksim::sim

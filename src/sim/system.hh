@@ -17,6 +17,8 @@
 
 #include "base/rng.hh"
 #include "base/types.hh"
+#include "fault/audit.hh"
+#include "fault/fault.hh"
 #include "mem/compaction.hh"
 #include "obs/probe.hh"
 #include "mem/phys.hh"
@@ -128,12 +130,47 @@ class System : public mem::PageMover
     std::uint64_t swappedPages() const { return swapped_count_; }
     /// @}
 
+    /** @name Chaos / audits / graceful degradation */
+    /// @{
+    /** Installed injector; null unless injection was configured. */
+    fault::FaultInjector *faultInjector()
+    {
+        return fault_injector_.get();
+    }
+    /** Run the invariant auditor now; returns the report (no panic). */
+    fault::AuditReport auditNow();
+    /** Audits run so far (periodic + on-fault + end-of-run). */
+    std::uint64_t auditsRun() const { return auditor_.auditsRun(); }
+    /** Is the deterministic OOM killer enabled (--chaos)? */
+    bool oomKillerEnabled() const { return cfg_.fault.oomKiller; }
+    /**
+     * Pick and kill the largest-RSS live process (ties: lowest pid),
+     * releasing its memory and swap slots. When the victim is
+     * @p requester itself, nothing is killed — the caller falls
+     * through to the historical self-OOM path. Returns the victim
+     * pid, or -1 when no live process exists.
+     */
+    std::int32_t oomKillVictim(std::int32_t requester);
+    /** Processes killed by the OOM killer (not self-inflicted). */
+    std::uint64_t oomKills() const { return oom_kills_; }
+    /** Swap map introspection for the auditor. */
+    const std::unordered_map<std::uint64_t, mem::PageContent> &
+    swappedMap() const
+    {
+        return swapped_;
+    }
+    /// @}
+
     /** mem::PageMover: fix the page table of a migrated frame. */
     void pageMoved(Pfn from, Pfn to) override;
 
   private:
     void recordMetrics();
     void releaseProcessMemory(Process &proc);
+    /** Drop swap slots of an exited process (device discard). */
+    void dropSwapSlots(std::int32_t pid);
+    /** Audit and panic with a full diagnosis on any violation. */
+    void runAuditOrDie(const char *why);
 
     /** Pre-resolved metric series handles for one process. */
     struct ProcSeriesIds
@@ -169,6 +206,11 @@ class System : public mem::PageMover
     std::unordered_map<std::int32_t, std::uint64_t> reclaim_hand_;
     std::size_t reclaim_rr_ = 0;
     double kcompactd_budget_ = 0.0;
+    /** Chaos machinery; injector is null unless configured. */
+    std::unique_ptr<fault::FaultInjector> fault_injector_;
+    fault::Auditor auditor_;
+    std::uint64_t tick_no_ = 0;
+    std::uint64_t oom_kills_ = 0;
 };
 
 } // namespace hawksim::sim

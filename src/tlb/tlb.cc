@@ -136,6 +136,8 @@ TlbModel::simulate(vm::PageTable &pt,
         if (t.huge) {
             const std::uint64_t region = a.vpn >> 9;
             const std::uint64_t l2key = (region << 1) | 1;
+            if (audit_log_on_)
+                audit_2m_[region] = pt.translationEpoch();
             if (l1_2m_.lookup(region)) {
                 // L1 hit: free
             } else if (l2_.lookup(l2key)) {
@@ -150,6 +152,8 @@ TlbModel::simulate(vm::PageTable &pt,
             }
         } else {
             const std::uint64_t l2key = a.vpn << 1;
+            if (audit_log_on_)
+                audit_4k_[a.vpn] = pt.translationEpoch();
             if (l1_4k_.lookup(a.vpn)) {
                 // L1 hit: free
             } else if (l2_.lookup(l2key)) {

@@ -24,6 +24,7 @@
 #define HAWKSIM_TLB_TLB_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/types.hh"
@@ -170,6 +171,48 @@ class TlbModel
     const PerfCounters &counters() const { return counters_; }
     const TlbConfig &config() const { return cfg_; }
 
+    /**
+     * @name Coherence audit log (fault::Auditor support)
+     *
+     * When enabled, every TLB insert also records the translation's
+     * page size, keyed by the page table's structural epoch at insert
+     * time. The auditor cross-checks entries recorded at the *current*
+     * epoch against the live page table; entries from older epochs are
+     * benignly stale (this TLB model ages entries out rather than
+     * modelling shootdowns). Off by default: the hot path only pays
+     * one predictable branch per insert.
+     */
+    /// @{
+    void
+    setAuditLog(bool on)
+    {
+        audit_log_on_ = on;
+        if (!on) {
+            audit_2m_.clear();
+            audit_4k_.clear();
+        }
+    }
+    bool auditLogEnabled() const { return audit_log_on_; }
+    /** region -> PT epoch at insert time. */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    auditLog2m() const
+    {
+        return audit_2m_;
+    }
+    /** vpn -> PT epoch at insert time. */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    auditLog4k() const
+    {
+        return audit_4k_;
+    }
+    /** Test hook: forge an audit-log entry (seeded corruption). */
+    void
+    injectAuditEntry(bool huge, std::uint64_t key, std::uint64_t epoch)
+    {
+        (huge ? audit_2m_ : audit_4k_)[key] = epoch;
+    }
+    /// @}
+
   private:
     /** Cycles for a full walk of @p levels page-table loads. */
     Cycles walkLatency(Vpn vpn, bool huge);
@@ -183,6 +226,10 @@ class TlbModel
     /** Approximates which PT pages are hot in the data caches. */
     SetAssocTlb pt_residency_;
     PerfCounters counters_;
+
+    bool audit_log_on_ = false;
+    std::unordered_map<std::uint64_t, std::uint64_t> audit_2m_;
+    std::unordered_map<std::uint64_t, std::uint64_t> audit_4k_;
 };
 
 } // namespace hawksim::tlb

@@ -433,6 +433,69 @@ PageTable::forEachLeaf(
     }
 }
 
+void
+PageTable::auditStructure(
+    const std::function<void(const char *, Vpn, std::uint64_t)> &fn)
+    const
+{
+    std::uint64_t base_count = 0;
+    std::uint64_t huge_count = 0;
+    for (unsigned i3 = 0; i3 < 512; i3++) {
+        const Node *l2 = root_.children[i3].get();
+        if (!l2)
+            continue;
+        for (unsigned i2 = 0; i2 < 512; i2++) {
+            const Node *pd = l2->children[i2].get();
+            if (!pd)
+                continue;
+            unsigned pd_used = 0;
+            for (unsigned i1 = 0; i1 < 512; i1++) {
+                const Vpn base =
+                    (static_cast<Vpn>(i3) << 27) |
+                    (static_cast<Vpn>(i2) << 18) |
+                    (static_cast<Vpn>(i1) << 9);
+                const Pte pd_entry(pd->entries[i1]);
+                const Node *pt = pd->children[i1].get();
+                const bool is_huge =
+                    pd_entry.present() && pd_entry.huge();
+                if (is_huge || pt)
+                    pd_used++;
+                if (is_huge) {
+                    huge_count++;
+                    if ((pd_entry.pfn() % kPagesPerHuge) != 0)
+                        fn("huge-misaligned", base, pd_entry.pfn());
+                    if (pt) {
+                        unsigned shadows = 0;
+                        for (unsigned i0 = 0; i0 < 512; i0++)
+                            if (Pte(pt->entries[i0]).present())
+                                shadows++;
+                        fn("huge-shadow", base, shadows);
+                    }
+                }
+                if (!pt)
+                    continue;
+                unsigned present = 0;
+                for (unsigned i0 = 0; i0 < 512; i0++)
+                    if (Pte(pt->entries[i0]).present())
+                        present++;
+                if (!is_huge)
+                    base_count += present;
+                if (present != pt->used)
+                    fn("node-used-drift", base, present);
+            }
+            if (pd_used != pd->used)
+                fn("node-used-drift",
+                   (static_cast<Vpn>(i3) << 27) |
+                       (static_cast<Vpn>(i2) << 18),
+                   pd_used);
+        }
+    }
+    if (base_count != base_pages_)
+        fn("counter-drift", 0, base_count);
+    if (huge_count != huge_pages_)
+        fn("counter-drift", 0, huge_count);
+}
+
 Pte *
 PageTable::leafEntry(Vpn vpn, bool *is_huge)
 {

@@ -158,6 +158,23 @@ class PageTable
     /** Mutable leaf entry access for in-place flag edits (OS use). */
     Pte *leafEntry(Vpn vpn, bool *is_huge = nullptr);
 
+    /**
+     * Structural self-audit for the fault::Auditor. Walks the raw
+     * tree (not forEachLeaf — shadows would be invisible there) and
+     * reports each defect as callback(tag, vpn, value):
+     *   - "huge-shadow": a huge PD leaf whose slot also holds a live
+     *     PT node with present 4K entries underneath the 2MB mapping
+     *   - "huge-misaligned": a huge leaf whose block pfn is not
+     *     512-aligned (value = the pfn)
+     *   - "node-used-drift": a node's `used` count disagrees with its
+     *     present entries/children (value = recount)
+     *   - "counter-drift": base_pages_/huge_pages_ disagree with the
+     *     tree (vpn = 0, value = recount)
+     */
+    void auditStructure(
+        const std::function<void(const char *, Vpn, std::uint64_t)>
+            &fn) const;
+
     /** @name Translation-cache introspection and control */
     /// @{
     /**

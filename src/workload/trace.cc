@@ -1,6 +1,9 @@
 #include "workload/trace.hh"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -8,16 +11,92 @@
 
 namespace hawksim::workload {
 
+namespace {
+
+/** Everything one parseTrace call needs for strict validation. */
+struct ParseState
+{
+    const std::string &source;
+    int lineno = 0;
+    /** Parse-time VMA sizes (pages) for range validation. */
+    std::unordered_map<std::string, std::uint64_t> vmaPages;
+
+    [[noreturn]] void
+    fail(const char *field, const std::string &reason) const
+    {
+        throw TraceError(source, lineno, field, reason);
+    }
+
+    /**
+     * Read an unsigned count. Unlike `stream >> uint64`, this rejects
+     * negative values and overflow instead of wrapping them modulo
+     * 2^64 into silently-huge counts.
+     */
+    std::uint64_t
+    count(std::istream &ls, const char *field) const
+    {
+        std::string tok;
+        if (!(ls >> tok))
+            fail(field, "missing value");
+        std::uint64_t v = 0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc::result_out_of_range)
+            fail(field, "value '" + tok + "' overflows 64 bits");
+        if (res.ec != std::errc() ||
+            res.ptr != tok.data() + tok.size())
+            fail(field, "bad number '" + tok + "'");
+        return v;
+    }
+
+    std::string
+    vmaName(std::istream &ls, const char *field) const
+    {
+        std::string name;
+        if (!(ls >> name))
+            fail(field, "missing VMA name");
+        return name;
+    }
+
+    /** Pages of a previously alloc'd VMA; throws on unknown names. */
+    std::uint64_t
+    pagesOf(const std::string &vma) const
+    {
+        const auto it = vmaPages.find(vma);
+        if (it == vmaPages.end())
+            fail("vma", "references VMA '" + vma +
+                            "' before any alloc");
+        return it->second;
+    }
+
+    /** [start, start+n) must lie inside the VMA (overflow-safe). */
+    void
+    checkRange(const std::string &vma, std::uint64_t start,
+               std::uint64_t n) const
+    {
+        const std::uint64_t pages = pagesOf(vma);
+        if (start > pages || n > pages - start) {
+            fail("page", "range [" + std::to_string(start) + ", " +
+                             std::to_string(start) + "+" +
+                             std::to_string(n) + ") beyond VMA '" +
+                             vma + "' (" + std::to_string(pages) +
+                             " pages)");
+        }
+    }
+};
+
+} // namespace
+
 std::vector<TraceOp>
-parseTrace(std::istream &in)
+parseTrace(std::istream &in, const std::string &source)
 {
     std::vector<TraceOp> ops;
+    ParseState st{source, 0, {}};
     // Stack of (start index in ops, remaining repeat count).
     std::vector<std::pair<std::size_t, std::uint64_t>> repeat_stack;
     std::string line;
-    int lineno = 0;
     while (std::getline(in, line)) {
-        lineno++;
+        st.lineno++;
         std::istringstream ls(line);
         std::string cmd;
         if (!(ls >> cmd) || cmd[0] == '#')
@@ -25,50 +104,70 @@ parseTrace(std::istream &in)
         TraceOp op{};
         if (cmd == "alloc") {
             op.kind = TraceOp::Kind::kAlloc;
-            if (!(ls >> op.vma >> op.a))
-                HS_FATAL("trace line ", lineno, ": alloc <name> <bytes>");
+            op.vma = st.vmaName(ls, "name");
+            op.a = st.count(ls, "bytes");
+            if (op.a == 0)
+                st.fail("bytes", "zero-byte alloc");
+            if (op.a > hugeAlignUp(op.a))
+                st.fail("bytes", "alloc size overflows alignment");
+            st.vmaPages[op.vma] = hugeAlignUp(op.a) / kPageSize;
         } else if (cmd == "touch" || cmd == "write") {
             op.kind = cmd == "touch" ? TraceOp::Kind::kTouch
                                      : TraceOp::Kind::kWrite;
-            if (!(ls >> op.vma >> op.a))
-                HS_FATAL("trace line ", lineno,
-                         ": touch <vma> <page> [n]");
+            op.vma = st.vmaName(ls, "vma");
+            op.a = st.count(ls, "page");
             op.b = 1;
-            ls >> op.b;
+            std::string n;
+            if (ls >> n) {
+                std::istringstream ns(n);
+                op.b = st.count(ns, "n");
+            }
+            st.checkRange(op.vma, op.a, op.b);
         } else if (cmd == "access") {
             op.kind = TraceOp::Kind::kAccess;
+            op.vma = st.vmaName(ls, "vma");
+            op.a = st.count(ls, "count");
+            st.pagesOf(op.vma);
             std::string pattern;
-            if (!(ls >> op.vma >> op.a >> pattern))
-                HS_FATAL("trace line ", lineno,
-                         ": access <vma> <count> <pattern>");
+            if (!(ls >> pattern))
+                st.fail("pattern", "missing (seq|rand|zipf:<s>)");
             if (pattern == "seq") {
                 op.sequential = true;
             } else if (pattern == "rand") {
                 op.sequential = false;
             } else if (pattern.rfind("zipf:", 0) == 0) {
-                op.zipf = std::stod(pattern.substr(5));
+                const std::string s = pattern.substr(5);
+                char *end = nullptr;
+                op.zipf = std::strtod(s.c_str(), &end);
+                if (!end || *end != '\0' || end == s.c_str())
+                    st.fail("pattern", "bad zipf exponent '" + s +
+                                           "'");
+                if (!std::isfinite(op.zipf) || op.zipf <= 0.0) {
+                    st.fail("pattern",
+                            "zipf exponent must be finite and "
+                            "positive, got '" + s + "'");
+                }
             } else {
-                HS_FATAL("trace line ", lineno, ": bad pattern '",
-                         pattern, "'");
+                st.fail("pattern", "bad pattern '" + pattern + "'");
             }
         } else if (cmd == "free") {
             op.kind = TraceOp::Kind::kFree;
-            if (!(ls >> op.vma >> op.a >> op.b))
-                HS_FATAL("trace line ", lineno,
-                         ": free <vma> <page> <n>");
+            op.vma = st.vmaName(ls, "vma");
+            op.a = st.count(ls, "page");
+            op.b = st.count(ls, "n");
+            st.checkRange(op.vma, op.a, op.b);
         } else if (cmd == "compute") {
             op.kind = TraceOp::Kind::kCompute;
-            if (!(ls >> op.a))
-                HS_FATAL("trace line ", lineno, ": compute <ns>");
+            op.a = st.count(ls, "ns");
         } else if (cmd == "repeat") {
-            std::uint64_t k = 0;
-            if (!(ls >> k) || k == 0)
-                HS_FATAL("trace line ", lineno, ": repeat <k>");
+            const std::uint64_t k = st.count(ls, "k");
+            if (k == 0)
+                st.fail("k", "repeat count must be >= 1");
             repeat_stack.emplace_back(ops.size(), k);
             continue;
         } else if (cmd == "end") {
             if (repeat_stack.empty())
-                HS_FATAL("trace line ", lineno, ": end without repeat");
+                st.fail("end", "end without repeat");
             auto [start, k] = repeat_stack.back();
             repeat_stack.pop_back();
             // Unroll: append k-1 more copies of the block.
@@ -78,21 +177,23 @@ parseTrace(std::istream &in)
                 ops.insert(ops.end(), block.begin(), block.end());
             continue;
         } else {
-            HS_FATAL("trace line ", lineno, ": unknown directive '",
-                     cmd, "'");
+            st.fail("directive", "unknown directive '" + cmd + "'");
         }
         ops.push_back(op);
     }
-    if (!repeat_stack.empty())
-        HS_FATAL("trace: unterminated repeat block");
+    if (!repeat_stack.empty()) {
+        st.fail("repeat",
+                "unterminated repeat block (truncated trace?)");
+    }
     return ops;
 }
 
 std::unique_ptr<TraceWorkload>
 TraceWorkload::fromStream(std::string name, std::istream &in, Rng rng)
 {
+    std::vector<TraceOp> ops = parseTrace(in, name);
     return std::make_unique<TraceWorkload>(std::move(name),
-                                           parseTrace(in), rng);
+                                           std::move(ops), rng);
 }
 
 void

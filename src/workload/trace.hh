@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,33 @@
 #include "workload/workload.hh"
 
 namespace hawksim::workload {
+
+/**
+ * Malformed trace input. Carries the source name ("<trace>" or the
+ * file the caller named), the 1-based line and the offending field,
+ * so tooling can point users at the exact spot instead of dying with
+ * a process-wide fatal error.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    TraceError(std::string source, int line, std::string field,
+               const std::string &reason)
+        : std::runtime_error(source + ":" + std::to_string(line) +
+                             ": field '" + field + "': " + reason),
+          source_(std::move(source)), line_(line),
+          field_(std::move(field))
+    {}
+
+    const std::string &source() const { return source_; }
+    int line() const { return line_; }
+    const std::string &field() const { return field_; }
+
+  private:
+    std::string source_;
+    int line_;
+    std::string field_;
+};
 
 /** One parsed trace directive. */
 struct TraceOp
@@ -59,10 +87,17 @@ struct TraceOp
 };
 
 /**
- * Parse a trace from a stream. Throws nothing; calls HS_FATAL on
- * malformed input (traces are user-provided configuration).
+ * Parse a trace from a stream. Throws TraceError on malformed input
+ * (traces are user-provided configuration; callers decide whether
+ * that is fatal). Validation is strict and happens at parse time:
+ * unknown directives, missing or non-numeric fields, counts that
+ * overflow or are NaN/infinite, references to VMAs never alloc'd,
+ * and touch/write/free ranges beyond the VMA all throw.
+ *
+ * @p source names the input in error messages (e.g. the file path).
  */
-std::vector<TraceOp> parseTrace(std::istream &in);
+std::vector<TraceOp> parseTrace(std::istream &in,
+                                const std::string &source = "<trace>");
 
 class TraceWorkload : public Workload
 {
@@ -73,7 +108,7 @@ class TraceWorkload : public Workload
           content_(rng.fork()), accesses_per_sec_(accesses_per_sec)
     {}
 
-    /** Convenience: parse from a stream. */
+    /** Convenience: parse from a stream. Throws TraceError. */
     static std::unique_ptr<TraceWorkload>
     fromStream(std::string name, std::istream &in, Rng rng);
 

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * End-to-end chaos tests: probabilistic injection under a real
+ * policy with audits armed, graceful degradation of each fault
+ * site, and run-to-run determinism of the whole machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+using fault::Site;
+
+namespace {
+
+std::unique_ptr<sim::System>
+makeChaosSys(const fault::FaultConfig &fc, std::uint64_t mem = MiB(64))
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = mem;
+    cfg.fault = fc;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    return sys;
+}
+
+} // namespace
+
+TEST(Chaos, InjectedRunCompletesWithCleanAudits)
+{
+    fault::FaultConfig fc;
+    fc.rate = 0.1;
+    fc.auditOnFault = true;
+    fc.auditEvery = 64;
+    auto sys = makeChaosSys(fc);
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(24);
+    lc.iterations = 4;
+    auto &proc = sys->addProcess(
+        "t", std::make_unique<workload::LinearTouchWorkload>(
+                 "t", lc, Rng(9)));
+    // runAuditOrDie panics on any violation, so completion is the
+    // invariant-preservation assertion.
+    sys->runUntilAllDone(sec(120));
+    EXPECT_TRUE(proc.finished());
+    ASSERT_NE(sys->faultInjector(), nullptr);
+    EXPECT_GT(sys->faultInjector()->totalInjected(), 0u);
+    EXPECT_GT(sys->auditsRun(), 1u);
+}
+
+TEST(Chaos, IdenticalConfigsReplayIdentically)
+{
+    fault::FaultConfig fc;
+    fc.rate = 0.05;
+    fc.auditOnFault = true;
+    auto runOnce = [&]() {
+        auto sys = makeChaosSys(fc);
+        workload::LinearTouchConfig lc;
+        lc.bytes = MiB(16);
+        auto &proc = sys->addProcess(
+            "t", std::make_unique<workload::LinearTouchWorkload>(
+                     "t", lc, Rng(4)));
+        sys->runUntilAllDone(sec(120));
+        struct Out
+        {
+            std::uint64_t faults, injected, probes, free_frames;
+            TimeNs runtime;
+        } o{};
+        o.faults = proc.pageFaults();
+        o.injected = sys->faultInjector()->totalInjected();
+        o.probes = sys->faultInjector()->stats(Site::kBuddyAlloc)
+                       .probes;
+        o.free_frames = sys->phys().freeFrames();
+        o.runtime = proc.runtime();
+        return std::make_tuple(o.faults, o.injected, o.probes,
+                               o.free_frames, o.runtime);
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(Chaos, HugeAllocFaultFallsBackTo4k)
+{
+    fault::FaultConfig fc;
+    fc.script = {{Site::kBuddyAlloc, 1}};
+    auto sys = makeChaosSys(fc);
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(8);
+    lc.freeEachIteration = false;
+    auto &proc = sys->addProcess(
+        "t", std::make_unique<workload::LinearTouchWorkload>(
+                 "t", lc, Rng(2)));
+    sys->runUntilAllDone(sec(60));
+    EXPECT_TRUE(proc.finished());
+    EXPECT_FALSE(proc.oomKilled());
+    // The first order-9 request was shot down; the fault was served
+    // as a 4K mapping instead of failing the process.
+    EXPECT_GE(sys->faultInjector()->degradation().hugeFallbacks, 1u);
+    const auto rep = sys->auditNow();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(Chaos, PromoteCopyFaultDefersThenRetrySucceeds)
+{
+    fault::FaultConfig fc;
+    fc.script = {{Site::kPromoteCopy, 1}};
+    auto sys = makeChaosSys(fc);
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(16);
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    auto &proc = sys->addProcess(
+        "w",
+        std::make_unique<workload::StreamWorkload>("w", wc, Rng(1)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    const std::uint64_t region = vpnToHugeRegion(addrToVpn(base));
+    for (unsigned i = 0; i < kPagesPerHuge; i++) {
+        auto blk = sys->phys().allocBlock(0, proc.pid(),
+                                          mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    // First attempt: the copy step faults, the block is released and
+    // the region stays 4K-mapped.
+    EXPECT_FALSE(policy::promoteOne(*sys, proc, region, false)
+                     .has_value());
+    EXPECT_EQ(sys->faultInjector()->degradation().deferredPromotions,
+              1u);
+    EXPECT_FALSE(proc.space().pageTable().isHuge(region));
+    auto rep = sys->auditNow();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    // Retry (occurrence 2 is not scripted): promotion goes through.
+    EXPECT_TRUE(policy::promoteOne(*sys, proc, region, false)
+                    .has_value());
+    EXPECT_TRUE(proc.space().pageTable().isHuge(region));
+    rep = sys->auditNow();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(Chaos, CompactMoveFaultAbortsPassAndCounts)
+{
+    fault::FaultConfig fc;
+    fc.script = {{Site::kCompactMove, 1}};
+    auto sys = makeChaosSys(fc);
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(16);
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    auto &proc = sys->addProcess(
+        "w",
+        std::make_unique<workload::StreamWorkload>("w", wc, Rng(1)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    // Scatter single mapped pages so compaction has work to do.
+    for (unsigned i = 0; i < 8; i++) {
+        auto blk = sys->phys().allocSpecificFrame(
+            kPagesPerHuge + i * 17, proc.pid());
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    sys->compactor().compactOne(*sys);
+    EXPECT_EQ(sys->faultInjector()->degradation().abortedCompactions,
+              1u);
+    const auto rep = sys->auditNow();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(Chaos, PeriodicAuditsRunOnSchedule)
+{
+    fault::FaultConfig fc;
+    fc.auditEvery = 4;
+    auto sys = makeChaosSys(fc);
+    for (int i = 0; i < 17; i++)
+        sys->tick();
+    EXPECT_EQ(sys->auditsRun(), 4u);
+}

@@ -1,0 +1,135 @@
+/** @file FaultInjector determinism, scripting and rate tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.hh"
+
+using namespace hawksim;
+using fault::FaultConfig;
+using fault::FaultInjector;
+using fault::Site;
+
+namespace {
+
+std::vector<bool>
+decisions(FaultInjector &fi, Site s, unsigned n)
+{
+    std::vector<bool> out;
+    out.reserve(n);
+    for (unsigned i = 0; i < n; i++)
+        out.push_back(fi.shouldFail(s));
+    return out;
+}
+
+} // namespace
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    FaultConfig cfg;
+    cfg.rate = 0.3;
+    FaultInjector a(1234, cfg);
+    FaultInjector b(1234, cfg);
+    EXPECT_EQ(decisions(a, Site::kBuddyAlloc, 1000),
+              decisions(b, Site::kBuddyAlloc, 1000));
+    EXPECT_EQ(a.stats(Site::kBuddyAlloc).injected,
+              b.stats(Site::kBuddyAlloc).injected);
+    // ~300 expected at rate 0.3; any fixed hash gives a fixed count.
+    EXPECT_GT(a.totalInjected(), 200u);
+    EXPECT_LT(a.totalInjected(), 400u);
+}
+
+TEST(FaultInjector, DifferentSeedsDecorrelate)
+{
+    FaultConfig cfg;
+    cfg.rate = 0.3;
+    FaultInjector a(1, cfg);
+    FaultInjector b(2, cfg);
+    EXPECT_NE(decisions(a, Site::kSwapOut, 1000),
+              decisions(b, Site::kSwapOut, 1000));
+}
+
+TEST(FaultInjector, SitesAreIndependentChains)
+{
+    // Decisions of a site do not depend on how often other sites
+    // were probed before it (workers probing out of order must not
+    // change outcomes).
+    FaultConfig cfg;
+    cfg.rate = 0.25;
+    FaultInjector a(99, cfg);
+    FaultInjector b(99, cfg);
+    decisions(b, Site::kPrezero, 777); // extra traffic on b only
+    EXPECT_EQ(decisions(a, Site::kCompactMove, 500),
+              decisions(b, Site::kCompactMove, 500));
+}
+
+TEST(FaultInjector, ScriptFiresExactOccurrences)
+{
+    FaultConfig cfg;
+    cfg.rate = 1.0; // must be ignored: a script disables rates
+    cfg.script = {{Site::kBuddyAlloc, 3}, {Site::kBuddyAlloc, 5},
+                  {Site::kSwapOut, 1}};
+    FaultInjector fi(7, cfg);
+    const auto d = decisions(fi, Site::kBuddyAlloc, 6);
+    const std::vector<bool> want = {false, false, true,
+                                    false, true,  false};
+    EXPECT_EQ(d, want);
+    EXPECT_TRUE(fi.shouldFail(Site::kSwapOut));  // occurrence 1
+    EXPECT_FALSE(fi.shouldFail(Site::kSwapOut)); // occurrence 2
+    EXPECT_FALSE(fi.shouldFail(Site::kPromoteCopy));
+    EXPECT_EQ(fi.totalInjected(), 3u);
+    EXPECT_EQ(fi.stats(Site::kBuddyAlloc).probes, 6u);
+    EXPECT_EQ(fi.stats(Site::kBuddyAlloc).injected, 2u);
+}
+
+TEST(FaultInjector, PerSiteRateOverridesGlobal)
+{
+    FaultConfig cfg;
+    cfg.rate = 1.0;
+    cfg.siteRate[static_cast<unsigned>(Site::kSwapIn)] = 0.0;
+    FaultInjector fi(11, cfg);
+    EXPECT_TRUE(fi.shouldFail(Site::kBuddyAlloc));
+    for (int i = 0; i < 100; i++)
+        EXPECT_FALSE(fi.shouldFail(Site::kSwapIn));
+}
+
+TEST(FaultInjector, RateZeroNeverFires)
+{
+    FaultConfig cfg;
+    EXPECT_FALSE(cfg.injectionEnabled());
+    cfg.rate = 0.0;
+    FaultInjector fi(5, cfg);
+    for (int i = 0; i < 200; i++)
+        EXPECT_FALSE(fi.shouldFail(Site::kPromoteCopy));
+    EXPECT_EQ(fi.totalInjected(), 0u);
+}
+
+TEST(FaultInjector, NullGuardIsInert)
+{
+    EXPECT_FALSE(fault::faultAt(nullptr, Site::kBuddyAlloc));
+}
+
+TEST(FaultInjector, PendingAuditLatchesUntilTaken)
+{
+    FaultConfig cfg;
+    cfg.script = {{Site::kPrezero, 2}};
+    FaultInjector fi(3, cfg);
+    EXPECT_FALSE(fi.takePendingAudit());
+    fi.shouldFail(Site::kPrezero); // occurrence 1: no injection
+    EXPECT_FALSE(fi.takePendingAudit());
+    fi.shouldFail(Site::kPrezero); // occurrence 2: injected
+    EXPECT_TRUE(fi.takePendingAudit());
+    EXPECT_FALSE(fi.takePendingAudit()); // consumed
+}
+
+TEST(FaultInjector, SiteNamesRoundTrip)
+{
+    for (unsigned i = 0; i < fault::kSiteCount; i++) {
+        const auto s = static_cast<Site>(i);
+        const auto back = fault::siteFromName(fault::siteName(s));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, s);
+    }
+    EXPECT_FALSE(fault::siteFromName("warp-core").has_value());
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Swap-device-full regression tests.
+ *
+ * reclaimPages used to unmap and free pages before asking the device
+ * for a slot, so a full device silently dropped page contents and the
+ * returned "freed" count was optimistic. These tests pin the honest
+ * behaviour: a full device stops the sweep, the shortfall reaches the
+ * caller, and the OOM path engages instead of losing data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+std::unique_ptr<sim::System>
+makeSwapSys(std::uint64_t mem, std::uint64_t swap_bytes,
+            bool oom_killer = false)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = mem;
+    cfg.swap.capacityBytes = swap_bytes;
+    cfg.fault.oomKiller = oom_killer;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    sys->enableSwap(true);
+    return sys;
+}
+
+} // namespace
+
+TEST(SwapFull, ReclaimReportsHonestShortfall)
+{
+    // 64-page swap device against a 2048-page eviction demand.
+    auto sys = makeSwapSys(MiB(64), KiB(256));
+    workload::StreamConfig wc;
+    wc.footprintBytes = MiB(32);
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    auto &proc = sys->addProcess(
+        "w",
+        std::make_unique<workload::StreamWorkload>("w", wc, Rng(1)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    for (unsigned i = 0; i < 2048; i++) {
+        auto blk = sys->phys().allocBlock(0, proc.pid(),
+                                          mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    TimeNs cost = 0;
+    const std::uint64_t freed = sys->reclaimPages(512, &cost);
+    // Exactly the device capacity came out -- not the optimistic 512.
+    EXPECT_EQ(freed, 64u);
+    EXPECT_EQ(sys->swappedPages(), 64u);
+    EXPECT_TRUE(sys->swap().full());
+    EXPECT_EQ(proc.space().rssPages(), 2048u - 64u);
+    // Asking again cannot lie either: the device is still full.
+    EXPECT_EQ(sys->reclaimPages(512, &cost), 0u);
+}
+
+TEST(SwapFull, SelfOomWhenSwapExhausted)
+{
+    // Footprint exceeds memory + swap; once the device fills, reclaim
+    // reports the shortfall and the faulting process OOMs instead of
+    // silently losing evicted pages.
+    auto sys = makeSwapSys(MiB(8), KiB(256));
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(32);
+    lc.freeEachIteration = false;
+    auto &proc = sys->addProcess(
+        "t", std::make_unique<workload::LinearTouchWorkload>(
+                 "t", lc, Rng(1)));
+    sys->run(sec(30));
+    EXPECT_TRUE(proc.oomKilled());
+    // The device accepted exactly its 64-page capacity before the
+    // shortfall surfaced, and the dead process's slots were
+    // discarded on exit.
+    EXPECT_EQ(sys->swap().totalSwappedOut(), 64u);
+    EXPECT_EQ(sys->swappedPages(), 0u);
+}
+
+TEST(SwapFull, OomKillerPicksLargestRssVictim)
+{
+    // A big idle process and a small growing one. When swap fills,
+    // the chaos-mode OOM killer must sacrifice the big one (largest
+    // RSS) so the small faulting process can finish.
+    auto sys = makeSwapSys(MiB(32), KiB(256), /*oom_killer=*/true);
+    workload::StreamConfig big;
+    big.footprintBytes = MiB(24);
+    big.workSeconds = 1e9;
+    auto &victim = sys->addProcess(
+        "big",
+        std::make_unique<workload::StreamWorkload>("big", big,
+                                                   Rng(1)));
+    workload::LinearTouchConfig lc;
+    lc.bytes = MiB(16);
+    lc.freeEachIteration = false;
+    auto &small = sys->addProcess(
+        "small", std::make_unique<workload::LinearTouchWorkload>(
+                     "small", lc, Rng(2)));
+    sys->run(sec(60));
+    EXPECT_TRUE(victim.oomKilled());
+    EXPECT_FALSE(small.oomKilled());
+    EXPECT_TRUE(small.finished());
+    EXPECT_EQ(sys->oomKills(), 1u);
+    // The victim's swap slots were discarded with it.
+    EXPECT_FALSE(sys->swap().full());
+}

@@ -9,8 +9,27 @@
 
 using namespace hawksim;
 using workload::parseTrace;
+using workload::TraceError;
 using workload::TraceOp;
 using workload::TraceWorkload;
+
+namespace {
+
+/** Parse and return the TraceError the input must provoke. */
+TraceError
+parseFailure(const std::string &text)
+{
+    std::istringstream in(text);
+    try {
+        parseTrace(in, "corpus");
+    } catch (const TraceError &e) {
+        return e;
+    }
+    ADD_FAILURE() << "trace parsed cleanly: " << text;
+    return TraceError("corpus", 0, "none", "did not throw");
+}
+
+} // namespace
 
 TEST(TraceParser, ParsesAllDirectives)
 {
@@ -64,6 +83,99 @@ end
 )");
     const auto ops = parseTrace(in);
     EXPECT_EQ(ops.size(), 1u + 4u);
+}
+
+// Malformed-trace corpus: every rejection carries source, 1-based
+// line and the offending field, so tools can point at the exact spot.
+
+TEST(TraceParserErrors, TruncatedFileUnterminatedRepeat)
+{
+    const TraceError e = parseFailure("alloc a 2097152\n"
+                                      "repeat 4\n"
+                                      "touch a 0 4\n"); // EOF, no end
+    EXPECT_EQ(e.source(), "corpus");
+    EXPECT_EQ(e.field(), "repeat");
+    EXPECT_NE(std::string(e.what()).find("truncated"),
+              std::string::npos);
+}
+
+TEST(TraceParserErrors, UnknownDirectiveRejected)
+{
+    const TraceError e = parseFailure("alloc a 2097152\n"
+                                      "munch a 0 4\n");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.field(), "directive");
+}
+
+TEST(TraceParserErrors, OutOfRangeVpnRejectedAtParseTime)
+{
+    // 2 MiB VMA = 512 pages; touching [500, 500+64) walks past it.
+    const TraceError e = parseFailure("alloc heap 2097152\n"
+                                      "touch heap 500 64\n");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.field(), "page");
+    // Free beyond the VMA is caught the same way.
+    EXPECT_EQ(parseFailure("alloc heap 2097152\n"
+                           "free heap 0 513\n")
+                  .field(),
+              "page");
+}
+
+TEST(TraceParserErrors, UnknownVmaRejectedAtParseTime)
+{
+    const TraceError e = parseFailure("alloc heap 2097152\n"
+                                      "touch stack 0 4\n");
+    EXPECT_EQ(e.field(), "vma");
+    EXPECT_EQ(parseFailure("access nowhere 100 rand\n").field(),
+              "vma");
+}
+
+TEST(TraceParserErrors, NanAndNonPositiveZipfRejected)
+{
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "access a 100 zipf:nan\n")
+                  .field(),
+              "pattern");
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "access a 100 zipf:inf\n")
+                  .field(),
+              "pattern");
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "access a 100 zipf:-0.5\n")
+                  .field(),
+              "pattern");
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "access a 100 zipf:cheese\n")
+                  .field(),
+              "pattern");
+}
+
+TEST(TraceParserErrors, OverflowAndNegativeCountsRejected)
+{
+    // 2^64 + change: would silently wrap under `stream >> uint64`.
+    EXPECT_EQ(parseFailure("alloc a 99999999999999999999\n").field(),
+              "bytes");
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "touch a 0 -4\n")
+                  .field(),
+              "n");
+    EXPECT_EQ(parseFailure("compute -100\n").field(), "ns");
+    EXPECT_EQ(parseFailure("alloc a 0\n").field(), "bytes");
+}
+
+TEST(TraceParserErrors, MissingFieldsRejected)
+{
+    EXPECT_EQ(parseFailure("alloc heap\n").field(), "bytes");
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "access a 100\n")
+                  .field(),
+              "pattern");
+    EXPECT_EQ(parseFailure("alloc a 2097152\n"
+                           "free a 0\n")
+                  .field(),
+              "n");
+    EXPECT_EQ(parseFailure("end\n").field(), "end");
+    EXPECT_EQ(parseFailure("repeat 0\n").field(), "k");
 }
 
 TEST(TraceWorkload, ReplayDrivesRealMemoryState)

@@ -52,6 +52,7 @@ runSpinup(const harness::RunContext &ctx,
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
+    cfg.inspect = ctx.inspect();
     // Dirty boot memory so pre-zeroing actually matters.
     cfg.bootMemoryZeroed = false;
     sim::System sys(cfg);
@@ -81,6 +82,7 @@ runHotspot(const harness::RunContext &ctx,
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
+    cfg.inspect = ctx.inspect();
     sim::System sys(cfg);
     sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
     sys.fragmentMemoryMovable(1.0, 64);

@@ -39,6 +39,7 @@ run(const harness::RunContext &ctx)
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
+    cfg.inspect = ctx.inspect();
     cfg.metricsPeriod = msec(500);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));

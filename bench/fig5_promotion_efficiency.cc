@@ -31,6 +31,7 @@ run(const harness::RunContext &ctx)
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
+    cfg.inspect = ctx.inspect();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     // "We fragment the memory initially by reading several files."

@@ -59,6 +59,7 @@ run(const harness::RunContext &ctx)
     host_cfg.seed = ctx.seed();
     host_cfg.trace = ctx.trace();
     host_cfg.fault = ctx.fault();
+    host_cfg.inspect = ctx.inspect();
     virt::VirtualSystem vs(host_cfg,
                            makePolicy(he_host ? "HawkEye-G"
                                               : "Linux-2MB"));

@@ -40,6 +40,7 @@ run(const harness::RunContext &ctx)
     cfg.seed = ctx.seed();
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
+    cfg.inspect = ctx.inspect();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(policy_name));
 

@@ -60,6 +60,15 @@ class AccessMap
     {
         return where_.count(region) != 0;
     }
+    /** Bucket currently holding @p region, or -1 when absent. */
+    int
+    bucketOf(std::uint64_t region) const
+    {
+        auto it = where_.find(region);
+        return it == where_.end()
+                   ? -1
+                   : static_cast<int>(it->second.bucket);
+    }
     std::size_t size() const { return where_.size(); }
     std::size_t bucketSize(unsigned b) const
     {

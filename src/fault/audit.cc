@@ -6,6 +6,7 @@
 #include "base/page_key.hh"
 #include "base/types.hh"
 #include "mem/phys.hh"
+#include "obs/introspect.hh"
 #include "sim/process.hh"
 #include "sim/system.hh"
 #include "vm/page_table.hh"
@@ -21,7 +22,7 @@ constexpr const char *kViolationNames[] = {
     "buddy-counter-drift","buddy-flag-mismatch",
     "huge-misaligned",    "huge-shadow",      "pt-counter-drift",
     "tlb-incoherent",     "swap-mapped-slot", "swap-orphan",
-    "swap-counter-drift",
+    "swap-counter-drift", "snapshot-drift",
 };
 
 /**
@@ -293,6 +294,158 @@ auditSwap(sim::System &sys, AuditReport &rep)
                    sys.swap().usedPages());
 }
 
+/**
+ * The introspection layer must be ground truth: take a fresh
+ * obs::snapshot() and reconcile every headline total against a
+ * direct recount of the frame table, buddy lists, page tables and
+ * swap map. Any drift means snapshot() or the counters it reads lie.
+ */
+void
+auditSnapshot(sim::System &sys, AuditReport &rep)
+{
+    const obs::Snapshot s = obs::snapshot(sys);
+    mem::PhysicalMemory &phys = sys.phys();
+    const std::uint64_t frames = phys.totalFrames();
+
+    HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                   s.mem.totalFrames == frames &&
+                       s.mem.freeFrames + s.mem.usedFrames == frames,
+                   "meminfo totals: total ", s.mem.totalFrames,
+                   " free ", s.mem.freeFrames, " used ",
+                   s.mem.usedFrames);
+
+    // buddyinfo vs a direct free-list walk.
+    std::array<std::uint64_t, obs::kInspectOrders> blocks{};
+    std::array<std::uint64_t, obs::kInspectOrders> zero_blocks{};
+    std::uint64_t free_pages = 0;
+    std::uint64_t zero_pages = 0;
+    phys.buddy().forEachFreeBlock(
+        [&](Pfn, unsigned order, bool zeroed) {
+            blocks[order]++;
+            free_pages += 1ull << order;
+            if (zeroed) {
+                zero_blocks[order]++;
+                zero_pages += 1ull << order;
+            }
+        });
+    HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                   free_pages == s.mem.freeFrames, "free-list walk ",
+                   free_pages, " pages, snapshot says ",
+                   s.mem.freeFrames);
+    HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                   zero_pages == s.mem.freeZeroPages &&
+                       s.mem.freeZeroPages + s.mem.freeNonZeroPages ==
+                           s.mem.freeFrames,
+                   "zero-list walk ", zero_pages,
+                   " pages, snapshot says ", s.mem.freeZeroPages);
+    for (unsigned o = 0; o < obs::kInspectOrders; o++) {
+        HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                       blocks[o] == s.buddy[o].freeBlocks &&
+                           zero_blocks[o] == s.buddy[o].zeroBlocks,
+                       "order ", o, " recount ", blocks[o], "/",
+                       zero_blocks[o], " snapshot ",
+                       s.buddy[o].freeBlocks, "/",
+                       s.buddy[o].zeroBlocks);
+    }
+
+    // A KSM canonical frame stays charged to the original owner's
+    // rssPages() counter while its ownerPid retargets to the latest
+    // mapper, so the owned-frame recount below only exactly matches
+    // rssPages() when no shared frames exist.
+    bool any_shared = false;
+    for (Pfn p = 0; p < frames && !any_shared; p++)
+        any_shared = phys.frame(p).isShared();
+
+    for (auto &procp : sys.processes()) {
+        sim::Process &proc = *procp;
+        const auto pid = proc.pid();
+        const obs::ProcInfo *pi = nullptr;
+        for (const obs::ProcInfo &cand : s.procs) {
+            if (cand.pid == pid) {
+                pi = &cand;
+                break;
+            }
+        }
+        HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                       pi != nullptr, "pid ", pid,
+                       " missing from snapshot");
+        if (pi == nullptr)
+            continue;
+
+        // Page-table recount of the per-process totals.
+        const vm::PageTable &pt = proc.space().pageTable();
+        std::uint64_t pt_rss = 0;
+        std::uint64_t pt_mapped = 0;
+        std::uint64_t pt_huge = 0;
+        pt.forEachLeaf([&](Vpn, const vm::Pte &e, bool huge) {
+            if (huge) {
+                pt_rss += kPagesPerHuge;
+                pt_mapped += kPagesPerHuge;
+                pt_huge++;
+                return;
+            }
+            pt_mapped++;
+            if (!e.zeroPage() && e.pfn() < frames &&
+                !phys.frame(e.pfn()).isShared()) {
+                pt_rss++;
+            }
+        });
+        HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                       pt_mapped == pi->mappedPages &&
+                           pt_huge == pi->hugePages,
+                       "pid ", pid, " PT recount mapped ", pt_mapped,
+                       " huge ", pt_huge, " snapshot ",
+                       pi->mappedPages, "/", pi->hugePages);
+
+        // Frame-table recount of exclusively-owned frames.
+        std::uint64_t frame_rss = 0;
+        for (Pfn p = 0; p < frames; p++) {
+            const mem::Frame &f = phys.frame(p);
+            if (!f.isFree() && !f.isShared() && f.ownerPid == pid &&
+                f.mapCount > 0) {
+                frame_rss++;
+            }
+        }
+        HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                       pt_rss == frame_rss, "pid ", pid,
+                       " PT-walk rss ", pt_rss, " frame-table rss ",
+                       frame_rss);
+        if (!any_shared) {
+            HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                           pi->rssPages == pt_rss, "pid ", pid,
+                           " snapshot rss ", pi->rssPages,
+                           " recount ", pt_rss);
+        }
+
+        // smaps/pagemap views must both re-aggregate to the totals.
+        std::uint64_t vma_mapped = 0;
+        for (const obs::VmaInfo &vi : pi->vmas)
+            vma_mapped += vi.mappedPages;
+        std::uint64_t region_mapped = 0;
+        for (const obs::RegionInfo &ri : pi->regions)
+            region_mapped += ri.population;
+        HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                       vma_mapped == pi->mappedPages &&
+                           region_mapped == pi->mappedPages,
+                       "pid ", pid, " smaps sum ", vma_mapped,
+                       " pagemap sum ", region_mapped,
+                       " mapped ", pi->mappedPages);
+    }
+
+    // Swap occupancy: snapshot vs map vs device.
+    std::uint64_t snap_swapped = 0;
+    for (const obs::ProcInfo &pi : s.procs)
+        snap_swapped += pi.swappedPages;
+    HS_AUDIT_CHECK(rep, ViolationClass::kSnapshotDrift,
+                   snap_swapped == sys.swappedMap().size() &&
+                       s.mem.swappedPages == snap_swapped &&
+                       s.mem.swapUsedPages == snap_swapped,
+                   "per-proc swapped sum ", snap_swapped,
+                   " map ", sys.swappedMap().size(), " meminfo ",
+                   s.mem.swappedPages, " device ",
+                   s.mem.swapUsedPages);
+}
+
 } // namespace
 
 const char *
@@ -330,6 +483,7 @@ Auditor::audit(sim::System &sys) const
     auditPageTables(sys, rep);
     auditTlbs(sys, rep);
     auditSwap(sys, rep);
+    auditSnapshot(sys, rep);
     audits_run_++;
     return rep;
 }

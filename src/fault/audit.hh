@@ -57,6 +57,8 @@ enum class ViolationClass : std::uint8_t
     kSwapMappedSlot,  //!< swap slot for a page still mapped in the PT
     kSwapOrphan,      //!< swap slot owned by a dead/unknown process
     kSwapCounterDrift,//!< swap bookkeeping counters disagree
+    // Introspection
+    kSnapshotDrift,   //!< obs snapshot disagrees with a direct recount
 };
 
 /** Stable name of a violation class ("pte-free-frame", ...). */

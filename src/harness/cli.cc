@@ -12,6 +12,7 @@
 #include "base/logging.hh"
 #include "fault/fault.hh"
 #include "harness/runner.hh"
+#include "obs/introspect.hh"
 
 namespace hawksim::harness {
 
@@ -51,6 +52,16 @@ printUsage(const char *argv0)
         "                   injection (implies --chaos)\n"
         "  --audit-every N  run the invariant auditor every N ticks\n"
         "                   (0 = only at end of run / after faults)\n"
+        "  --inspect-every N take a procfs-style state snapshot every\n"
+        "                   N sim ticks (meminfo/buddyinfo/smaps/\n"
+        "                   pagemap/TLB occupancy + vmstat.* series)\n"
+        "  --inspect-out F  write all snapshots as versioned\n"
+        "                   canonical JSON (implies --inspect-every\n"
+        "                   100 unless given); identical for any\n"
+        "                   --jobs\n"
+        "  --heatmap FILE   render the last snapshot of every run as\n"
+        "                   text VA-space heatmaps (implies\n"
+        "                   --inspect-every 100 unless given)\n"
         "  --pretty         indent the report\n"
         "  --quiet          no per-run progress on stderr\n"
         "  --wallclock      run the wall-clock hot-path benchmark\n"
@@ -166,6 +177,8 @@ runCli(int argc, char **argv, Registry &reg,
     std::string out_path = "results/bench.json";
     std::string profile_path;
     std::string trace_path;
+    std::string inspect_path;
+    std::string heatmap_path;
     bool chaos = false;
     bool rate_set = false;
 
@@ -272,6 +285,24 @@ runCli(int argc, char **argv, Registry &reg,
                 return 2;
             }
             opts.fault.auditEvery = n;
+        } else if (arg == "--inspect-every") {
+            const char *v = value();
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n)) {
+                std::fprintf(stderr, "bad --inspect-every value\n");
+                return 2;
+            }
+            opts.inspect.everyTicks = n;
+        } else if (arg == "--inspect-out") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            inspect_path = v;
+        } else if (arg == "--heatmap") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            heatmap_path = v;
         } else if (arg == "--pretty") {
             pretty = true;
         } else if (arg == "--quiet") {
@@ -338,6 +369,12 @@ runCli(int argc, char **argv, Registry &reg,
 
     setLogQuiet(true);
     opts.trace.enabled = !trace_path.empty();
+    // Snapshot artifacts need a sampling period; default to every
+    // 100 ticks when only an output path was given.
+    if ((!inspect_path.empty() || !heatmap_path.empty()) &&
+        opts.inspect.everyTicks == 0) {
+        opts.inspect.everyTicks = 100;
+    }
     Runner runner(opts);
     const Report report = runner.run(reg);
     if (report.runs.empty()) {
@@ -362,6 +399,32 @@ runCli(int argc, char **argv, Registry &reg,
             trace = os.str();
         }
         if (!writeFile(trace_path, trace))
+            return 1;
+    }
+    if (!inspect_path.empty() &&
+        !writeFile(inspect_path,
+                   pretty ? report.inspectJson().dumpPretty()
+                          : report.inspectJson().dump()))
+        return 1;
+    if (!heatmap_path.empty()) {
+        std::string art;
+        for (const RunRecord &r : report.runs) {
+            if (r.output.snapshots.empty())
+                continue;
+            const obs::Snapshot &last = r.output.snapshots.back();
+            art += "== " + r.point.experiment + "/" +
+                   r.point.label() + " tick " +
+                   std::to_string(last.tick) + " ==\n";
+            art += obs::formatMemInfo(last);
+            art += obs::formatBuddyInfo(last);
+            for (const obs::ProcInfo &p : last.procs) {
+                if (p.finished && p.mappedPages == 0)
+                    continue;
+                art += obs::renderHeatmap(p);
+            }
+            art += "\n";
+        }
+        if (!writeFile(heatmap_path, art))
             return 1;
     }
 

@@ -19,11 +19,20 @@ RunContext::fault() const
     return fault_ ? *fault_ : kDisabled;
 }
 
+const obs::InspectConfig &
+RunContext::inspect() const
+{
+    static const obs::InspectConfig kDisabled;
+    return inspect_ ? *inspect_ : kDisabled;
+}
+
 void
 RunOutput::captureObs(sim::System &sys)
 {
+    traceStats = sys.tracer().stats();
     trace = sys.tracer().drain();
     cost = sys.cost();
+    snapshots = sys.takeSnapshots();
 }
 
 const std::string &

@@ -25,6 +25,7 @@
 #include "base/types.hh"
 #include "fault/fault.hh"
 #include "obs/cost_account.hh"
+#include "obs/introspect.hh"
 #include "obs/trace.hh"
 #include "sim/metrics.hh"
 
@@ -62,8 +63,10 @@ class RunContext
   public:
     RunContext(const RunPoint &point, std::uint64_t seed,
                const obs::TraceConfig *trace = nullptr,
-               const fault::FaultConfig *fault = nullptr)
-        : point_(point), seed_(seed), trace_(trace), fault_(fault)
+               const fault::FaultConfig *fault = nullptr,
+               const obs::InspectConfig *inspect = nullptr)
+        : point_(point), seed_(seed), trace_(trace), fault_(fault),
+          inspect_(inspect)
     {}
 
     const RunPoint &point() const { return point_; }
@@ -81,6 +84,12 @@ class RunContext
      * SystemConfig next to trace().
      */
     const fault::FaultConfig &fault() const;
+    /**
+     * Introspection snapshot configuration (disabled unless the user
+     * passed --inspect-every/--inspect-out). Benches copy it into
+     * their SystemConfig next to trace() and fault().
+     */
+    const obs::InspectConfig &inspect() const;
     const std::string &
     param(std::string_view axis) const
     {
@@ -92,6 +101,7 @@ class RunContext
     std::uint64_t seed_;
     const obs::TraceConfig *trace_;
     const fault::FaultConfig *fault_;
+    const obs::InspectConfig *inspect_;
 };
 
 /** What a run returns: time series, events and scalar results. */
@@ -105,8 +115,12 @@ struct RunOutput
     TimeNs simTimeNs = 0;
     /** Drained trace events (empty unless tracing was enabled). */
     std::vector<obs::TraceEvent> trace;
+    /** Tracer accounting (emit/drop counts; disabled when not traced). */
+    obs::TraceStats traceStats;
     /** Per-subsystem cost accounting of the run (always captured). */
     obs::CostAccounting cost;
+    /** Periodic snapshots (empty unless introspection was enabled). */
+    std::vector<obs::Snapshot> snapshots;
 
     void
     scalar(std::string name, double v)
@@ -114,7 +128,7 @@ struct RunOutput
         scalars.emplace_back(std::move(name), v);
     }
 
-    /** Capture trace events + cost accounting from a finished run. */
+    /** Capture trace, cost accounting + snapshots of a finished run. */
     void captureObs(sim::System &sys);
 };
 

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <ostream>
+#include <string_view>
 #include <thread>
 
 #include "base/logging.hh"
 #include "harness/seed.hh"
+#include "obs/introspect.hh"
 #include "obs/perfetto.hh"
 
 namespace hawksim::harness {
@@ -66,7 +69,8 @@ metricsFromJson(const Json &j)
 }
 
 Json
-costToJson(const obs::CostAccounting &cost)
+costToJson(const obs::CostAccounting &cost,
+           const obs::TraceStats *traceStats)
 {
     Json out = Json::object();
     out.set("total_ns",
@@ -97,6 +101,23 @@ costToJson(const obs::CostAccounting &cost)
     lat.set("p95", Json(h.quantile(0.95)));
     lat.set("p99", Json(h.quantile(0.99)));
     out.set("fault_latency_ns", std::move(lat));
+    // Tracer accounting rides along only for traced runs, so reports
+    // of untraced runs keep their historical byte-exact shape.
+    if (traceStats != nullptr && traceStats->enabled) {
+        Json tr = Json::object();
+        tr.set("emitted", Json(static_cast<std::int64_t>(
+                              traceStats->emitted)));
+        tr.set("dropped", Json(static_cast<std::int64_t>(
+                              traceStats->dropped)));
+        Json by_cat = Json::object();
+        for (unsigned c = 0; c < obs::kCatCount; c++) {
+            by_cat.set(obs::catName(static_cast<obs::Cat>(c)),
+                       Json(static_cast<std::int64_t>(
+                           traceStats->droppedByCat[c])));
+        }
+        tr.set("dropped_by_cat", std::move(by_cat));
+        out.set("trace", std::move(tr));
+    }
     return out;
 }
 
@@ -124,7 +145,8 @@ Report::toJson() const
         for (const auto &[k, v] : r.output.scalars)
             scalars.set(k, Json(v));
         jr.set("scalars", std::move(scalars));
-        jr.set("cost", costToJson(r.output.cost));
+        jr.set("cost", costToJson(r.output.cost,
+                                  &r.output.traceStats));
         jr.set("metrics", metricsToJson(r.output.metrics));
         jruns.push(std::move(jr));
     }
@@ -153,6 +175,34 @@ Report::profileJson() const
     return out;
 }
 
+namespace {
+
+/**
+ * Metrics series exported as Perfetto counter tracks: the headline
+ * memory-state series, the vmstat sampler's buddy depths, and the
+ * per-process RSS / huge-RSS series.
+ */
+bool
+isCounterSeries(std::string_view name)
+{
+    if (name == "sys.fmfi9" || name == "sys.free_frames")
+        return true;
+    if (name.substr(0, 7) == "vmstat.")
+        return true;
+    if (name.size() > 1 && name[0] == 'p') {
+        std::size_t i = 1;
+        while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+            i++;
+        if (i > 1 && i < name.size()) {
+            const std::string_view rest = name.substr(i);
+            return rest == ".rss_pages" || rest == ".huge_pages";
+        }
+    }
+    return false;
+}
+
+} // namespace
+
 void
 Report::writeTrace(std::ostream &os) const
 {
@@ -165,8 +215,91 @@ Report::writeTrace(std::ostream &os) const
         w.runSpan(pid, r.output.simTimeNs);
         for (const obs::TraceEvent &ev : r.output.trace)
             w.event(pid, ev);
+
+        // Counter tracks from the run's metrics, in sorted-name
+        // order (the counter samples carry integer values; FMFI is
+        // scaled to fixed-point thousandths to stay integral).
+        const sim::Metrics &m = r.output.metrics;
+        for (auto id : m.sortedIds()) {
+            const TimeSeries &ts = m.series(id);
+            if (!isCounterSeries(ts.name()))
+                continue;
+            const bool fixed_point = ts.name() == "sys.fmfi9";
+            const std::string cname =
+                fixed_point ? ts.name() + "_x1000" : ts.name();
+            for (const auto &p : ts.points()) {
+                const double v =
+                    fixed_point ? p.value * 1000.0 : p.value;
+                w.counter(pid, cname, p.time, std::llround(v));
+            }
+        }
+
+        // Cost accounting as end-of-run counter samples: one track
+        // per subsystem plus the fault-latency percentiles.
+        const obs::CostAccounting &cost = r.output.cost;
+        for (unsigned s = 0; s < obs::kSubsysCount; s++) {
+            const auto sub = static_cast<obs::Subsys>(s);
+            w.counter(pid,
+                      std::string("cost.") + obs::subsysName(sub) +
+                          "_ns",
+                      r.output.simTimeNs, cost.subsysNs(sub));
+        }
+        const obs::LatencyHistogram &h = cost.faultLatency();
+        w.counter(pid, "cost.fault_p50_ns", r.output.simTimeNs,
+                  std::llround(h.quantile(0.50)));
+        w.counter(pid, "cost.fault_p95_ns", r.output.simTimeNs,
+                  std::llround(h.quantile(0.95)));
+        w.counter(pid, "cost.fault_p99_ns", r.output.simTimeNs,
+                  std::llround(h.quantile(0.99)));
+
+        // Ring-drop accounting as one metadata instant, so a
+        // truncated trace announces what it lost.
+        const obs::TraceStats &st = r.output.traceStats;
+        if (st.dropped > 0) {
+            std::string args =
+                "\"emitted\":" + std::to_string(st.emitted) +
+                ",\"dropped\":" + std::to_string(st.dropped);
+            for (unsigned c = 0; c < obs::kCatCount; c++) {
+                if (st.droppedByCat[c] == 0)
+                    continue;
+                args += ",\"dropped_";
+                args += obs::catName(static_cast<obs::Cat>(c));
+                args += "\":" + std::to_string(st.droppedByCat[c]);
+            }
+            w.instantArgs(pid, 0, "tracer_drops", "trace",
+                          r.output.simTimeNs, args);
+        }
     }
     w.finish();
+}
+
+Json
+Report::inspectJson() const
+{
+    Json out = Json::object();
+    out.set("schema", Json(obs::kInspectSchema));
+    out.set("master_seed", Json(masterSeed));
+    out.set("run_count",
+            Json(static_cast<std::int64_t>(runs.size())));
+    Json jruns = Json::array();
+    for (const RunRecord &r : runs) {
+        Json jr = Json::object();
+        jr.set("experiment", Json(r.point.experiment));
+        jr.set("index",
+               Json(static_cast<std::int64_t>(r.point.index)));
+        Json params = Json::object();
+        for (const auto &[k, v] : r.point.params)
+            params.set(k, Json(v));
+        jr.set("params", std::move(params));
+        jr.set("seed", Json(r.seed));
+        Json snaps = Json::array();
+        for (const obs::Snapshot &s : r.output.snapshots)
+            snaps.push(obs::snapshotToJson(s));
+        jr.set("snapshots", std::move(snaps));
+        jruns.push(std::move(jr));
+    }
+    out.set("runs", std::move(jruns));
+    return out;
 }
 
 bool
@@ -229,7 +362,7 @@ Runner::run(const Registry &reg) const
             const Job &job = jobs[i];
             const auto t0 = std::chrono::steady_clock::now();
             RunContext ctx(job.point, job.seed, &opts_.trace,
-                           &opts_.fault);
+                           &opts_.fault, &opts_.inspect);
             RunRecord &rec = report.runs[i];
             rec.point = job.point;
             rec.seed = job.seed;

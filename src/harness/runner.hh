@@ -54,6 +54,12 @@ struct RunnerOptions
      * for any --jobs value.
      */
     fault::FaultConfig fault;
+    /**
+     * Per-run introspection snapshots (disabled by default). The CLI
+     * enables it for --inspect-every/--inspect-out; snapshots land in
+     * each RunRecord and are exported with Report::inspectJson.
+     */
+    obs::InspectConfig inspect;
 };
 
 /** One executed grid point. */
@@ -82,14 +88,29 @@ struct Report
     Json profileJson() const;
     /**
      * Chrome trace_event / Perfetto JSON of every run's trace events
-     * (one Perfetto process per run, in expansion order). Like
-     * toJson, the output is byte-identical for any --jobs value.
+     * (one Perfetto process per run, in expansion order), plus
+     * counter tracks (FMFI, free frames, vmstat buddy depths,
+     * per-process RSS/huge-RSS, per-subsystem cost, fault-latency
+     * percentiles) and tracer drop metadata. Like toJson, the output
+     * is byte-identical for any --jobs value.
      */
     void writeTrace(std::ostream &os) const;
+    /**
+     * Versioned canonical-JSON dump of every run's snapshots
+     * (obs::kInspectSchema; the --inspect-out artifact). Deterministic
+     * and byte-identical for any --jobs value.
+     */
+    Json inspectJson() const;
 };
 
-/** Serialize one run's cost accounting (always-on observability). */
-Json costToJson(const obs::CostAccounting &cost);
+/**
+ * Serialize one run's cost accounting (always-on observability).
+ * When @p traceStats describes an *enabled* tracer, a "trace"
+ * sub-object with emit/drop accounting is appended; untraced runs
+ * omit it so their reports stay byte-identical to older builds.
+ */
+Json costToJson(const obs::CostAccounting &cost,
+                const obs::TraceStats *traceStats = nullptr);
 
 /** Serialize one run's Metrics (series sorted by name + events). */
 Json metricsToJson(const sim::Metrics &m);

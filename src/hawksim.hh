@@ -35,9 +35,11 @@
 #include "mem/phys.hh"
 #include "mem/swap.hh"
 #include "obs/cost_account.hh"
+#include "obs/introspect.hh"
 #include "obs/perfetto.hh"
 #include "obs/probe.hh"
 #include "obs/trace.hh"
+#include "obs/vmstat.hh"
 #include "policy/common.hh"
 #include "policy/freebsd.hh"
 #include "policy/ingens.hh"

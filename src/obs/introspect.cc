@@ -1,0 +1,469 @@
+#include "obs/introspect.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "base/page_key.hh"
+#include "core/hawkeye.hh"
+#include "harness/json.hh"
+#include "mem/phys.hh"
+#include "sim/process.hh"
+#include "sim/system.hh"
+#include "tlb/tlb.hh"
+#include "vm/address_space.hh"
+
+namespace hawksim::obs {
+
+namespace {
+
+static_assert(kInspectOrders == mem::BuddyAllocator::kMaxOrder + 1,
+              "buddyinfo order count out of sync with the allocator");
+
+/** Regions of a VMA: [start/2MB, ceil(end/2MB)). */
+std::uint64_t
+firstRegionOf(const vm::Vma &v)
+{
+    return v.start / kHugePageSize;
+}
+
+std::uint64_t
+endRegionOf(const vm::Vma &v)
+{
+    return (v.end + kHugePageSize - 1) / kHugePageSize;
+}
+
+/** Per-region accumulator: the reported info plus internal counts. */
+struct RegionAccum
+{
+    RegionInfo info;
+    /** Exclusively-owned frames (rss contribution). */
+    unsigned owned = 0;
+};
+
+TlbLevelOccupancy
+level(unsigned used, unsigned size)
+{
+    return TlbLevelOccupancy{used, size};
+}
+
+ProcInfo
+snapshotProcess(sim::Process &proc, mem::PhysicalMemory &phys,
+                const core::HawkEyePolicy *hawkeye)
+{
+    ProcInfo pi;
+    pi.pid = proc.pid();
+    pi.name = proc.name();
+    pi.finished = proc.finished();
+    pi.oomKilled = proc.oomKilled();
+
+    const vm::AddressSpace &space = proc.space();
+    const vm::PageTable &pt = space.pageTable();
+    pi.rssPages = space.rssPages();
+    pi.mappedPages = pt.mappedPages();
+    pi.basePages = pt.mappedBasePages();
+    pi.hugePages = pt.mappedHugePages();
+    pi.pageFaults = proc.pageFaults();
+    pi.cowFaults = proc.cowFaults();
+    // Cumulative overhead only: windowMmuOverheadPct() would consume
+    // the policy's sampling window and perturb the run.
+    pi.mmuOverheadPct = proc.mmuOverheadPct();
+
+    const tlb::TlbModel::Occupancy occ = proc.tlb().occupancy();
+    pi.tlb.l1_4k = level(occ.l14kUsed, occ.l14kSize);
+    pi.tlb.l1_2m = level(occ.l12mUsed, occ.l12mSize);
+    pi.tlb.l2 = level(occ.l2Used, occ.l2Size);
+    pi.tlb.pwcPde = level(occ.pwcPdeUsed, occ.pwcPdeSize);
+    pi.tlb.pwcPdpte = level(occ.pwcPdpteUsed, occ.pwcPdpteSize);
+
+    // One deterministic page-table walk builds the pagemap view;
+    // everything else aggregates from it.
+    std::map<std::uint64_t, RegionAccum> regions;
+    pt.forEachLeaf([&](Vpn vpn, const vm::Pte &e, bool is_huge) {
+        const std::uint64_t r = vpnToHugeRegion(vpn);
+        RegionAccum &acc = regions[r];
+        acc.info.region = r;
+        if (is_huge) {
+            acc.info.huge = true;
+            acc.info.population = kPagesPerHuge;
+            acc.info.accessed = e.accessed() ? kPagesPerHuge : 0;
+            acc.info.dirty = e.dirty() ? kPagesPerHuge : 0;
+            acc.owned += kPagesPerHuge;
+            const Pfn block = e.pfn();
+            for (unsigned i = 0; i < kPagesPerHuge; i++) {
+                if (phys.frame(block + i).content.isZero())
+                    acc.info.zeroBacked++;
+            }
+        } else {
+            acc.info.population++;
+            if (e.accessed())
+                acc.info.accessed++;
+            if (e.dirty())
+                acc.info.dirty++;
+            if (e.zeroPage()) {
+                acc.info.zeroCow++;
+            } else {
+                const mem::Frame &f = phys.frame(e.pfn());
+                if (!f.isShared()) {
+                    acc.owned++;
+                    if (f.content.isZero())
+                        acc.info.zeroBacked++;
+                }
+            }
+        }
+    });
+
+    if (hawkeye) {
+        const core::AccessTracker *trk = hawkeye->tracker(pi.pid);
+        const core::AccessMap *am = hawkeye->accessMap(pi.pid);
+        for (auto &[r, acc] : regions) {
+            if (trk) {
+                auto it = trk->regions().find(r);
+                if (it != trk->regions().end())
+                    acc.info.ema = it->second.ema.value();
+            }
+            if (am)
+                acc.info.bucket = am->bucketOf(r);
+        }
+    }
+
+    // smaps: aggregate regions into their VMAs. VMAs are huge-page
+    // aligned with guard gaps, so no region straddles two of them.
+    for (const auto &[start, vma] : space.vmas()) {
+        VmaInfo vi;
+        vi.start = vma.start;
+        vi.end = vma.end;
+        vi.name = vma.name;
+        vi.anon = vma.anon;
+        vi.hugeEligible = vma.hugeEligible;
+        const std::uint64_t endr = endRegionOf(vma);
+        for (auto it = regions.lower_bound(firstRegionOf(vma));
+             it != regions.end() && it->first < endr; ++it) {
+            const RegionAccum &acc = it->second;
+            vi.mappedPages += acc.info.population;
+            vi.rssPages += acc.owned;
+            vi.accessedPages += acc.info.accessed;
+            vi.dirtyPages += acc.info.dirty;
+            vi.zeroCowPages += acc.info.zeroCow;
+            vi.zeroBackedPages += acc.info.zeroBacked;
+            if (acc.info.huge)
+                vi.hugeRegions++;
+        }
+        pi.vmas.push_back(std::move(vi));
+    }
+
+    pi.regions.reserve(regions.size());
+    for (auto &[r, acc] : regions) {
+        pi.zeroBackedPages += acc.info.zeroBacked;
+        pi.regions.push_back(std::move(acc.info));
+    }
+    return pi;
+}
+
+} // namespace
+
+Snapshot
+snapshot(sim::System &sys)
+{
+    Snapshot s;
+    s.time = sys.now();
+    s.tick = sys.tickNo();
+
+    mem::PhysicalMemory &phys = sys.phys();
+    const mem::BuddyAllocator &buddy = phys.buddy();
+    s.mem.totalFrames = phys.totalFrames();
+    s.mem.freeFrames = phys.freeFrames();
+    s.mem.usedFrames = phys.usedFrames();
+    s.mem.freeZeroPages = buddy.freeZeroPages();
+    s.mem.freeNonZeroPages = buddy.freeNonZeroPages();
+    s.mem.largestFreeOrder = buddy.largestFreeOrder();
+    s.mem.fmfi9 = buddy.fragIndex(kHugePageOrder);
+    s.mem.swapUsedPages = sys.swap().usedPages();
+    s.mem.swapCapacityPages = sys.swap().capacityPages();
+    s.mem.swappedPages = sys.swappedPages();
+    s.mem.swapTotalOut = sys.swap().totalSwappedOut();
+    s.mem.swapTotalIn = sys.swap().totalSwappedIn();
+
+    buddy.forEachFreeBlock([&](Pfn, unsigned order, bool zeroed) {
+        s.buddy[order].freeBlocks++;
+        if (zeroed)
+            s.buddy[order].zeroBlocks++;
+    });
+
+    const auto *hawkeye = dynamic_cast<const core::HawkEyePolicy *>(
+        sys.policyIfAny());
+    for (auto &proc : sys.processes())
+        s.procs.push_back(snapshotProcess(*proc, phys, hawkeye));
+
+    // Swap map: bin each swapped page into its process and VMA.
+    // Increments over an unordered map commute, so iteration order
+    // cannot leak into the snapshot.
+    for (const auto &[key, content] : sys.swappedMap()) {
+        (void)content;
+        const auto pid =
+            static_cast<std::int32_t>(key >> kPageKeyIndexBits);
+        const Addr addr = vpnToAddr(key & kPageKeyIndexMask);
+        for (ProcInfo &pi : s.procs) {
+            if (pi.pid != pid)
+                continue;
+            pi.swappedPages++;
+            for (VmaInfo &vi : pi.vmas) {
+                if (addr >= vi.start && addr < vi.end) {
+                    vi.swappedPages++;
+                    break;
+                }
+            }
+            break;
+        }
+    }
+    return s;
+}
+
+harness::Json
+snapshotToJson(const Snapshot &s)
+{
+    using harness::Json;
+    Json out = Json::object();
+    out.set("time_ns", Json(static_cast<std::int64_t>(s.time)));
+    out.set("tick", Json(s.tick));
+
+    Json mi = Json::object();
+    mi.set("total_frames", Json(s.mem.totalFrames));
+    mi.set("free_frames", Json(s.mem.freeFrames));
+    mi.set("used_frames", Json(s.mem.usedFrames));
+    mi.set("free_zero_pages", Json(s.mem.freeZeroPages));
+    mi.set("free_nonzero_pages", Json(s.mem.freeNonZeroPages));
+    mi.set("largest_free_order", Json(s.mem.largestFreeOrder));
+    mi.set("fmfi9", Json(s.mem.fmfi9));
+    mi.set("swap_used_pages", Json(s.mem.swapUsedPages));
+    mi.set("swap_capacity_pages", Json(s.mem.swapCapacityPages));
+    mi.set("swapped_pages", Json(s.mem.swappedPages));
+    mi.set("swap_total_out", Json(s.mem.swapTotalOut));
+    mi.set("swap_total_in", Json(s.mem.swapTotalIn));
+    out.set("meminfo", std::move(mi));
+
+    Json bi = Json::object();
+    Json free_blocks = Json::array();
+    Json zero_blocks = Json::array();
+    for (const BuddyOrderInfo &o : s.buddy) {
+        free_blocks.push(Json(o.freeBlocks));
+        zero_blocks.push(Json(o.zeroBlocks));
+    }
+    bi.set("free_blocks", std::move(free_blocks));
+    bi.set("free_zero_blocks", std::move(zero_blocks));
+    out.set("buddyinfo", std::move(bi));
+
+    Json procs = Json::array();
+    for (const ProcInfo &pi : s.procs) {
+        Json jp = Json::object();
+        jp.set("pid", Json(static_cast<std::int64_t>(pi.pid)));
+        jp.set("name", Json(pi.name));
+        jp.set("finished", Json(pi.finished));
+        jp.set("oom", Json(pi.oomKilled));
+        jp.set("rss_pages", Json(pi.rssPages));
+        jp.set("mapped_pages", Json(pi.mappedPages));
+        jp.set("base_pages", Json(pi.basePages));
+        jp.set("huge_pages", Json(pi.hugePages));
+        jp.set("swapped_pages", Json(pi.swappedPages));
+        jp.set("zero_backed_pages", Json(pi.zeroBackedPages));
+        jp.set("page_faults", Json(pi.pageFaults));
+        jp.set("cow_faults", Json(pi.cowFaults));
+        jp.set("mmu_overhead_pct", Json(pi.mmuOverheadPct));
+
+        Json tlb = Json::object();
+        const auto lvl = [](const TlbLevelOccupancy &l) {
+            Json a = Json::array();
+            a.push(Json(static_cast<std::int64_t>(l.used)));
+            a.push(Json(static_cast<std::int64_t>(l.size)));
+            return a;
+        };
+        tlb.set("l1_4k", lvl(pi.tlb.l1_4k));
+        tlb.set("l1_2m", lvl(pi.tlb.l1_2m));
+        tlb.set("l2", lvl(pi.tlb.l2));
+        tlb.set("pwc_pde", lvl(pi.tlb.pwcPde));
+        tlb.set("pwc_pdpte", lvl(pi.tlb.pwcPdpte));
+        jp.set("tlb", std::move(tlb));
+
+        Json smaps = Json::array();
+        for (const VmaInfo &vi : pi.vmas) {
+            Json jv = Json::object();
+            jv.set("start", Json(vi.start));
+            jv.set("end", Json(vi.end));
+            jv.set("name", Json(vi.name));
+            jv.set("anon", Json(vi.anon));
+            jv.set("huge_eligible", Json(vi.hugeEligible));
+            jv.set("mapped_pages", Json(vi.mappedPages));
+            jv.set("rss_pages", Json(vi.rssPages));
+            jv.set("huge_regions", Json(vi.hugeRegions));
+            jv.set("accessed_pages", Json(vi.accessedPages));
+            jv.set("dirty_pages", Json(vi.dirtyPages));
+            jv.set("zero_cow_pages", Json(vi.zeroCowPages));
+            jv.set("zero_backed_pages", Json(vi.zeroBackedPages));
+            jv.set("swapped_pages", Json(vi.swappedPages));
+            smaps.push(std::move(jv));
+        }
+        jp.set("smaps", std::move(smaps));
+
+        Json pagemap = Json::array();
+        for (const RegionInfo &ri : pi.regions) {
+            Json jr = Json::object();
+            jr.set("region", Json(ri.region));
+            jr.set("population",
+                   Json(static_cast<std::int64_t>(ri.population)));
+            jr.set("accessed",
+                   Json(static_cast<std::int64_t>(ri.accessed)));
+            jr.set("dirty", Json(static_cast<std::int64_t>(ri.dirty)));
+            jr.set("huge", Json(ri.huge));
+            jr.set("zero_cow",
+                   Json(static_cast<std::int64_t>(ri.zeroCow)));
+            jr.set("zero_backed",
+                   Json(static_cast<std::int64_t>(ri.zeroBacked)));
+            jr.set("ema", Json(ri.ema));
+            jr.set("bucket", Json(static_cast<std::int64_t>(ri.bucket)));
+            pagemap.push(std::move(jr));
+        }
+        jp.set("pagemap", std::move(pagemap));
+        procs.push(std::move(jp));
+    }
+    out.set("processes", std::move(procs));
+    return out;
+}
+
+std::string
+renderHeatmap(const ProcInfo &p)
+{
+    // Density ramp for the access row; index 0 (cold) renders blank
+    // so the mapping row below is what distinguishes cold from
+    // unmapped.
+    static constexpr char kRamp[] = " .:-=+*#%@";
+    constexpr unsigned kCols = 64;
+
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "p%d %s rss=%llu pages huge=%llu mapped=%llu "
+                  "mmu=%.2f%%\n",
+                  p.pid, p.name.c_str(),
+                  static_cast<unsigned long long>(p.rssPages),
+                  static_cast<unsigned long long>(p.hugePages),
+                  static_cast<unsigned long long>(p.mappedPages),
+                  p.mmuOverheadPct);
+    out += buf;
+
+    const auto findRegion = [&p](std::uint64_t r) -> const RegionInfo * {
+        auto it = std::lower_bound(
+            p.regions.begin(), p.regions.end(), r,
+            [](const RegionInfo &ri, std::uint64_t v) {
+                return ri.region < v;
+            });
+        return it != p.regions.end() && it->region == r ? &*it
+                                                        : nullptr;
+    };
+
+    for (const VmaInfo &v : p.vmas) {
+        const std::uint64_t first = v.start / kHugePageSize;
+        const std::uint64_t endr =
+            (v.end + kHugePageSize - 1) / kHugePageSize;
+        std::snprintf(buf, sizeof(buf),
+                      "  %s [0x%llx,0x%llx) %llu regions "
+                      "rss=%llu huge=%llu swap=%llu\n",
+                      v.name.c_str(),
+                      static_cast<unsigned long long>(v.start),
+                      static_cast<unsigned long long>(v.end),
+                      static_cast<unsigned long long>(endr - first),
+                      static_cast<unsigned long long>(v.rssPages),
+                      static_cast<unsigned long long>(v.hugeRegions),
+                      static_cast<unsigned long long>(v.swappedPages));
+        out += buf;
+        for (std::uint64_t row = first; row < endr; row += kCols) {
+            const std::uint64_t row_end =
+                std::min<std::uint64_t>(endr, row + kCols);
+            std::string acc, map;
+            for (std::uint64_t r = row; r < row_end; r++) {
+                const RegionInfo *ri = findRegion(r);
+                if (!ri || ri->population == 0) {
+                    acc += ' ';
+                    map += ' ';
+                    continue;
+                }
+                // EMA coverage when the tracker knows the region,
+                // live accessed bits otherwise; both are 0..512.
+                const double lv =
+                    ri->ema >= 0.0 ? ri->ema
+                                   : static_cast<double>(ri->accessed);
+                unsigned idx = 0;
+                if (lv > 0.0) {
+                    idx = 1 + static_cast<unsigned>(
+                                  lv * 8.99 / 512.0);
+                    if (idx > 9)
+                        idx = 9;
+                }
+                acc += kRamp[idx];
+                map += ri->huge ? 'H' : '.';
+            }
+            std::snprintf(buf, sizeof(buf), "    0x%010llx acc|",
+                          static_cast<unsigned long long>(
+                              row * kHugePageSize));
+            out += buf;
+            out += acc;
+            out += "|\n                 map|";
+            out += map;
+            out += "|\n";
+        }
+    }
+    return out;
+}
+
+std::string
+formatMemInfo(const Snapshot &s)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "MemTotal:     %10llu pages\n"
+        "MemFree:      %10llu pages\n"
+        "MemUsed:      %10llu pages\n"
+        "FreeZeroed:   %10llu pages\n"
+        "FreeDirty:    %10llu pages\n"
+        "LargestOrder: %10d\n"
+        "Fmfi9:        %10.4f\n"
+        "SwapTotal:    %10llu pages\n"
+        "SwapUsed:     %10llu pages\n",
+        static_cast<unsigned long long>(s.mem.totalFrames),
+        static_cast<unsigned long long>(s.mem.freeFrames),
+        static_cast<unsigned long long>(s.mem.usedFrames),
+        static_cast<unsigned long long>(s.mem.freeZeroPages),
+        static_cast<unsigned long long>(s.mem.freeNonZeroPages),
+        s.mem.largestFreeOrder, s.mem.fmfi9,
+        static_cast<unsigned long long>(s.mem.swapCapacityPages),
+        static_cast<unsigned long long>(s.mem.swapUsedPages));
+    return buf;
+}
+
+std::string
+formatBuddyInfo(const Snapshot &s)
+{
+    std::string out = "order      ";
+    char buf[32];
+    for (unsigned o = 0; o < kInspectOrders; o++) {
+        std::snprintf(buf, sizeof(buf), "%8u", o);
+        out += buf;
+    }
+    out += "\nfree       ";
+    for (const BuddyOrderInfo &o : s.buddy) {
+        std::snprintf(buf, sizeof(buf), "%8llu",
+                      static_cast<unsigned long long>(o.freeBlocks));
+        out += buf;
+    }
+    out += "\nfree(zero) ";
+    for (const BuddyOrderInfo &o : s.buddy) {
+        std::snprintf(buf, sizeof(buf), "%8llu",
+                      static_cast<unsigned long long>(o.zeroBlocks));
+        out += buf;
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace hawksim::obs

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Procfs-style introspection: read-only state snapshots of a running
+ * System.
+ *
+ * Linux answers "what does memory look like right now?" through
+ * /proc/meminfo, /proc/buddyinfo and /proc/<pid>/smaps|pagemap;
+ * HawkSim's policies act on exactly that kind of fine-grained state
+ * (per-region access coverage, FMFI, bloat estimates, TLB pressure),
+ * so experiments need the same views. snapshot() assembles them in
+ * one pass:
+ *
+ *   - MemInfo / buddy orders: free frames per order split by
+ *     zero-list membership, Gorman's FMFI, zero-list depth and swap
+ *     occupancy — the buddy allocator and swap device counters;
+ *   - per-process ProcInfo: smaps-style per-VMA RSS and huge/4K mix,
+ *     pagemap-style per-region population/accessed/dirty density,
+ *     the access-tracker EMA and access_map bucket of each region
+ *     (when the installed policy is HawkEye), a zero-backed-page
+ *     bloat estimate, and TLB/walk-cache occupancy;
+ *   - a text VA-space heatmap renderer (access frequency per 2MB
+ *     region — the paper's Figure 2 view).
+ *
+ * Snapshots never mutate simulation state: they read cumulative
+ * counters only (never windowed samplers), never touch PTE bits and
+ * never advance daemon state, so a run with snapshotting enabled
+ * produces byte-identical reports to one without.
+ *
+ * Serialization is versioned canonical JSON (kInspectSchema). Fields
+ * are part of the schema contract: adding, removing or renaming one
+ * requires bumping the version — tests/harness/test_inspect_export.cc
+ * pins the exact field signature per version.
+ */
+
+#ifndef HAWKSIM_OBS_INTROSPECT_HH
+#define HAWKSIM_OBS_INTROSPECT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace hawksim::sim {
+class System;
+} // namespace hawksim::sim
+
+namespace hawksim::harness {
+class Json;
+} // namespace hawksim::harness
+
+namespace hawksim::obs {
+
+/** Schema tag carried by every snapshot dump. */
+constexpr const char *kInspectSchema = "hawksim-inspect/v1";
+
+/** Snapshot sampling configuration, carried in sim::SystemConfig. */
+struct InspectConfig
+{
+    /** Take a snapshot every N sim ticks (0 disables). */
+    std::uint64_t everyTicks = 0;
+
+    bool enabled() const { return everyTicks > 0; }
+};
+
+/** Buddy orders reported per snapshot (kMaxOrder + 1). */
+constexpr unsigned kInspectOrders = 11;
+
+/** /proc/meminfo analogue: system-wide memory and swap occupancy. */
+struct MemInfo
+{
+    std::uint64_t totalFrames = 0;
+    std::uint64_t freeFrames = 0;
+    std::uint64_t usedFrames = 0;
+    /** Zero-list depth: free pages known to be zero-filled. */
+    std::uint64_t freeZeroPages = 0;
+    std::uint64_t freeNonZeroPages = 0;
+    /** Largest order with a free block; -1 when memory is exhausted. */
+    int largestFreeOrder = -1;
+    /** Gorman's fragmentation index for order 9 (huge pages). */
+    double fmfi9 = 0.0;
+    std::uint64_t swapUsedPages = 0;
+    std::uint64_t swapCapacityPages = 0;
+    /** Pages marked swapped-out in the System's swap map. */
+    std::uint64_t swappedPages = 0;
+    std::uint64_t swapTotalOut = 0;
+    std::uint64_t swapTotalIn = 0;
+};
+
+/** /proc/buddyinfo analogue: free blocks of one order. */
+struct BuddyOrderInfo
+{
+    /** Free blocks of exactly this order (both lists). */
+    std::uint64_t freeBlocks = 0;
+    /** ... of which on the pre-zeroed list. */
+    std::uint64_t zeroBlocks = 0;
+};
+
+/** Occupancy of one TLB structure: valid entries / capacity. */
+struct TlbLevelOccupancy
+{
+    unsigned used = 0;
+    unsigned size = 0;
+};
+
+/** TLB and page-walk-cache occupancy of one process. */
+struct TlbOccupancy
+{
+    TlbLevelOccupancy l1_4k;
+    TlbLevelOccupancy l1_2m;
+    TlbLevelOccupancy l2;
+    TlbLevelOccupancy pwcPde;
+    TlbLevelOccupancy pwcPdpte;
+};
+
+/** /proc/<pid>/pagemap analogue: one populated 2MB region. */
+struct RegionInfo
+{
+    std::uint64_t region = 0;
+    /** Present base pages (512 when huge-mapped). */
+    unsigned population = 0;
+    /** Base pages with the accessed bit (512 if an accessed huge). */
+    unsigned accessed = 0;
+    /** Base pages with the dirty bit (512 if a dirty huge). */
+    unsigned dirty = 0;
+    bool huge = false;
+    /** Base pages COW-mapped to the canonical zero page (dedup'd). */
+    unsigned zeroCow = 0;
+    /**
+     * Present pages backed by a private zero-content frame — the
+     * bloat-recovery dedup candidates (HawkEye §3.2).
+     */
+    unsigned zeroBacked = 0;
+    /** Access-tracker EMA coverage in [0,512]; -1 when untracked. */
+    double ema = -1.0;
+    /** access_map bucket index; -1 when not in the map. */
+    int bucket = -1;
+};
+
+/** /proc/<pid>/smaps analogue: one VMA with aggregated page state. */
+struct VmaInfo
+{
+    Addr start = 0;
+    Addr end = 0;
+    std::string name;
+    bool anon = true;
+    bool hugeEligible = true;
+    /** Present 4KB-equivalents (zero-COW mappings included). */
+    std::uint64_t mappedPages = 0;
+    /** Exclusively-owned physical frames behind this VMA. */
+    std::uint64_t rssPages = 0;
+    /** Regions covered by a huge leaf. */
+    std::uint64_t hugeRegions = 0;
+    std::uint64_t accessedPages = 0;
+    std::uint64_t dirtyPages = 0;
+    std::uint64_t zeroCowPages = 0;
+    std::uint64_t zeroBackedPages = 0;
+    /** Pages of this VMA currently in swap. */
+    std::uint64_t swappedPages = 0;
+};
+
+/** Full per-process view. */
+struct ProcInfo
+{
+    std::int32_t pid = -1;
+    std::string name;
+    bool finished = false;
+    bool oomKilled = false;
+    /** Exclusively-owned frames (the AddressSpace RSS counter). */
+    std::uint64_t rssPages = 0;
+    /** Mapped 4KB-equivalents (zero-COW included). */
+    std::uint64_t mappedPages = 0;
+    std::uint64_t basePages = 0;
+    /** Huge leaves (2MB mappings), not 4KB-equivalents. */
+    std::uint64_t hugePages = 0;
+    std::uint64_t swappedPages = 0;
+    /** Bloat estimate: private zero-content frames mapped non-COW. */
+    std::uint64_t zeroBackedPages = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t cowFaults = 0;
+    /** Cumulative MMU overhead (Table 4 formula, whole run so far). */
+    double mmuOverheadPct = 0.0;
+    TlbOccupancy tlb;
+    /** VMAs in address order. */
+    std::vector<VmaInfo> vmas;
+    /** Populated regions in index order. */
+    std::vector<RegionInfo> regions;
+};
+
+/** One moment of a running System. */
+struct Snapshot
+{
+    TimeNs time = 0;
+    std::uint64_t tick = 0;
+    MemInfo mem;
+    std::array<BuddyOrderInfo, kInspectOrders> buddy{};
+    /** All processes (exited ones included, with empty memory). */
+    std::vector<ProcInfo> procs;
+};
+
+/**
+ * Assemble a Snapshot of @p sys. Read-only: performs one page-table
+ * walk per process plus one buddy free-list walk; never sets or
+ * clears PTE bits, never consumes windowed samplers, never allocates
+ * simulation state. Deterministic for a deterministic run.
+ */
+Snapshot snapshot(sim::System &sys);
+
+/**
+ * Versioned canonical-JSON form of one snapshot. Field order is
+ * fixed; numbers render via the harness's deterministic writer, so
+ * the bytes are identical for identical snapshots.
+ */
+harness::Json snapshotToJson(const Snapshot &s);
+
+/**
+ * Render a process's VA space as a text heatmap: one cell per 2MB
+ * region, rows per VMA. The upper row of each pair shows access
+ * frequency (EMA coverage when tracked, else live accessed bits)
+ * on the " .:-=+*#%@" ramp; the lower row shows the mapping mix
+ * ('H' huge, '.' base pages, ' ' unmapped) — the paper's Figure 2
+ * utilization view.
+ */
+std::string renderHeatmap(const ProcInfo &p);
+
+/** /proc/meminfo-style text of the system-wide counters. */
+std::string formatMemInfo(const Snapshot &s);
+
+/** /proc/buddyinfo-style one-liner: free blocks per order. */
+std::string formatBuddyInfo(const Snapshot &s);
+
+} // namespace hawksim::obs
+
+#endif // HAWKSIM_OBS_INTROSPECT_HH

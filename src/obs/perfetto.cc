@@ -152,6 +152,36 @@ PerfettoWriter::event(std::uint32_t pid, const TraceEvent &ev)
 }
 
 void
+PerfettoWriter::counter(std::uint32_t pid, std::string_view name,
+                        TimeNs ts, std::int64_t value)
+{
+    beginRecord();
+    os_ << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":" << kRunTid
+        << ",\"ts\":";
+    writeMicros(ts);
+    os_ << ",\"name\":\"";
+    writeEscaped(name);
+    os_ << "\",\"args\":{\"v\":" << value << "}}";
+}
+
+void
+PerfettoWriter::instantArgs(std::uint32_t pid, std::uint32_t tid,
+                            std::string_view name,
+                            std::string_view cat, TimeNs ts,
+                            std::string_view rawArgs)
+{
+    beginRecord();
+    os_ << "{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":";
+    writeMicros(ts);
+    os_ << ",\"s\":\"p\",\"cat\":\"";
+    writeEscaped(cat);
+    os_ << "\",\"name\":\"";
+    writeEscaped(name);
+    os_ << "\",\"args\":{" << rawArgs << "}}";
+}
+
+void
 PerfettoWriter::finish()
 {
     HS_ASSERT(!finished_, "double finish()");

@@ -49,6 +49,23 @@ class PerfettoWriter
     /** Emit one trace event into process @p pid. */
     void event(std::uint32_t pid, const TraceEvent &ev);
 
+    /**
+     * Emit one counter sample ("ph":"C"): the value of track
+     * @p name at simulated time @p ts. Counter tracks live on tid 0
+     * beside the run span; Perfetto renders one graph per name.
+     */
+    void counter(std::uint32_t pid, std::string_view name, TimeNs ts,
+                 std::int64_t value);
+
+    /**
+     * Emit one instant metadata record with pre-rendered JSON args
+     * (e.g. tracer drop accounting). @p rawArgs must be the inner
+     * object text without braces: "\"k\":1,\"j\":2".
+     */
+    void instantArgs(std::uint32_t pid, std::uint32_t tid,
+                     std::string_view name, std::string_view cat,
+                     TimeNs ts, std::string_view rawArgs);
+
     /** Close the document. No writes allowed afterwards. */
     void finish();
 

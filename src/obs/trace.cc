@@ -71,7 +71,10 @@ Tracer::emit(Cat cat, const char *name, std::int32_t pid, TimeNs ts,
     if (ring_.size() < capacity_) {
         ring_.push_back(ev);
     } else {
-        ring_[head_] = ev;
+        TraceEvent &victim = ring_[head_];
+        dropped_++;
+        dropped_by_cat_[static_cast<unsigned>(victim.cat)]++;
+        victim = ev;
         head_ = (head_ + 1) % capacity_;
     }
 }

@@ -112,6 +112,24 @@ struct TraceConfig
     std::size_t capacity = 1 << 16;
 };
 
+/**
+ * End-of-run tracer accounting: what was emitted and what the
+ * bounded ring silently overwrote. Dropped counts are broken down by
+ * the category of the *overwritten* event, so a truncated trace
+ * says which subsystems lost history instead of reading as "nothing
+ * happened".
+ */
+struct TraceStats
+{
+    bool enabled = false;
+    /** Total events accepted (including ones later overwritten). */
+    std::uint64_t emitted = 0;
+    /** Events lost to ring wrap-around. */
+    std::uint64_t dropped = 0;
+    /** Dropped events by category of the overwritten event. */
+    std::array<std::uint64_t, kCatCount> droppedByCat{};
+};
+
 class Tracer
 {
   public:
@@ -172,10 +190,24 @@ class Tracer
     /** Total events accepted (including ones the ring dropped). */
     std::uint64_t emitted() const { return seq_; }
     /** Events overwritten by ring wrap-around. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Events of @p c overwritten by ring wrap-around. */
     std::uint64_t
-    dropped() const
+    droppedOf(Cat c) const
     {
-        return seq_ - std::min<std::uint64_t>(seq_, ring_.size());
+        return dropped_by_cat_[static_cast<unsigned>(c)];
+    }
+
+    /** Full accounting for the report/trace "cost" surfaces. */
+    TraceStats
+    stats() const
+    {
+        TraceStats st;
+        st.enabled = enabled_;
+        st.emitted = seq_;
+        st.dropped = dropped_;
+        st.droppedByCat = dropped_by_cat_;
+        return st;
     }
 
   private:
@@ -189,6 +221,8 @@ class Tracer
     std::vector<TraceEvent> ring_;
     std::size_t head_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::array<std::uint64_t, kCatCount> dropped_by_cat_{};
 };
 
 /**

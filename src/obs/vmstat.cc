@@ -1,0 +1,46 @@
+#include "obs/vmstat.hh"
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+namespace hawksim::obs {
+
+void
+VmstatRecorder::internSeries(sim::Metrics &m)
+{
+    char name[32];
+    for (unsigned o = 0; o < kInspectOrders; o++) {
+        std::snprintf(name, sizeof(name), "vmstat.free_blocks_o%02u",
+                      o);
+        sid_order_[o] = m.seriesId(name);
+    }
+    sid_free_zero_ = m.seriesId("vmstat.free_zero_pages");
+    sid_swap_used_ = m.seriesId("vmstat.swap_used_pages");
+    sids_ready_ = true;
+}
+
+void
+VmstatRecorder::maybeSample(sim::System &sys, std::uint64_t tick_no)
+{
+    if (!cfg_.enabled() || tick_no % cfg_.everyTicks != 0)
+        return;
+
+    sim::Metrics &m = sys.metrics();
+    if (!sids_ready_)
+        internSeries(m);
+
+    Snapshot s = snapshot(sys);
+    const TimeNs t = s.time;
+    for (unsigned o = 0; o < kInspectOrders; o++) {
+        m.record(sid_order_[o], t,
+                 static_cast<double>(s.buddy[o].freeBlocks));
+    }
+    m.record(sid_free_zero_, t,
+             static_cast<double>(s.mem.freeZeroPages));
+    m.record(sid_swap_used_, t,
+             static_cast<double>(s.mem.swapUsedPages));
+    snapshots_.push_back(std::move(s));
+}
+
+} // namespace hawksim::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Periodic vmstat-style sampler.
+ *
+ * The VmstatRecorder takes a full introspection Snapshot every N sim
+ * ticks (InspectConfig::everyTicks), folds the headline counters into
+ * the run's Metrics as "vmstat.*" time series (free blocks per buddy
+ * order, zero-list depth, swap occupancy) and retains the snapshots
+ * for the harness to export (`--inspect-out`) or render as heatmaps.
+ *
+ * Sampling happens at a fixed point of System::tick() keyed only on
+ * the tick counter, so for a deterministic run the sample stream —
+ * and therefore the snapshot dump — is byte-identical regardless of
+ * --jobs or wall clock.
+ */
+
+#ifndef HAWKSIM_OBS_VMSTAT_HH
+#define HAWKSIM_OBS_VMSTAT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/introspect.hh"
+#include "sim/metrics.hh"
+
+namespace hawksim::obs {
+
+class VmstatRecorder
+{
+  public:
+    explicit VmstatRecorder(const InspectConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Sample if @p tick_no is on the period. Called once per
+     * System::tick(); reads state only, so skipped ticks and
+     * disabled recorders leave the run untouched.
+     */
+    void maybeSample(sim::System &sys, std::uint64_t tick_no);
+
+    const InspectConfig &config() const { return cfg_; }
+
+    /** Snapshots taken so far, oldest first. */
+    const std::vector<Snapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /** Move the snapshots out (end-of-run capture). */
+    std::vector<Snapshot> take() { return std::move(snapshots_); }
+
+  private:
+    void internSeries(sim::Metrics &m);
+
+    InspectConfig cfg_;
+    bool sids_ready_ = false;
+    std::array<sim::Metrics::SeriesId, kInspectOrders> sid_order_{};
+    sim::Metrics::SeriesId sid_free_zero_ = 0;
+    sim::Metrics::SeriesId sid_swap_used_ = 0;
+    std::vector<Snapshot> snapshots_;
+};
+
+} // namespace hawksim::obs
+
+#endif // HAWKSIM_OBS_VMSTAT_HH

@@ -20,6 +20,7 @@
 #include "base/types.hh"
 #include "fault/fault.hh"
 #include "mem/swap.hh"
+#include "obs/introspect.hh"
 #include "obs/trace.hh"
 
 namespace hawksim::sim {
@@ -106,6 +107,8 @@ struct SystemConfig
     TimeNs metricsPeriod = msec(100);
     /** Event tracing (off by default; cost accounting is always on). */
     obs::TraceConfig trace;
+    /** Periodic introspection snapshots (off by default). */
+    obs::InspectConfig inspect;
     /** Chaos fault injection + invariant audits (off by default). */
     fault::FaultConfig fault;
     /** Swap device geometry (capacity, latencies). */

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "base/page_key.hh"
+#include "obs/vmstat.hh"
 
 namespace hawksim::sim {
 
@@ -22,9 +23,17 @@ System::System(SystemConfig cfg)
         phys_.buddy().setFaultInjector(fault_injector_.get());
         compactor_.setFaultInjector(fault_injector_.get());
     }
+    if (cfg_.inspect.enabled())
+        vmstat_ = std::make_unique<obs::VmstatRecorder>(cfg_.inspect);
 }
 
 System::~System() = default;
+
+std::vector<obs::Snapshot>
+System::takeSnapshots()
+{
+    return vmstat_ ? vmstat_->take() : std::vector<obs::Snapshot>{};
+}
 
 void
 System::setPolicy(std::unique_ptr<policy::HugePagePolicy> pol)
@@ -146,6 +155,10 @@ System::tick()
         if (want)
             runAuditOrDie("periodic");
     }
+    // Sample after the audit so every snapshot describes a state
+    // that passed (or would pass) the invariant checks.
+    if (vmstat_)
+        vmstat_->maybeSample(*this, tick_no_);
 }
 
 void

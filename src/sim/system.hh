@@ -28,6 +28,11 @@
 #include "sim/metrics.hh"
 #include "sim/process.hh"
 
+namespace hawksim::obs {
+struct Snapshot;
+class VmstatRecorder;
+} // namespace hawksim::obs
+
 namespace hawksim::sim {
 
 class System : public mem::PageMover
@@ -85,6 +90,21 @@ class System : public mem::PageMover
     obs::Probe &obs() { return obs_; }
     obs::Tracer &tracer() { return obs_.tracer; }
     obs::CostAccounting &cost() { return obs_.cost; }
+    /** Periodic snapshot sampler; null unless inspect configured. */
+    obs::VmstatRecorder *vmstat() { return vmstat_.get(); }
+    /** Move the sampled snapshots out (end-of-run capture). */
+    std::vector<obs::Snapshot> takeSnapshots();
+    /**
+     * The installed policy, or null before setPolicy() — lets
+     * introspection probe the policy type without risking the
+     * assertion in policy().
+     */
+    const policy::HugePagePolicy *policyIfAny() const
+    {
+        return policy_.get();
+    }
+    /** Ticks executed so far. */
+    std::uint64_t tickNo() const { return tick_no_; }
     Rng &rng() { return rng_; }
     const SystemConfig &config() const { return cfg_; }
     const CostParams &costs() const { return cfg_.costs; }
@@ -209,6 +229,8 @@ class System : public mem::PageMover
     /** Chaos machinery; injector is null unless configured. */
     std::unique_ptr<fault::FaultInjector> fault_injector_;
     fault::Auditor auditor_;
+    /** Snapshot sampler; null unless cfg_.inspect is enabled. */
+    std::unique_ptr<obs::VmstatRecorder> vmstat_;
     std::uint64_t tick_no_ = 0;
     std::uint64_t oom_kills_ = 0;
 };

@@ -52,6 +52,16 @@ class SetAssocTlb
     void flush();
     unsigned entries() const { return sets_ * ways_; }
 
+    /** Currently-valid entries (occupancy introspection). */
+    unsigned
+    validEntries() const
+    {
+        unsigned n = 0;
+        for (const Way &w : ways_storage_)
+            n += w.valid ? 1 : 0;
+        return n;
+    }
+
   private:
     struct Way
     {
@@ -170,6 +180,34 @@ class TlbModel
     PerfCounters &counters() { return counters_; }
     const PerfCounters &counters() const { return counters_; }
     const TlbConfig &config() const { return cfg_; }
+
+    /** Valid-entry counts per structure (obs snapshot view). */
+    struct Occupancy
+    {
+        unsigned l14kUsed = 0, l14kSize = 0;
+        unsigned l12mUsed = 0, l12mSize = 0;
+        unsigned l2Used = 0, l2Size = 0;
+        unsigned pwcPdeUsed = 0, pwcPdeSize = 0;
+        unsigned pwcPdpteUsed = 0, pwcPdpteSize = 0;
+    };
+
+    /** Read-only occupancy of every translation structure. */
+    Occupancy
+    occupancy() const
+    {
+        Occupancy o;
+        o.l14kUsed = l1_4k_.validEntries();
+        o.l14kSize = l1_4k_.entries();
+        o.l12mUsed = l1_2m_.validEntries();
+        o.l12mSize = l1_2m_.entries();
+        o.l2Used = l2_.validEntries();
+        o.l2Size = l2_.entries();
+        o.pwcPdeUsed = pwc_pde_.validEntries();
+        o.pwcPdeSize = pwc_pde_.entries();
+        o.pwcPdpteUsed = pwc_pdpte_.validEntries();
+        o.pwcPdpteSize = pwc_pdpte_.entries();
+        return o;
+    }
 
     /**
      * @name Coherence audit log (fault::Auditor support)

@@ -94,14 +94,20 @@ TEST(TraceExport, TraceIsValidChromeTraceJson)
     const Json &events = j["traceEvents"];
     ASSERT_GT(events.size(), 4u);
     bool sawFault = false;
+    bool sawCounter = false;
     for (const Json &e : events.items()) {
         const std::string ph = e["ph"].asString();
-        EXPECT_TRUE(ph == "M" || ph == "X" || ph == "i");
+        EXPECT_TRUE(ph == "M" || ph == "X" || ph == "i" ||
+                    ph == "C");
         EXPECT_GE(e["pid"].asInt(), 1);
-        if (ph != "M" && e["cat"].asString() == "fault")
+        if (ph != "M" && ph != "C" &&
+            e["cat"].asString() == "fault")
             sawFault = true;
+        if (ph == "C")
+            sawCounter = true;
     }
     EXPECT_TRUE(sawFault);
+    EXPECT_TRUE(sawCounter);
     // One Perfetto process per run, named after the grid point.
     EXPECT_EQ(events.at(0)["args"]["name"].asString(),
               "traced_sim/mem=64 policy=thp");
@@ -110,10 +116,31 @@ TEST(TraceExport, TraceIsValidChromeTraceJson)
 TEST(TraceExport, ReportUnchangedByTracing)
 {
     // Tracing must observe, never perturb: the canonical report is
-    // identical whether or not the tracer ran.
+    // identical whether or not the tracer ran, except that traced
+    // runs additionally carry the tracer's own emit/drop accounting
+    // in their cost block (untraced reports keep the historical
+    // byte-exact shape).
     const Report off = runWith(2, false);
     const Report on = runWith(2, true);
-    EXPECT_EQ(off.toJson().dump(), on.toJson().dump());
+    const Json joff = off.toJson();
+    const Json jon = on.toJson();
+    ASSERT_EQ(joff["runs"].size(), jon["runs"].size());
+    for (std::size_t i = 0; i < joff["runs"].size(); i++) {
+        const Json &roff = joff["runs"].at(i);
+        const Json &ron = jon["runs"].at(i);
+        EXPECT_EQ(roff["metrics"].dump(), ron["metrics"].dump());
+        EXPECT_EQ(roff["scalars"].dump(), ron["scalars"].dump());
+        EXPECT_EQ(roff["sim_time_ns"].asInt(),
+                  ron["sim_time_ns"].asInt());
+        // cost: equal member-by-member, minus the traced-only block.
+        bool off_has_trace = false;
+        for (const auto &[key, v] : roff["cost"].members()) {
+            off_has_trace |= key == "trace";
+            EXPECT_EQ(v.dump(), ron["cost"][key].dump()) << key;
+        }
+        EXPECT_FALSE(off_has_trace);
+        EXPECT_GT(ron["cost"]["trace"]["emitted"].asInt(), 0);
+    }
     // ... and with tracing off, no events are retained.
     for (const auto &rec : off.runs)
         EXPECT_TRUE(rec.output.trace.empty());

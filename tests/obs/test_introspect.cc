@@ -1,0 +1,284 @@
+/** @file Introspection snapshot tests: meminfo, buddyinfo, smaps,
+ *  pagemap, heatmaps, and snapshot side-effect freedom. */
+
+#include <gtest/gtest.h>
+
+#include "hawksim.hh"
+#include "harness/json.hh"
+
+using namespace hawksim;
+
+namespace {
+
+std::unique_ptr<sim::System>
+makeSys(std::uint64_t mem = MiB(128))
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = mem;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    return sys;
+}
+
+/** A stream that touches its whole footprint up front, then keeps
+ *  streaming — so snapshots see populated page tables. */
+std::unique_ptr<workload::StreamWorkload>
+activeStream(std::uint64_t bytes, double work_s = 1e9)
+{
+    workload::StreamConfig wc;
+    wc.footprintBytes = bytes;
+    wc.workSeconds = work_s;
+    return std::make_unique<workload::StreamWorkload>("w", wc,
+                                                      Rng(1));
+}
+
+/** An idle stream: no init touch, pages get mapped by hand. */
+std::unique_ptr<workload::StreamWorkload>
+idleStream(std::uint64_t bytes)
+{
+    workload::StreamConfig wc;
+    wc.footprintBytes = bytes;
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    return std::make_unique<workload::StreamWorkload>("w", wc,
+                                                      Rng(1));
+}
+
+} // namespace
+
+TEST(Introspect, MemInfoAndBuddyMatchPhysicalState)
+{
+    auto sys = makeSys(MiB(64));
+    sys->addProcess("w", activeStream(MiB(8)));
+    sys->run(sec(1));
+
+    const obs::Snapshot s = obs::snapshot(*sys);
+    EXPECT_EQ(s.time, sys->now());
+    EXPECT_EQ(s.tick, sys->tickNo());
+    EXPECT_EQ(s.mem.totalFrames, sys->phys().totalFrames());
+    EXPECT_EQ(s.mem.freeFrames, sys->phys().freeFrames());
+    EXPECT_EQ(s.mem.freeFrames + s.mem.usedFrames,
+              s.mem.totalFrames);
+    EXPECT_EQ(s.mem.freeZeroPages + s.mem.freeNonZeroPages,
+              s.mem.freeFrames);
+    EXPECT_GE(s.mem.fmfi9, 0.0);
+    EXPECT_LE(s.mem.fmfi9, 1.0);
+
+    // buddyinfo must tile exactly the free frames ...
+    std::uint64_t free_pages = 0;
+    int largest = -1;
+    for (unsigned o = 0; o < obs::kInspectOrders; o++) {
+        EXPECT_LE(s.buddy[o].zeroBlocks, s.buddy[o].freeBlocks);
+        free_pages += s.buddy[o].freeBlocks << o;
+        if (s.buddy[o].freeBlocks > 0)
+            largest = static_cast<int>(o);
+    }
+    EXPECT_EQ(free_pages, s.mem.freeFrames);
+    // ... and agree on the largest available order.
+    EXPECT_EQ(largest, s.mem.largestFreeOrder);
+}
+
+TEST(Introspect, ProcViewAggregatesThePageTable)
+{
+    auto sys = makeSys();
+    auto &proc = sys->addProcess("w", activeStream(MiB(16)));
+    sys->run(sec(1));
+
+    const obs::Snapshot s = obs::snapshot(*sys);
+    ASSERT_EQ(s.procs.size(), 1u);
+    const obs::ProcInfo &pi = s.procs[0];
+    EXPECT_EQ(pi.pid, proc.pid());
+    EXPECT_EQ(pi.name, "w");
+    EXPECT_FALSE(pi.finished);
+    EXPECT_EQ(pi.rssPages, proc.space().rssPages());
+    EXPECT_EQ(pi.mappedPages, proc.space().mappedPages());
+    EXPECT_GT(pi.mappedPages, 0u);
+    EXPECT_EQ(pi.basePages + pi.hugePages * kPagesPerHuge,
+              pi.mappedPages);
+    EXPECT_EQ(pi.pageFaults, proc.pageFaults());
+    EXPECT_LE(pi.zeroBackedPages, pi.rssPages);
+
+    // The pagemap, the smaps and the headline counters are three
+    // aggregations of one page-table walk; they must agree.
+    std::uint64_t map_pop = 0, map_rss_upper = 0;
+    for (const obs::RegionInfo &ri : pi.regions) {
+        EXPECT_LE(ri.population, kPagesPerHuge);
+        EXPECT_LE(ri.accessed, ri.population);
+        EXPECT_LE(ri.dirty, ri.population);
+        if (ri.huge) {
+            EXPECT_EQ(ri.population, kPagesPerHuge);
+        }
+        map_pop += ri.population;
+        map_rss_upper += ri.population - ri.zeroCow;
+    }
+    EXPECT_EQ(map_pop, pi.mappedPages);
+    EXPECT_LE(pi.rssPages, map_rss_upper);
+
+    std::uint64_t vma_pop = 0, vma_rss = 0, vma_huge = 0;
+    for (const obs::VmaInfo &vi : pi.vmas) {
+        EXPECT_LT(vi.start, vi.end);
+        vma_pop += vi.mappedPages;
+        vma_rss += vi.rssPages;
+        vma_huge += vi.hugeRegions;
+    }
+    EXPECT_EQ(vma_pop, pi.mappedPages);
+    EXPECT_EQ(vma_rss, pi.rssPages);
+    EXPECT_GE(vma_huge, pi.hugePages);
+
+    // TLB occupancy is a live-state read: used never exceeds size.
+    EXPECT_LE(pi.tlb.l1_4k.used, pi.tlb.l1_4k.size);
+    EXPECT_LE(pi.tlb.l1_2m.used, pi.tlb.l1_2m.size);
+    EXPECT_LE(pi.tlb.l2.used, pi.tlb.l2.size);
+    EXPECT_LE(pi.tlb.pwcPde.used, pi.tlb.pwcPde.size);
+    EXPECT_LE(pi.tlb.pwcPdpte.used, pi.tlb.pwcPdpte.size);
+    EXPECT_GT(pi.tlb.l1_4k.size, 0u);
+}
+
+TEST(Introspect, HawkEyeRunsExposeEmaAndAccessBuckets)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(128);
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<core::HawkEyePolicy>());
+    sys.addProcess("w", activeStream(MiB(32)));
+    sys.run(sec(5));
+
+    const auto *hawkeye = dynamic_cast<const core::HawkEyePolicy *>(
+        sys.policyIfAny());
+    ASSERT_NE(hawkeye, nullptr);
+    const obs::Snapshot s = obs::snapshot(sys);
+    ASSERT_EQ(s.procs.size(), 1u);
+
+    const core::AccessTracker *trk = hawkeye->tracker(s.procs[0].pid);
+    const core::AccessMap *am = hawkeye->accessMap(s.procs[0].pid);
+    ASSERT_NE(trk, nullptr);
+    bool tracked = false;
+    for (const obs::RegionInfo &ri : s.procs[0].regions) {
+        if (ri.ema >= 0.0) {
+            tracked = true;
+            EXPECT_LE(ri.ema, 512.0);
+            auto it = trk->regions().find(ri.region);
+            ASSERT_NE(it, trk->regions().end());
+            EXPECT_DOUBLE_EQ(ri.ema, it->second.ema.value());
+        }
+        // Promoted regions leave the access map, so bucket == -1 is
+        // legitimate; a bucketed region must match the map exactly.
+        if (ri.bucket >= 0) {
+            ASSERT_NE(am, nullptr);
+            EXPECT_EQ(ri.bucket, am->bucketOf(ri.region));
+        }
+    }
+    EXPECT_EQ(tracked, !trk->regions().empty());
+    EXPECT_TRUE(tracked);
+}
+
+TEST(Introspect, SwapUsageIsAttributedToProcessesAndVmas)
+{
+    auto sys = makeSys(MiB(64));
+    sys->enableSwap(true);
+    auto &proc = sys->addProcess("w", idleStream(MiB(32)));
+    const Addr base = static_cast<workload::StreamWorkload *>(
+                          &proc.workload())
+                          ->baseAddr();
+    for (unsigned i = 0; i < 1024; i++) {
+        auto blk = sys->phys().allocBlock(0, proc.pid(),
+                                          mem::ZeroPref::kAny);
+        ASSERT_TRUE(blk.has_value());
+        proc.space().mapBasePage(addrToVpn(base) + i, blk->pfn);
+    }
+    TimeNs cost = 0;
+    ASSERT_GT(sys->reclaimPages(256, &cost), 0u);
+    ASSERT_GT(sys->swappedPages(), 0u);
+
+    const obs::Snapshot s = obs::snapshot(*sys);
+    EXPECT_EQ(s.mem.swappedPages, sys->swappedPages());
+    EXPECT_EQ(s.mem.swapUsedPages, s.mem.swappedPages);
+    std::uint64_t proc_sum = 0, vma_sum = 0;
+    for (const obs::ProcInfo &pi : s.procs) {
+        proc_sum += pi.swappedPages;
+        for (const obs::VmaInfo &vi : pi.vmas)
+            vma_sum += vi.swappedPages;
+    }
+    EXPECT_EQ(proc_sum, s.mem.swappedPages);
+    EXPECT_EQ(vma_sum, s.mem.swappedPages);
+}
+
+TEST(Introspect, SnapshotsDoNotPerturbTheRun)
+{
+    // Two identical systems; one is snapshotted (and heatmapped)
+    // repeatedly mid-run. Their final states must stay bit-identical.
+    auto a = makeSys(MiB(64));
+    auto b = makeSys(MiB(64));
+    a->addProcess("w", activeStream(MiB(16)));
+    b->addProcess("w", activeStream(MiB(16)));
+
+    for (int step = 0; step < 8; step++) {
+        a->run(sec(0.25));
+        b->run(sec(0.25));
+        const obs::Snapshot s = obs::snapshot(*b);
+        (void)obs::renderHeatmap(s.procs[0]);
+        (void)obs::formatMemInfo(s);
+        (void)obs::formatBuddyInfo(s);
+    }
+
+    const obs::Snapshot fa = obs::snapshot(*a);
+    const obs::Snapshot fb = obs::snapshot(*b);
+    EXPECT_EQ(obs::snapshotToJson(fa).dump(),
+              obs::snapshotToJson(fb).dump());
+    EXPECT_EQ(a->phys().freeFrames(), b->phys().freeFrames());
+    EXPECT_EQ(a->processes()[0]->pageFaults(),
+              b->processes()[0]->pageFaults());
+    EXPECT_EQ(a->processes()[0]->opsCompleted(),
+              b->processes()[0]->opsCompleted());
+}
+
+TEST(Introspect, JsonCarriesSchemaShape)
+{
+    auto sys = makeSys();
+    sys->addProcess("w", activeStream(MiB(8)));
+    sys->run(sec(1));
+    const obs::Snapshot s = obs::snapshot(*sys);
+    const std::string text = obs::snapshotToJson(s).dump();
+
+    std::string err;
+    const harness::Json j = harness::Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j["meminfo"]["total_frames"].asInt(),
+              static_cast<std::int64_t>(s.mem.totalFrames));
+    EXPECT_EQ(j["buddyinfo"]["free_blocks"].size(),
+              static_cast<std::size_t>(obs::kInspectOrders));
+    ASSERT_EQ(j["processes"].size(), 1u);
+    const harness::Json &p = j["processes"].at(0);
+    EXPECT_EQ(p["rss_pages"].asInt(),
+              static_cast<std::int64_t>(s.procs[0].rssPages));
+    EXPECT_EQ(p["tlb"]["l1_4k"].size(), 2u);
+    EXPECT_EQ(p["smaps"].size(), s.procs[0].vmas.size());
+    EXPECT_EQ(p["pagemap"].size(), s.procs[0].regions.size());
+}
+
+TEST(Introspect, HeatmapAndTextViewsRender)
+{
+    auto sys = makeSys();
+    sys->addProcess("w", activeStream(MiB(16)));
+    sys->run(sec(2));
+    const obs::Snapshot s = obs::snapshot(*sys);
+    ASSERT_EQ(s.procs.size(), 1u);
+    const obs::ProcInfo &pi = s.procs[0];
+
+    const std::string hm = obs::renderHeatmap(pi);
+    EXPECT_NE(hm.find("p1 w rss="), std::string::npos);
+    EXPECT_NE(hm.find("acc|"), std::string::npos);
+    EXPECT_NE(hm.find("map|"), std::string::npos);
+    if (pi.hugePages > 0) {
+        EXPECT_NE(hm.find('H'), std::string::npos);
+    }
+
+    const std::string mi = obs::formatMemInfo(s);
+    EXPECT_NE(mi.find("MemTotal:"), std::string::npos);
+    EXPECT_NE(mi.find("MemFree:"), std::string::npos);
+    const std::string bi = obs::formatBuddyInfo(s);
+    EXPECT_EQ(bi.rfind("order", 0), 0u);
+    EXPECT_NE(bi.find("free(zero)"), std::string::npos);
+}

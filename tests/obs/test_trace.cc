@@ -104,6 +104,47 @@ TEST(Tracer, RingWrapsKeepingNewestOldestFirst)
     }
 }
 
+TEST(Tracer, DropsAreCountedPerOverwrittenCategory)
+{
+    Tracer t(enabledConfig(4));
+    // Fill the ring with 4 fault events, then push 3 proc events:
+    // the first 3 fault events get overwritten.
+    for (int i = 0; i < 4; i++)
+        t.instant(Cat::kFault, "f", 1, i);
+    for (int i = 0; i < 3; i++)
+        t.instant(Cat::kProc, "p", 1, 100 + i);
+    EXPECT_EQ(t.emitted(), 7u);
+    EXPECT_EQ(t.dropped(), 3u);
+    EXPECT_EQ(t.droppedOf(Cat::kFault), 3u);
+    EXPECT_EQ(t.droppedOf(Cat::kProc), 0u);
+
+    const TraceStats st = t.stats();
+    EXPECT_TRUE(st.enabled);
+    EXPECT_EQ(st.emitted, 7u);
+    EXPECT_EQ(st.dropped, 3u);
+    EXPECT_EQ(st.droppedByCat[static_cast<unsigned>(Cat::kFault)],
+              3u);
+    std::uint64_t sum = 0;
+    for (unsigned c = 0; c < kCatCount; c++)
+        sum += st.droppedByCat[c];
+    EXPECT_EQ(sum, st.dropped);
+}
+
+TEST(Tracer, NoDropsUnderCapacity)
+{
+    Tracer t(enabledConfig(16));
+    for (int i = 0; i < 16; i++)
+        t.instant(Cat::kZero, "z", -1, i);
+    EXPECT_EQ(t.dropped(), 0u);
+    const TraceStats st = t.stats();
+    EXPECT_EQ(st.dropped, 0u);
+    for (unsigned c = 0; c < kCatCount; c++)
+        EXPECT_EQ(st.droppedByCat[c], 0u);
+    // Disabled tracers report disabled stats.
+    Tracer off;
+    EXPECT_FALSE(off.stats().enabled);
+}
+
 TEST(Tracer, DrainClearsAndSeqKeepsCounting)
 {
     Tracer t(enabledConfig(8));

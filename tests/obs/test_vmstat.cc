@@ -1,0 +1,117 @@
+/** @file VmstatRecorder tests: cadence, metrics series, take(). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hawksim.hh"
+
+using namespace hawksim;
+
+namespace {
+
+std::unique_ptr<sim::System>
+makeSys(std::uint64_t every_ticks, std::uint64_t mem = MiB(64))
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = mem;
+    cfg.inspect.everyTicks = every_ticks;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    return sys;
+}
+
+std::unique_ptr<workload::StreamWorkload>
+idleStream(std::uint64_t bytes)
+{
+    workload::StreamConfig wc;
+    wc.footprintBytes = bytes;
+    wc.workSeconds = 1e9;
+    wc.initTouchAll = false;
+    return std::make_unique<workload::StreamWorkload>("w", wc,
+                                                      Rng(1));
+}
+
+} // namespace
+
+TEST(Vmstat, DisabledByDefault)
+{
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = MiB(64);
+    EXPECT_FALSE(cfg.inspect.enabled());
+    sim::System sys(cfg);
+    sys.setPolicy(std::make_unique<policy::LinuxThpPolicy>());
+    sys.addProcess("w", idleStream(MiB(4)));
+    sys.run(sec(1));
+    EXPECT_EQ(sys.vmstat(), nullptr);
+    EXPECT_TRUE(sys.takeSnapshots().empty());
+    EXPECT_FALSE(sys.metrics().has("vmstat.free_zero_pages"));
+    EXPECT_FALSE(sys.metrics().has("vmstat.free_blocks_o00"));
+}
+
+TEST(Vmstat, SamplesOnTheTickPeriod)
+{
+    auto sys = makeSys(10);
+    sys->addProcess("w", idleStream(MiB(4)));
+    ASSERT_NE(sys->vmstat(), nullptr);
+    EXPECT_EQ(sys->vmstat()->config().everyTicks, 10u);
+    for (int i = 0; i < 35; i++)
+        sys->tick();
+    // tick_no hits 10, 20 and 30 within 35 ticks.
+    const auto &snaps = sys->vmstat()->snapshots();
+    ASSERT_EQ(snaps.size(), 3u);
+    EXPECT_EQ(snaps[0].tick, 10u);
+    EXPECT_EQ(snaps[1].tick, 20u);
+    EXPECT_EQ(snaps[2].tick, 30u);
+    EXPECT_LT(snaps[0].time, snaps[1].time);
+}
+
+TEST(Vmstat, HeadlineCountersLandInMetricsSeries)
+{
+    auto sys = makeSys(10);
+    sys->addProcess("w", idleStream(MiB(8)));
+    for (int i = 0; i < 30; i++)
+        sys->tick();
+    const auto &snaps = sys->vmstat()->snapshots();
+    ASSERT_EQ(snaps.size(), 3u);
+
+    sim::Metrics &m = sys->metrics();
+    ASSERT_TRUE(m.has("vmstat.free_zero_pages"));
+    ASSERT_TRUE(m.has("vmstat.swap_used_pages"));
+    ASSERT_TRUE(m.has("vmstat.free_blocks_o00"));
+    ASSERT_TRUE(m.has("vmstat.free_blocks_o10"));
+
+    const auto &zero = m.series("vmstat.free_zero_pages").points();
+    ASSERT_EQ(zero.size(), snaps.size());
+    for (std::size_t i = 0; i < snaps.size(); i++) {
+        EXPECT_EQ(zero[i].time, snaps[i].time);
+        EXPECT_EQ(zero[i].value,
+                  static_cast<double>(snaps[i].mem.freeZeroPages));
+    }
+    // Every buddy order has its own series matching the snapshots.
+    for (unsigned o = 0; o < obs::kInspectOrders; o++) {
+        char name[40];
+        std::snprintf(name, sizeof(name), "vmstat.free_blocks_o%02u",
+                      o);
+        ASSERT_TRUE(m.has(name)) << name;
+        const auto &pts = m.series(name).points();
+        ASSERT_EQ(pts.size(), snaps.size());
+        EXPECT_EQ(pts.back().value,
+                  static_cast<double>(
+                      snaps.back().buddy[o].freeBlocks));
+    }
+}
+
+TEST(Vmstat, TakeMovesSnapshotsOut)
+{
+    auto sys = makeSys(5);
+    sys->addProcess("w", idleStream(MiB(4)));
+    for (int i = 0; i < 10; i++)
+        sys->tick();
+    const auto taken = sys->takeSnapshots();
+    EXPECT_EQ(taken.size(), 2u);
+    EXPECT_TRUE(sys->vmstat()->snapshots().empty());
+    EXPECT_TRUE(sys->takeSnapshots().empty());
+}

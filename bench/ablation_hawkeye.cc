@@ -53,6 +53,7 @@ runSpinup(const harness::RunContext &ctx,
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
     cfg.inspect = ctx.inspect();
+    cfg.snap = ctx.snap();
     // Dirty boot memory so pre-zeroing actually matters.
     cfg.bootMemoryZeroed = false;
     sim::System sys(cfg);
@@ -83,6 +84,7 @@ runHotspot(const harness::RunContext &ctx,
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
     cfg.inspect = ctx.inspect();
+    cfg.snap = ctx.snap();
     sim::System sys(cfg);
     sys.setPolicy(std::make_unique<core::HawkEyePolicy>(hc));
     sys.fragmentMemoryMovable(1.0, 64);

@@ -42,6 +42,7 @@ run(const harness::RunContext &ctx)
     host_cfg.trace = ctx.trace();
     host_cfg.fault = ctx.fault();
     host_cfg.inspect = ctx.inspect();
+    host_cfg.snap = ctx.snap();
     const bool hawkeye = mode == "hawkeye";
     // Guest pre-zeroing must keep up with the churn rate.
     host_cfg.costs.zeroDaemonPagesPerSec = 100'000.0;

@@ -40,6 +40,7 @@ run(const harness::RunContext &ctx)
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
     cfg.inspect = ctx.inspect();
+    cfg.snap = ctx.snap();
     cfg.metricsPeriod = msec(500);
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));

@@ -60,6 +60,7 @@ run(const harness::RunContext &ctx)
     host_cfg.trace = ctx.trace();
     host_cfg.fault = ctx.fault();
     host_cfg.inspect = ctx.inspect();
+    host_cfg.snap = ctx.snap();
     virt::VirtualSystem vs(host_cfg,
                            makePolicy(he_host ? "HawkEye-G"
                                               : "Linux-2MB"));

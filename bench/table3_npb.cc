@@ -41,6 +41,7 @@ run(const harness::RunContext &ctx)
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
     cfg.inspect = ctx.inspect();
+    cfg.snap = ctx.snap();
     sim::System sys(cfg);
     policy::LinuxConfig lc;
     lc.thp = thp;

@@ -38,6 +38,7 @@ run(const harness::RunContext &ctx)
     cfg.trace = ctx.trace();
     cfg.fault = ctx.fault();
     cfg.inspect = ctx.inspect();
+    cfg.snap = ctx.snap();
     sim::System sys(cfg);
     sys.setPolicy(makePolicy(ctx.param("policy")));
     sys.fragmentMemoryMovable(1.0, 48);

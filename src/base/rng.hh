@@ -12,6 +12,7 @@
 #ifndef HAWKSIM_BASE_RNG_HH
 #define HAWKSIM_BASE_RNG_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -113,6 +114,28 @@ class Rng
     {
         return Rng(next() ^ 0xd2b74407b1ce6e93ull);
     }
+
+    /**
+     * @name Serialization (snapshot support)
+     *
+     * The full generator state, exposed explicitly so the snapshot
+     * layer never has to poke at internals. A generator restored via
+     * setState() continues the exact draw sequence of the source,
+     * forks included.
+     */
+    /// @{
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; i++)
+            state_[i] = s[i];
+    }
+    /// @}
 
   private:
     static std::uint64_t

@@ -1,5 +1,9 @@
 #include "core/access_map.hh"
 
+#include <iterator>
+
+#include "snap/snap.hh"
+
 namespace hawksim::core {
 
 void
@@ -75,6 +79,32 @@ AccessMap::popTop()
     buckets_[b].pop_front();
     where_.erase(region);
     return region;
+}
+
+void
+AccessMap::save(snap::Writer &w) const
+{
+    for (const auto &bucket : buckets_) {
+        w.u64(bucket.size());
+        for (std::uint64_t region : bucket)
+            w.u64(region);
+    }
+}
+
+void
+AccessMap::load(snap::Reader &r)
+{
+    where_.clear();
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        auto &bucket = buckets_[b];
+        bucket.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            bucket.push_back(r.u64());
+            where_[bucket.back()] =
+                Location{b, std::prev(bucket.end())};
+        }
+    }
 }
 
 } // namespace hawksim::core

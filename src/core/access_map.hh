@@ -21,6 +21,11 @@
 
 #include "base/types.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::core {
 
 class AccessMap
@@ -75,6 +80,10 @@ class AccessMap
         return buckets_[b].size();
     }
     bool empty() const { return where_.empty(); }
+
+    /** Bucket lists in LRU order; where_ is rebuilt on load. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     struct Location

@@ -1,6 +1,10 @@
 #include "core/access_tracker.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/process.hh"
+#include "snap/state.hh"
 
 namespace hawksim::core {
 
@@ -76,6 +80,44 @@ AccessTracker::totalCoverageScore() const
     for (const auto &[region, st] : regions_)
         score += st.ema.value();
     return score;
+}
+
+void
+AccessTracker::save(snap::Writer &w) const
+{
+    w.i64(next_clear_);
+    w.i64(read_at_);
+    w.b(armed_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(regions_.size());
+    for (const auto &[region, stat] : regions_)
+        keys.push_back(region);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t region : keys) {
+        const RegionStat &st = regions_.at(region);
+        w.u64(region);
+        snap::saveEma(w, st.ema);
+        w.u32(st.lastSample);
+        w.b(st.isHuge);
+    }
+}
+
+void
+AccessTracker::load(snap::Reader &r)
+{
+    next_clear_ = r.i64();
+    read_at_ = r.i64();
+    armed_ = r.b();
+    regions_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t region = r.u64();
+        RegionStat &st = regions_[region];
+        snap::loadEma(r, st.ema);
+        st.lastSample = r.u32();
+        st.isHuge = r.b();
+    }
 }
 
 } // namespace hawksim::core

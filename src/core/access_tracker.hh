@@ -24,6 +24,11 @@ namespace hawksim::sim {
 class Process;
 } // namespace hawksim::sim
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::core {
 
 class AccessTracker
@@ -78,6 +83,10 @@ class AccessTracker
 
     void setHook(SampleHook hook) { hook_ = std::move(hook); }
     TimeNs period() const { return period_; }
+
+    /** Sampling state machine + per-region EMAs (hook preserved). */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     void clearPhase(sim::Process &proc);

@@ -7,6 +7,7 @@
 #include "mem/content.hh"
 #include "sim/process.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::core {
 
@@ -131,6 +132,39 @@ BloatRecovery::scanRegion(sim::System &sys, sim::Process &proc,
     scope.arg("deduped", static_cast<std::int64_t>(deduped));
     if (on_demote_)
         on_demote_(proc, region);
+}
+
+void
+BloatRecovery::save(snap::Writer &w) const
+{
+    w.b(active_);
+    w.f64(scan_budget_);
+    std::vector<std::uint64_t> keys(scanned_.begin(), scanned_.end());
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t k : keys)
+        w.u64(k);
+    w.u64(stats_.bytesScanned);
+    w.u64(stats_.regionsScanned);
+    w.u64(stats_.hugeDemoted);
+    w.u64(stats_.pagesDeduped);
+    w.u64(stats_.activations);
+}
+
+void
+BloatRecovery::load(snap::Reader &r)
+{
+    active_ = r.b();
+    scan_budget_ = r.f64();
+    scanned_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        scanned_.insert(r.u64());
+    stats_.bytesScanned = r.u64();
+    stats_.regionsScanned = r.u64();
+    stats_.hugeDemoted = r.u64();
+    stats_.pagesDeduped = r.u64();
+    stats_.activations = r.u64();
 }
 
 } // namespace hawksim::core

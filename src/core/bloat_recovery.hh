@@ -27,6 +27,11 @@ class Process;
 class System;
 } // namespace hawksim::sim
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::core {
 
 class BloatRecovery
@@ -67,6 +72,10 @@ class BloatRecovery
     bool active() const { return active_; }
     const Stats &stats() const { return stats_; }
     void setDemoteHook(DemoteHook hook) { on_demote_ = std::move(hook); }
+
+    /** Activation state, budget, scanned set and lifetime stats. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     /** Scan one huge region; demote + dedup if bloated enough. */

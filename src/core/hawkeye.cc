@@ -5,6 +5,7 @@
 
 #include "sim/process.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::core {
 
@@ -237,6 +238,61 @@ HawkEyePolicy::processScore(std::int32_t pid) const
         return 0.0;
     return cfg_.usePmu ? it->second.pmuOverheadPct
                        : it->second.tracker->totalCoverageScore();
+}
+
+void
+HawkEyePolicy::save(snap::Writer &w) const
+{
+    std::vector<std::int32_t> pids;
+    pids.reserve(state_.size());
+    for (const auto &[pid, st] : state_)
+        pids.push_back(pid);
+    std::sort(pids.begin(), pids.end());
+    w.u64(pids.size());
+    for (std::int32_t pid : pids) {
+        const ProcState &st = state_.at(pid);
+        w.i32(pid);
+        st.tracker->save(w);
+        st.map.save(w);
+        st.pmuSnapshot.save(w);
+        w.f64(st.pmuOverheadPct);
+    }
+    prezero_.save(w);
+    bloat_.save(w);
+    w.f64(promote_budget_);
+    w.u64(promotions_);
+    w.i64(next_pmu_);
+    w.u64(rr_);
+}
+
+void
+HawkEyePolicy::load(snap::Reader &r)
+{
+    // onProcessStart already recreated state_ for every live process
+    // during the rebuild, including the trackers with their sample
+    // hooks wired to the AccessMap; load into those objects so the
+    // hooks survive.
+    const std::uint64_t n = r.u64();
+    HS_ASSERT(n == state_.size(),
+              "snapshot has ", n, " HawkEye processes, system has ",
+              state_.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int32_t pid = r.i32();
+        auto it = state_.find(pid);
+        HS_ASSERT(it != state_.end(),
+                  "snapshot HawkEye state for unknown pid ", pid);
+        ProcState &st = it->second;
+        st.tracker->load(r);
+        st.map.load(r);
+        st.pmuSnapshot.load(r);
+        st.pmuOverheadPct = r.f64();
+    }
+    prezero_.load(r);
+    bloat_.load(r);
+    promote_budget_ = r.f64();
+    promotions_ = r.u64();
+    next_pmu_ = r.i64();
+    rr_ = r.u64();
 }
 
 } // namespace hawksim::core

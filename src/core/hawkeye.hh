@@ -88,6 +88,9 @@ class HawkEyePolicy : public policy::HugePagePolicy
     const HawkEyeConfig &config() const { return cfg_; }
     /// @}
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     struct ProcState
     {

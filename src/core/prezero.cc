@@ -2,6 +2,7 @@
 
 #include "mem/phys.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::core {
 
@@ -49,6 +50,22 @@ AsyncZeroDaemon::periodic(sim::System &sys, TimeNs dt)
         obs::Cat::kZero, "prezero_batch", -1, sys.now(), work_ns,
         {{"pages", static_cast<std::int64_t>(pages)},
          {"blocks", static_cast<std::int64_t>(blocks)}});
+}
+
+void
+AsyncZeroDaemon::save(snap::Writer &w) const
+{
+    w.f64(budget_);
+    w.u64(stats_.pagesZeroed);
+    w.u64(stats_.blocksZeroed);
+}
+
+void
+AsyncZeroDaemon::load(snap::Reader &r)
+{
+    budget_ = r.f64();
+    stats_.pagesZeroed = r.u64();
+    stats_.blocksZeroed = r.u64();
 }
 
 } // namespace hawksim::core

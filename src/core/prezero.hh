@@ -20,6 +20,11 @@ namespace hawksim::sim {
 class System;
 } // namespace hawksim::sim
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::core {
 
 class AsyncZeroDaemon
@@ -42,6 +47,10 @@ class AsyncZeroDaemon
     const Stats &stats() const { return stats_; }
     void setRate(double pages_per_sec) { rate_ = pages_per_sec; }
     double rate() const { return rate_; }
+
+    /** Budget carry + lifetime stats; the rate is configuration. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     double rate_;

@@ -23,6 +23,7 @@ constexpr const char *kViolationNames[] = {
     "huge-misaligned",    "huge-shadow",      "pt-counter-drift",
     "tlb-incoherent",     "swap-mapped-slot", "swap-orphan",
     "swap-counter-drift", "snapshot-drift",
+    "snapshot-roundtrip",
 };
 
 /**

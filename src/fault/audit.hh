@@ -59,6 +59,8 @@ enum class ViolationClass : std::uint8_t
     kSwapCounterDrift,//!< swap bookkeeping counters disagree
     // Introspection
     kSnapshotDrift,   //!< obs snapshot disagrees with a direct recount
+    // Checkpoint/restore
+    kSnapshotRoundtrip, //!< save -> load -> save is not bit-identical
 };
 
 /** Stable name of a violation class ("pte-free-frame", ...). */

@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "harness/seed.hh"
 #include "obs/probe.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::fault {
 
@@ -85,6 +86,36 @@ FaultInjector::shouldFail(Site s)
         }
     }
     return fail;
+}
+
+void
+FaultInjector::save(snap::Writer &w) const
+{
+    for (const SiteStats &st : stats_) {
+        w.u64(st.probes);
+        w.u64(st.injected);
+    }
+    w.u64(degradation_.hugeFallbacks);
+    w.u64(degradation_.deferredPromotions);
+    w.u64(degradation_.abortedCompactions);
+    w.u64(degradation_.reclaimShortfalls);
+    w.u64(degradation_.oomKills);
+    w.b(pending_audit_);
+}
+
+void
+FaultInjector::load(snap::Reader &r)
+{
+    for (SiteStats &st : stats_) {
+        st.probes = r.u64();
+        st.injected = r.u64();
+    }
+    degradation_.hugeFallbacks = r.u64();
+    degradation_.deferredPromotions = r.u64();
+    degradation_.abortedCompactions = r.u64();
+    degradation_.reclaimShortfalls = r.u64();
+    degradation_.oomKills = r.u64();
+    pending_audit_ = r.b();
 }
 
 } // namespace hawksim::fault

@@ -32,6 +32,11 @@ namespace hawksim::obs {
 struct Probe;
 } // namespace hawksim::obs
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::fault {
 
 /** One instrumented failure point in the memory-management stack. */
@@ -186,6 +191,15 @@ class FaultInjector
 
     DegradationStats &degradation() { return degradation_; }
     const DegradationStats &degradation() const { return degradation_; }
+
+    /**
+     * Occurrence counters, degradation tallies and the pending-audit
+     * latch. The hash-chain bases are pure functions of (seed,
+     * config), which the restore rebuild reproduces, so restoring
+     * the counters resumes the injection schedule exactly.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     FaultConfig cfg_;

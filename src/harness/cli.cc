@@ -62,6 +62,20 @@ printUsage(const char *argv0)
         "  --heatmap FILE   render the last snapshot of every run as\n"
         "                   text VA-space heatmaps (implies\n"
         "                   --inspect-every 100 unless given)\n"
+        "  --checkpoint-every N\n"
+        "                   save a hawksim-snap/v1 checkpoint of\n"
+        "                   every run's System every N sim ticks\n"
+        "                   (requires --checkpoint-out)\n"
+        "  --checkpoint-out DIR\n"
+        "                   directory for checkpoint files, named\n"
+        "                   <experiment>-<point>-tick<N>.snap\n"
+        "  --restore FILE   rebuild each run, then overwrite its\n"
+        "                   state from a checkpoint at the first\n"
+        "                   tick; the resumed run is byte-identical\n"
+        "                   to an uninterrupted one\n"
+        "  --replay-to TICK stop every run after tick TICK (time\n"
+        "                   travel: restore an earlier checkpoint\n"
+        "                   and replay up to a point of interest)\n"
         "  --pretty         indent the report\n"
         "  --quiet          no per-run progress on stderr\n"
         "  --wallclock      run the wall-clock hot-path benchmark\n"
@@ -303,6 +317,33 @@ runCli(int argc, char **argv, Registry &reg,
             if (!v)
                 return 2;
             heatmap_path = v;
+        } else if (arg == "--checkpoint-every") {
+            const char *v = value();
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n)) {
+                std::fprintf(stderr,
+                             "bad --checkpoint-every value\n");
+                return 2;
+            }
+            opts.snap.checkpointEvery = n;
+        } else if (arg == "--checkpoint-out") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            opts.checkpointOut = v;
+        } else if (arg == "--restore") {
+            const char *v = value();
+            if (!v)
+                return 2;
+            opts.snap.restorePath = v;
+        } else if (arg == "--replay-to") {
+            const char *v = value();
+            std::uint64_t n = 0;
+            if (!v || !parseUint(v, n) || n == 0) {
+                std::fprintf(stderr, "bad --replay-to value\n");
+                return 2;
+            }
+            opts.snap.replayToTick = n;
         } else if (arg == "--pretty") {
             pretty = true;
         } else if (arg == "--quiet") {
@@ -315,6 +356,12 @@ runCli(int argc, char **argv, Registry &reg,
             printUsage(argv[0]);
             return 2;
         }
+    }
+
+    if (opts.snap.checkpointEvery > 0 && opts.checkpointOut.empty()) {
+        std::fprintf(stderr,
+                     "--checkpoint-every requires --checkpoint-out\n");
+        return 2;
     }
 
     if (chaos) {

@@ -26,6 +26,13 @@ RunContext::inspect() const
     return inspect_ ? *inspect_ : kDisabled;
 }
 
+const snap::SnapConfig &
+RunContext::snap() const
+{
+    static const snap::SnapConfig kDisabled;
+    return snap_ ? *snap_ : kDisabled;
+}
+
 void
 RunOutput::captureObs(sim::System &sys)
 {

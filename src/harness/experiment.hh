@@ -28,6 +28,7 @@
 #include "obs/introspect.hh"
 #include "obs/trace.hh"
 #include "sim/metrics.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::sim {
 class System;
@@ -64,9 +65,10 @@ class RunContext
     RunContext(const RunPoint &point, std::uint64_t seed,
                const obs::TraceConfig *trace = nullptr,
                const fault::FaultConfig *fault = nullptr,
-               const obs::InspectConfig *inspect = nullptr)
+               const obs::InspectConfig *inspect = nullptr,
+               const snap::SnapConfig *snap = nullptr)
         : point_(point), seed_(seed), trace_(trace), fault_(fault),
-          inspect_(inspect)
+          inspect_(inspect), snap_(snap)
     {}
 
     const RunPoint &point() const { return point_; }
@@ -90,6 +92,14 @@ class RunContext
      * their SystemConfig next to trace() and fault().
      */
     const obs::InspectConfig &inspect() const;
+    /**
+     * Checkpoint/restore/replay configuration (inert unless the user
+     * passed --checkpoint-every/--restore/--replay-to). Benches copy
+     * it into their SystemConfig next to trace()/fault()/inspect();
+     * the runner has already derived a per-grid-point checkpoint
+     * prefix from --checkpoint-out.
+     */
+    const snap::SnapConfig &snap() const;
     const std::string &
     param(std::string_view axis) const
     {
@@ -102,6 +112,7 @@ class RunContext
     const obs::TraceConfig *trace_;
     const fault::FaultConfig *fault_;
     const obs::InspectConfig *inspect_;
+    const snap::SnapConfig *snap_;
 };
 
 /** What a run returns: time series, events and scalar results. */

@@ -125,7 +125,7 @@ Json
 Report::toJson() const
 {
     Json out = Json::object();
-    out.set("schema", Json("hawksim-bench-report/v1"));
+    out.set("schema", Json(kReportSchema));
     out.set("master_seed", Json(masterSeed));
     out.set("run_count", Json(static_cast<std::int64_t>(runs.size())));
     Json jruns = Json::array();
@@ -361,8 +361,16 @@ Runner::run(const Registry &reg) const
                 return;
             const Job &job = jobs[i];
             const auto t0 = std::chrono::steady_clock::now();
+            snap::SnapConfig snap = opts_.snap;
+            if (snap.checkpointEvery > 0 &&
+                !opts_.checkpointOut.empty()) {
+                snap.checkpointPrefix =
+                    opts_.checkpointOut + "/" +
+                    job.point.experiment + "-" +
+                    std::to_string(job.point.index);
+            }
             RunContext ctx(job.point, job.seed, &opts_.trace,
-                           &opts_.fault, &opts_.inspect);
+                           &opts_.fault, &opts_.inspect, &snap);
             RunRecord &rec = report.runs[i];
             rec.point = job.point;
             rec.seed = job.seed;

@@ -60,6 +60,16 @@ struct RunnerOptions
      * each RunRecord and are exported with Report::inspectJson.
      */
     obs::InspectConfig inspect;
+    /**
+     * Checkpoint / restore / replay (inert by default). The CLI
+     * fills it from --checkpoint-every / --restore / --replay-to;
+     * `snap.checkpointPrefix` is ignored here — the runner derives a
+     * per-grid-point prefix `<checkpointOut>/<experiment>-<index>`
+     * so parallel points never clobber each other's files.
+     */
+    snap::SnapConfig snap;
+    /** Directory for checkpoint files (--checkpoint-out). */
+    std::string checkpointOut;
 };
 
 /** One executed grid point. */
@@ -71,6 +81,9 @@ struct RunRecord
     /** Host wall-clock of this run (profiling only, not canonical). */
     double wallMs = 0.0;
 };
+
+/** Schema tag stamped into the top-level canonical JSON report. */
+inline constexpr const char *kReportSchema = "hawksim-report/v1";
 
 struct Report
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::mem {
 
@@ -249,6 +250,48 @@ BuddyAllocator::checkConsistency() const
                       return n;
                   }(),
               "blockInfo size drift");
+}
+
+void
+BuddyAllocator::save(snap::Writer &w) const
+{
+    w.u64(frames_);
+    w.u64(freePages_);
+    w.u64(freeZeroPages_);
+    for (unsigned zeroed = 0; zeroed < 2; zeroed++) {
+        for (unsigned order = 0; order <= kMaxOrder; order++) {
+            const FreeList &l = list(order, zeroed != 0);
+            w.u64(l.size());
+            for (Pfn pfn : l) // std::set iterates in sorted order
+                w.u64(pfn);
+        }
+    }
+}
+
+void
+BuddyAllocator::load(snap::Reader &r)
+{
+    const std::uint64_t frames = r.u64();
+    HS_ASSERT(frames == frames_, "snapshot: buddy frame count ",
+              frames, " != configured ", frames_);
+    const std::uint64_t free_pages = r.u64();
+    const std::uint64_t free_zero = r.u64();
+    for (auto &l : freeZero_)
+        l.clear();
+    for (auto &l : freeNonZero_)
+        l.clear();
+    blockInfo_.clear();
+    freePages_ = 0;
+    freeZeroPages_ = 0;
+    for (unsigned zeroed = 0; zeroed < 2; zeroed++) {
+        for (unsigned order = 0; order <= kMaxOrder; order++) {
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; i++)
+                insertBlock(r.u64(), order, zeroed != 0);
+        }
+    }
+    HS_ASSERT(freePages_ == free_pages && freeZeroPages_ == free_zero,
+              "snapshot: buddy free-page counters drifted on load");
 }
 
 } // namespace hawksim::mem

@@ -28,6 +28,11 @@
 #include "base/types.hh"
 #include "fault/fault.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::mem {
 
 /** Allocation preference between the two free-list families. */
@@ -124,6 +129,14 @@ class BuddyAllocator
 
     /** Install (or clear) the chaos fault injector. */
     void setFaultInjector(fault::FaultInjector *fi) { fault_ = fi; }
+
+    /**
+     * Free lists per (order, zero-ness); blockInfo_ and the page
+     * counters are rebuilt from them on load and cross-checked
+     * against the saved totals. The injector hook is not serialized.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     struct BlockInfo

@@ -26,6 +26,7 @@
 #include "fault/fault.hh"
 #include "mem/phys.hh"
 #include "obs/probe.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::mem {
 
@@ -77,6 +78,20 @@ class Compactor
 
     /** Total pages migrated over the object's lifetime. */
     std::uint64_t totalMigrated() const { return total_migrated_; }
+
+    /** Lifetime counter + scan cursor; refs/hooks are construction. */
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(total_migrated_);
+        w.u64(cursor_);
+    }
+    void
+    load(snap::Reader &r)
+    {
+        total_migrated_ = r.u64();
+        cursor_ = r.u64();
+    }
 
   private:
     /**
@@ -136,6 +151,32 @@ class Fragmenter
 
     std::uint64_t pinnedFrames() const { return pinned_.size(); }
     std::uint64_t movableFrames() const { return movable_.size(); }
+
+    /**
+     * The pin lists (insertion order preserved — it is itself
+     * deterministic). The frames they reference are restored by the
+     * PHYS/BUDY sections; this keeps release() consistent with them.
+     */
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(pinned_.size());
+        for (Pfn p : pinned_)
+            w.u64(p);
+        w.u64(movable_.size());
+        for (Pfn p : movable_)
+            w.u64(p);
+    }
+    void
+    load(snap::Reader &r)
+    {
+        pinned_.assign(r.u64(), 0);
+        for (Pfn &p : pinned_)
+            p = r.u64();
+        movable_.assign(r.u64(), 0);
+        for (Pfn &p : movable_)
+            p = r.u64();
+    }
 
   private:
     PhysicalMemory &phys_;

@@ -26,6 +26,7 @@
 
 #include "base/rng.hh"
 #include "base/types.hh"
+#include "snap/state.hh"
 
 namespace hawksim::mem {
 
@@ -44,6 +45,19 @@ struct PageContent
     operator==(const PageContent &o) const
     {
         return hash == o.hash && firstNonZero == o.firstNonZero;
+    }
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(hash);
+        w.u16(firstNonZero);
+    }
+    void
+    load(snap::Reader &r)
+    {
+        hash = r.u64();
+        firstNonZero = r.u16();
     }
 };
 
@@ -117,6 +131,10 @@ class ContentGenerator
         c.firstNonZero = 0;
         return c;
     }
+
+    /** Only the RNG stream is dynamic; the shape is construction. */
+    void save(snap::Writer &w) const { snap::saveRng(w, rng_); }
+    void load(snap::Reader &r) { snap::loadRng(r, rng_); }
 
   private:
     Rng rng_;

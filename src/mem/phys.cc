@@ -1,6 +1,7 @@
 #include "mem/phys.hh"
 
 #include "base/logging.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::mem {
 
@@ -144,6 +145,79 @@ PhysicalMemory::onUnmap(Pfn pfn)
     Frame &f = frames_.at(pfn);
     HS_ASSERT(f.mapCount > 0, "unmap of unmapped frame ", pfn);
     f.mapCount--;
+}
+
+namespace {
+
+bool
+sameFrame(const Frame &a, const Frame &b)
+{
+    return a.flags == b.flags && a.ownerPid == b.ownerPid &&
+           a.mapCount == b.mapCount && a.content == b.content &&
+           a.rmapVpn == b.rmapVpn;
+}
+
+} // namespace
+
+void
+PhysicalMemory::save(snap::Writer &w) const
+{
+    w.u64(frames_.size());
+    w.u64(zero_page_pfn_);
+    // Greedy maximal runs: deterministic, and collapses the huge
+    // stretches of identical free/boot frames.
+    std::uint64_t runs = 0;
+    for (std::size_t i = 0; i < frames_.size();) {
+        std::size_t j = i + 1;
+        while (j < frames_.size() && sameFrame(frames_[j], frames_[i]))
+            j++;
+        runs++;
+        i = j;
+    }
+    w.u64(runs);
+    for (std::size_t i = 0; i < frames_.size();) {
+        std::size_t j = i + 1;
+        while (j < frames_.size() && sameFrame(frames_[j], frames_[i]))
+            j++;
+        const Frame &f = frames_[i];
+        w.u64(j - i);
+        w.u8(f.flags);
+        w.i32(f.ownerPid);
+        w.u64(f.mapCount);
+        f.content.save(w);
+        w.u64(f.rmapVpn);
+        i = j;
+    }
+}
+
+void
+PhysicalMemory::load(snap::Reader &r)
+{
+    const std::uint64_t total = r.u64();
+    HS_ASSERT(total == frames_.size(),
+              "snapshot: frame count ", total, " != configured ",
+              frames_.size());
+    const Pfn zp = r.u64();
+    HS_ASSERT(zp == zero_page_pfn_,
+              "snapshot: zero-page pfn mismatch");
+    const std::uint64_t runs = r.u64();
+    std::size_t at = 0;
+    for (std::uint64_t run = 0; run < runs; run++) {
+        const std::uint64_t count = r.u64();
+        Frame f;
+        f.flags = r.u8();
+        f.ownerPid = r.i32();
+        f.mapCount = r.u64();
+        f.content.load(r);
+        f.rmapVpn = r.u64();
+        HS_ASSERT(at + count <= frames_.size(),
+                  "snapshot: frame runs exceed frame table");
+        for (std::uint64_t k = 0; k < count; k++)
+            frames_[at++] = f;
+    }
+    HS_ASSERT(at == frames_.size(),
+              "snapshot: frame runs cover ", at, " of ",
+              frames_.size(), " frames");
 }
 
 } // namespace hawksim::mem

@@ -17,6 +17,11 @@
 #include "mem/buddy.hh"
 #include "mem/frame.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::mem {
 
 /** Owner id used for kernel-internal (fragmenter) allocations. */
@@ -110,6 +115,14 @@ class PhysicalMemory
     {
         observer_ = std::move(obs);
     }
+
+    /**
+     * Frame table (run-length encoded — boot memory is massively
+     * repetitive) and the zero-page pfn. The buddy allocator has its
+     * own save/load pair; the observer is not serialized.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::vector<Frame> frames_;

@@ -17,6 +17,7 @@
 
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::mem {
 
@@ -86,6 +87,24 @@ class SwapDevice
     std::uint64_t totalSwappedOut() const { return total_out_; }
     std::uint64_t totalSwappedIn() const { return total_in_; }
     const Config &config() const { return cfg_; }
+
+    /** Occupancy and lifetime counters; device config is construction. */
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(used_pages_);
+        w.u64(total_out_);
+        w.u64(total_in_);
+    }
+    void
+    load(snap::Reader &r)
+    {
+        used_pages_ = r.u64();
+        total_out_ = r.u64();
+        total_in_ = r.u64();
+        HS_ASSERT(used_pages_ <= capacityPages(),
+                  "snapshot: swap occupancy exceeds device capacity");
+    }
 
   private:
     TimeNs

@@ -1,5 +1,7 @@
 #include "obs/cost_account.hh"
 
+#include "snap/snap.hh"
+
 #include <algorithm>
 
 #include "base/logging.hh"
@@ -79,6 +81,48 @@ CostAccounting::totalNs() const
     for (TimeNs v : ns_)
         total += v;
     return total;
+}
+
+void
+LatencyHistogram::save(snap::Writer &w) const
+{
+    for (std::uint64_t c : counts_)
+        w.u64(c);
+    w.u64(total_);
+    w.u64(sum_);
+    w.i64(min_);
+    w.i64(max_);
+}
+
+void
+LatencyHistogram::load(snap::Reader &r)
+{
+    for (std::uint64_t &c : counts_)
+        c = r.u64();
+    total_ = r.u64();
+    sum_ = r.u64();
+    min_ = r.i64();
+    max_ = r.i64();
+}
+
+void
+CostAccounting::save(snap::Writer &w) const
+{
+    for (TimeNs ns : ns_)
+        w.i64(ns);
+    for (std::uint64_t c : counters_)
+        w.u64(c);
+    fault_latency_.save(w);
+}
+
+void
+CostAccounting::load(snap::Reader &r)
+{
+    for (TimeNs &ns : ns_)
+        ns = r.i64();
+    for (std::uint64_t &c : counters_)
+        c = r.u64();
+    fault_latency_.load(r);
 }
 
 } // namespace hawksim::obs

@@ -20,6 +20,11 @@
 
 #include "base/types.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::obs {
 
 /** Who spent the simulated time. */
@@ -106,6 +111,9 @@ class LatencyHistogram
 
     std::uint64_t bucket(unsigned b) const { return counts_.at(b); }
 
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     std::array<std::uint64_t, kBuckets> counts_{};
     std::uint64_t total_ = 0;
@@ -162,6 +170,9 @@ class CostAccounting
 
     /** Sum of all attributed simulated time. */
     TimeNs totalNs() const;
+
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::array<TimeNs, kSubsysCount> ns_{};

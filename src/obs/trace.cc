@@ -1,8 +1,12 @@
 #include "obs/trace.hh"
 
 #include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
 
 #include "base/logging.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::obs {
 
@@ -90,6 +94,83 @@ Tracer::drain()
     ring_.clear();
     head_ = 0;
     return out;
+}
+
+namespace {
+
+/**
+ * Restored trace events need stable `const char *` names, but the
+ * static strings they were emitted with are unrecoverable from a
+ * byte stream. Interning in a process-lifetime node-based set gives
+ * every distinct restored string one stable address (harness workers
+ * restore concurrently, hence the lock).
+ */
+const char *
+internedTraceString(const std::string &s)
+{
+    static std::mutex mu;
+    static std::set<std::string> pool;
+    const std::lock_guard<std::mutex> lock(mu);
+    return pool.insert(s).first->c_str();
+}
+
+} // namespace
+
+void
+Tracer::save(snap::Writer &w) const
+{
+    w.u64(seq_);
+    w.u64(dropped_);
+    for (std::uint64_t d : dropped_by_cat_)
+        w.u64(d);
+    w.u64(head_);
+    w.u64(ring_.size());
+    for (const TraceEvent &ev : ring_) {
+        w.u64(ev.seq);
+        w.i64(ev.ts);
+        w.i64(ev.dur);
+        w.u8(static_cast<std::uint8_t>(ev.cat));
+        w.i32(ev.pid);
+        w.str(ev.name ? ev.name : "");
+        const unsigned nargs = ev.argCount();
+        w.u8(static_cast<std::uint8_t>(nargs));
+        for (unsigned a = 0; a < nargs; a++) {
+            w.str(ev.args[a].key);
+            w.i64(ev.args[a].value);
+        }
+    }
+}
+
+void
+Tracer::load(snap::Reader &r)
+{
+    seq_ = r.u64();
+    dropped_ = r.u64();
+    for (std::uint64_t &d : dropped_by_cat_)
+        d = r.u64();
+    head_ = r.u64();
+    ring_.clear();
+    const std::uint64_t n = r.u64();
+    HS_ASSERT(n <= capacity_, "snapshot trace ring has ", n,
+              " events, tracer capacity is ", capacity_);
+    ring_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TraceEvent ev;
+        ev.seq = r.u64();
+        ev.ts = r.i64();
+        ev.dur = r.i64();
+        ev.cat = static_cast<Cat>(r.u8());
+        ev.pid = r.i32();
+        ev.name = internedTraceString(r.str());
+        const unsigned nargs = r.u8();
+        HS_ASSERT(nargs <= kMaxTraceArgs,
+                  "snapshot trace event with ", nargs, " args");
+        for (unsigned a = 0; a < nargs; a++) {
+            const char *key = internedTraceString(r.str());
+            ev.args[a] = {key, r.i64()};
+        }
+        ring_.push_back(ev);
+    }
 }
 
 } // namespace hawksim::obs

@@ -27,6 +27,11 @@
 
 #include "base/types.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::obs {
 
 /** Event category: one per traced subsystem/hot path. */
@@ -197,6 +202,15 @@ class Tracer
     {
         return dropped_by_cat_[static_cast<unsigned>(c)];
     }
+
+    /**
+     * Ring contents, sequence counter and drop tallies. Event names
+     * and argument keys are static strings at emit time; on load
+     * they are re-materialized through a process-lifetime intern
+     * pool so TraceEvent keeps its `const char *` layout.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
     /** Full accounting for the report/trace "cost" surfaces. */
     TraceStats

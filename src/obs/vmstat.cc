@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::obs {
 
@@ -41,6 +42,188 @@ VmstatRecorder::maybeSample(sim::System &sys, std::uint64_t tick_no)
     m.record(sid_swap_used_, t,
              static_cast<double>(s.mem.swapUsedPages));
     snapshots_.push_back(std::move(s));
+}
+
+namespace {
+
+void
+saveLevel(snap::Writer &w, const TlbLevelOccupancy &l)
+{
+    w.u32(l.used);
+    w.u32(l.size);
+}
+
+void
+loadLevel(snap::Reader &r, TlbLevelOccupancy &l)
+{
+    l.used = r.u32();
+    l.size = r.u32();
+}
+
+void
+saveSnapshot(snap::Writer &w, const Snapshot &s)
+{
+    w.i64(s.time);
+    w.u64(s.tick);
+    w.u64(s.mem.totalFrames);
+    w.u64(s.mem.freeFrames);
+    w.u64(s.mem.usedFrames);
+    w.u64(s.mem.freeZeroPages);
+    w.u64(s.mem.freeNonZeroPages);
+    w.i32(s.mem.largestFreeOrder);
+    w.f64(s.mem.fmfi9);
+    w.u64(s.mem.swapUsedPages);
+    w.u64(s.mem.swapCapacityPages);
+    w.u64(s.mem.swappedPages);
+    w.u64(s.mem.swapTotalOut);
+    w.u64(s.mem.swapTotalIn);
+    for (const BuddyOrderInfo &b : s.buddy) {
+        w.u64(b.freeBlocks);
+        w.u64(b.zeroBlocks);
+    }
+    w.u64(s.procs.size());
+    for (const ProcInfo &p : s.procs) {
+        w.i32(p.pid);
+        w.str(p.name);
+        w.b(p.finished);
+        w.b(p.oomKilled);
+        w.u64(p.rssPages);
+        w.u64(p.mappedPages);
+        w.u64(p.basePages);
+        w.u64(p.hugePages);
+        w.u64(p.swappedPages);
+        w.u64(p.zeroBackedPages);
+        w.u64(p.pageFaults);
+        w.u64(p.cowFaults);
+        w.f64(p.mmuOverheadPct);
+        saveLevel(w, p.tlb.l1_4k);
+        saveLevel(w, p.tlb.l1_2m);
+        saveLevel(w, p.tlb.l2);
+        saveLevel(w, p.tlb.pwcPde);
+        saveLevel(w, p.tlb.pwcPdpte);
+        w.u64(p.vmas.size());
+        for (const VmaInfo &v : p.vmas) {
+            w.u64(v.start);
+            w.u64(v.end);
+            w.str(v.name);
+            w.b(v.anon);
+            w.b(v.hugeEligible);
+            w.u64(v.mappedPages);
+            w.u64(v.rssPages);
+            w.u64(v.hugeRegions);
+            w.u64(v.accessedPages);
+            w.u64(v.dirtyPages);
+            w.u64(v.zeroCowPages);
+            w.u64(v.zeroBackedPages);
+            w.u64(v.swappedPages);
+        }
+        w.u64(p.regions.size());
+        for (const RegionInfo &reg : p.regions) {
+            w.u64(reg.region);
+            w.u32(reg.population);
+            w.u32(reg.accessed);
+            w.u32(reg.dirty);
+            w.b(reg.huge);
+            w.u32(reg.zeroCow);
+            w.u32(reg.zeroBacked);
+            w.f64(reg.ema);
+            w.i32(reg.bucket);
+        }
+    }
+}
+
+void
+loadSnapshot(snap::Reader &r, Snapshot &s)
+{
+    s.time = r.i64();
+    s.tick = r.u64();
+    s.mem.totalFrames = r.u64();
+    s.mem.freeFrames = r.u64();
+    s.mem.usedFrames = r.u64();
+    s.mem.freeZeroPages = r.u64();
+    s.mem.freeNonZeroPages = r.u64();
+    s.mem.largestFreeOrder = r.i32();
+    s.mem.fmfi9 = r.f64();
+    s.mem.swapUsedPages = r.u64();
+    s.mem.swapCapacityPages = r.u64();
+    s.mem.swappedPages = r.u64();
+    s.mem.swapTotalOut = r.u64();
+    s.mem.swapTotalIn = r.u64();
+    for (BuddyOrderInfo &b : s.buddy) {
+        b.freeBlocks = r.u64();
+        b.zeroBlocks = r.u64();
+    }
+    s.procs.resize(r.u64());
+    for (ProcInfo &p : s.procs) {
+        p.pid = r.i32();
+        p.name = r.str();
+        p.finished = r.b();
+        p.oomKilled = r.b();
+        p.rssPages = r.u64();
+        p.mappedPages = r.u64();
+        p.basePages = r.u64();
+        p.hugePages = r.u64();
+        p.swappedPages = r.u64();
+        p.zeroBackedPages = r.u64();
+        p.pageFaults = r.u64();
+        p.cowFaults = r.u64();
+        p.mmuOverheadPct = r.f64();
+        loadLevel(r, p.tlb.l1_4k);
+        loadLevel(r, p.tlb.l1_2m);
+        loadLevel(r, p.tlb.l2);
+        loadLevel(r, p.tlb.pwcPde);
+        loadLevel(r, p.tlb.pwcPdpte);
+        p.vmas.resize(r.u64());
+        for (VmaInfo &v : p.vmas) {
+            v.start = r.u64();
+            v.end = r.u64();
+            v.name = r.str();
+            v.anon = r.b();
+            v.hugeEligible = r.b();
+            v.mappedPages = r.u64();
+            v.rssPages = r.u64();
+            v.hugeRegions = r.u64();
+            v.accessedPages = r.u64();
+            v.dirtyPages = r.u64();
+            v.zeroCowPages = r.u64();
+            v.zeroBackedPages = r.u64();
+            v.swappedPages = r.u64();
+        }
+        p.regions.resize(r.u64());
+        for (RegionInfo &reg : p.regions) {
+            reg.region = r.u64();
+            reg.population = r.u32();
+            reg.accessed = r.u32();
+            reg.dirty = r.u32();
+            reg.huge = r.b();
+            reg.zeroCow = r.u32();
+            reg.zeroBacked = r.u32();
+            reg.ema = r.f64();
+            reg.bucket = r.i32();
+        }
+    }
+}
+
+} // namespace
+
+void
+VmstatRecorder::save(snap::Writer &w) const
+{
+    w.u64(snapshots_.size());
+    for (const Snapshot &s : snapshots_)
+        saveSnapshot(w, s);
+}
+
+void
+VmstatRecorder::load(snap::Reader &r)
+{
+    snapshots_.clear();
+    snapshots_.resize(r.u64());
+    for (Snapshot &s : snapshots_)
+        loadSnapshot(r, s);
+    // Lazily re-intern on the next sample; the restored Metrics has
+    // the series already, so the ids come back identical.
+    sids_ready_ = false;
 }
 
 } // namespace hawksim::obs

@@ -24,6 +24,11 @@
 #include "obs/introspect.hh"
 #include "sim/metrics.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::obs {
 
 class VmstatRecorder
@@ -48,6 +53,14 @@ class VmstatRecorder
 
     /** Move the snapshots out (end-of-run capture). */
     std::vector<Snapshot> take() { return std::move(snapshots_); }
+
+    /**
+     * Retained snapshots (the full tree — the harness exports them
+     * verbatim at end of run). Series ids are lazily re-interned on
+     * the next sample after load.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     void internSeries(sim::Metrics &m);

@@ -1,9 +1,11 @@
 #include "policy/freebsd.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/process.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::policy {
 
@@ -127,6 +129,40 @@ FreeBsdPolicy::onProcessExit(sim::System &sys, sim::Process &proc)
     }
     for (std::uint64_t k : keys)
         breakReservation(sys, k);
+}
+
+void
+FreeBsdPolicy::save(snap::Writer &w) const
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(resv_.size());
+    for (const auto &[k, resv] : resv_)
+        keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t k : keys) {
+        const Reservation &resv = resv_.at(k);
+        w.u64(k);
+        w.u64(resv.block);
+        w.i32(resv.pid);
+    }
+    w.u64(promotions_);
+    w.u64(broken_);
+}
+
+void
+FreeBsdPolicy::load(snap::Reader &r)
+{
+    resv_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t k = r.u64();
+        Reservation &resv = resv_[k];
+        resv.block = r.u64();
+        resv.pid = r.i32();
+    }
+    promotions_ = r.u64();
+    broken_ = r.u64();
 }
 
 } // namespace hawksim::policy

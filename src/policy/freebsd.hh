@@ -50,6 +50,9 @@ class FreeBsdPolicy : public HugePagePolicy
     std::uint64_t reservationsBroken() const { return broken_; }
     std::size_t activeReservations() const { return resv_.size(); }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     struct Reservation
     {

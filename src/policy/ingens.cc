@@ -5,6 +5,7 @@
 
 #include "sim/process.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::policy {
 
@@ -176,6 +177,60 @@ IngensPolicy::periodic(sim::System &sys)
         if (!promoted)
             return;
     }
+}
+
+void
+IngensPolicy::save(snap::Writer &w) const
+{
+    std::vector<std::int32_t> pids;
+    pids.reserve(state_.size());
+    for (const auto &[pid, st] : state_)
+        pids.push_back(pid);
+    std::sort(pids.begin(), pids.end());
+    w.u64(pids.size());
+    for (std::int32_t pid : pids) {
+        const ProcState &st = state_.at(pid);
+        w.i32(pid);
+        w.u64(st.recentRegions.size());
+        for (std::uint64_t region : st.recentRegions)
+            w.u64(region);
+        w.u64(st.cursor);
+        w.u64(st.promoted);
+        st.tracker->save(w);
+    }
+    w.f64(promote_budget_);
+    w.u64(promotions_);
+}
+
+void
+IngensPolicy::load(snap::Reader &r)
+{
+    // onProcessStart already recreated state_ (with trackers) for
+    // every live process during the rebuild; fill their state in
+    // place so the tracker objects survive.
+    const std::uint64_t n = r.u64();
+    HS_ASSERT(n == state_.size(),
+              "snapshot has ", n, " Ingens processes, system has ",
+              state_.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int32_t pid = r.i32();
+        auto it = state_.find(pid);
+        HS_ASSERT(it != state_.end(),
+                  "snapshot Ingens state for unknown pid ", pid);
+        ProcState &st = it->second;
+        st.recentRegions.clear();
+        st.recentSet.clear();
+        const std::uint64_t recent = r.u64();
+        for (std::uint64_t j = 0; j < recent; ++j) {
+            st.recentRegions.push_back(r.u64());
+            st.recentSet.insert(st.recentRegions.back());
+        }
+        st.cursor = r.u64();
+        st.promoted = r.u64();
+        st.tracker->load(r);
+    }
+    promote_budget_ = r.f64();
+    promotions_ = r.u64();
 }
 
 } // namespace hawksim::policy

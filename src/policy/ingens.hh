@@ -69,6 +69,9 @@ class IngensPolicy : public HugePagePolicy
     /** True when currently promoting conservatively. */
     bool conservative(sim::System &sys) const;
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     struct ProcState
     {

@@ -1,9 +1,11 @@
 #include "policy/linux_thp.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "sim/process.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::policy {
 
@@ -108,6 +110,44 @@ LinuxThpPolicy::periodic(sim::System &sys)
             break;
         }
     }
+}
+
+void
+LinuxThpPolicy::save(snap::Writer &w) const
+{
+    w.u64(fcfs_.size());
+    for (std::int32_t pid : fcfs_)
+        w.i32(pid);
+    std::vector<std::int32_t> pids;
+    pids.reserve(cursor_.size());
+    for (const auto &[pid, cur] : cursor_)
+        pids.push_back(pid);
+    std::sort(pids.begin(), pids.end());
+    w.u64(pids.size());
+    for (std::int32_t pid : pids) {
+        w.i32(pid);
+        w.u64(cursor_.at(pid));
+    }
+    w.u64(scan_idx_);
+    w.f64(promote_budget_);
+    w.u64(promotions_);
+}
+
+void
+LinuxThpPolicy::load(snap::Reader &r)
+{
+    fcfs_.assign(r.u64(), 0);
+    for (std::int32_t &pid : fcfs_)
+        pid = r.i32();
+    cursor_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int32_t pid = r.i32();
+        cursor_[pid] = r.u64();
+    }
+    scan_idx_ = r.u64();
+    promote_budget_ = r.f64();
+    promotions_ = r.u64();
 }
 
 } // namespace hawksim::policy

@@ -66,6 +66,9 @@ class LinuxThpPolicy : public HugePagePolicy
     std::uint64_t promotions() const { return promotions_; }
     const LinuxConfig &config() const { return cfg_; }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     /**
      * Find the next promotable region of @p proc at or after the

@@ -16,12 +16,18 @@
 #include <cstdint>
 #include <string>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 
 namespace hawksim::sim {
 class Process;
 class System;
 } // namespace hawksim::sim
+
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
 
 namespace hawksim::policy {
 
@@ -89,6 +95,31 @@ class HugePagePolicy
         (void)start;
         (void)bytes;
     }
+
+    /**
+     * @name Checkpoint support
+     *
+     * Serialize/restore the policy's daemon state (khugepaged queues,
+     * trackers, budgets). Restore happens on a freshly attached
+     * policy that has already seen onProcessStart for every live
+     * process, so load() fills in state those hooks created. The
+     * defaults are fatal: a policy without serialization must fail at
+     * checkpoint time, not diverge silently after restore.
+     */
+    /// @{
+    virtual void
+    save(snap::Writer &) const
+    {
+        HS_FATAL("policy \"", name(),
+                 "\" does not support checkpointing");
+    }
+    virtual void
+    load(snap::Reader &)
+    {
+        HS_FATAL("policy \"", name(),
+                 "\" does not support checkpointing");
+    }
+    /// @}
 };
 
 } // namespace hawksim::policy

@@ -22,6 +22,7 @@
 #include "mem/swap.hh"
 #include "obs/introspect.hh"
 #include "obs/trace.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::sim {
 
@@ -113,6 +114,8 @@ struct SystemConfig
     fault::FaultConfig fault;
     /** Swap device geometry (capacity, latencies). */
     mem::SwapDevice::Config swap{};
+    /** Checkpoint / restore / replay-to-tick (off by default). */
+    snap::SnapConfig snap;
     CostParams costs;
 };
 

@@ -1,0 +1,49 @@
+#include "sim/metrics.hh"
+
+#include "snap/snap.hh"
+
+namespace hawksim::sim {
+
+void
+Metrics::save(snap::Writer &w) const
+{
+    w.u64(series_.size());
+    for (const TimeSeries &ts : series_) {
+        w.str(ts.name());
+        w.u64(ts.points().size());
+        for (const SeriesPoint &p : ts.points()) {
+            w.i64(p.time);
+            w.f64(p.value);
+        }
+    }
+    w.u64(events_.size());
+    for (const SimEvent &ev : events_) {
+        w.i64(ev.time);
+        w.str(ev.what);
+    }
+}
+
+void
+Metrics::load(snap::Reader &r)
+{
+    series_.clear();
+    index_.clear();
+    events_.clear();
+    const std::uint64_t nseries = r.u64();
+    for (std::uint64_t i = 0; i < nseries; ++i) {
+        const SeriesId id = seriesId(r.str());
+        HS_ASSERT(id == i, "series interned out of order on load");
+        const std::uint64_t npts = r.u64();
+        for (std::uint64_t j = 0; j < npts; ++j) {
+            const TimeNs t = r.i64();
+            record(id, t, r.f64());
+        }
+    }
+    const std::uint64_t nevents = r.u64();
+    for (std::uint64_t i = 0; i < nevents; ++i) {
+        const TimeNs t = r.i64();
+        event(t, r.str());
+    }
+}
+
+} // namespace hawksim::sim

@@ -27,6 +27,11 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::sim {
 
 /** A discrete event worth listing in experiment output (OOM etc.). */
@@ -119,6 +124,14 @@ class Metrics
     }
 
     const std::vector<SimEvent> &events() const { return events_; }
+
+    /**
+     * Every series (in interning order, which load reproduces so
+     * pre-resolved SeriesIds held by callers stay valid only if they
+     * re-resolve) plus the event log.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
     /**
      * Export every series in long CSV form (series,time_ns,value) —

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "sim/system.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::sim {
 
@@ -184,6 +185,46 @@ Process::windowOps()
     const std::uint64_t delta = ops_completed_ - window_ops_snapshot_;
     window_ops_snapshot_ = ops_completed_;
     return delta;
+}
+
+void
+Process::save(snap::Writer &w) const
+{
+    w.b(started_);
+    w.b(finished_);
+    w.b(oom_);
+    w.i64(started_at_);
+    w.i64(finished_at_);
+    w.i64(debt_);
+    w.u64(page_faults_);
+    w.i64(fault_time_);
+    w.u64(cow_faults_);
+    w.u64(ops_completed_);
+    window_snapshot_.save(w);
+    w.u64(window_ops_snapshot_);
+    space_.save(w);
+    tlb_.save(w);
+    workload_->save(w);
+}
+
+void
+Process::load(snap::Reader &r)
+{
+    started_ = r.b();
+    finished_ = r.b();
+    oom_ = r.b();
+    started_at_ = r.i64();
+    finished_at_ = r.i64();
+    debt_ = r.i64();
+    page_faults_ = r.u64();
+    fault_time_ = r.i64();
+    cow_faults_ = r.u64();
+    ops_completed_ = r.u64();
+    window_snapshot_.load(r);
+    window_ops_snapshot_ = r.u64();
+    space_.load(r);
+    tlb_.load(r);
+    workload_->load(r);
 }
 
 } // namespace hawksim::sim

@@ -27,6 +27,11 @@ namespace hawksim::policy {
 struct FaultOutcome;
 } // namespace hawksim::policy
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::sim {
 
 class System;
@@ -108,6 +113,14 @@ class Process
     /** Ops completed since the previous call (throughput window). */
     std::uint64_t windowOps();
     /// @}
+
+    /**
+     * Run state, fault statistics, PMU windows, address space, TLB
+     * and workload. The scratch WorkChunk is not state: every tick
+     * consumes the chunk it requested.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     void

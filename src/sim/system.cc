@@ -1,8 +1,12 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/logging.hh"
 #include "base/page_key.hh"
 #include "obs/vmstat.hh"
+#include "snap/state.hh"
 
 namespace hawksim::sim {
 
@@ -25,6 +29,7 @@ System::System(SystemConfig cfg)
     }
     if (cfg_.inspect.enabled())
         vmstat_ = std::make_unique<obs::VmstatRecorder>(cfg_.inspect);
+    restore_pending_ = cfg_.snap.restoring();
 }
 
 System::~System() = default;
@@ -101,6 +106,8 @@ void
 System::tick()
 {
     HS_ASSERT(policy_ != nullptr, "no policy installed");
+    if (cfg_.snap.any())
+        snapAtTickStart();
     // kcompactd: rebuild huge-page contiguity in the background when
     // free memory is plentiful but fragmented.
     if (cfg_.costs.kcompactdRegionsPerSec > 0.0) {
@@ -165,8 +172,11 @@ void
 System::run(TimeNs duration)
 {
     const TimeNs end = now_ + duration;
-    while (now_ < end)
+    while (now_ < end) {
+        if (replayLimitReached())
+            break;
         tick();
+    }
     if (cfg_.fault.auditingEnabled())
         runAuditOrDie("end-of-run");
 }
@@ -177,6 +187,10 @@ System::runUntilAllDone(TimeNs limit)
     const TimeNs end = now_ + limit;
     bool timed_out = true;
     while (now_ < end) {
+        if (replayLimitReached()) {
+            timed_out = false;
+            break;
+        }
         bool all_done = true;
         for (auto &proc : processes_) {
             if (proc->workload().runsToCompletion() &&
@@ -489,6 +503,341 @@ System::oomKillVictim(std::int32_t requester)
     dropSwapSlots(victim->pid());
     policy_->onProcessExit(*this, *victim);
     return victim->pid();
+}
+
+void
+System::snapAtTickStart()
+{
+    // Restore applies first: a restored tick N then re-emits the due
+    // checkpoint for N, which exercises save -> load -> save on the
+    // exact same file (byte-identical by the roundtrip invariant).
+    if (restore_pending_) {
+        restore_pending_ = false;
+        restoreFromFile(cfg_.snap.restorePath);
+    }
+    if (cfg_.snap.checkpointing() && tick_no_ > 0 &&
+        tick_no_ % cfg_.snap.checkpointEvery == 0) {
+        saveToFile(cfg_.snap.checkpointPrefix + "-tick" +
+                   std::to_string(tick_no_) + ".snap");
+    }
+}
+
+void
+System::saveState(snap::Writer &w)
+{
+    HS_ASSERT(policy_ != nullptr, "checkpoint before setPolicy");
+    // CONF: the rebuild fingerprint. Restore requires the same
+    // machine and process list; the policy name decides whether POLI
+    // applies or is skipped (fork-where-legal).
+    w.beginSection("CONF");
+    w.u64(cfg_.memoryBytes);
+    w.i64(cfg_.tickQuantum);
+    w.u64(cfg_.seed);
+    w.str(policy_->name());
+    w.u64(processes_.size());
+    for (const auto &proc : processes_) {
+        w.str(proc->name());
+        w.str(proc->workload().name());
+    }
+    w.endSection();
+
+    w.beginSection("SYS ");
+    snap::saveRng(w, rng_);
+    w.i64(now_);
+    w.i64(next_metrics_);
+    w.i32(next_pid_);
+    w.b(swap_enabled_);
+    w.u64(tick_no_);
+    w.u64(oom_kills_);
+    w.u64(reclaim_rr_);
+    w.f64(kcompactd_budget_);
+    w.u64(swapped_count_);
+    std::vector<std::uint64_t> skeys;
+    skeys.reserve(swapped_.size());
+    for (const auto &[k, content] : swapped_)
+        skeys.push_back(k);
+    std::sort(skeys.begin(), skeys.end());
+    w.u64(skeys.size());
+    for (std::uint64_t k : skeys) {
+        w.u64(k);
+        swapped_.at(k).save(w);
+    }
+    std::vector<std::int32_t> hpids;
+    hpids.reserve(reclaim_hand_.size());
+    for (const auto &[pid, hand] : reclaim_hand_)
+        hpids.push_back(pid);
+    std::sort(hpids.begin(), hpids.end());
+    w.u64(hpids.size());
+    for (std::int32_t pid : hpids) {
+        w.i32(pid);
+        w.u64(reclaim_hand_.at(pid));
+    }
+    w.endSection();
+
+    w.beginSection("PHYS");
+    phys_.save(w);
+    w.endSection();
+
+    w.beginSection("BUDY");
+    phys_.buddy().save(w);
+    w.endSection();
+
+    w.beginSection("SWAP");
+    swap_.save(w);
+    w.endSection();
+
+    w.beginSection("CMPT");
+    compactor_.save(w);
+    w.endSection();
+
+    w.beginSection("FRAG");
+    w.b(fragmenter_ != nullptr);
+    if (fragmenter_)
+        fragmenter_->save(w);
+    w.endSection();
+
+    for (const auto &proc : processes_) {
+        w.beginSection("PROC");
+        w.i32(proc->pid());
+        w.str(proc->name());
+        proc->save(w);
+        w.endSection();
+    }
+
+    w.beginSection("POLI");
+    policy_->save(w);
+    w.endSection();
+
+    if (fault_injector_) {
+        w.beginSection("FALT");
+        fault_injector_->save(w);
+        w.endSection();
+    }
+
+    w.beginSection("METR");
+    metrics_.save(w);
+    w.endSection();
+
+    w.beginSection("OBS ");
+    obs_.tracer.save(w);
+    obs_.cost.save(w);
+    w.endSection();
+
+    if (vmstat_) {
+        w.beginSection("VMST");
+        vmstat_->save(w);
+        w.endSection();
+    }
+}
+
+bool
+System::loadState(snap::Reader &r)
+{
+    HS_ASSERT(policy_ != nullptr, "restore before setPolicy");
+    bool skipped = false;
+
+    r.openSection("CONF");
+    const std::uint64_t mem_bytes = r.u64();
+    HS_ASSERT(mem_bytes == cfg_.memoryBytes,
+              "snapshot machine has ", mem_bytes,
+              " bytes of memory, this one has ", cfg_.memoryBytes);
+    const TimeNs quantum = r.i64();
+    HS_ASSERT(quantum == cfg_.tickQuantum,
+              "snapshot tick quantum ", quantum, " != ",
+              cfg_.tickQuantum);
+    // The seed may legally differ on a fork; every Rng stream is
+    // restored explicitly, so it only matters for state the rebuild
+    // derives from it (e.g. fault-injector hash bases).
+    (void)r.u64();
+    const std::string saved_policy = r.str();
+    const std::uint64_t nproc = r.u64();
+    HS_ASSERT(nproc == processes_.size(), "snapshot has ", nproc,
+              " processes, this system has ", processes_.size());
+    for (const auto &proc : processes_) {
+        const std::string pname = r.str();
+        HS_ASSERT(pname == proc->name(), "snapshot process \"", pname,
+                  "\" != rebuilt \"", proc->name(), "\"");
+        const std::string wname = r.str();
+        HS_ASSERT(wname == proc->workload().name(),
+                  "snapshot workload \"", wname, "\" != rebuilt \"",
+                  proc->workload().name(), "\"");
+    }
+    r.endSection();
+
+    r.openSection("SYS ");
+    snap::loadRng(r, rng_);
+    now_ = r.i64();
+    next_metrics_ = r.i64();
+    next_pid_ = r.i32();
+    swap_enabled_ = r.b();
+    tick_no_ = r.u64();
+    oom_kills_ = r.u64();
+    reclaim_rr_ = r.u64();
+    kcompactd_budget_ = r.f64();
+    swapped_count_ = r.u64();
+    swapped_.clear();
+    const std::uint64_t nswapped = r.u64();
+    for (std::uint64_t i = 0; i < nswapped; ++i) {
+        const std::uint64_t k = r.u64();
+        swapped_[k].load(r);
+    }
+    reclaim_hand_.clear();
+    const std::uint64_t nhands = r.u64();
+    for (std::uint64_t i = 0; i < nhands; ++i) {
+        const std::int32_t pid = r.i32();
+        reclaim_hand_[pid] = r.u64();
+    }
+    r.endSection();
+
+    r.openSection("PHYS");
+    phys_.load(r);
+    r.endSection();
+
+    r.openSection("BUDY");
+    phys_.buddy().load(r);
+    r.endSection();
+
+    r.openSection("SWAP");
+    swap_.load(r);
+    r.endSection();
+
+    r.openSection("CMPT");
+    compactor_.load(r);
+    r.endSection();
+
+    r.openSection("FRAG");
+    const bool has_frag = r.b();
+    HS_ASSERT(has_frag == (fragmenter_ != nullptr),
+              "snapshot and rebuilt system disagree on fragmentation "
+              "setup; the restore rebuild must repeat it");
+    if (fragmenter_)
+        fragmenter_->load(r);
+    r.endSection();
+
+    for (auto &proc : processes_) {
+        r.openSection("PROC");
+        const std::int32_t pid = r.i32();
+        HS_ASSERT(pid == proc->pid(), "snapshot pid ", pid,
+                  " != rebuilt pid ", proc->pid());
+        const std::string pname = r.str();
+        HS_ASSERT(pname == proc->name(), "snapshot process \"", pname,
+                  "\" != rebuilt \"", proc->name(), "\"");
+        proc->load(r);
+        r.endSection();
+    }
+
+    if (saved_policy == policy_->name()) {
+        r.openSection("POLI");
+        policy_->load(r);
+        r.endSection();
+    } else {
+        HS_ASSERT(r.peekTag() == "POLI",
+                  "expected POLI section, found \"", r.peekTag(),
+                  "\"");
+        r.skipSection();
+        skipped = true;
+        HS_WARN("restore: snapshot policy \"", saved_policy,
+                "\" != installed \"", policy_->name(),
+                "\"; policy daemon state starts fresh");
+    }
+
+    if (r.peekTag() == "FALT") {
+        if (fault_injector_) {
+            r.openSection("FALT");
+            fault_injector_->load(r);
+            r.endSection();
+        } else {
+            r.skipSection();
+            skipped = true;
+        }
+    } else if (fault_injector_) {
+        skipped = true; // injector newly configured; starts fresh
+    }
+
+    r.openSection("METR");
+    metrics_.load(r);
+    r.endSection();
+    // Series were re-interned in creation order; resolve the cached
+    // handles again rather than trusting the old ids.
+    sid_free_frames_ = metrics_.seriesId("sys.free_frames");
+    sid_used_fraction_ = metrics_.seriesId("sys.used_fraction");
+    sid_fmfi9_ = metrics_.seriesId("sys.fmfi9");
+    proc_sids_.clear();
+    for (const auto &proc : processes_) {
+        std::string p = "p";
+        p += std::to_string(proc->pid());
+        proc_sids_.emplace(
+            proc->pid(),
+            ProcSeriesIds{metrics_.seriesId(p + ".rss_pages"),
+                          metrics_.seriesId(p + ".huge_pages"),
+                          metrics_.seriesId(p + ".mmu_overhead")});
+    }
+
+    r.openSection("OBS ");
+    obs_.tracer.load(r);
+    obs_.cost.load(r);
+    r.endSection();
+
+    if (r.peekTag() == "VMST") {
+        if (vmstat_) {
+            r.openSection("VMST");
+            vmstat_->load(r);
+            r.endSection();
+        } else {
+            r.skipSection();
+            skipped = true;
+        }
+    } else if (vmstat_) {
+        skipped = true; // sampler newly configured; starts empty
+    }
+
+    HS_ASSERT(r.atEnd(), "unconsumed trailing sections in snapshot");
+    return skipped;
+}
+
+std::string
+System::saveImage()
+{
+    snap::Writer w;
+    saveState(w);
+    return w.bytes();
+}
+
+void
+System::saveToFile(const std::string &path)
+{
+    snap::writeFileOrDie(path, saveImage());
+}
+
+void
+System::restoreFromBytes(const std::string &bytes)
+{
+    snap::Reader r(bytes);
+    const bool skipped = loadState(r);
+    // Full invariant audit on every restore, plus the roundtrip
+    // check: a full (no-skip) restore must re-serialize bit-equal.
+    fault::AuditReport rep = auditNow();
+    if (!skipped) {
+        snap::Writer w;
+        saveState(w);
+        if (w.bytes() != bytes) {
+            rep.violations.push_back(
+                {fault::ViolationClass::kSnapshotRoundtrip,
+                 "save -> load -> save differs from the restored "
+                 "image"});
+        }
+    }
+    if (!rep.ok()) {
+        HS_PANIC("restore audit failed (tick ", tick_no_, ", ",
+                 rep.violations.size(), " violations):\n",
+                 rep.summary());
+    }
+}
+
+void
+System::restoreFromFile(const std::string &path)
+{
+    restoreFromBytes(snap::readFileOrDie(path));
 }
 
 } // namespace hawksim::sim

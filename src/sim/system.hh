@@ -33,6 +33,11 @@ struct Snapshot;
 class VmstatRecorder;
 } // namespace hawksim::obs
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::sim {
 
 class System : public mem::PageMover
@@ -184,7 +189,45 @@ class System : public mem::PageMover
     /** mem::PageMover: fix the page table of a migrated frame. */
     void pageMoved(Pfn from, Pfn to) override;
 
+    /**
+     * @name Checkpoint / restore (`hawksim-snap/v1`)
+     *
+     * saveImage() serializes every section of the complete dynamic
+     * state. restoreFromBytes() applies an image onto a System that
+     * was *rebuilt identically* (same config, policy and processes —
+     * the harness re-runs the bench's setup code, then the pending
+     * restore fires at the start of the first tick). Sections that no
+     * longer apply to the rebuilt system — a different policy, or
+     * chaos/inspect machinery present on only one side — are skipped
+     * ("fork where legal"). After a full (no-skip) restore the
+     * save -> load -> save image must be bit-equal; any difference is
+     * reported as a `snapshot-roundtrip` audit violation, and a full
+     * invariant audit runs either way.
+     */
+    /// @{
+    /** Serialize the complete dynamic state into an image. */
+    std::string saveImage();
+    /** saveImage() to a file (parent directories created). */
+    void saveToFile(const std::string &path);
+    /** Apply an image; audits and roundtrip-checks it. */
+    void restoreFromBytes(const std::string &bytes);
+    void restoreFromFile(const std::string &path);
+    /** True once --replay-to's tick limit has been reached. */
+    bool
+    replayLimitReached() const
+    {
+        return cfg_.snap.replayToTick > 0 &&
+               tick_no_ >= cfg_.snap.replayToTick;
+    }
+    /// @}
+
   private:
+    /** Write every section of the dynamic state. */
+    void saveState(snap::Writer &w);
+    /** Read sections back; returns true when any was skipped. */
+    bool loadState(snap::Reader &r);
+    /** Apply a pending --restore, then emit a due checkpoint. */
+    void snapAtTickStart();
     void recordMetrics();
     void releaseProcessMemory(Process &proc);
     /** Drop swap slots of an exited process (device discard). */
@@ -233,6 +276,8 @@ class System : public mem::PageMover
     std::unique_ptr<obs::VmstatRecorder> vmstat_;
     std::uint64_t tick_no_ = 0;
     std::uint64_t oom_kills_ = 0;
+    /** One-shot --restore latch; applied at the first tick start. */
+    bool restore_pending_ = false;
 };
 
 } // namespace hawksim::sim

@@ -1,0 +1,248 @@
+#include "snap/snap.hh"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace hawksim::snap {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; i++)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------- Writer
+
+Writer::Writer()
+{
+    out_.append(kSnapMagic, 8);
+    // Header integers share the canonical little-endian encoding but
+    // live outside any section; emit them via a scratch swap.
+    std::string scratch;
+    cur_.swap(scratch);
+    u32(kSnapVersion);
+    str(kSnapSchema);
+    out_.append(cur_);
+    cur_.swap(scratch);
+    cur_.clear();
+}
+
+void
+Writer::beginSection(const char *tag)
+{
+    HS_ASSERT(!in_section_, "snap::Writer: nested section ", tag);
+    HS_ASSERT(tag != nullptr && std::strlen(tag) == 4,
+              "snap::Writer: section tags are exactly 4 bytes");
+    std::memcpy(tag_, tag, 4);
+    cur_.clear();
+    in_section_ = true;
+}
+
+void
+Writer::endSection()
+{
+    HS_ASSERT(in_section_, "snap::Writer: endSection with none open");
+    in_section_ = false;
+    std::string payload;
+    payload.swap(cur_);
+    out_.append(tag_, 4);
+    u64(payload.size());
+    u32(crc32(payload.data(), payload.size()));
+    out_.append(cur_);
+    cur_.clear();
+    out_.append(payload);
+}
+
+void
+Writer::str(const std::string &s)
+{
+    u64(s.size());
+    cur_.append(s);
+}
+
+const std::string &
+Writer::bytes() const
+{
+    HS_ASSERT(!in_section_,
+              "snap::Writer: bytes() with an open section");
+    return out_;
+}
+
+// ---------------------------------------------------------------- Reader
+
+Reader::Reader(std::string bytes) : buf_(std::move(bytes))
+{
+    HS_ASSERT(buf_.size() >= 8 &&
+                  std::memcmp(buf_.data(), kSnapMagic, 8) == 0,
+              "snapshot: bad magic (not a hawksim-snap file)");
+    pos_ = 8;
+    // Header fields are read with the section readers; fake an open
+    // "section" spanning the whole buffer so bounds checks work.
+    in_section_ = true;
+    sec_end_ = buf_.size();
+    const std::uint32_t version = u32();
+    HS_ASSERT(version == kSnapVersion, "snapshot: format version ",
+              version, ", this build reads ", kSnapVersion);
+    const std::string schema = str();
+    HS_ASSERT(schema == kSnapSchema, "snapshot: schema \"", schema,
+              "\", this build reads \"", kSnapSchema, "\"");
+    in_section_ = false;
+    sec_end_ = 0;
+}
+
+void
+Reader::frameAt(std::size_t pos, std::size_t *payload,
+                std::size_t *len) const
+{
+    HS_ASSERT(pos + 16 <= buf_.size(),
+              "snapshot: truncated section frame");
+    std::uint64_t n = 0;
+    for (int i = 0; i < 8; i++)
+        n |= std::uint64_t{
+                 static_cast<unsigned char>(buf_[pos + 4 + i])}
+             << (8 * i);
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; i++)
+        crc |= std::uint32_t{
+                   static_cast<unsigned char>(buf_[pos + 12 + i])}
+               << (8 * i);
+    HS_ASSERT(pos + 16 + n <= buf_.size(),
+              "snapshot: truncated section payload");
+    HS_ASSERT(crc32(buf_.data() + pos + 16, n) == crc,
+              "snapshot: CRC mismatch in section \"",
+              buf_.substr(pos, 4), "\"");
+    *payload = pos + 16;
+    *len = n;
+}
+
+std::string
+Reader::peekTag() const
+{
+    HS_ASSERT(!in_section_, "snap::Reader: peekTag inside a section");
+    if (pos_ >= buf_.size())
+        return "";
+    HS_ASSERT(pos_ + 4 <= buf_.size(),
+              "snapshot: truncated section tag");
+    return buf_.substr(pos_, 4);
+}
+
+void
+Reader::openSection(const char *tag)
+{
+    const std::string next = peekTag();
+    HS_ASSERT(next == tag, "snapshot: expected section \"", tag,
+              "\", found \"", next, "\"");
+    std::size_t payload = 0, len = 0;
+    frameAt(pos_, &payload, &len);
+    pos_ = payload;
+    sec_end_ = payload + len;
+    in_section_ = true;
+}
+
+bool
+Reader::tryOpenSection(const char *tag)
+{
+    if (peekTag() != tag)
+        return false;
+    openSection(tag);
+    return true;
+}
+
+void
+Reader::skipSection()
+{
+    HS_ASSERT(!in_section_,
+              "snap::Reader: skipSection inside a section");
+    HS_ASSERT(pos_ < buf_.size(), "snapshot: skip past end");
+    std::size_t payload = 0, len = 0;
+    frameAt(pos_, &payload, &len);
+    pos_ = payload + len;
+}
+
+void
+Reader::endSection()
+{
+    HS_ASSERT(in_section_,
+              "snap::Reader: endSection with none open");
+    HS_ASSERT(pos_ == sec_end_, "snapshot: ", sec_end_ - pos_,
+              " unconsumed payload bytes at endSection");
+    in_section_ = false;
+    sec_end_ = 0;
+}
+
+std::uint8_t
+Reader::u8()
+{
+    HS_ASSERT(in_section_ && pos_ < sec_end_,
+              "snapshot: read past section payload");
+    return static_cast<unsigned char>(buf_[pos_++]);
+}
+
+std::string
+Reader::str()
+{
+    const std::uint64_t n = u64();
+    HS_ASSERT(pos_ + n <= sec_end_,
+              "snapshot: string exceeds section payload");
+    std::string s = buf_.substr(pos_, n);
+    pos_ += n;
+    return s;
+}
+
+// ------------------------------------------------------------------ I/O
+
+void
+writeFileOrDie(const std::string &path, const std::string &bytes)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    HS_ASSERT(out.good(), "snapshot: cannot open ", path,
+              " for writing");
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    HS_ASSERT(out.good(), "snapshot: short write to ", path);
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    HS_ASSERT(in.good(), "snapshot: cannot open ", path);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    HS_ASSERT(!in.bad(), "snapshot: read error on ", path);
+    return bytes;
+}
+
+} // namespace hawksim::snap

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * `hawksim-snap/v1`: versioned, canonical, endian-stable binary
+ * snapshots of a running simulation.
+ *
+ * A snapshot is a byte string with this layout:
+ *
+ *   magic   8 bytes    "HWKSNAP1"
+ *   version u32        format version (1)
+ *   schema  string     "hawksim-snap/v1"
+ *   sections ...       framed sections until end of buffer
+ *
+ * Each section is framed as
+ *
+ *   tag     4 bytes    ASCII section identifier (e.g. "SYS ")
+ *   length  u64        payload byte count
+ *   crc     u32        CRC-32 (IEEE) of the payload bytes
+ *   payload length bytes
+ *
+ * so a reader can verify, skip or apply any section independently.
+ * "Fork where legal" restores (e.g. warm-starting a different policy
+ * from a checkpointed image) skip the sections that no longer apply;
+ * resume restores consume every section.
+ *
+ * Canonical encoding rules — these are what make save -> load -> save
+ * bit-equal, which `fault::Auditor` enforces as the
+ * `snapshot-roundtrip` violation class:
+ *
+ *   - every multi-byte integer is little-endian, written bytewise
+ *     (host endianness never leaks into the image);
+ *   - doubles are bit-cast to u64 (exact bits, no text round-trip);
+ *   - bools are one byte, 0 or 1;
+ *   - strings are u64 length + raw bytes;
+ *   - unordered containers are serialized in sorted key order;
+ *   - ordered containers keep their iteration order.
+ *
+ * Version rules: the schema string and `kSnapVersion` move together.
+ * Additive evolution appends new sections (old readers must treat an
+ * unknown trailing section as fatal, not silently skip it — snapshots
+ * are exact-state carriers, not best-effort hints); any change to an
+ * existing section's payload is a new major version with a new magic
+ * suffix.
+ */
+
+#ifndef HAWKSIM_SNAP_SNAP_HH
+#define HAWKSIM_SNAP_SNAP_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hawksim::snap {
+
+inline constexpr const char *kSnapMagic = "HWKSNAP1"; //!< 8 bytes
+inline constexpr const char *kSnapSchema = "hawksim-snap/v1";
+inline constexpr std::uint32_t kSnapVersion = 1;
+
+/** CRC-32 (IEEE 802.3, reflected) over @p n bytes. */
+std::uint32_t crc32(const void *data, std::size_t n);
+
+/** Harness/CLI knobs for checkpoint, restore and replay. */
+struct SnapConfig
+{
+    /** Emit a checkpoint every N ticks (0 = off). */
+    std::uint64_t checkpointEvery = 0;
+    /**
+     * Checkpoint path prefix; files are written as
+     * `<prefix>-tick<N>.snap`. The runner derives a per-grid-point
+     * prefix from `--checkpoint-out DIR`.
+     */
+    std::string checkpointPrefix;
+    /** Snapshot file applied at the start of the first tick. */
+    std::string restorePath;
+    /** Stop run loops once this tick is reached (0 = run to end). */
+    std::uint64_t replayToTick = 0;
+
+    bool
+    checkpointing() const
+    {
+        return checkpointEvery > 0 && !checkpointPrefix.empty();
+    }
+    bool restoring() const { return !restorePath.empty(); }
+    bool
+    any() const
+    {
+        return checkpointing() || restoring() || replayToTick > 0;
+    }
+};
+
+/**
+ * Serializer producing canonical `hawksim-snap/v1` bytes. The header
+ * is emitted on construction; every value must be written inside a
+ * beginSection()/endSection() pair.
+ */
+class Writer
+{
+  public:
+    Writer();
+
+    /** Open a section; @p tag must be exactly 4 ASCII bytes. */
+    void beginSection(const char *tag);
+    /** Close the open section: frames and CRCs the payload. */
+    void endSection();
+
+    void
+    u8(std::uint8_t v)
+    {
+        cur_.push_back(static_cast<char>(v));
+    }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void str(const std::string &s);
+
+    /** Finished image; fatal if a section is still open. */
+    const std::string &bytes() const;
+
+  private:
+    std::string out_;
+    std::string cur_; //!< payload of the open section
+    char tag_[4] = {};
+    bool in_section_ = false;
+};
+
+/**
+ * Deserializer for `hawksim-snap/v1` bytes. Verifies the header on
+ * construction and each section's tag + CRC on open. Any structural
+ * problem (bad magic, wrong schema, CRC mismatch, truncated payload,
+ * over-read, unconsumed payload at endSection) is fatal: a snapshot
+ * is an exact-state carrier and partial application would silently
+ * diverge from the checkpointed run.
+ */
+class Reader
+{
+  public:
+    explicit Reader(std::string bytes);
+
+    /** Tag of the next section, or "" at end of image. */
+    std::string peekTag() const;
+    bool atEnd() const { return pos_ >= buf_.size() && !in_section_; }
+
+    /** Open the next section; fatal unless its tag is @p tag. */
+    void openSection(const char *tag);
+    /** Open the next section iff its tag matches; else leave it. */
+    bool tryOpenSection(const char *tag);
+    /** Skip the next section wholesale (still CRC-verified). */
+    void skipSection();
+    /** Close the open section; fatal if payload bytes remain. */
+    void endSection();
+
+    std::uint8_t u8();
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        return v != 0;
+    }
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (std::uint16_t{u8()} << 8));
+    }
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (std::uint32_t{u16()} << 16);
+    }
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (std::uint64_t{u32()} << 32);
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    std::string str();
+
+  private:
+    /** Verify the frame at pos_; returns payload offset + length. */
+    void frameAt(std::size_t pos, std::size_t *payload,
+                 std::size_t *len) const;
+
+    std::string buf_;
+    std::size_t pos_ = 0;     //!< next unread byte
+    std::size_t sec_end_ = 0; //!< one past the open section's payload
+    bool in_section_ = false;
+};
+
+/** Write @p bytes to @p path, creating parent directories. Fatal on
+ *  I/O failure. */
+void writeFileOrDie(const std::string &path, const std::string &bytes);
+/** Read a whole file; fatal if it cannot be opened or read. */
+std::string readFileOrDie(const std::string &path);
+
+} // namespace hawksim::snap
+
+#endif // HAWKSIM_SNAP_SNAP_HH

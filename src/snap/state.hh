@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Serialization helpers for base-layer value types that appear in
+ * many snapshot sections (RNG streams, EMAs). Class-specific state
+ * lives in each class's own `save(snap::Writer&)/load(snap::Reader&)`
+ * pair; these helpers only cover the shared leaves.
+ */
+
+#ifndef HAWKSIM_SNAP_STATE_HH
+#define HAWKSIM_SNAP_STATE_HH
+
+#include <array>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "snap/snap.hh"
+
+namespace hawksim::snap {
+
+inline void
+saveRng(Writer &w, const Rng &rng)
+{
+    for (std::uint64_t word : rng.state())
+        w.u64(word);
+}
+
+inline void
+loadRng(Reader &r, Rng &rng)
+{
+    std::array<std::uint64_t, 4> s;
+    for (std::uint64_t &word : s)
+        word = r.u64();
+    rng.setState(s);
+}
+
+/**
+ * An Ema round-trips through its public interface: an unseeded EMA
+ * always holds value 0, and update() on an unseeded EMA adopts the
+ * sample verbatim, so (seeded, value) reproduces the exact state.
+ */
+inline void
+saveEma(Writer &w, const Ema &e)
+{
+    w.b(e.seeded());
+    w.f64(e.value());
+}
+
+inline void
+loadEma(Reader &r, Ema &e)
+{
+    const bool seeded = r.b();
+    const double value = r.f64();
+    e.reset();
+    if (seeded)
+        e.update(value);
+}
+
+} // namespace hawksim::snap
+
+#endif // HAWKSIM_SNAP_STATE_HH

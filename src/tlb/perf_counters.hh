@@ -18,6 +18,11 @@
 
 #include <cstdint>
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::tlb {
 
 struct PerfCounters
@@ -76,6 +81,9 @@ struct PerfCounters
     {
         *this = PerfCounters{};
     }
+
+    void save(snap::Writer &w) const; //!< defined in tlb.cc
+    void load(snap::Reader &r);
 };
 
 } // namespace hawksim::tlb

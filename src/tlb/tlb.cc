@@ -1,8 +1,11 @@
 #include "tlb/tlb.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "base/logging.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::tlb {
 
@@ -204,6 +207,114 @@ TlbModel::flush()
     pwc_pde_.flush();
     pwc_pdpte_.flush();
     pt_residency_.flush();
+}
+
+void
+PerfCounters::save(snap::Writer &w) const
+{
+    w.u64(dtlbLoadWalkCycles);
+    w.u64(dtlbStoreWalkCycles);
+    w.u64(cpuClkUnhalted);
+    w.u64(tlbAccesses);
+    w.u64(tlbMisses);
+}
+
+void
+PerfCounters::load(snap::Reader &r)
+{
+    dtlbLoadWalkCycles = r.u64();
+    dtlbStoreWalkCycles = r.u64();
+    cpuClkUnhalted = r.u64();
+    tlbAccesses = r.u64();
+    tlbMisses = r.u64();
+}
+
+void
+SetAssocTlb::save(snap::Writer &w) const
+{
+    w.u64(tick_);
+    w.u64(ways_storage_.size());
+    for (const Way &way : ways_storage_) {
+        w.u64(way.key);
+        w.u64(way.lru);
+        w.b(way.valid);
+    }
+}
+
+void
+SetAssocTlb::load(snap::Reader &r)
+{
+    tick_ = r.u64();
+    const std::uint64_t n = r.u64();
+    HS_ASSERT(n == ways_storage_.size(),
+              "snapshot: TLB geometry mismatch (", n, " ways vs ",
+              ways_storage_.size(), ")");
+    for (Way &way : ways_storage_) {
+        way.key = r.u64();
+        way.lru = r.u64();
+        way.valid = r.b();
+    }
+}
+
+namespace {
+
+/** Serialize an audit log (unordered) in sorted key order. */
+void
+saveAuditLog(snap::Writer &w,
+             const std::unordered_map<std::uint64_t, std::uint64_t> &m)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(
+        m.begin(), m.end());
+    std::sort(entries.begin(), entries.end());
+    w.u64(entries.size());
+    for (const auto &[key, epoch] : entries) {
+        w.u64(key);
+        w.u64(epoch);
+    }
+}
+
+void
+loadAuditLog(snap::Reader &r,
+             std::unordered_map<std::uint64_t, std::uint64_t> &m)
+{
+    m.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t key = r.u64();
+        m[key] = r.u64();
+    }
+}
+
+} // namespace
+
+void
+TlbModel::save(snap::Writer &w) const
+{
+    w.f64(cfg_.nestedWalkFactor);
+    l1_4k_.save(w);
+    l1_2m_.save(w);
+    l2_.save(w);
+    pwc_pde_.save(w);
+    pwc_pdpte_.save(w);
+    pt_residency_.save(w);
+    counters_.save(w);
+    saveAuditLog(w, audit_2m_);
+    saveAuditLog(w, audit_4k_);
+}
+
+void
+TlbModel::load(snap::Reader &r)
+{
+    cfg_.nestedWalkFactor = r.f64();
+    l1_4k_.load(r);
+    l1_2m_.load(r);
+    l2_.load(r);
+    pwc_pde_.load(r);
+    pwc_pdpte_.load(r);
+    pt_residency_.load(r);
+    counters_.load(r);
+    loadAuditLog(r, audit_2m_);
+    loadAuditLog(r, audit_4k_);
 }
 
 } // namespace hawksim::tlb

@@ -31,6 +31,11 @@
 #include "tlb/perf_counters.hh"
 #include "vm/page_table.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::tlb {
 
 /** One sampled memory access at page granularity. */
@@ -61,6 +66,10 @@ class SetAssocTlb
             n += w.valid ? 1 : 0;
         return n;
     }
+
+    /** LRU clock + every way; geometry is construction-checked. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     struct Way
@@ -250,6 +259,14 @@ class TlbModel
         (huge ? audit_2m_ : audit_4k_)[key] = epoch;
     }
     /// @}
+
+    /**
+     * Every translation structure, the counters, the (mutable)
+     * nested-walk factor and the audit log. The audit-log *switch* is
+     * re-derived by the owning System, not serialized.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     /** Cycles for a full walk of @p levels page-table loads. */

@@ -1,6 +1,7 @@
 #include "vm/address_space.hh"
 
 #include "base/logging.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::vm {
 
@@ -295,6 +296,43 @@ AddressSpace::forEachEligibleRegion(
             fn(r);
         }
     }
+}
+
+void
+AddressSpace::save(snap::Writer &w) const
+{
+    w.u64(vmas_.size());
+    for (const auto &[start, vma] : vmas_) { // std::map: sorted
+        w.u64(start);
+        w.u64(vma.start);
+        w.u64(vma.end);
+        w.b(vma.anon);
+        w.b(vma.hugeEligible);
+        w.str(vma.name);
+    }
+    w.u64(next_mmap_);
+    w.u64(owned_frames_);
+    pt_.save(w);
+}
+
+void
+AddressSpace::load(snap::Reader &r)
+{
+    vmas_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; i++) {
+        const Addr key = r.u64();
+        Vma vma;
+        vma.start = r.u64();
+        vma.end = r.u64();
+        vma.anon = r.b();
+        vma.hugeEligible = r.b();
+        vma.name = r.str();
+        vmas_.emplace(key, std::move(vma));
+    }
+    next_mmap_ = r.u64();
+    owned_frames_ = r.u64();
+    pt_.load(r);
 }
 
 } // namespace hawksim::vm

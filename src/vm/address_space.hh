@@ -17,6 +17,11 @@
 #include "mem/phys.hh"
 #include "vm/page_table.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::vm {
 
 /** A virtual memory area (anonymous unless noted). */
@@ -138,6 +143,10 @@ class AddressSpace
     void forEachEligibleRegion(
         const std::function<void(std::uint64_t)> &fn) const;
     /// @}
+
+    /** VMAs, VA cursor, RSS counter and the page table. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::int32_t pid_;

@@ -1,6 +1,7 @@
 #include "vm/page_table.hh"
 
 #include "base/logging.hh"
+#include "snap/snap.hh"
 
 namespace hawksim::vm {
 
@@ -518,6 +519,64 @@ PageTable::leafEntry(Vpn vpn, bool *is_huge)
     if (is_huge)
         *is_huge = false;
     return e;
+}
+
+void
+PageTable::save(snap::Writer &w) const
+{
+    w.u64(base_pages_);
+    w.u64(huge_pages_);
+    w.u64(epoch_);
+    // forEachLeaf walks the radix tree in ascending vpn order, so the
+    // leaf list is canonical.
+    std::uint64_t leaves = 0;
+    forEachLeaf([&](Vpn, const Pte &, bool) { leaves++; });
+    w.u64(leaves);
+    forEachLeaf([&](Vpn vpn, const Pte &pte, bool is_huge) {
+        w.u64(vpn);
+        w.u64(pte.raw());
+        w.b(is_huge);
+    });
+}
+
+void
+PageTable::load(snap::Reader &r)
+{
+    const std::uint64_t base_pages = r.u64();
+    const std::uint64_t huge_pages = r.u64();
+    const std::uint64_t epoch = r.u64();
+    const std::uint64_t leaves = r.u64();
+
+    root_ = Node{};
+    base_pages_ = 0;
+    huge_pages_ = 0;
+    for (std::uint64_t i = 0; i < leaves; i++) {
+        const Vpn vpn = r.u64();
+        const std::uint64_t raw = r.u64();
+        const bool is_huge = r.b();
+        // mapBase/mapHuge rebuild the exact entry word: the saved
+        // flag bits already include present (and huge), which the
+        // mapping primitives OR in idempotently.
+        const Pfn pfn = Pte(raw).pfn();
+        const std::uint64_t flags = raw & 0xfffull;
+        if (is_huge)
+            mapHuge(vpn, pfn, flags);
+        else
+            mapBase(vpn, pfn, flags);
+    }
+    HS_ASSERT(base_pages_ == base_pages && huge_pages_ == huge_pages,
+              "snapshot: page-table leaf counters drifted on load");
+
+    // The rebuild bumped the epoch per mapping; restore the saved
+    // value so audit logs keyed by epoch still line up, and drop all
+    // cached walk results — their Node pointers died with the old
+    // tree, and their epoch tags are meaningless under the restored
+    // counter.
+    epoch_ = epoch;
+#ifndef HAWKSIM_NO_TCACHE
+    tcache_.fill(CacheSlot{});
+    last_pd_ = CacheSlot{};
+#endif
 }
 
 } // namespace hawksim::vm

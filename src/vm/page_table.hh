@@ -47,6 +47,11 @@
 #include "base/types.hh"
 #include "vm/pte.hh"
 
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
+
 namespace hawksim::vm {
 
 class PageTable
@@ -157,6 +162,14 @@ class PageTable
 
     /** Mutable leaf entry access for in-place flag edits (OS use). */
     Pte *leafEntry(Vpn vpn, bool *is_huge = nullptr);
+
+    /**
+     * Leaf entries + the structural epoch. Load rebuilds the radix
+     * tree from scratch, restores the epoch, and drops every
+     * translation-cache slot (cached Node pointers would dangle).
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
     /**
      * Structural self-audit for the fault::Auditor. Walks the raw

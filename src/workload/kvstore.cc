@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "sim/process.hh"
+#include "snap/state.hh"
 
 namespace hawksim::workload {
 
@@ -192,6 +193,58 @@ KeyValueStoreWorkload::next(sim::Process &proc, TimeNs max_compute,
     }
     if (phase_ >= cfg_.phases.size())
         chunk.done = true;
+}
+
+
+void
+KeyValueStoreWorkload::save(snap::Writer &w) const
+{
+    snap::saveRng(w, rng_);
+    content_.save(w);
+    w.u64(base_);
+    w.u64(arena_pages_);
+    w.u64(cursor_);
+    w.u64(free_small_.size());
+    for (std::uint64_t slot : free_small_) // deque order matters
+        w.u64(slot);
+    w.u32(small_pages_);
+    w.u64(live_.size());
+    for (const Value &v : live_) {
+        w.u64(v.firstPage);
+        w.u32(v.pages);
+    }
+    w.u64(live_bytes_);
+    w.u64(phase_);
+    w.u64(phase_progress_);
+    w.f64(phase_time_);
+}
+
+void
+KeyValueStoreWorkload::load(snap::Reader &r)
+{
+    snap::loadRng(r, rng_);
+    content_.load(r);
+    base_ = r.u64();
+    arena_pages_ = r.u64();
+    cursor_ = r.u64();
+    free_small_.clear();
+    const std::uint64_t slots = r.u64();
+    for (std::uint64_t i = 0; i < slots; i++)
+        free_small_.push_back(r.u64());
+    small_pages_ = r.u32();
+    live_.clear();
+    const std::uint64_t values = r.u64();
+    live_.reserve(values);
+    for (std::uint64_t i = 0; i < values; i++) {
+        Value v;
+        v.firstPage = r.u64();
+        v.pages = r.u32();
+        live_.push_back(v);
+    }
+    live_bytes_ = r.u64();
+    phase_ = r.u64();
+    phase_progress_ = r.u64();
+    phase_time_ = r.f64();
 }
 
 } // namespace hawksim::workload

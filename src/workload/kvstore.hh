@@ -95,6 +95,9 @@ class KeyValueStoreWorkload : public Workload
     /** Logical dataset bytes currently live. */
     std::uint64_t liveBytes() const { return live_bytes_; }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     struct Value
     {

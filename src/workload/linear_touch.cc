@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/process.hh"
+#include "snap/state.hh"
 
 namespace hawksim::workload {
 
@@ -71,6 +72,31 @@ LinearTouchWorkload::next(sim::Process &proc, TimeNs max_compute,
             chunk.done = true;
     }
     (void)proc;
+}
+
+
+void
+LinearTouchWorkload::save(snap::Writer &w) const
+{
+    content_.save(w);
+    w.u64(base_);
+    w.u64(pages_);
+    w.u64(pos_);
+    w.u32(iter_);
+    w.u64(total_touched_);
+    w.u64(rehash_at_);
+}
+
+void
+LinearTouchWorkload::load(snap::Reader &r)
+{
+    content_.load(r);
+    base_ = r.u64();
+    pages_ = r.u64();
+    pos_ = r.u64();
+    iter_ = r.u32();
+    total_touched_ = r.u64();
+    rehash_at_ = r.u64();
 }
 
 } // namespace hawksim::workload

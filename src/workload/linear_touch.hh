@@ -55,6 +55,9 @@ class LinearTouchWorkload : public Workload
 
     std::uint64_t touchesDone() const { return total_touched_; }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     std::string name_;
     LinearTouchConfig cfg_;

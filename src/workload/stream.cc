@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "sim/process.hh"
+#include "snap/state.hh"
 
 namespace hawksim::workload {
 
@@ -111,6 +112,32 @@ StreamWorkload::next(sim::Process &proc, TimeNs max_compute,
     work_done_ += secs;
     if (cfg_.workSeconds > 0.0 && work_done_ >= cfg_.workSeconds)
         chunk.done = true;
+}
+
+void
+StreamWorkload::save(snap::Writer &w) const
+{
+    snap::saveRng(w, rng_);
+    content_.save(w);
+    w.u64(base_);
+    w.u64(pages_);
+    w.u64(wss_pages_);
+    w.u64(init_pos_);
+    w.u64(seq_pos_);
+    w.f64(work_done_);
+}
+
+void
+StreamWorkload::load(snap::Reader &r)
+{
+    snap::loadRng(r, rng_);
+    content_.load(r);
+    base_ = r.u64();
+    pages_ = r.u64();
+    wss_pages_ = r.u64();
+    init_pos_ = r.u64();
+    seq_pos_ = r.u64();
+    work_done_ = r.f64();
 }
 
 } // namespace hawksim::workload

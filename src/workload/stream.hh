@@ -82,6 +82,9 @@ class StreamWorkload : public Workload
     /** Base VA of the footprint (valid after init). */
     Addr baseAddr() const { return base_; }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     /** Draw one accessed page according to the stream model. */
     Vpn drawPage();

@@ -319,4 +319,44 @@ TraceWorkload::next(sim::Process &proc, TimeNs max_compute,
         chunk.done = true;
 }
 
+
+void
+TraceWorkload::save(snap::Writer &w) const
+{
+    snap::saveRng(w, rng_);
+    content_.save(w);
+    std::vector<std::pair<std::string, Region>> regions(
+        regions_.begin(), regions_.end());
+    std::sort(regions.begin(), regions.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    w.u64(regions.size());
+    for (const auto &[name, region] : regions) {
+        w.str(name);
+        w.u64(region.base);
+        w.u64(region.pages);
+    }
+    w.u64(pc_);
+    w.u64(op_progress_);
+}
+
+void
+TraceWorkload::load(snap::Reader &r)
+{
+    snap::loadRng(r, rng_);
+    content_.load(r);
+    regions_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; i++) {
+        const std::string name = r.str();
+        Region region;
+        region.base = r.u64();
+        region.pages = r.u64();
+        regions_.emplace(name, region);
+    }
+    pc_ = r.u64();
+    op_progress_ = r.u64();
+}
+
 } // namespace hawksim::workload

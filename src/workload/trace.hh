@@ -119,6 +119,9 @@ class TraceWorkload : public Workload
 
     std::size_t opsRemaining() const { return ops_.size() - pc_; }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     struct Region
     {

@@ -28,12 +28,18 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "base/logging.hh"
 #include "mem/content.hh"
 #include "tlb/tlb.hh"
 
 namespace hawksim::sim {
 class Process;
 } // namespace hawksim::sim
+
+namespace hawksim::snap {
+class Writer;
+class Reader;
+} // namespace hawksim::snap
 
 namespace hawksim::workload {
 
@@ -122,6 +128,32 @@ class Workload
      * (true) or serve requests until stopped (false)?
      */
     virtual bool runsToCompletion() const { return true; }
+
+    /**
+     * @name Checkpoint support
+     *
+     * Serialize/restore the workload's dynamic state (cursors, RNG
+     * streams, phase progress). Restore happens on a freshly init()'d
+     * instance of the same workload under the same config, so only
+     * dynamic state travels. Workloads that keep no hidden state
+     * beyond these defaults must still override explicitly — the
+     * default is fatal so an unsupported workload fails loudly at
+     * checkpoint time instead of silently diverging after restore.
+     */
+    /// @{
+    virtual void
+    save(snap::Writer &) const
+    {
+        HS_FATAL("workload \"", name(),
+                 "\" does not support checkpointing");
+    }
+    virtual void
+    load(snap::Reader &)
+    {
+        HS_FATAL("workload \"", name(),
+                 "\" does not support checkpointing");
+    }
+    /// @}
 };
 
 } // namespace hawksim::workload

@@ -101,12 +101,60 @@ TEST(Runner, MasterSeedChangesResults)
     EXPECT_EQ(r42.toJson().dump().find("wall_ms"), std::string::npos);
 }
 
+/** All keys of a JSON object, comma-joined in emission order. */
+std::string
+keysOf(const Json &obj)
+{
+    std::string out;
+    for (const auto &[key, value] : obj.members()) {
+        (void)value;
+        if (!out.empty())
+            out += ",";
+        out += key;
+    }
+    return out;
+}
+
+TEST(Runner, ReportSchemaFieldSignatureIsPinned)
+{
+    // The exact field set of hawksim-report/v1. If this test fails,
+    // you changed the report schema: bump kReportSchema and update
+    // the signature here instead of silently republishing v1.
+    ASSERT_STREQ(kReportSchema, "hawksim-report/v1");
+    const Report r = runWith(1, "alpha=a beta=x");
+    const Json j = r.toJson();
+    EXPECT_EQ(keysOf(j), "schema,master_seed,run_count,runs");
+    ASSERT_GT(j["runs"].size(), 0u);
+    const Json &run = j["runs"].at(0);
+    EXPECT_EQ(keysOf(run),
+              "experiment,index,params,seed,sim_time_ns,scalars,"
+              "cost,metrics");
+    EXPECT_EQ(keysOf(run["cost"]),
+              "total_ns,subsys_ns,counters,fault_latency_ns");
+    EXPECT_EQ(keysOf(run["cost"]["subsys_ns"]),
+              "fault_path,promote_daemon,zero_daemon,bloat_daemon,"
+              "compaction,reclaim,tlb_walk");
+    EXPECT_EQ(keysOf(run["cost"]["counters"]),
+              "faults,huge_faults,cow_faults,swap_ins,promotions,"
+              "splits,migrated_pages,zeroed_pages,deduped_pages,"
+              "reclaimed_pages,resv_broken");
+    EXPECT_EQ(keysOf(run["cost"]["fault_latency_ns"]),
+              "count,min,max,mean,p50,p95,p99");
+    EXPECT_EQ(keysOf(run["metrics"]), "events,series");
+    ASSERT_GT(run["metrics"]["series"].members().size(), 0u);
+    for (const auto &[name, series] :
+         run["metrics"]["series"].members()) {
+        EXPECT_EQ(keysOf(series), "t,v") << name;
+    }
+}
+
 TEST(Runner, ReportJsonSchema)
 {
     const Report r = runWith(4, "alpha=a beta=x");
     ASSERT_EQ(r.runs.size(), 1u);
     const Json j = r.toJson();
-    EXPECT_EQ(j["schema"].asString(), "hawksim-bench-report/v1");
+    EXPECT_EQ(j["schema"].asString(), "hawksim-report/v1");
+    EXPECT_STREQ(kReportSchema, "hawksim-report/v1");
     EXPECT_EQ(j["master_seed"].asUint(), 42u);
     EXPECT_EQ(j["run_count"].asInt(), 1);
     const Json &run = j["runs"].at(0);

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * `hawksim-snap/v1` container tests: header layout, canonical scalar
+ * encoding, section framing, and the fatality of every corruption a
+ * reader can detect. Snapshots are exact-state carriers — a reader
+ * that limps past damage would silently diverge from the
+ * checkpointed run, so damage must die loudly instead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "base/logging.hh"
+#include "snap/snap.hh"
+
+namespace hawksim::snap {
+namespace {
+
+/** A minimal valid image: one "TST " section with a known payload. */
+std::string
+oneSectionImage()
+{
+    Writer w;
+    w.beginSection("TST ");
+    w.u64(0xDEADBEEFCAFEF00Dull);
+    w.str("payload");
+    w.endSection();
+    return w.bytes();
+}
+
+TEST(SnapFormat, Crc32KnownAnswer)
+{
+    // The IEEE 802.3 check value for the standard 9-byte vector.
+    const char *v = "123456789";
+    EXPECT_EQ(crc32(v, 9), 0xCBF43926u);
+    EXPECT_EQ(crc32(v, 0), 0x00000000u);
+}
+
+TEST(SnapFormat, HeaderLayoutIsPinned)
+{
+    const std::string img = oneSectionImage();
+    // magic(8) + version u32(4) + schema len u64(8) + schema(15).
+    ASSERT_GE(img.size(), 35u);
+    EXPECT_EQ(img.substr(0, 8), kSnapMagic);
+    EXPECT_EQ(static_cast<unsigned char>(img[8]), kSnapVersion);
+    EXPECT_EQ(static_cast<unsigned char>(img[9]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(img[10]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(img[11]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(img[12]),
+              std::string(kSnapSchema).size());
+    EXPECT_EQ(img.substr(20, 15), kSnapSchema);
+    // First section frame directly after the header.
+    EXPECT_EQ(img.substr(35, 4), "TST ");
+}
+
+TEST(SnapFormat, IntegersAreLittleEndianBytewise)
+{
+    Writer w;
+    w.beginSection("TST ");
+    w.u32(0x11223344u);
+    w.endSection();
+    const std::string &img = w.bytes();
+    // Payload starts after header(35) + tag(4) + len(8) + crc(4).
+    const std::size_t p = 35 + 16;
+    ASSERT_EQ(img.size(), p + 4);
+    EXPECT_EQ(static_cast<unsigned char>(img[p + 0]), 0x44);
+    EXPECT_EQ(static_cast<unsigned char>(img[p + 1]), 0x33);
+    EXPECT_EQ(static_cast<unsigned char>(img[p + 2]), 0x22);
+    EXPECT_EQ(static_cast<unsigned char>(img[p + 3]), 0x11);
+}
+
+TEST(SnapFormat, ScalarRoundtrip)
+{
+    Writer w;
+    w.beginSection("TST ");
+    w.u8(0xAB);
+    w.b(true);
+    w.b(false);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEFu);
+    w.u64(std::numeric_limits<std::uint64_t>::max());
+    w.i32(-12345);
+    w.i64(std::numeric_limits<std::int64_t>::min());
+    w.f64(-0.0);
+    w.f64(std::numeric_limits<double>::denorm_min());
+    w.f64(std::numeric_limits<double>::infinity());
+    w.str("");
+    w.str(std::string("nul\0inside", 10));
+    w.endSection();
+
+    Reader r(w.bytes());
+    EXPECT_EQ(r.peekTag(), "TST ");
+    r.openSection("TST ");
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(r.i32(), -12345);
+    EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+    const double nz = r.f64();
+    EXPECT_EQ(nz, 0.0);
+    EXPECT_TRUE(std::signbit(nz)); // exact bits, not value identity
+    EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+    EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_EQ(r.str(), std::string("nul\0inside", 10));
+    r.endSection();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapFormat, SameValuesSameBytes)
+{
+    // Canonical: two writers fed identical values emit identical
+    // images (this is what the snapshot-roundtrip audit builds on).
+    EXPECT_EQ(oneSectionImage(), oneSectionImage());
+}
+
+TEST(SnapFormat, MultiSectionFramingSkipAndTryOpen)
+{
+    Writer w;
+    w.beginSection("AAA ");
+    w.u32(1);
+    w.endSection();
+    w.beginSection("BBB ");
+    w.u32(2);
+    w.endSection();
+    w.beginSection("CCC ");
+    w.u32(3);
+    w.endSection();
+
+    Reader r(w.bytes());
+    // tryOpenSection on a mismatch leaves the cursor in place.
+    EXPECT_FALSE(r.tryOpenSection("BBB "));
+    EXPECT_EQ(r.peekTag(), "AAA ");
+    ASSERT_TRUE(r.tryOpenSection("AAA "));
+    EXPECT_EQ(r.u32(), 1u);
+    r.endSection();
+    // Skip is CRC-verified but wholesale.
+    r.skipSection();
+    EXPECT_EQ(r.peekTag(), "CCC ");
+    r.openSection("CCC ");
+    EXPECT_EQ(r.u32(), 3u);
+    r.endSection();
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(r.peekTag(), "");
+}
+
+TEST(SnapFormatDeath, BadMagicIsFatal)
+{
+    std::string img = oneSectionImage();
+    img[0] = 'X';
+    EXPECT_DEATH(Reader r(img), "bad magic");
+    EXPECT_DEATH(Reader r2("short"), "bad magic");
+}
+
+TEST(SnapFormatDeath, WrongVersionIsFatal)
+{
+    std::string img = oneSectionImage();
+    img[8] = 2; // version u32 at offset 8, little-endian
+    EXPECT_DEATH(Reader r(img), "format version 2");
+}
+
+TEST(SnapFormatDeath, PayloadCorruptionIsFatal)
+{
+    // Flip one bit in the section payload: the CRC must catch it.
+    std::string img = oneSectionImage();
+    img[img.size() - 1] =
+        static_cast<char>(img[img.size() - 1] ^ 0x01);
+    EXPECT_DEATH(
+        {
+            Reader r(img);
+            r.openSection("TST ");
+        },
+        "CRC mismatch in section \"TST \"");
+    // skipSection verifies too — damage can't hide in skipped
+    // sections of a forked restore.
+    EXPECT_DEATH(
+        {
+            Reader r(img);
+            r.skipSection();
+        },
+        "CRC mismatch");
+}
+
+TEST(SnapFormatDeath, TruncationIsFatal)
+{
+    const std::string img = oneSectionImage();
+    // Cut inside the payload.
+    EXPECT_DEATH(
+        {
+            Reader r(img.substr(0, img.size() - 3));
+            r.openSection("TST ");
+        },
+        "truncated section payload");
+    // Cut inside the frame header.
+    EXPECT_DEATH(
+        {
+            Reader r(img.substr(0, 35 + 10));
+            r.openSection("TST ");
+        },
+        "truncated section frame");
+}
+
+TEST(SnapFormatDeath, TagMismatchIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Reader r(oneSectionImage());
+            r.openSection("ZZZ ");
+        },
+        "expected section \"ZZZ \", found \"TST \"");
+}
+
+TEST(SnapFormatDeath, OverAndUnderReadAreFatal)
+{
+    // Reading past the payload is fatal...
+    EXPECT_DEATH(
+        {
+            Reader r(oneSectionImage());
+            r.openSection("TST ");
+            r.u64();
+            r.str();
+            r.u8();
+        },
+        "read past section payload");
+    // ...and so is closing a section with bytes unconsumed.
+    EXPECT_DEATH(
+        {
+            Reader r(oneSectionImage());
+            r.openSection("TST ");
+            r.u64();
+            r.endSection();
+        },
+        "unconsumed payload bytes");
+    // A string length that overruns the section cannot allocate.
+    Writer w;
+    w.beginSection("TST ");
+    w.u64(1u << 20); // lies: claims a 1MB string with no bytes
+    w.endSection();
+    EXPECT_DEATH(
+        {
+            Reader r(w.bytes());
+            r.openSection("TST ");
+            (void)r.str();
+        },
+        "string exceeds section payload");
+}
+
+TEST(SnapFormatDeath, WriterMisuseIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Writer w;
+            w.beginSection("AAA ");
+            w.beginSection("BBB ");
+        },
+        "nested section");
+    EXPECT_DEATH(
+        {
+            Writer w;
+            w.beginSection("TOOLONG");
+        },
+        "");
+    EXPECT_DEATH(
+        {
+            Writer w;
+            w.beginSection("AAA ");
+            (void)w.bytes();
+        },
+        "");
+}
+
+} // namespace
+} // namespace hawksim::snap

@@ -27,8 +27,10 @@
  *               of one simulated access in a system run.
  *
  * Min and median ns-per-access for both variants of both metrics go
- * to BENCH_PR3.json. Wall-clock numbers vary run to run — only the
- * cached/uncached *ratio* is meaningful across machines.
+ * to BENCH_PR8.json, along with a per-stage breakdown (translate /
+ * tlb-probe / touch / tracker ns-per-access) so a future regression
+ * is attributable to one stage. Wall-clock numbers vary run to run —
+ * only the cached/uncached *ratio* is meaningful across machines.
  */
 
 #include <algorithm>
@@ -88,6 +90,7 @@ struct HotpathPoint
 
         // Map the footprint; frame numbers are irrelevant here.
         const Vpn base = addrToVpn(GiB(256));
+        mappedPages = pages;
         if (huge) {
             for (Vpn v = base; v < base + pages; v += kPagesPerHuge)
                 pt.mapHuge(v, v, 0);
@@ -144,6 +147,60 @@ struct HotpathPoint
         return perAccessNs(t0, t1, sink);
     }
 
+    /**
+     * Accessed-bit shadow touches (`Process::tick`'s touch stage):
+     * ns per `PageTable::touch`.
+     */
+    double
+    timeTouchRep()
+    {
+        std::uint64_t sink = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t it = 0; it < kBatchIters; it++) {
+            for (const auto &a : batch)
+                sink += pt.touch(a.vpn, false) ? 1 : 0;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return perAccessNs(t0, t1, sink);
+    }
+
+    /**
+     * Access-tracker sampling stage: one `regionView` scan plus one
+     * EMA step per mapped region, i.e. the work
+     * `AccessTracker::readPhase` does per sampling window, amortized
+     * over the rep's accesses (how it shows up in a system run,
+     * where one window covers many access batches).
+     */
+    double
+    timeTrackerRep()
+    {
+        const std::uint64_t first = addrToVpn(GiB(256)) >> 9;
+        std::vector<Ema> emas(regionCount(), Ema{0.4});
+        std::uint64_t sink = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t it = 0; it < kBatchIters; it++) {
+            for (std::size_t r = 0; r < emas.size(); r++) {
+                const vm::PageTable::RegionView rv =
+                    pt.regionView(first + r);
+                sink += rv.accessed;
+                emas[r].update(static_cast<double>(rv.accessed));
+            }
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        sink += static_cast<std::uint64_t>(emas.back().value());
+        return perAccessNs(t0, t1, sink);
+    }
+
+    std::size_t
+    regionCount() const
+    {
+        // Footprint in 2MB regions (>= 1; the batch maps >= 512
+        // base pages).
+        return (mappedPages + 511) / 512;
+    }
+
+    std::uint64_t mappedPages = 0;
+
   private:
     static double
     perAccessNs(std::chrono::steady_clock::time_point t0,
@@ -176,6 +233,8 @@ runWallclockHotpath(const hawksim::harness::WallclockMode &mode)
     harness::Json points = harness::Json::array();
     std::vector<double> walk_c_medians, walk_u_medians;
     std::vector<double> sim_c_medians, sim_u_medians;
+    std::vector<double> stage_probe_medians, stage_touch_medians;
+    std::vector<double> stage_tracker_medians;
 
     std::size_t done = 0;
     const std::size_t total = catalog.size() * 2;
@@ -188,10 +247,13 @@ runWallclockHotpath(const hawksim::harness::WallclockMode &mode)
             point.timeWalkRep();
             point.timeSimulateRep();
             std::vector<double> walk_c, walk_u, sim_c, sim_u;
+            std::vector<double> touch_ns, tracker_ns;
             for (unsigned r = 0; r < mode.repeat; r++) {
                 vm::PageTable::setTranslationCacheEnabled(true);
                 walk_c.push_back(point.timeWalkRep());
                 sim_c.push_back(point.timeSimulateRep());
+                touch_ns.push_back(point.timeTouchRep());
+                tracker_ns.push_back(point.timeTrackerRep());
                 vm::PageTable::setTranslationCacheEnabled(false);
                 walk_u.push_back(point.timeWalkRep());
                 sim_u.push_back(point.timeSimulateRep());
@@ -202,10 +264,20 @@ runWallclockHotpath(const hawksim::harness::WallclockMode &mode)
             const double wu_med = median(walk_u);
             const double sc_med = median(sim_c);
             const double su_med = median(sim_u);
+            const double touch_med = median(touch_ns);
+            const double tracker_med = median(tracker_ns);
+            // Stage attribution: translate is measured directly; the
+            // probe stage is the remainder of the simulate batch
+            // (set-assoc probes, walk-cost model, accounting) after
+            // the translate stage it embeds.
+            const double probe_med = std::max(sc_med - wc_med, 0.0);
             walk_c_medians.push_back(wc_med);
             walk_u_medians.push_back(wu_med);
             sim_c_medians.push_back(sc_med);
             sim_u_medians.push_back(su_med);
+            stage_probe_medians.push_back(probe_med);
+            stage_touch_medians.push_back(touch_med);
+            stage_tracker_medians.push_back(tracker_med);
 
             harness::Json p = harness::Json::object();
             p.set("app", app.name);
@@ -220,6 +292,14 @@ runWallclockHotpath(const hawksim::harness::WallclockMode &mode)
             p.set("simulate_cached_ns_median", sc_med);
             p.set("simulate_uncached_ns_median", su_med);
             p.set("simulate_speedup_median", su_med / sc_med);
+            // Per-stage breakdown (cached variant, ns per access):
+            // translate (lookupAndTouch), tlb-probe (simulate minus
+            // its embedded translate), touch (accessed-bit shadow
+            // sample), tracker (region scan + EMA, amortized).
+            p.set("stage_translate_ns", wc_med);
+            p.set("stage_tlb_probe_ns", probe_med);
+            p.set("stage_touch_ns", touch_med);
+            p.set("stage_tracker_ns", tracker_med);
             points.push(std::move(p));
 
             done++;
@@ -250,6 +330,15 @@ runWallclockHotpath(const hawksim::harness::WallclockMode &mode)
     summary.set("simulate_cached_ns_per_access_median", sc_grid);
     summary.set("simulate_uncached_ns_per_access_median", su_grid);
     summary.set("simulate_speedup_median", su_grid / sc_grid);
+    // Stage medians across the grid (see the per-point keys). The
+    // BENCH_PR3 summary keys above are unchanged for comparability.
+    summary.set("stage_translate_ns_per_access_median", wc_grid);
+    summary.set("stage_tlb_probe_ns_per_access_median",
+                median(stage_probe_medians));
+    summary.set("stage_touch_ns_per_access_median",
+                median(stage_touch_medians));
+    summary.set("stage_tracker_ns_per_access_median",
+                median(stage_tracker_medians));
     root.set("summary", std::move(summary));
     root.set("points", std::move(points));
 

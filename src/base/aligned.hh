@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cache-line-aligned storage for the data-oriented hot paths.
+ *
+ * The SoA frame table and TLB way arrays are scanned in tight loops;
+ * aligning each column to a cache-line boundary keeps a way-group or
+ * a run of per-frame bytes from straddling lines and lets the batched
+ * loops prefetch whole lines meaningfully.
+ */
+
+#ifndef HAWKSIM_BASE_ALIGNED_HH
+#define HAWKSIM_BASE_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+/**
+ * Force-inline for the probe helpers that must flatten into their
+ * caller's loop body — the optimizer's size heuristics give up
+ * exactly where cursor state needs to stay in registers.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define HAWKSIM_ALWAYS_INLINE inline __attribute__((always_inline))
+#define HAWKSIM_NOINLINE __attribute__((noinline))
+#else
+#define HAWKSIM_ALWAYS_INLINE inline
+#define HAWKSIM_NOINLINE
+#endif
+
+namespace hawksim {
+
+/** Size of one cache line; columns are aligned to this. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Minimal std::allocator substitute with cache-line alignment. */
+template <class T>
+struct CacheAlignedAllocator
+{
+    using value_type = T;
+
+    CacheAlignedAllocator() = default;
+    template <class U>
+    CacheAlignedAllocator(const CacheAlignedAllocator<U> &)
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t{kCacheLineBytes});
+    }
+
+    template <class U>
+    bool
+    operator==(const CacheAlignedAllocator<U> &) const
+    {
+        return true;
+    }
+    template <class U>
+    bool
+    operator!=(const CacheAlignedAllocator<U> &) const
+    {
+        return false;
+    }
+};
+
+/** A std::vector whose storage starts on a cache-line boundary. */
+template <class T>
+using AlignedVec = std::vector<T, CacheAlignedAllocator<T>>;
+
+/** Hint the hardware prefetcher at @p p (no-op where unsupported). */
+inline void
+prefetchRead(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+    (void)p;
+#endif
+}
+
+inline void
+prefetchWrite(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+    (void)p;
+#endif
+}
+
+} // namespace hawksim
+
+#endif // HAWKSIM_BASE_ALIGNED_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SIMD feature gate for the data-oriented hot paths.
+ *
+ * `HAWKSIM_SIMD_SSE2` is 1 when explicit SSE2 kernels should be used
+ * and 0 otherwise. Every SIMD kernel in the tree has a scalar
+ * fallback that produces bit-identical results — integer kernels
+ * trivially, floating-point kernels because the build uses no FMA
+ * contraction (no -march flags) and SSE2 mul/add are the same IEEE
+ * ops as their scalar forms. CI builds both variants and compares
+ * reports byte-for-byte.
+ *
+ * The `HAWKSIM_NO_SIMD` CMake option (-DHAWKSIM_NO_SIMD) forces the
+ * scalar fallbacks everywhere.
+ */
+
+#ifndef HAWKSIM_BASE_SIMD_HH
+#define HAWKSIM_BASE_SIMD_HH
+
+#if defined(__SSE2__) && !defined(HAWKSIM_NO_SIMD)
+#define HAWKSIM_SIMD_SSE2 1
+#include <emmintrin.h>
+#else
+#define HAWKSIM_SIMD_SSE2 0
+#endif
+
+#endif // HAWKSIM_BASE_SIMD_HH

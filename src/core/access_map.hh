@@ -14,6 +14,7 @@
 #ifndef HAWKSIM_CORE_ACCESS_MAP_HH
 #define HAWKSIM_CORE_ACCESS_MAP_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <optional>
@@ -33,13 +34,19 @@ class AccessMap
   public:
     static constexpr unsigned kBuckets = 10;
 
-    /** Bucket index for an access-coverage value in [0, 512]. */
+    /**
+     * Bucket index for an access-coverage value in [0, 512]. The
+     * clamp is a min (a conditional move, not a branch): coverage
+     * values cluster around bucket boundaries, so a compare-and-jump
+     * here is data-dependent and mispredicts in the sorted-update
+     * loops that call this per region.
+     */
     static unsigned
     bucketFor(double coverage)
     {
-        auto b = static_cast<unsigned>(coverage /
-                                       (512.0 / kBuckets));
-        return b >= kBuckets ? kBuckets - 1 : b;
+        const auto b = static_cast<unsigned>(coverage /
+                                             (512.0 / kBuckets));
+        return std::min(b, kBuckets - 1);
     }
 
     /**

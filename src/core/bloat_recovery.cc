@@ -119,7 +119,7 @@ BloatRecovery::scanRegion(sim::System &sys, sim::Process &proc,
     std::uint64_t deduped = 0;
     for (unsigned i = 0; i < kPagesPerHuge; i++) {
         vm::Translation t = space.pageTable().lookup(base + i);
-        const mem::Frame &f = sys.phys().frame(t.pfn);
+        const mem::ConstFrameRef f = sys.phys().frame(t.pfn);
         if (f.isShared() || f.mapCount != 1)
             continue; // KSM already owns this frame
         if (f.content.isZero()) {

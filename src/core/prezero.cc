@@ -26,7 +26,7 @@ AsyncZeroDaemon::periodic(sim::System &sys, TimeNs dt)
             continue;
         }
         for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
-            mem::Frame &f = sys.phys().frame(p);
+            mem::FrameRef f = sys.phys().frame(p);
             f.content = mem::PageContent::zero();
             f.set(mem::kFrameZeroed);
         }

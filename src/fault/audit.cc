@@ -51,7 +51,7 @@ auditFrames(sim::System &sys, AuditReport &rep)
                 return;
             }
             for (Pfn p = pfn; p < pfn + n; p++) {
-                const mem::Frame &f = phys.frame(p);
+                const mem::ConstFrameRef f = phys.frame(p);
                 expected[p]++;
                 HS_AUDIT_CHECK(rep, ViolationClass::kPteFreeFrame,
                                !f.isFree(), "pid ", pid, " vpn ", vpn,
@@ -67,7 +67,7 @@ auditFrames(sim::System &sys, AuditReport &rep)
     }
 
     for (Pfn p = 0; p < frames; p++) {
-        const mem::Frame &f = phys.frame(p);
+        const mem::ConstFrameRef f = phys.frame(p);
         if (f.isFree()) {
             HS_AUDIT_CHECK(rep, ViolationClass::kFrameRefcount,
                            expected[p] == 0, "free pfn ", p,
@@ -401,7 +401,7 @@ auditSnapshot(sim::System &sys, AuditReport &rep)
         // Frame-table recount of exclusively-owned frames.
         std::uint64_t frame_rss = 0;
         for (Pfn p = 0; p < frames; p++) {
-            const mem::Frame &f = phys.frame(p);
+            const mem::ConstFrameRef f = phys.frame(p);
             if (!f.isFree() && !f.isShared() && f.ownerPid == pid &&
                 f.mapCount > 0) {
                 frame_rss++;

@@ -80,7 +80,7 @@ printUsage(const char *argv0)
         "  --quiet          no per-run progress on stderr\n"
         "  --wallclock      run the wall-clock hot-path benchmark\n"
         "                   instead of the experiment grid; writes\n"
-        "                   BENCH_PR3.json (override with --out)\n"
+        "                   BENCH_PR8.json (override with --out)\n"
         "  --repeat N       wallclock: timed repetitions per point\n"
         "                   (default 5; min/median are reported)\n"
         "  --help           this text\n",

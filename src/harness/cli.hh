@@ -42,8 +42,8 @@ struct WallclockMode
 {
     /** Timed repetitions per grid point (min/median are reported). */
     unsigned repeat = 5;
-    /** Output JSON path (default: BENCH_PR3.json at the cwd root). */
-    std::string out = "BENCH_PR3.json";
+    /** Output JSON path (default: BENCH_PR8.json at the cwd root). */
+    std::string out = "BENCH_PR8.json";
     bool quiet = false;
     /** The micro-driver; returns a process exit code. */
     std::function<int(const WallclockMode &)> run;

@@ -88,7 +88,7 @@ KsmDaemon::scanProcess(sim::System &sys, sim::Process &proc)
                 t.entry.cow()) {
                 continue;
             }
-            const mem::Frame &frame = sys.phys().frame(t.pfn);
+            const mem::ConstFrameRef frame = sys.phys().frame(t.pfn);
             if (frame.isShared() || frame.mapCount != 1)
                 continue; // already merged elsewhere
             const mem::PageContent content = contentOf(sys, proc, vpn);
@@ -110,7 +110,7 @@ KsmDaemon::scanProcess(sim::System &sys, sim::Process &proc)
             if (canonical == t.pfn)
                 continue;
             // The canonical frame may have been freed since; verify.
-            const mem::Frame &cf = sys.phys().frame(canonical);
+            const mem::ConstFrameRef cf = sys.phys().frame(canonical);
             if (cf.isFree() || !(cf.content == content)) {
                 it->second = t.pfn; // refresh the stable entry
                 continue;

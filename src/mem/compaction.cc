@@ -11,7 +11,7 @@ Compactor::movableCost(Pfn region_start) const
 {
     std::uint64_t allocated = 0;
     for (Pfn p = region_start; p < region_start + kPagesPerHuge; p++) {
-        const Frame &f = phys_.frame(p);
+        const ConstFrameRef f = phys_.frame(p);
         if (f.isFree())
             continue;
         if (f.isUnmovable() || f.isShared() || f.isReserved())
@@ -95,7 +95,7 @@ Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate,
     // Migrate every allocated frame out of the chosen region.
     const Pfn start = *best;
     for (Pfn p = start; p < start + kPagesPerHuge; p++) {
-        Frame &src = phys_.frame(p);
+        FrameRef src = phys_.frame(p);
         if (src.isFree())
             continue;
         // Chaos: a failed migration aborts the pass gracefully, the
@@ -129,7 +129,7 @@ Compactor::compactOne(PageMover &mover, std::uint64_t max_migrate,
             return res;
         }
         // Copy content and fix metadata/mappings.
-        Frame &d = phys_.frame(dst->pfn);
+        FrameRef d = phys_.frame(dst->pfn);
         d.content = src.content;
         d.flags = src.flags & static_cast<std::uint8_t>(~kFrameFree);
         d.ownerPid = src.ownerPid;
@@ -161,7 +161,7 @@ Fragmenter::fragment(double fraction, Rng &rng)
         auto blk = phys_.allocSpecificFrame(target, kKernelOwner);
         if (!blk)
             continue; // frame already in use
-        Frame &f = phys_.frame(target);
+        FrameRef f = phys_.frame(target);
         f.set(kFrameUnmovable);
         pinned_.push_back(target);
     }
@@ -218,7 +218,7 @@ Fragmenter::releaseMovable()
     for (Pfn p : movable_) {
         // Compaction may have migrated (and thereby freed) the frame
         // we pinned; only release frames we still hold.
-        const Frame &f = phys_.frame(p);
+        const ConstFrameRef f = phys_.frame(p);
         if (f.isFree() || f.ownerPid != kKernelOwner)
             continue;
         phys_.freeBlock(p, 0);

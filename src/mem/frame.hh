@@ -1,6 +1,14 @@
 /**
  * @file
  * Per-frame metadata (the simulator's struct page).
+ *
+ * The frame table proper lives in PhysicalMemory as struct-of-arrays
+ * columns (flags / ownerPid / mapCount / content / rmapVpn) so the
+ * per-access hot loops and the audit/snapshot sweeps touch only the
+ * columns they need. `Frame` remains the value type (snapshot RLE
+ * runs, tests); `FrameRef`/`ConstFrameRef` are thin proxies over one
+ * row of the columns so call sites keep the familiar
+ * `phys.frame(pfn).mapCount` shape.
  */
 
 #ifndef HAWKSIM_MEM_FRAME_HH
@@ -24,7 +32,7 @@ enum FrameFlags : std::uint8_t
 };
 
 /**
- * Metadata for one 4KB physical frame.
+ * Metadata for one 4KB physical frame, as a value.
  *
  * Exclusively-mapped anonymous frames carry a one-entry reverse map
  * (ownerPid, vpn) so the compactor can migrate them; shared frames
@@ -55,6 +63,83 @@ struct Frame
 
     void set(FrameFlags f) { flags |= f; }
     void clear(FrameFlags f) { flags &= static_cast<std::uint8_t>(~f); }
+};
+
+/**
+ * Mutable view of one frame-table row. The members are references
+ * into PhysicalMemory's columns, so `f.mapCount++` and `&f.content`
+ * behave exactly as they did when Frame was stored in-place. Column
+ * storage never reallocates after construction, so a held ref stays
+ * valid across alloc/free of other frames.
+ */
+struct FrameRef
+{
+    std::uint8_t &flags;
+    std::int32_t &ownerPid;
+    std::uint64_t &mapCount;
+    PageContent &content;
+    Vpn &rmapVpn;
+
+    bool isFree() const { return flags & kFrameFree; }
+    bool isUnmovable() const { return flags & kFrameUnmovable; }
+    bool isZeroed() const { return flags & kFrameZeroed; }
+    bool isShared() const { return flags & kFrameShared; }
+    bool isReserved() const { return flags & kFrameReserved; }
+
+    void set(FrameFlags f) { flags |= f; }
+    void clear(FrameFlags f) { flags &= static_cast<std::uint8_t>(~f); }
+
+    /** Materialize the row as a value (snapshot runs, copies). */
+    Frame
+    value() const
+    {
+        return Frame{flags, ownerPid, mapCount, content, rmapVpn};
+    }
+
+    /** Assign all fields from a value in one go. */
+    FrameRef &
+    operator=(const Frame &v)
+    {
+        flags = v.flags;
+        ownerPid = v.ownerPid;
+        mapCount = v.mapCount;
+        content = v.content;
+        rmapVpn = v.rmapVpn;
+        return *this;
+    }
+};
+
+/** Read-only view of one frame-table row. */
+struct ConstFrameRef
+{
+    const std::uint8_t &flags;
+    const std::int32_t &ownerPid;
+    const std::uint64_t &mapCount;
+    const PageContent &content;
+    const Vpn &rmapVpn;
+
+    ConstFrameRef(const std::uint8_t &fl, const std::int32_t &owner,
+                  const std::uint64_t &mc, const PageContent &c,
+                  const Vpn &rv)
+        : flags(fl), ownerPid(owner), mapCount(mc), content(c), rmapVpn(rv)
+    {}
+
+    ConstFrameRef(const FrameRef &f)
+        : flags(f.flags), ownerPid(f.ownerPid), mapCount(f.mapCount),
+          content(f.content), rmapVpn(f.rmapVpn)
+    {}
+
+    bool isFree() const { return flags & kFrameFree; }
+    bool isUnmovable() const { return flags & kFrameUnmovable; }
+    bool isZeroed() const { return flags & kFrameZeroed; }
+    bool isShared() const { return flags & kFrameShared; }
+    bool isReserved() const { return flags & kFrameReserved; }
+
+    Frame
+    value() const
+    {
+        return Frame{flags, ownerPid, mapCount, content, rmapVpn};
+    }
 };
 
 } // namespace hawksim::mem

@@ -6,21 +6,24 @@
 namespace hawksim::mem {
 
 PhysicalMemory::PhysicalMemory(std::uint64_t bytes, bool initially_zeroed)
-    : frames_(bytes / kPageSize), buddy_(bytes / kPageSize,
-                                         initially_zeroed)
+    : frameCount_(bytes / kPageSize),
+      flags_(frameCount_, initially_zeroed
+                              ? static_cast<std::uint8_t>(kFrameFree |
+                                                          kFrameZeroed)
+                              : static_cast<std::uint8_t>(kFrameFree)),
+      owner_(frameCount_, -1), map_count_(frameCount_, 0),
+      content_(frameCount_, PageContent::zero()),
+      rmap_vpn_(frameCount_, 0),
+      buddy_(bytes / kPageSize, initially_zeroed)
 {
     HS_ASSERT(bytes >= kHugePageSize,
               "physical memory too small: ", bytes);
-    if (initially_zeroed) {
-        for (auto &f : frames_)
-            f.set(kFrameZeroed);
-    }
     // Reserve the canonical zero page: a shared, unmovable, zero-filled
     // frame that zero-dedup points page tables at.
     auto blk = allocBlock(0, kKernelOwner, ZeroPref::kPreferZero);
     HS_ASSERT(blk.has_value(), "cannot reserve canonical zero page");
     zero_page_pfn_ = blk->pfn;
-    Frame &zf = frame(zero_page_pfn_);
+    FrameRef zf = frame(zero_page_pfn_);
     zf.set(kFrameUnmovable);
     zf.set(kFrameShared);
     zf.set(kFrameZeroed);
@@ -34,13 +37,14 @@ PhysicalMemory::allocBlock(unsigned order, std::int32_t owner,
     auto blk = buddy_.alloc(order, pref);
     if (!blk)
         return std::nullopt;
+    const std::uint8_t fl = blk->zeroed ? kFrameZeroed : 0;
     for (Pfn p = blk->pfn; p < blk->pfn + blk->pages(); p++) {
-        Frame &f = frames_[p];
-        f.flags = blk->zeroed ? kFrameZeroed : 0;
-        f.ownerPid = owner;
-        f.mapCount = 0;
-        f.content = blk->zeroed ? PageContent::zero() : f.content;
-        f.rmapVpn = 0;
+        flags_[p] = fl;
+        owner_[p] = owner;
+        map_count_[p] = 0;
+        if (blk->zeroed)
+            content_[p] = PageContent::zero();
+        rmap_vpn_[p] = 0;
     }
     if (observer_)
         observer_(blk->pfn, blk->order, true);
@@ -53,11 +57,10 @@ PhysicalMemory::allocSpecificFrame(Pfn pfn, std::int32_t owner)
     auto blk = buddy_.allocSpecific(pfn);
     if (!blk)
         return std::nullopt;
-    Frame &f = frames_[pfn];
-    f.flags = blk->zeroed ? kFrameZeroed : 0;
-    f.ownerPid = owner;
-    f.mapCount = 0;
-    f.rmapVpn = 0;
+    flags_[pfn] = blk->zeroed ? kFrameZeroed : 0;
+    owner_[pfn] = owner;
+    map_count_[pfn] = 0;
+    rmap_vpn_[pfn] = 0;
     if (observer_)
         observer_(blk->pfn, blk->order, true);
     return blk;
@@ -72,20 +75,21 @@ PhysicalMemory::freeBlock(Pfn pfn, unsigned order)
         observer_(pfn, order, false);
     // Return maximal runs of same zero-ness; the buddy re-coalesces.
     Pfn run_start = pfn;
-    bool run_zero = frames_[pfn].isZeroed() && frames_[pfn].content.isZero();
+    bool run_zero =
+        (flags_[pfn] & kFrameZeroed) && content_[pfn].isZero();
     for (Pfn p = pfn; p < end; p++) {
-        Frame &f = frames_[p];
-        HS_ASSERT(!f.isFree(), "double free of frame ", p);
-        HS_ASSERT(f.mapCount == 0, "freeing mapped frame ", p,
-                  " owner=", f.ownerPid, " mapCount=", f.mapCount,
-                  " flags=", static_cast<int>(f.flags),
-                  " rmapVpn=", f.rmapVpn, " blockStart=", pfn,
+        HS_ASSERT(!(flags_[p] & kFrameFree), "double free of frame ", p);
+        HS_ASSERT(map_count_[p] == 0, "freeing mapped frame ", p,
+                  " owner=", owner_[p], " mapCount=", map_count_[p],
+                  " flags=", static_cast<int>(flags_[p]),
+                  " rmapVpn=", rmap_vpn_[p], " blockStart=", pfn,
                   " order=", order);
-        const bool z = f.isZeroed() && f.content.isZero();
+        const bool z =
+            (flags_[p] & kFrameZeroed) && content_[p].isZero();
         if (z != run_zero) {
             for (Pfn q = run_start; q < p; q++) {
-                frames_[q].flags = kFrameFree;
-                frames_[q].ownerPid = -1;
+                flags_[q] = kFrameFree;
+                owner_[q] = -1;
             }
             // Free the finished run frame-by-frame; buddy coalesces.
             for (Pfn q = run_start; q < p; q++)
@@ -95,8 +99,8 @@ PhysicalMemory::freeBlock(Pfn pfn, unsigned order)
         }
     }
     for (Pfn q = run_start; q < end; q++) {
-        frames_[q].flags = kFrameFree;
-        frames_[q].ownerPid = -1;
+        flags_[q] = kFrameFree;
+        owner_[q] = -1;
     }
     if (run_start == pfn) {
         // Homogeneous block: free it whole (fast path).
@@ -110,82 +114,80 @@ PhysicalMemory::freeBlock(Pfn pfn, unsigned order)
 void
 PhysicalMemory::writeFrame(Pfn pfn, const PageContent &content)
 {
-    Frame &f = frames_.at(pfn);
-    HS_ASSERT(!f.isFree(), "write to free frame ", pfn);
-    f.content = content;
+    HS_ASSERT(pfn < frameCount_, "write to pfn out of range: ", pfn);
+    HS_ASSERT(!(flags_[pfn] & kFrameFree), "write to free frame ", pfn);
+    content_[pfn] = content;
     if (!content.isZero())
-        f.clear(kFrameZeroed);
+        flags_[pfn] &= static_cast<std::uint8_t>(~kFrameZeroed);
     else
-        f.set(kFrameZeroed);
+        flags_[pfn] |= kFrameZeroed;
 }
 
 void
 PhysicalMemory::zeroFrame(Pfn pfn)
 {
-    Frame &f = frames_.at(pfn);
-    f.content = PageContent::zero();
-    f.set(kFrameZeroed);
+    HS_ASSERT(pfn < frameCount_, "zero of pfn out of range: ", pfn);
+    content_[pfn] = PageContent::zero();
+    flags_[pfn] |= kFrameZeroed;
 }
 
 void
 PhysicalMemory::onMap(Pfn pfn, std::int32_t pid, Vpn vpn)
 {
-    Frame &f = frames_.at(pfn);
-    HS_ASSERT(!f.isFree(), "mapping free frame ", pfn);
-    f.mapCount++;
-    if (f.mapCount == 1 && !f.isShared()) {
-        f.ownerPid = pid;
-        f.rmapVpn = vpn;
+    HS_ASSERT(pfn < frameCount_, "map of pfn out of range: ", pfn);
+    HS_ASSERT(!(flags_[pfn] & kFrameFree), "mapping free frame ", pfn);
+    map_count_[pfn]++;
+    if (map_count_[pfn] == 1 && !(flags_[pfn] & kFrameShared)) {
+        owner_[pfn] = pid;
+        rmap_vpn_[pfn] = vpn;
     }
 }
 
 void
 PhysicalMemory::onUnmap(Pfn pfn)
 {
-    Frame &f = frames_.at(pfn);
-    HS_ASSERT(f.mapCount > 0, "unmap of unmapped frame ", pfn);
-    f.mapCount--;
+    HS_ASSERT(pfn < frameCount_, "unmap of pfn out of range: ", pfn);
+    HS_ASSERT(map_count_[pfn] > 0, "unmap of unmapped frame ", pfn);
+    map_count_[pfn]--;
 }
 
-namespace {
-
-bool
-sameFrame(const Frame &a, const Frame &b)
+std::uint64_t
+PhysicalMemory::countZeroBacked(Pfn pfn, std::uint64_t n) const
 {
-    return a.flags == b.flags && a.ownerPid == b.ownerPid &&
-           a.mapCount == b.mapCount && a.content == b.content &&
-           a.rmapVpn == b.rmapVpn;
+    HS_ASSERT(pfn + n <= frameCount_, "countZeroBacked out of range");
+    std::uint64_t zero = 0;
+    const PageContent *col = content_.data() + pfn;
+    for (std::uint64_t i = 0; i < n; i++)
+        zero += col[i].isZero() ? 1u : 0u;
+    return zero;
 }
-
-} // namespace
 
 void
 PhysicalMemory::save(snap::Writer &w) const
 {
-    w.u64(frames_.size());
+    w.u64(frameCount_);
     w.u64(zero_page_pfn_);
-    // Greedy maximal runs: deterministic, and collapses the huge
-    // stretches of identical free/boot frames.
+    // Greedy maximal runs over the columns: deterministic, and
+    // collapses the huge stretches of identical free/boot frames.
     std::uint64_t runs = 0;
-    for (std::size_t i = 0; i < frames_.size();) {
+    for (std::size_t i = 0; i < frameCount_;) {
         std::size_t j = i + 1;
-        while (j < frames_.size() && sameFrame(frames_[j], frames_[i]))
+        while (j < frameCount_ && sameRow(j, i))
             j++;
         runs++;
         i = j;
     }
     w.u64(runs);
-    for (std::size_t i = 0; i < frames_.size();) {
+    for (std::size_t i = 0; i < frameCount_;) {
         std::size_t j = i + 1;
-        while (j < frames_.size() && sameFrame(frames_[j], frames_[i]))
+        while (j < frameCount_ && sameRow(j, i))
             j++;
-        const Frame &f = frames_[i];
         w.u64(j - i);
-        w.u8(f.flags);
-        w.i32(f.ownerPid);
-        w.u64(f.mapCount);
-        f.content.save(w);
-        w.u64(f.rmapVpn);
+        w.u8(flags_[i]);
+        w.i32(owner_[i]);
+        w.u64(map_count_[i]);
+        content_[i].save(w);
+        w.u64(rmap_vpn_[i]);
         i = j;
     }
 }
@@ -194,9 +196,9 @@ void
 PhysicalMemory::load(snap::Reader &r)
 {
     const std::uint64_t total = r.u64();
-    HS_ASSERT(total == frames_.size(),
+    HS_ASSERT(total == frameCount_,
               "snapshot: frame count ", total, " != configured ",
-              frames_.size());
+              frameCount_);
     const Pfn zp = r.u64();
     HS_ASSERT(zp == zero_page_pfn_,
               "snapshot: zero-page pfn mismatch");
@@ -210,14 +212,20 @@ PhysicalMemory::load(snap::Reader &r)
         f.mapCount = r.u64();
         f.content.load(r);
         f.rmapVpn = r.u64();
-        HS_ASSERT(at + count <= frames_.size(),
+        HS_ASSERT(at + count <= frameCount_,
                   "snapshot: frame runs exceed frame table");
-        for (std::uint64_t k = 0; k < count; k++)
-            frames_[at++] = f;
+        for (std::uint64_t k = 0; k < count; k++) {
+            flags_[at] = f.flags;
+            owner_[at] = f.ownerPid;
+            map_count_[at] = f.mapCount;
+            content_[at] = f.content;
+            rmap_vpn_[at] = f.rmapVpn;
+            at++;
+        }
     }
-    HS_ASSERT(at == frames_.size(),
+    HS_ASSERT(at == frameCount_,
               "snapshot: frame runs cover ", at, " of ",
-              frames_.size(), " frames");
+              frameCount_, " frames");
 }
 
 } // namespace hawksim::mem

@@ -3,6 +3,13 @@
  * Physical memory: the frame table plus the buddy allocator, with
  * ownership/reverse-map bookkeeping and the canonical zero page used
  * for zero-page deduplication (HawkEye §3.2).
+ *
+ * The frame table is stored as cache-aligned struct-of-arrays columns
+ * (flags / ownerPid / mapCount / content / rmapVpn). Hot loops that
+ * only need one attribute — the auditor's refcount sweep, the
+ * introspection zero-backed counts, the snapshot RLE — iterate a
+ * single column instead of striding over ~40-byte Frame records;
+ * call sites that want the whole row go through the FrameRef facade.
  */
 
 #ifndef HAWKSIM_MEM_PHYS_HH
@@ -11,8 +18,9 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <vector>
 
+#include "base/aligned.hh"
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "mem/buddy.hh"
 #include "mem/frame.hh"
@@ -64,8 +72,20 @@ class PhysicalMemory
 
     /** @name Frame metadata */
     /// @{
-    Frame &frame(Pfn pfn) { return frames_.at(pfn); }
-    const Frame &frame(Pfn pfn) const { return frames_.at(pfn); }
+    FrameRef
+    frame(Pfn pfn)
+    {
+        HS_ASSERT(pfn < frameCount_, "frame pfn out of range: ", pfn);
+        return FrameRef{flags_[pfn], owner_[pfn], map_count_[pfn],
+                        content_[pfn], rmap_vpn_[pfn]};
+    }
+    ConstFrameRef
+    frame(Pfn pfn) const
+    {
+        HS_ASSERT(pfn < frameCount_, "frame pfn out of range: ", pfn);
+        return ConstFrameRef{flags_[pfn], owner_[pfn], map_count_[pfn],
+                             content_[pfn], rmap_vpn_[pfn]};
+    }
 
     /**
      * Record an application write to a frame: updates the content
@@ -81,9 +101,34 @@ class PhysicalMemory
     void onUnmap(Pfn pfn);
     /// @}
 
+    /** @name Column access (audit/snapshot/introspection sweeps) */
+    /// @{
+    const std::uint8_t *flagsColumn() const { return flags_.data(); }
+    const std::int32_t *ownerColumn() const { return owner_.data(); }
+    const std::uint64_t *mapCountColumn() const
+    {
+        return map_count_.data();
+    }
+    const PageContent *contentColumn() const { return content_.data(); }
+    const Vpn *rmapVpnColumn() const { return rmap_vpn_.data(); }
+
+    /** Count zero-content frames in [pfn, pfn + n). */
+    std::uint64_t countZeroBacked(Pfn pfn, std::uint64_t n) const;
+
+    /** Prefetch the hot columns (flags + content) for @p pfn. */
+    void
+    prefetchFrame(Pfn pfn) const
+    {
+        if (pfn < frameCount_) {
+            prefetchRead(&flags_[pfn]);
+            prefetchWrite(&content_[pfn]);
+        }
+    }
+    /// @}
+
     /** @name Introspection */
     /// @{
-    std::uint64_t totalFrames() const { return frames_.size(); }
+    std::uint64_t totalFrames() const { return frameCount_; }
     std::uint64_t freeFrames() const { return buddy_.freePages(); }
     std::uint64_t usedFrames() const
     {
@@ -125,7 +170,21 @@ class PhysicalMemory
     void load(snap::Reader &r);
 
   private:
-    std::vector<Frame> frames_;
+    /** True when rows @p a and @p b hold identical metadata. */
+    bool
+    sameRow(std::size_t a, std::size_t b) const
+    {
+        return flags_[a] == flags_[b] && owner_[a] == owner_[b] &&
+               map_count_[a] == map_count_[b] &&
+               content_[a] == content_[b] && rmap_vpn_[a] == rmap_vpn_[b];
+    }
+
+    std::uint64_t frameCount_ = 0;
+    AlignedVec<std::uint8_t> flags_;
+    AlignedVec<std::int32_t> owner_;
+    AlignedVec<std::uint64_t> map_count_;
+    AlignedVec<PageContent> content_;
+    AlignedVec<Vpn> rmap_vpn_;
     BuddyAllocator buddy_;
     Pfn zero_page_pfn_ = kInvalidPfn;
     AllocObserver observer_;

@@ -78,7 +78,15 @@ snapshotProcess(sim::Process &proc, mem::PhysicalMemory &phys,
     pi.tlb.pwcPdpte = level(occ.pwcPdpteUsed, occ.pwcPdpteSize);
 
     // One deterministic page-table walk builds the pagemap view;
-    // everything else aggregates from it.
+    // everything else aggregates from it. The walk reads the frame
+    // table through its columns directly: a huge leaf needs 512
+    // content words (one countZeroBacked pass over the content
+    // column), a base leaf needs exactly one flags byte and one
+    // content word — materializing a five-column FrameRef per page
+    // would drag the owner/mapCount/rmap columns through the cache
+    // for nothing.
+    const std::uint8_t *frame_flags = phys.flagsColumn();
+    const mem::PageContent *frame_content = phys.contentColumn();
     std::map<std::uint64_t, RegionAccum> regions;
     pt.forEachLeaf([&](Vpn vpn, const vm::Pte &e, bool is_huge) {
         const std::uint64_t r = vpnToHugeRegion(vpn);
@@ -90,11 +98,8 @@ snapshotProcess(sim::Process &proc, mem::PhysicalMemory &phys,
             acc.info.accessed = e.accessed() ? kPagesPerHuge : 0;
             acc.info.dirty = e.dirty() ? kPagesPerHuge : 0;
             acc.owned += kPagesPerHuge;
-            const Pfn block = e.pfn();
-            for (unsigned i = 0; i < kPagesPerHuge; i++) {
-                if (phys.frame(block + i).content.isZero())
-                    acc.info.zeroBacked++;
-            }
+            acc.info.zeroBacked += static_cast<unsigned>(
+                phys.countZeroBacked(e.pfn(), kPagesPerHuge));
         } else {
             acc.info.population++;
             if (e.accessed())
@@ -104,10 +109,10 @@ snapshotProcess(sim::Process &proc, mem::PhysicalMemory &phys,
             if (e.zeroPage()) {
                 acc.info.zeroCow++;
             } else {
-                const mem::Frame &f = phys.frame(e.pfn());
-                if (!f.isShared()) {
+                const Pfn pfn = e.pfn();
+                if (!(frame_flags[pfn] & mem::kFrameShared)) {
                     acc.owned++;
-                    if (f.content.isZero())
+                    if (frame_content[pfn].isZero())
                         acc.info.zeroBacked++;
                 }
             }

@@ -84,7 +84,7 @@ FreeBsdPolicy::breakReservation(sim::System &sys, std::uint64_t k)
                          it->second.pid, sys.now());
     const Pfn block = it->second.block;
     for (Pfn p = block; p < block + kPagesPerHuge; p++) {
-        mem::Frame &f = sys.phys().frame(p);
+        mem::FrameRef f = sys.phys().frame(p);
         if (!f.isReserved())
             continue; // slot was mapped (or already released)
         f.clear(mem::kFrameReserved);

@@ -64,23 +64,10 @@ Process::tick(TimeNs dt)
         // a COW entry touched just before its break is unobservable
         // (breakCow installs fresh accessed|dirty flags anyway).
         if (!oom_) {
-            for (const auto &[vpn, content] : chunk.writes) {
-                vm::Translation t =
-                    space_.pageTable().lookupAndTouch(vpn, true);
-                if (!t.present) {
-                    if (!faultIn(vpn, cost))
-                        break;
-                    t = space_.pageTable().lookupAndTouch(vpn, true);
-                }
-                if (t.entry.cow()) {
-                    const TimeNs c =
-                        sys_.policy().onCowFault(sys_, *this, vpn);
-                    recordCowFault(vpn, c);
-                    cost += c;
-                    t = space_.pageTable().lookupAndTouch(vpn, true);
-                }
-                sys_.phys().writeFrame(t.pfn, content);
-            }
+            if (tlb::TlbModel::batchingEnabled())
+                runWritesBatched(chunk, cost);
+            else
+                runWritesScalar(chunk, cost);
         }
 
         // Accessed-bit shadow sample (for OS access-bit tracking).
@@ -125,6 +112,94 @@ Process::tick(TimeNs dt)
     }
     if (avail < 0)
         debt_ = -avail;
+}
+
+void
+Process::runWritesScalar(const workload::WorkChunk &chunk,
+                         TimeNs &cost)
+{
+    // Reference per-entry loop (batching disabled): translate, fault
+    // or break COW as needed, then install the content — one entry at
+    // a time.
+    for (const auto &[vpn, content] : chunk.writes) {
+        vm::Translation t = space_.pageTable().lookupAndTouch(vpn, true);
+        if (!t.present) {
+            if (!faultIn(vpn, cost))
+                break;
+            t = space_.pageTable().lookupAndTouch(vpn, true);
+        }
+        if (t.entry.cow()) {
+            const TimeNs c = sys_.policy().onCowFault(sys_, *this, vpn);
+            recordCowFault(vpn, c);
+            cost += c;
+            t = space_.pageTable().lookupAndTouch(vpn, true);
+        }
+        sys_.phys().writeFrame(t.pfn, content);
+    }
+}
+
+void
+Process::runWritesBatched(const workload::WorkChunk &chunk,
+                          TimeNs &cost)
+{
+    // Segmented two-phase variant of runWritesScalar: translate a run
+    // of entries that need no OS intervention (present, not COW) into
+    // a reused pfn scratch column, then commit the run's frame writes
+    // with the next frame prefetched ahead of each store. The phases
+    // commute — translations never read frame contents and content
+    // writes never touch the page table — and a repeated vpn resolves
+    // to the same pfn in both phases (nothing changes the mapping in
+    // between), so the observable state after each run matches the
+    // scalar interleaving exactly. The first entry that *does* need
+    // the fault path breaks the run and is handled inline, at its
+    // original position relative to every other page-table and frame
+    // operation; an OOM verdict abandons the rest of the chunk's
+    // writes, exactly like the scalar loop's break.
+    vm::PageTable &pt = space_.pageTable();
+    mem::PhysicalMemory &phys = sys_.phys();
+    const auto &writes = chunk.writes;
+    const std::size_t n = writes.size();
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t start = i;
+        write_pfns_.clear();
+        vm::Translation pending; // breaking entry's translation
+        for (; i < n; i++) {
+            if (i + 1 < n)
+                pt.prefetchTranslation(writes[i + 1].first);
+            pending = pt.lookupAndTouch(writes[i].first, true);
+            if (!pending.present || pending.entry.cow())
+                break;
+            write_pfns_.push_back(pending.pfn);
+        }
+        const std::size_t run = write_pfns_.size();
+        for (std::size_t j = 0; j < run; j++) {
+            if (j + 1 < run)
+                phys.prefetchFrame(write_pfns_[j + 1]);
+            phys.writeFrame(write_pfns_[j],
+                            writes[start + j].second);
+        }
+        if (i == n)
+            break;
+        // Fault path for the entry that broke the run — the same
+        // steps the scalar loop takes from its first lookupAndTouch
+        // (already done above as `pending`).
+        const Vpn vpn = writes[i].first;
+        vm::Translation t = pending;
+        if (!t.present) {
+            if (!faultIn(vpn, cost))
+                return; // OOM: drop the remaining writes
+            t = pt.lookupAndTouch(vpn, true);
+        }
+        if (t.entry.cow()) {
+            const TimeNs c = sys_.policy().onCowFault(sys_, *this, vpn);
+            recordCowFault(vpn, c);
+            cost += c;
+            t = pt.lookupAndTouch(vpn, true);
+        }
+        phys.writeFrame(t.pfn, writes[i].second);
+        i++;
+    }
 }
 
 bool

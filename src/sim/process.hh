@@ -134,6 +134,24 @@ class Process
      */
     bool faultIn(Vpn vpn, TimeNs &cost);
 
+    /**
+     * @name Content-write loop
+     *
+     * Two state-equivalent implementations of the chunk's content
+     * writes, selected by `tlb::TlbModel::batchingEnabled()`. The
+     * batched one runs translate-all / write-all phases over runs of
+     * fault-free entries (prefetching the next PTE and frame column
+     * entry), dropping to the scalar fault path only at the entries
+     * that need it — see runWritesBatched for the equivalence
+     * argument. The scalar one is the per-entry reference loop.
+     */
+    /// @{
+    void runWritesScalar(const workload::WorkChunk &chunk,
+                         TimeNs &cost);
+    void runWritesBatched(const workload::WorkChunk &chunk,
+                          TimeNs &cost);
+    /// @}
+
     /** Account + trace one serviced page fault. */
     void recordFault(Vpn vpn, const policy::FaultOutcome &out);
     /** Account + trace one COW break. */
@@ -164,6 +182,8 @@ class Process
 
     /** Reused across ticks so chunk vectors keep their capacity. */
     workload::WorkChunk chunk_;
+    /** Translated-run pfn column reused by runWritesBatched. */
+    std::vector<Pfn> write_pfns_;
 };
 
 } // namespace hawksim::sim

@@ -339,7 +339,7 @@ System::reclaimPages(std::uint64_t pages, TimeNs *cost)
                             e->clearFlag(vm::kPteAccessed);
                         continue;
                     }
-                    const mem::Frame &f = phys_.frame(t.pfn);
+                    const mem::ConstFrameRef f = phys_.frame(t.pfn);
                     if (f.isShared() || f.mapCount != 1)
                         continue; // KSM pages are not swap targets
                     // Chaos: a failed device write leaves the page
@@ -391,7 +391,7 @@ void
 System::pageMoved(Pfn from, Pfn to)
 {
     (void)from;
-    const mem::Frame &f = phys_.frame(to);
+    const mem::ConstFrameRef f = phys_.frame(to);
     if (f.ownerPid < 0)
         return; // kernel-internal page: no page table to fix
     Process *proc = findProcess(f.ownerPid);

@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -9,23 +10,10 @@
 
 namespace hawksim::tlb {
 
-namespace {
-
-/** Cheap key mixer so strided keys spread across sets. */
-std::uint64_t
-mix(std::uint64_t key)
-{
-    key ^= key >> 33;
-    key *= 0xff51afd7ed558ccdull;
-    key ^= key >> 33;
-    return key;
-}
-
-} // namespace
-
 SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways)
     : sets_(entries / ways), ways_(ways),
-      ways_storage_(static_cast<std::size_t>(entries))
+      keys_(static_cast<std::size_t>(entries), kInvalidKey),
+      lru_(static_cast<std::size_t>(entries), 0)
 {
     HS_ASSERT(entries > 0 && ways > 0 && entries % ways == 0,
               "bad TLB geometry: ", entries, "/", ways);
@@ -33,44 +21,11 @@ SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways)
         mask_ = sets_ - 1;
 }
 
-bool
-SetAssocTlb::lookup(std::uint64_t key)
-{
-    const unsigned set = setOf(mix(key));
-    Way *base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
-    for (unsigned w = 0; w < ways_; w++) {
-        if (base[w].valid && base[w].key == key) {
-            base[w].lru = ++tick_;
-            return true;
-        }
-    }
-    return false;
-}
-
-void
-SetAssocTlb::insert(std::uint64_t key)
-{
-    const unsigned set = setOf(mix(key));
-    Way *base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
-    Way *victim = &base[0];
-    for (unsigned w = 0; w < ways_; w++) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
-    victim->key = key;
-    victim->valid = true;
-    victim->lru = ++tick_;
-}
-
 void
 SetAssocTlb::flush()
 {
-    for (auto &w : ways_storage_)
-        w.valid = false;
+    std::fill(keys_.begin(), keys_.end(), kInvalidKey);
+    memo_key_ = kInvalidKey;
 }
 
 TlbModel::TlbModel(TlbConfig cfg)
@@ -118,10 +73,63 @@ TlbModel::walkLatency(Vpn vpn, bool huge)
     return cost;
 }
 
+HAWKSIM_NOINLINE Cycles
+TlbModel::walkLatencyFused(Vpn vpn, bool huge)
+{
+    // Identical cost model to walkLatency, but every
+    // lookup-then-insert-on-miss pair collapses into one fused probe.
+    // The only reordering is a PWC fill moving ahead of the
+    // corresponding pt-residency load — a different structure, so each
+    // structure still sees exactly the walkLatency op sequence.
+    //
+    // Kept out-of-line on purpose: flattening these three probes into
+    // simulateBatched's loop body (alongside the L1/L2 probes) was
+    // measured slower across the board — the loop body outgrows the
+    // decoded-uop cache. Compact front-probe loop + one call on the
+    // miss path beats a fully fused body.
+    Cycles cost = 4;
+    auto load = [&](std::uint64_t line_id) {
+        cost += pt_residency_.lookupOrInsertAt(
+                    pt_residency_.baseOf(line_id), line_id)
+                    ? cfg_.ptCachedLoadCycles
+                    : cfg_.ptMemoryLoadCycles;
+    };
+    const std::uint64_t pdpte_key = vpn >> 18;
+    if (!pwc_pdpte_.lookupOrInsertAt(pwc_pdpte_.baseOf(pdpte_key),
+                                     pdpte_key))
+        load((vpn >> 21) | (1ull << 60)); // PDPTE line
+    if (huge) {
+        // Walk terminates at the PD level: the PDE is the leaf.
+        load((vpn >> 12) | (2ull << 60));
+    } else {
+        const std::uint64_t pde_key = vpn >> 9;
+        if (!pwc_pde_.lookupOrInsertAt(pwc_pde_.baseOf(pde_key),
+                                       pde_key))
+            load((vpn >> 12) | (2ull << 60)); // PDE line
+        load((vpn >> 3) | (3ull << 60)); // PTE line
+    }
+    if (cfg_.nested)
+        cost = static_cast<Cycles>(static_cast<double>(cost) *
+                                   cfg_.nestedWalkFactor);
+    return cost;
+}
+
+bool TlbModel::batching_enabled_ = true;
+
 TlbBatchResult
 TlbModel::simulate(vm::PageTable &pt,
                    const std::vector<AccessSample> &batch,
                    double sequentiality, double scale)
+{
+    return batching_enabled_
+               ? simulateBatched(pt, batch, sequentiality, scale)
+               : simulateScalar(pt, batch, sequentiality, scale);
+}
+
+TlbBatchResult
+TlbModel::simulateScalar(vm::PageTable &pt,
+                         const std::vector<AccessSample> &batch,
+                         double sequentiality, double scale)
 {
     double load_walk = 0.0;
     double store_walk = 0.0;
@@ -176,6 +184,127 @@ TlbModel::simulate(vm::PageTable &pt,
             load_walk += walk;
     }
 
+    return finishBatch(accesses, misses, load_walk, store_walk, scale);
+}
+
+TlbBatchResult
+TlbModel::simulateBatched(vm::PageTable &pt,
+                          const std::vector<AccessSample> &batch,
+                          double sequentiality, double scale)
+{
+    // Phase 1: translate every sample through the fused walk + tcache,
+    // staging the present ones as columns. Translations never consult
+    // TLB state and probes never read PTEs (lookupAndTouch only sets
+    // accessed/dirty bits), so splitting the per-access loop into
+    // translate-all / probe-all phases is observationally identical to
+    // the scalar interleaving. The slot's L1/L2 set bases are resolved
+    // here too: the key-mix chain is serial per probe but independent
+    // across slots, so it overlaps the pointer-chasing walk stalls
+    // instead of serializing the probe loop.
+    if (slots_.capacity() < batch.size()) {
+        const std::size_t cap = std::bit_ceil(batch.size());
+        slots_.reserve(cap);
+        l1_base_.reserve(cap);
+        l2_base_.reserve(cap);
+        walk_base_.reserve(cap);
+    }
+    slots_.clear();
+    l1_base_.clear();
+    l2_base_.clear();
+    walk_base_.clear();
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; i++) {
+        if (i + 1 < n)
+            pt.prefetchTranslation(batch[i + 1].vpn);
+        const AccessSample &a = batch[i];
+        const vm::Translation t = pt.lookupAndTouch(a.vpn, a.write);
+        if (!t.present)
+            continue;
+        slots_.push_back(
+            BatchSlot{a.vpn, a.write ? 1u : 0u, t.huge ? 1u : 0u});
+        const std::uint64_t region = a.vpn >> 9;
+        if (t.huge) {
+            l1_base_.push_back(
+                static_cast<std::uint32_t>(l1_2m_.baseOf(region)));
+            l2_base_.push_back(static_cast<std::uint32_t>(
+                l2_.baseOf((region << 1) | 1)));
+            walk_base_.push_back(
+                static_cast<std::uint32_t>(pt_residency_.baseOf(
+                    (a.vpn >> 12) | (2ull << 60))));
+        } else {
+            l1_base_.push_back(
+                static_cast<std::uint32_t>(l1_4k_.baseOf(a.vpn)));
+            l2_base_.push_back(static_cast<std::uint32_t>(
+                l2_.baseOf(a.vpn << 1)));
+            walk_base_.push_back(
+                static_cast<std::uint32_t>(pt_residency_.baseOf(
+                    (a.vpn >> 3) | (3ull << 60))));
+        }
+    }
+
+    // Phase 2: probe the hierarchy for every staged translation at its
+    // precomputed set base. Every lookup-then-insert-on-miss pair runs
+    // as one fused probe (`lookupOrInsertAt`) — same per-structure op
+    // sequence, half the set resolutions and no key mixing on the
+    // critical path. The write/load walk split is accumulated
+    // branch-free by indexing with the staged write bit; the
+    // per-accumulator addition order matches the scalar loop exactly,
+    // so the doubles are bit-identical. One slot ahead, the loop
+    // prefetches the two sets the next probe is likely to stall on:
+    // the L2 set (64KB of tags — misses L1d on every random probe)
+    // and the pt-residency set of the next walk's leaf line (512KB —
+    // misses even L2 on the walk-heavy grid points).
+    double walk_acc[2] = {0.0, 0.0}; // [0] = loads, [1] = stores
+    std::uint64_t misses = 0;
+    const double overlap =
+        1.0 - cfg_.sequentialOverlap * sequentiality;
+    const std::size_t m = slots_.size();
+    for (std::size_t i = 0; i < m; i++) {
+        if (i + 1 < m) {
+            l2_.prefetchBase(l2_base_[i + 1]);
+            pt_residency_.prefetchBase(walk_base_[i + 1]);
+        }
+        const BatchSlot &s = slots_[i];
+        double walk = 0.0;
+        if (s.huge) {
+            const std::uint64_t region = s.vpn >> 9;
+            if (audit_log_on_)
+                audit_2m_[region] = pt.translationEpoch();
+            if (l1_2m_.lookupOrInsertAt(l1_base_[i], region)) {
+                // L1 hit: free
+            } else if (l2_.lookupOrInsertAt(l2_base_[i],
+                                            (region << 1) | 1)) {
+                walk = static_cast<double>(cfg_.l2HitCycles);
+            } else {
+                misses++;
+                walk = static_cast<double>(
+                           walkLatencyFused(s.vpn, true)) *
+                       overlap;
+            }
+        } else {
+            if (audit_log_on_)
+                audit_4k_[s.vpn] = pt.translationEpoch();
+            if (l1_4k_.lookupOrInsertAt(l1_base_[i], s.vpn)) {
+                // L1 hit: free
+            } else if (l2_.lookupOrInsertAt(l2_base_[i], s.vpn << 1)) {
+                walk = static_cast<double>(cfg_.l2HitCycles);
+            } else {
+                misses++;
+                walk = static_cast<double>(
+                           walkLatencyFused(s.vpn, false)) *
+                       overlap;
+            }
+        }
+        walk_acc[s.write] += walk;
+    }
+
+    return finishBatch(m, misses, walk_acc[0], walk_acc[1], scale);
+}
+
+TlbBatchResult
+TlbModel::finishBatch(std::uint64_t accesses, std::uint64_t misses,
+                      double load_walk, double store_walk, double scale)
+{
     TlbBatchResult res;
     res.accesses = static_cast<std::uint64_t>(
         std::llround(static_cast<double>(accesses) * scale));
@@ -233,11 +362,13 @@ void
 SetAssocTlb::save(snap::Writer &w) const
 {
     w.u64(tick_);
-    w.u64(ways_storage_.size());
-    for (const Way &way : ways_storage_) {
-        w.u64(way.key);
-        w.u64(way.lru);
-        w.b(way.valid);
+    w.u64(keys_.size());
+    // Same per-way record shape as the AoS layout ({key, lru, valid});
+    // validity is derived from the key sentinel.
+    for (std::size_t i = 0; i < keys_.size(); i++) {
+        w.u64(keys_[i]);
+        w.u64(lru_[i]);
+        w.b(keys_[i] != kInvalidKey);
     }
 }
 
@@ -246,14 +377,17 @@ SetAssocTlb::load(snap::Reader &r)
 {
     tick_ = r.u64();
     const std::uint64_t n = r.u64();
-    HS_ASSERT(n == ways_storage_.size(),
+    HS_ASSERT(n == keys_.size(),
               "snapshot: TLB geometry mismatch (", n, " ways vs ",
-              ways_storage_.size(), ")");
-    for (Way &way : ways_storage_) {
-        way.key = r.u64();
-        way.lru = r.u64();
-        way.valid = r.b();
+              keys_.size(), ")");
+    for (std::size_t i = 0; i < keys_.size(); i++) {
+        const std::uint64_t key = r.u64();
+        lru_[i] = r.u64();
+        // Normalize: an invalid way always stores the sentinel, so a
+        // save -> load -> save round trip is bit-stable.
+        keys_[i] = r.b() ? key : kInvalidKey;
     }
+    memo_key_ = kInvalidKey;
 }
 
 namespace {

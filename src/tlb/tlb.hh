@@ -27,6 +27,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/aligned.hh"
+#include "base/simd.hh"
 #include "base/types.hh"
 #include "tlb/perf_counters.hh"
 #include "vm/page_table.hh"
@@ -45,25 +47,149 @@ struct AccessSample
     bool write = false;
 };
 
-/** A set-associative translation cache with LRU replacement. */
+/**
+ * A set-associative translation cache with LRU replacement.
+ *
+ * Stored as struct-of-arrays: one cache-aligned key column and one
+ * LRU column, so a whole 8-way set's tags fit in a single cache line
+ * (the AoS {key, lru, valid} layout spanned three). Both columns are
+ * densely packed — a set-major key+LRU interleaving was tried and
+ * measured *worse*: the 128-byte set stride parks key lines on
+ * even-numbered cache lines only, halving the effective L1d capacity
+ * for the large structures and turning the miss-heavy grid points
+ * pathological. Validity is folded into the key column via a
+ * sentinel — every real key the model produces has its top bits
+ * clear (vpns are <= 2^36 and walk line ids carry a level tag in
+ * bits 60..62), so `~0ull` can never collide with a live entry and
+ * the per-way `valid` bool disappears from the probe loop.
+ */
 class SetAssocTlb
 {
   public:
+    /** Key column sentinel marking an empty/invalid way. */
+    static constexpr std::uint64_t kInvalidKey = ~0ull;
+
     SetAssocTlb(unsigned entries, unsigned ways);
 
+    /** Cheap key mixer so strided keys spread across sets. */
+    static std::uint64_t
+    mixKey(std::uint64_t key)
+    {
+        key ^= key >> 33;
+        key *= 0xff51afd7ed558ccdull;
+        key ^= key >> 33;
+        return key;
+    }
+
     /** True on hit; refreshes LRU state. */
-    bool lookup(std::uint64_t key);
-    void insert(std::uint64_t key);
+    bool
+    lookup(std::uint64_t key)
+    {
+        return lookupAt(baseOf(key), key);
+    }
+
+    void
+    insert(std::uint64_t key)
+    {
+        insertAt(baseOf(key), key);
+    }
+
+    /**
+     * Fused lookup + fill-on-miss: one set resolution and one pass
+     * over the ways serve both operations. Returns true on hit,
+     * refreshing LRU exactly like `lookup`; on miss the key is
+     * inserted with `insert`'s victim choice before returning false.
+     * State-equivalent to `lookup(k) || (insert(k), false)` — the
+     * batched simulate loop uses this, the scalar reference loop
+     * keeps the discrete calls.
+     */
+    bool
+    lookupOrInsert(std::uint64_t key)
+    {
+        // Dispatch on the two real geometries so the scans unroll
+        // with a compile-time trip count (and stay branch-free).
+        return lookupOrInsertAt(baseOf(key), key);
+    }
+
+    /**
+     * Resolve @p key to its set's base way index. Pairs with
+     * `lookupOrInsertAt`: the batched simulate loop precomputes bases
+     * for a whole chunk in one ILP-friendly pre-pass, lifting the
+     * serial mix/mask chain off each probe's critical path.
+     */
+    std::size_t
+    baseOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(setOf(mixKey(key))) * ways_;
+    }
+
+    /**
+     * `lookupOrInsert` with the set base already resolved.
+     *
+     * Fronted by a one-entry MRU memo: if @p key is the key this
+     * structure probed last time, it is still resident at the
+     * memoized way and the probe collapses to the LRU refresh. The
+     * shortcut is exact, not approximate:
+     *   - a key maps to one set and sets hold no duplicates, so a
+     *     full scan would find precisely the memoized way;
+     *   - no intervening fused probe can have evicted it — the memoed
+     *     way carries the structure-wide maximum LRU stamp (it was
+     *     the last op), and fills pick an empty way or the set
+     *     minimum, never the maximum (ways >= 2);
+     *   - anything else that writes the key column (`insert`, `load`,
+     *     `flush`) drops the memo.
+     * Repeats dominate real probe streams here: every 4K walk in a
+     * batch hits the PWC-PDPTE with the same vpn>>18, huge-page runs
+     * re-probe one region key, and sequential pages share PTE lines.
+     */
+    HAWKSIM_ALWAYS_INLINE bool
+    lookupOrInsertAt(std::size_t base, std::uint64_t key)
+    {
+        if (key == memo_key_) {
+            lru_[memo_idx_] = ++tick_;
+            return true;
+        }
+        switch (ways_) {
+          case 4:
+            return probeOrFill<4>(base, key);
+          case 8:
+            return probeOrFill<8>(base, key);
+          default:
+            return lookupMemo(base, key) ||
+                   (insertMemo(base, key), false);
+        }
+    }
+
     void flush();
     unsigned entries() const { return sets_ * ways_; }
 
-    /** Currently-valid entries (occupancy introspection). */
+    /** Pull the set that @p key maps to into cache ahead of a probe. */
+    void
+    prefetchSet(std::uint64_t key) const
+    {
+        prefetchBase(baseOf(key));
+    }
+
+    /**
+     * Prefetch a set by precomputed base (see `baseOf`). Pulls both
+     * columns: a miss needs the LRU line for the victim scan and then
+     * writes both, so fetching only the tag line hides half the
+     * stall.
+     */
+    void
+    prefetchBase(std::size_t base) const
+    {
+        prefetchWrite(keys_.data() + base);
+        prefetchWrite(lru_.data() + base);
+    }
+
+    /** Currently-valid entries (occupancy introspection), one pass. */
     unsigned
     validEntries() const
     {
         unsigned n = 0;
-        for (const Way &w : ways_storage_)
-            n += w.valid ? 1 : 0;
+        for (std::uint64_t k : keys_)
+            n += k != kInvalidKey ? 1 : 0;
         return n;
     }
 
@@ -72,12 +198,162 @@ class SetAssocTlb
     void load(snap::Reader &r);
 
   private:
-    struct Way
+    /** `lookup` body for a precomputed set base index. */
+    bool
+    lookupAt(std::size_t base, std::uint64_t key)
     {
-        std::uint64_t key = ~0ull;
-        std::uint64_t lru = 0;
-        bool valid = false;
-    };
+        const std::uint64_t *keys = keys_.data() + base;
+        for (unsigned w = 0; w < ways_; w++) {
+            if (keys[w] == key) {
+                lru_[base + w] = ++tick_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** `insert` body for a precomputed set base index. */
+    void
+    insertAt(std::size_t base, std::uint64_t key)
+    {
+        std::uint64_t *keys = keys_.data() + base;
+        std::uint64_t *lru = lru_.data() + base;
+        // First empty way wins, else the least-recently-used one —
+        // identical victim choice to the AoS first-!valid/min-lru scan.
+        unsigned victim = 0;
+        for (unsigned w = 0; w < ways_; w++) {
+            if (keys[w] == kInvalidKey) {
+                victim = w;
+                break;
+            }
+            if (lru[w] < lru[victim])
+                victim = w;
+        }
+        keys[victim] = key;
+        lru[victim] = ++tick_;
+        // A discrete insert rewrites the key column outside the fused
+        // probe's eviction reasoning: drop the memo.
+        memo_key_ = kInvalidKey;
+    }
+
+    /** `lookupAt` that also sets the memo (odd-geometry fallback). */
+    bool
+    lookupMemo(std::size_t base, std::uint64_t key)
+    {
+        const std::uint64_t *keys = keys_.data() + base;
+        for (unsigned w = 0; w < ways_; w++) {
+            if (keys[w] == key) {
+                lru_[base + w] = ++tick_;
+                memo_key_ = key;
+                memo_idx_ = static_cast<std::uint32_t>(base + w);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** `insertAt` that also sets the memo (odd-geometry fallback). */
+    void
+    insertMemo(std::size_t base, std::uint64_t key)
+    {
+        std::uint64_t *keys = keys_.data() + base;
+        std::uint64_t *lru = lru_.data() + base;
+        unsigned victim = 0;
+        for (unsigned w = 0; w < ways_; w++) {
+            if (keys[w] == kInvalidKey) {
+                victim = w;
+                break;
+            }
+            if (lru[w] < lru[victim])
+                victim = w;
+        }
+        keys[victim] = key;
+        lru[victim] = ++tick_;
+        memo_key_ = key;
+        memo_idx_ = static_cast<std::uint32_t>(base + victim);
+    }
+
+    /**
+     * Fused probe over a fixed way count. The hit scan visits every
+     * way with conditional moves (one branch on the outcome instead
+     * of one per way); the victim scan runs only on a miss and maps
+     * empty ways to an effective LRU of 0 — valid stamps start at 1
+     * (`++tick_` from 0) — so a strict-< minimum picks the first
+     * empty way, else the first least-recently-used way, exactly like
+     * `insertAt`'s early-exit loop.
+     */
+    template <unsigned N>
+    HAWKSIM_ALWAYS_INLINE bool
+    probeOrFill(std::size_t base, std::uint64_t key)
+    {
+        std::uint64_t *keys = keys_.data() + base;
+        std::uint64_t *lru = lru_.data() + base;
+#if HAWKSIM_SIMD_SSE2
+        // Parallel hit scan: compare all N ways at once and reduce to
+        // a match bitmask. SSE2 has no 64-bit compare, so equality is
+        // two 32-bit lane compares ANDed with each other; the 64-bit
+        // sign bits then drop out of movemask_pd. Bit-identical to
+        // the scalar scan — exact integer equality either way.
+        static_assert(N == 4 || N == 8, "probe geometry");
+        const __m128i bk = _mm_set1_epi64x(
+            static_cast<long long>(key));
+        unsigned match = 0;
+        for (unsigned v = 0; v < N; v += 2) {
+            const __m128i k2 = _mm_load_si128(
+                reinterpret_cast<const __m128i *>(keys + v));
+            const __m128i eq32 = _mm_cmpeq_epi32(k2, bk);
+            const __m128i eq64 = _mm_and_si128(
+                eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+            match |= static_cast<unsigned>(_mm_movemask_pd(
+                         _mm_castsi128_pd(eq64)))
+                     << v;
+        }
+        if (match) {
+            const unsigned hit_way = __builtin_ctz(match);
+            lru[hit_way] = ++tick_;
+            memo_key_ = key;
+            memo_idx_ = static_cast<std::uint32_t>(base + hit_way);
+            return true;
+        }
+#else
+        unsigned hit_way = N;
+        for (unsigned w = 0; w < N; w++)
+            hit_way = keys[w] == key ? w : hit_way;
+        if (hit_way != N) {
+            lru[hit_way] = ++tick_;
+            memo_key_ = key;
+            memo_idx_ = static_cast<std::uint32_t>(base + hit_way);
+            return true;
+        }
+#endif
+        // Victim scan as a tree-min over `(effectiveLru << 3) | way`
+        // — way indices break ties (only empties can tie, at 0), so
+        // the minimum is the first empty way, else the first
+        // least-recently-used way: `insertAt`'s exact choice, but in
+        // log-depth selects instead of a serial compare chain.
+        std::uint64_t packed[N];
+        for (unsigned w = 0; w < N; w++) {
+            const std::uint64_t eff =
+                keys[w] == kInvalidKey ? 0 : lru[w];
+            packed[w] = (eff << 3) | w;
+        }
+        std::uint64_t best = std::min(packed[0], packed[1]);
+        if constexpr (N >= 4) {
+            best = std::min(best, std::min(packed[2], packed[3]));
+        }
+        if constexpr (N == 8) {
+            const std::uint64_t hi =
+                std::min(std::min(packed[4], packed[5]),
+                         std::min(packed[6], packed[7]));
+            best = std::min(best, hi);
+        }
+        const unsigned victim = static_cast<unsigned>(best & 7);
+        keys[victim] = key;
+        lru[victim] = ++tick_;
+        memo_key_ = key;
+        memo_idx_ = static_cast<std::uint32_t>(base + victim);
+        return false;
+    }
 
     /**
      * Set index for @p key. All standard geometries have
@@ -98,7 +374,15 @@ class SetAssocTlb
     unsigned ways_;
     std::uint64_t mask_ = 0; //!< sets_ - 1 when sets_ is a power of 2
     std::uint64_t tick_ = 0;
-    std::vector<Way> ways_storage_;
+    AlignedVec<std::uint64_t> keys_; //!< kInvalidKey = empty way
+    AlignedVec<std::uint64_t> lru_;
+    /**
+     * One-entry MRU memo (see `lookupOrInsertAt`): the key the last
+     * fused probe hit or filled, and the flat way index holding it.
+     * Pure accelerator state — never serialized, never observable.
+     */
+    std::uint64_t memo_key_ = kInvalidKey;
+    std::uint32_t memo_idx_ = 0;
 };
 
 /** Hardware geometry and latency parameters. */
@@ -175,6 +459,24 @@ class TlbModel
     TlbBatchResult simulate(vm::PageTable &pt,
                             const std::vector<AccessSample> &batch,
                             double sequentiality, double scale = 1.0);
+
+    /**
+     * @name Batched-loop control
+     *
+     * `simulate` normally runs as two batched phases (translate every
+     * sample, then probe every staged translation) with column
+     * prefetch between iterations. The phases commute — translations
+     * never read TLB state and probes never read PTEs — so results,
+     * counters and reports are bit-identical to the scalar
+     * per-access loop, which is kept for A/B timing and the
+     * equivalence test suite. Process-wide switch, same contract as
+     * `PageTable::setTranslationCacheEnabled`: only flip between
+     * measurement phases, never while simulations run elsewhere.
+     */
+    /// @{
+    static void setBatchingEnabled(bool on) { batching_enabled_ = on; }
+    static bool batchingEnabled() { return batching_enabled_; }
+    /// @}
 
     /** Flush translations (context switch / TLB shootdown). */
     void flush();
@@ -271,6 +573,49 @@ class TlbModel
   private:
     /** Cycles for a full walk of @p levels page-table loads. */
     Cycles walkLatency(Vpn vpn, bool huge);
+    /** Same walk-cost model via fused probes (batched loop). */
+    Cycles walkLatencyFused(Vpn vpn, bool huge);
+
+    /** Reference per-access loop (batching disabled). */
+    TlbBatchResult simulateScalar(vm::PageTable &pt,
+                                  const std::vector<AccessSample> &batch,
+                                  double sequentiality, double scale);
+    /** Phase-split loop: translate all, then probe all. */
+    TlbBatchResult simulateBatched(vm::PageTable &pt,
+                                   const std::vector<AccessSample> &batch,
+                                   double sequentiality, double scale);
+    /** Scale/round the batch tallies and charge the counters. */
+    TlbBatchResult finishBatch(std::uint64_t accesses,
+                               std::uint64_t misses, double load_walk,
+                               double store_walk, double scale);
+
+    /** One present translation staged by the translate phase. */
+    struct BatchSlot
+    {
+        Vpn vpn;
+        std::uint32_t write; //!< 0/1: indexes the walk-accumulator pair
+        std::uint32_t huge;
+    };
+    /** Reused across batches; grown to the next power of two. */
+    std::vector<BatchSlot> slots_;
+    /**
+     * Per-slot L1/L2 set bases, precomputed in the translate phase so
+     * the probe loop never waits on the serial key-mix chain. Parallel
+     * to `slots_`.
+     */
+    AlignedVec<std::uint32_t> l1_base_;
+    AlignedVec<std::uint32_t> l2_base_;
+    /**
+     * Per-slot pt-residency set base for the walk's *leaf* line (the
+     * PTE line for 4K, the PDE line for huge) — the one walk-structure
+     * set that is both large enough to miss the data caches and
+     * computable before the probe decides whether to walk. The probe
+     * loop prefetches it one slot ahead; a prefetch of a set the walk
+     * never touches is harmless.
+     */
+    AlignedVec<std::uint32_t> walk_base_;
+
+    static bool batching_enabled_;
 
     TlbConfig cfg_;
     SetAssocTlb l1_4k_;

@@ -85,7 +85,7 @@ AddressSpace::breakCow(Vpn vpn)
     if (needed_zeroing)
         phys_.zeroFrame(blk->pfn);
     phys_.onUnmap(t.pfn); // drop the shared-page reference
-    mem::Frame &old = phys_.frame(t.pfn);
+    mem::FrameRef old = phys_.frame(t.pfn);
     if (!t.entry.zeroPage() && old.isShared() && old.mapCount == 0) {
         // Last reference to a KSM dup-canonical frame.
         old.clear(mem::kFrameShared);
@@ -106,7 +106,7 @@ AddressSpace::unmapAndFreeBase(Vpn vpn)
     phys_.onUnmap(t.pfn);
     if (t.entry.zeroPage())
         return; // shared canonical zero page: nothing to free
-    mem::Frame &f = phys_.frame(t.pfn);
+    mem::FrameRef f = phys_.frame(t.pfn);
     if (f.isShared()) {
         // KSM canonical frame: the last unmapper releases it; it was
         // never part of this process's owned frames.
@@ -177,13 +177,13 @@ AddressSpace::promoteRegion(std::uint64_t region, Pfn block_pfn)
     for (const auto &[vpn, pte] : old) {
         const unsigned slot = vpn & 511;
         backed[slot] = true;
-        mem::Frame &dst = phys_.frame(block_pfn + slot);
+        mem::FrameRef dst = phys_.frame(block_pfn + slot);
         if (pte.zeroPage()) {
             dst.content = mem::PageContent::zero();
             dst.set(mem::kFrameZeroed);
             phys_.onUnmap(pte.pfn());
         } else {
-            const mem::Frame &src = phys_.frame(pte.pfn());
+            const mem::ConstFrameRef src = phys_.frame(pte.pfn());
             dst.content = src.content;
             if (src.content.isZero())
                 dst.set(mem::kFrameZeroed);
@@ -191,7 +191,7 @@ AddressSpace::promoteRegion(std::uint64_t region, Pfn block_pfn)
                 dst.clear(mem::kFrameZeroed);
             copied++;
             phys_.onUnmap(pte.pfn());
-            mem::Frame &old = phys_.frame(pte.pfn());
+            mem::FrameRef old = phys_.frame(pte.pfn());
             if (old.isShared()) {
                 // KSM-merged frame: other mappings may remain; only
                 // the last unmapper releases it. It never counted
@@ -230,7 +230,7 @@ AddressSpace::sharePage(Vpn vpn, Pfn canonical)
 {
     vm::Translation t = pt_.lookup(vpn);
     HS_ASSERT(t.present && !t.huge, "sharePage bad vpn ", vpn);
-    mem::Frame &cf = phys_.frame(canonical);
+    mem::FrameRef cf = phys_.frame(canonical);
     HS_ASSERT(!cf.isFree(), "sharePage to free canonical frame");
     if (t.pfn == canonical)
         return;

@@ -44,6 +44,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/aligned.hh"
 #include "base/types.hh"
 #include "vm/pte.hh"
 
@@ -219,6 +220,27 @@ class PageTable
     translationCacheEnabled()
     {
         return translationCacheCompiledIn() && tcache_runtime_enabled_;
+    }
+
+    /**
+     * Pull the translation-cache slot — and, on a current-epoch hit,
+     * the PD entry word — for @p vpn towards the caches, ahead of an
+     * upcoming `lookupAndTouch`. Pure prefetch: never changes
+     * behavior, and a no-op when the cache is compiled out.
+     */
+    void
+    prefetchTranslation(Vpn vpn) const
+    {
+#ifndef HAWKSIM_NO_TCACHE
+        const std::uint64_t region = vpn >> 9;
+        const CacheSlot &slot = tcache_[region & (kTCacheSlots - 1)];
+        if (slot.tag == region + 1 && slot.epoch == epoch_ && slot.pd) {
+            prefetchRead(&slot.pd->entries[idxL1(vpn)]);
+            prefetchRead(&slot.pd->children[idxL1(vpn)]);
+        }
+#else
+        (void)vpn;
+#endif
     }
     /// @}
 

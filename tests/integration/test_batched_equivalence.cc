@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Batched-vs-scalar equivalence suite (PR 8 data-oriented hot path).
+ *
+ * The batched `TlbModel::simulate` phases, the batched write loop in
+ * `Process::tick` and the column EMA kernel in the access tracker all
+ * claim *bit-identical* results to their scalar counterparts. These
+ * tests pin that claim: identical `TlbBatchResult`s, walk-cycle
+ * counters, tracker EMAs and full introspection reports across a
+ * policy × memory grid, a chaos (fault-rate) run, and the
+ * translation-cache toggle. The SIMD dimension is covered by building
+ * this same suite twice in CI (normal and -DHAWKSIM_NO_SIMD=ON) and
+ * comparing harness reports byte-for-byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+#include "hawksim.hh"
+
+using namespace hawksim;
+using tlb::AccessSample;
+using tlb::TlbBatchResult;
+using tlb::TlbConfig;
+using tlb::TlbModel;
+
+namespace {
+
+/** Restore the process-wide batching switch on scope exit. */
+struct BatchingGuard
+{
+    explicit BatchingGuard(bool on)
+        : prev_(TlbModel::batchingEnabled())
+    {
+        TlbModel::setBatchingEnabled(on);
+    }
+    ~BatchingGuard() { TlbModel::setBatchingEnabled(prev_); }
+    bool prev_;
+};
+
+/** Everything one micro-level simulate run can observably produce. */
+struct TlbRunResult
+{
+    std::vector<TlbBatchResult> batches;
+    std::uint64_t loadWalkCycles = 0;
+    std::uint64_t storeWalkCycles = 0;
+    std::uint64_t unhalted = 0;
+    std::uint64_t tlbAccesses = 0;
+    std::uint64_t tlbMisses = 0;
+    /** Accessed/dirty bit pattern over every leaf, walk order. */
+    std::string adBits;
+
+    bool
+    operator==(const TlbRunResult &o) const
+    {
+        if (batches.size() != o.batches.size())
+            return false;
+        for (std::size_t i = 0; i < batches.size(); i++) {
+            if (batches[i].accesses != o.batches[i].accesses ||
+                batches[i].misses != o.batches[i].misses ||
+                batches[i].walkCycles != o.batches[i].walkCycles)
+                return false;
+        }
+        return loadWalkCycles == o.loadWalkCycles &&
+               storeWalkCycles == o.storeWalkCycles &&
+               unhalted == o.unhalted &&
+               tlbAccesses == o.tlbAccesses &&
+               tlbMisses == o.tlbMisses && adBits == o.adBits;
+    }
+};
+
+/**
+ * Map `pages4k` base pages and `regions2m` huge regions above them,
+ * then run several simulate batches (mixed reads/writes, varying
+ * sequentiality and scale) against a fresh TlbModel.
+ */
+TlbRunResult
+runTlbStream(bool batched, const TlbConfig &cfg,
+             std::uint64_t pages4k, std::uint64_t regions2m,
+             std::uint64_t seed)
+{
+    BatchingGuard guard(batched);
+    vm::PageTable pt;
+    for (Vpn v = 0; v < pages4k; v++)
+        pt.mapBase(v, v);
+    const Vpn hugeBase = ((pages4k + 511) / 512 + 1) * 512;
+    for (std::uint64_t r = 0; r < regions2m; r++)
+        pt.mapHuge(hugeBase + (r << 9), r << 9);
+
+    TlbModel model(cfg);
+    Rng rng(seed);
+    TlbRunResult res;
+    const double seqs[] = {0.0, 0.7, 0.3};
+    const double scales[] = {1.0, 16.0, 3.5};
+    for (int b = 0; b < 3; b++) {
+        std::vector<AccessSample> batch;
+        batch.reserve(512);
+        for (int i = 0; i < 512; i++) {
+            AccessSample a;
+            const bool huge =
+                regions2m != 0 &&
+                (pages4k == 0 || rng.chance(0.5));
+            if (huge) {
+                a.vpn = hugeBase + rng.below(regions2m * 512);
+            } else {
+                a.vpn = rng.below(pages4k);
+            }
+            a.write = rng.chance(0.3);
+            batch.push_back(a);
+        }
+        res.batches.push_back(
+            model.simulate(pt, batch, seqs[b], scales[b]));
+    }
+    res.loadWalkCycles = model.counters().dtlbLoadWalkCycles;
+    res.storeWalkCycles = model.counters().dtlbStoreWalkCycles;
+    res.unhalted = model.counters().cpuClkUnhalted;
+    res.tlbAccesses = model.counters().tlbAccesses;
+    res.tlbMisses = model.counters().tlbMisses;
+    pt.forEachLeaf([&](Vpn, const vm::Pte &e, bool huge) {
+        res.adBits += static_cast<char>('0' + (e.accessed() ? 1 : 0) +
+                                        (e.dirty() ? 2 : 0) +
+                                        (huge ? 4 : 0));
+    });
+    return res;
+}
+
+/** Canonical observable state of a full-system run. */
+struct SystemRunResult
+{
+    std::string metricsCsv;
+    std::string snapshotJson;
+    std::uint64_t walkCycles = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t hugeFallbacks = 0;
+    std::uint64_t oomKills = 0;
+
+    bool
+    operator==(const SystemRunResult &o) const
+    {
+        return metricsCsv == o.metricsCsv &&
+               snapshotJson == o.snapshotJson &&
+               walkCycles == o.walkCycles && faults == o.faults &&
+               injected == o.injected &&
+               hugeFallbacks == o.hugeFallbacks &&
+               oomKills == o.oomKills;
+    }
+};
+
+std::unique_ptr<policy::HugePagePolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "hawkeye")
+        return std::make_unique<core::HawkEyePolicy>();
+    if (name == "ingens")
+        return std::make_unique<policy::IngensPolicy>();
+    if (name == "linux")
+        return std::make_unique<policy::LinuxThpPolicy>();
+    return std::make_unique<policy::FreeBsdPolicy>();
+}
+
+/**
+ * One grid point: fragmented memory, a zipfian stream, run to a
+ * mid-flight point, then serialize everything an experiment report
+ * could contain.
+ */
+SystemRunResult
+runSystem(bool batched, const std::string &policy,
+          std::uint64_t memBytes, double faultRate,
+          std::uint64_t seed)
+{
+    BatchingGuard guard(batched);
+    setLogQuiet(true);
+    sim::SystemConfig cfg;
+    cfg.memoryBytes = memBytes;
+    cfg.seed = seed;
+    cfg.fault.rate = faultRate;
+    if (faultRate > 0.0) {
+        cfg.fault.oomKiller = true;
+        cfg.fault.auditEvery = 50;
+    }
+    sim::System sys(cfg);
+    sys.setPolicy(makePolicy(policy));
+    sys.fragmentMemoryMovable(0.6, 16);
+
+    workload::StreamConfig wc;
+    wc.footprintBytes = memBytes / 4;
+    wc.hotStart = 0.4;
+    wc.hotEnd = 1.0;
+    wc.hotFraction = 0.8;
+    wc.zipfS = 0.5;
+    wc.accessesPerSec = 4e6;
+    wc.workSeconds = 2.0;
+    auto &proc = sys.addProcess(
+        "w", std::make_unique<workload::StreamWorkload>("w", wc,
+                                                        Rng(seed)));
+    sys.run(sec(2)); // mid-flight: EMAs and TLB state still warm
+
+    SystemRunResult r;
+    std::ostringstream csv;
+    sys.metrics().writeCsv(csv);
+    r.metricsCsv = csv.str();
+    r.snapshotJson = obs::snapshotToJson(obs::snapshot(sys)).dump();
+    r.walkCycles = proc.counters().walkCycles();
+    r.faults = proc.pageFaults();
+    if (const fault::FaultInjector *fi = sys.faultInjector()) {
+        r.injected = fi->totalInjected();
+        r.hugeFallbacks = fi->degradation().hugeFallbacks;
+        r.oomKills = fi->degradation().oomKills;
+    }
+    return r;
+}
+
+} // namespace
+
+/**
+ * Micro level: the two-phase batched simulate must reproduce the
+ * scalar loop bit-for-bit — results, all five counters, and the
+ * accessed/dirty bits it leaves in the page table — across page-size
+ * mixes and both probe geometries (the specialized 4/8-way fused
+ * probes and the generic fallback).
+ */
+TEST(BatchedEquivalence, TlbSimulateBitIdentical)
+{
+    struct Case
+    {
+        std::uint64_t pages4k, regions2m;
+    };
+    const Case cases[] = {{4096, 0}, {0, 16}, {3000, 8}};
+    for (const Case &c : cases) {
+        const TlbRunResult scalar =
+            runTlbStream(false, TlbConfig::haswell(), c.pages4k,
+                         c.regions2m, 11);
+        const TlbRunResult batched =
+            runTlbStream(true, TlbConfig::haswell(), c.pages4k,
+                         c.regions2m, 11);
+        EXPECT_TRUE(scalar == batched)
+            << "4k=" << c.pages4k << " 2m=" << c.regions2m;
+    }
+
+    // Odd geometry: 2-way sets take the generic (non-templated)
+    // probe path, and 48 sets is not a power of two, so the set
+    // mapping takes the division fallback — both in both loops.
+    TlbConfig odd;
+    odd.l1Entries4k = 96;
+    odd.l1Ways4k = 2;
+    odd.l2Ways = 16;
+    const TlbRunResult scalar = runTlbStream(false, odd, 2048, 4, 7);
+    const TlbRunResult batched = runTlbStream(true, odd, 2048, 4, 7);
+    EXPECT_TRUE(scalar == batched) << "generic probe geometry";
+}
+
+/** Nested (virtualized) walks scale latencies; the scaling must
+ *  commute with batching too. */
+TEST(BatchedEquivalence, TlbSimulateNestedBitIdentical)
+{
+    const TlbRunResult scalar = runTlbStream(
+        false, TlbConfig::haswellVirtualized(), 2048, 8, 3);
+    const TlbRunResult batched = runTlbStream(
+        true, TlbConfig::haswellVirtualized(), 2048, 8, 3);
+    EXPECT_TRUE(scalar == batched);
+}
+
+/**
+ * System level: across a policy × memory grid, a batched run and a
+ * scalar run must serialize to identical metrics CSVs and identical
+ * introspection snapshots (which embed tracker EMAs per region and
+ * TLB occupancy), with identical walk-cycle counters.
+ */
+TEST(BatchedEquivalence, PolicyMemoryGridReportsIdentical)
+{
+    struct Point
+    {
+        const char *policy;
+        std::uint64_t mem;
+    };
+    const Point grid[] = {
+        {"hawkeye", MiB(128)}, {"hawkeye", MiB(256)},
+        {"ingens", MiB(128)},  {"ingens", MiB(256)},
+        {"linux", MiB(128)},   {"freebsd", MiB(128)},
+    };
+    for (const Point &p : grid) {
+        const SystemRunResult scalar =
+            runSystem(false, p.policy, p.mem, 0.0, 42);
+        const SystemRunResult batched =
+            runSystem(true, p.policy, p.mem, 0.0, 42);
+        EXPECT_TRUE(scalar == batched)
+            << p.policy << "/" << p.mem / MiB(1) << "MiB";
+    }
+}
+
+/**
+ * Chaos: with probabilistic fault injection, the OOM killer and
+ * periodic invariant audits enabled, the injection schedule, the
+ * degradation tallies and the final reports must still be identical
+ * — the batched loops may not reorder or add fault-site probes.
+ */
+TEST(BatchedEquivalence, ChaosFaultRateRunIdentical)
+{
+    const SystemRunResult scalar =
+        runSystem(false, "hawkeye", MiB(96), 0.02, 1234);
+    const SystemRunResult batched =
+        runSystem(true, "hawkeye", MiB(96), 0.02, 1234);
+    EXPECT_TRUE(scalar == batched);
+    EXPECT_GT(batched.injected, 0u); // the chaos path actually ran
+}
+
+/**
+ * The translation-cache toggle is orthogonal: batched and scalar
+ * loops must agree with the tcache disabled as well (and under
+ * -DHAWKSIM_NO_TCACHE builds, where the toggle compiles away).
+ */
+TEST(BatchedEquivalence, TcacheOffStillIdentical)
+{
+#ifndef HAWKSIM_NO_TCACHE
+    const bool prev = vm::PageTable::translationCacheEnabled();
+    vm::PageTable::setTranslationCacheEnabled(false);
+#endif
+    const SystemRunResult scalar =
+        runSystem(false, "hawkeye", MiB(128), 0.0, 42);
+    const SystemRunResult batched =
+        runSystem(true, "hawkeye", MiB(128), 0.0, 42);
+#ifndef HAWKSIM_NO_TCACHE
+    vm::PageTable::setTranslationCacheEnabled(prev);
+#endif
+    EXPECT_TRUE(scalar == batched);
+}
+
+/**
+ * The column EMA kernel must be bit-identical to `Ema::update`: for
+ * both the seeding and the steady-state case, gathering through
+ * alpha()/valueRaw(), applying `a*s + (1-a)*v` and scattering through
+ * store() reproduces the member update exactly (same expression
+ * shape, so identical rounding).
+ */
+TEST(BatchedEquivalence, EmaKernelMatchesMemberUpdate)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; i++) {
+        const double alpha = rng.uniform();
+        const double v0 = rng.uniform() * 512.0;
+        const double s1 = rng.uniform() * 512.0;
+        const double s2 = rng.uniform() * 512.0;
+
+        Ema member(alpha);
+        member.update(v0);
+        member.update(s1);
+        member.update(s2);
+
+        Ema columns(alpha);
+        // Seeding case: store() is update()'s post-state.
+        columns.store(v0);
+        for (const double s : {s1, s2}) {
+            const double a = columns.alpha();
+            const double v = columns.valueRaw();
+            columns.store(a * s + (1.0 - a) * v);
+        }
+        // Bit equality, not tolerance: memcmp the doubles.
+        const double mv = member.value(), cv = columns.value();
+        EXPECT_EQ(std::memcmp(&mv, &cv, sizeof(double)), 0)
+            << "alpha=" << alpha << " i=" << i;
+        EXPECT_EQ(member.seeded(), columns.seeded());
+    }
+}
+
+/** bucketFor's branchless clamp must keep the exact bucket mapping,
+ *  including both edges and the out-of-range guard. */
+TEST(BatchedEquivalence, BucketForClampExact)
+{
+    using core::AccessMap;
+    EXPECT_EQ(AccessMap::bucketFor(0.0), 0u);
+    EXPECT_EQ(AccessMap::bucketFor(51.1), 0u);
+    EXPECT_EQ(AccessMap::bucketFor(51.2), 1u);
+    EXPECT_EQ(AccessMap::bucketFor(256.0), 5u);
+    EXPECT_EQ(AccessMap::bucketFor(511.9), 9u);
+    EXPECT_EQ(AccessMap::bucketFor(512.0), 9u); // clamped top edge
+    EXPECT_EQ(AccessMap::bucketFor(10000.0), 9u);
+    for (unsigned cov = 0; cov <= 512; cov++) {
+        const unsigned ref = std::min(
+            static_cast<unsigned>(cov / (512.0 / 10)), 9u);
+        EXPECT_EQ(AccessMap::bucketFor(cov), ref) << cov;
+    }
+}

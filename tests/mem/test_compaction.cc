@@ -121,7 +121,7 @@ TEST(Compactor, NotifiesMoverWithCopiedMetadata)
     ASSERT_TRUE(res.success);
     ASSERT_FALSE(mover.moves.empty());
     for (auto [from, to] : mover.moves) {
-        const mem::Frame &f = pm.frame(to);
+        const mem::ConstFrameRef f = pm.frame(to);
         EXPECT_EQ(f.ownerPid, 9);
         EXPECT_EQ(f.rmapVpn, from + 7);
         EXPECT_EQ(f.content.hash, from);

@@ -14,7 +14,7 @@ TEST(Phys, ReservesCanonicalZeroPage)
     PhysicalMemory pm(MiB(16));
     const Pfn zp = pm.zeroPagePfn();
     EXPECT_NE(zp, kInvalidPfn);
-    const mem::Frame &f = pm.frame(zp);
+    const mem::ConstFrameRef f = pm.frame(zp);
     EXPECT_TRUE(f.isShared());
     EXPECT_TRUE(f.isUnmovable());
     EXPECT_TRUE(f.content.isZero());

@@ -107,7 +107,7 @@ TEST(System, PageMovedFixesProcessMappings)
             auto t = proc.space().pageTable().lookup(
                 addrToVpn(base) + j);
             ASSERT_TRUE(t.present);
-            const mem::Frame &f = sys->phys().frame(t.pfn);
+            const mem::ConstFrameRef f = sys->phys().frame(t.pfn);
             ASSERT_EQ(f.ownerPid, proc.pid());
             ASSERT_EQ(f.rmapVpn, addrToVpn(base) + j);
             moved = true;
